@@ -1,0 +1,955 @@
+//! Bus Capacity Prediction (Fig 2).
+//!
+//! Query network (exactly the paper's operator set):
+//!
+//! ```text
+//!  S0 → N → A ─────────────┐
+//!        └─→ L ──────────┐ │
+//!  S1 → D → H → C0..C3 → B → J → P → K → (next bus stop)
+//! ```
+//!
+//! `S0` receives the previous stop's prediction over cellular; `S1`
+//! receives camera frames; `D` dispatches; `H` is the motion/passerby
+//! filter; `C0..C3` run the Haar face counter on one quadrant each;
+//! `B` aggregates counts into a boarding prediction; `A`/`L` are the
+//! arrival/alighting models; `J` joins camera-side and bus-side
+//! streams; `P` predicts the bus capacity; `K` publishes to the next
+//! stop.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use dsps::graph::{OpKind, QueryGraph};
+use dsps::operator::{op_state, OpState, Operator, Outputs};
+use dsps::placement::Placement;
+use dsps::tuple::{value, Tuple};
+use simkernel::{SimDuration, SimRng};
+
+use crate::calib::Calibration;
+use crate::haar::{count_faces_quadrant, Cascade};
+use crate::image::{Frame, FrameGen};
+use crate::models::{combine_capacity, AlightingModel, ArrivalModel, BoardingModel, Ewma};
+use crate::{AppBundle, FeedSpec};
+
+// ---------------------------------------------------------------- messages
+
+/// A camera frame in flight.
+#[derive(Debug, Clone)]
+pub struct FrameMsg {
+    /// Shared frame content.
+    pub frame: Arc<Frame>,
+}
+
+/// A quadrant crop handed to one counter.
+#[derive(Debug, Clone)]
+pub struct CropMsg {
+    /// Frame sequence.
+    pub seq: u64,
+    /// Which quadrant (0..4).
+    pub quadrant: usize,
+    /// Shared frame (counters crop on the fly).
+    pub frame: Arc<Frame>,
+}
+
+/// One counter's result.
+#[derive(Debug, Clone, Copy)]
+pub struct CountMsg {
+    /// Frame sequence.
+    pub seq: u64,
+    /// Quadrant counted.
+    pub quadrant: usize,
+    /// Faces found.
+    pub count: u32,
+}
+
+/// Aggregated waiting-passenger estimate + boarding prediction.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitingMsg {
+    /// Frame sequence.
+    pub seq: u64,
+    /// People waiting at the stop.
+    pub waiting: u32,
+    /// Predicted boardings for the next bus.
+    pub boarding_est: u32,
+}
+
+/// The previous stop's published prediction (or the depot feed at the
+/// first stop).
+#[derive(Debug, Clone, Copy)]
+pub struct PrevStopMsg {
+    /// Bus identity.
+    pub bus_id: u64,
+    /// Passengers on the bus when it left the previous stop.
+    pub onboard: u32,
+    /// Departure time (seconds since sim start).
+    pub depart_s: f64,
+}
+
+/// Arrival model output.
+#[derive(Debug, Clone, Copy)]
+pub struct BusEtaMsg {
+    /// Bus identity.
+    pub bus_id: u64,
+    /// Load when it left the previous stop.
+    pub onboard: u32,
+    /// Estimated arrival (seconds).
+    pub eta_s: f64,
+}
+
+/// Alighting model output.
+#[derive(Debug, Clone, Copy)]
+pub struct AlightMsg {
+    /// Bus identity.
+    pub bus_id: u64,
+    /// Predicted alightings at this stop.
+    pub alight: u32,
+}
+
+/// J output: camera-side estimate annotated with the latest bus info.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinedMsg {
+    /// Frame sequence.
+    pub seq: u64,
+    /// Waiting passengers.
+    pub waiting: u32,
+    /// Boarding prediction.
+    pub boarding_est: u32,
+    /// Latest approaching bus, if any.
+    pub bus: Option<BusEtaMsg>,
+}
+
+/// Final prediction published to the next stop.
+#[derive(Debug, Clone, Copy)]
+pub struct CapacityMsg {
+    /// Bus identity (0 if no bus announced yet).
+    pub bus_id: u64,
+    /// Predicted on-bus passengers when the bus leaves this stop.
+    pub onboard_next: u32,
+    /// Waiting-passenger estimate used.
+    pub waiting: u32,
+    /// Synthetic departure time estimate (seconds).
+    pub depart_s: f64,
+}
+
+// ---------------------------------------------------------------- operators
+
+/// `S0`: relay of previous-stop data; converts an upstream region's
+/// `CapacityMsg` into this region's `PrevStopMsg`.
+struct PrevStopSource {
+    cost: SimDuration,
+}
+
+impl Operator for PrevStopSource {
+    fn process(&mut self, tuple: &Tuple, _port: usize, out: &mut Outputs, _rng: &mut SimRng) {
+        if let Some(p) = tuple.value_as::<PrevStopMsg>() {
+            out.emit(0, value(*p), tuple.bytes);
+        } else if let Some(c) = tuple.value_as::<CapacityMsg>() {
+            let p = PrevStopMsg {
+                bus_id: c.bus_id,
+                onboard: c.onboard_next,
+                depart_s: c.depart_s,
+            };
+            out.emit(0, value(p), tuple.bytes);
+        }
+    }
+    fn cost(&self, _t: &Tuple) -> SimDuration {
+        self.cost
+    }
+}
+
+/// `N`: noise filter — EWMA-smooths the onboard counts.
+struct NoiseFilter {
+    cost: SimDuration,
+    smooth: Ewma,
+}
+
+#[derive(Debug, Clone)]
+struct NoiseFilterState(Ewma);
+
+impl Operator for NoiseFilter {
+    fn process(&mut self, tuple: &Tuple, _port: usize, out: &mut Outputs, _rng: &mut SimRng) {
+        let Some(p) = tuple.value_as::<PrevStopMsg>() else {
+            return;
+        };
+        let smoothed = self.smooth.observe(p.onboard as f64).round() as u32;
+        let cleaned = PrevStopMsg {
+            onboard: smoothed,
+            ..*p
+        };
+        out.emit(0, value(cleaned), tuple.bytes); // → A
+        out.emit(1, value(cleaned), tuple.bytes); // → L
+    }
+    fn cost(&self, _t: &Tuple) -> SimDuration {
+        self.cost
+    }
+    fn state_bytes(&self) -> u64 {
+        24
+    }
+    fn snapshot(&self) -> OpState {
+        op_state(NoiseFilterState(self.smooth))
+    }
+    fn restore(&mut self, st: &OpState) {
+        if let Some(s) = (**st).as_any().downcast_ref::<NoiseFilterState>() {
+            self.smooth = s.0;
+        }
+    }
+}
+
+/// `A`: bus arrival-time model.
+struct ArrivalOp {
+    cost: SimDuration,
+    model: ArrivalModel,
+    state_padding: u64,
+    small_bytes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ArrivalState(ArrivalModel);
+
+impl Operator for ArrivalOp {
+    fn process(&mut self, tuple: &Tuple, _port: usize, out: &mut Outputs, _rng: &mut SimRng) {
+        let Some(p) = tuple.value_as::<PrevStopMsg>() else {
+            return;
+        };
+        let eta = self.model.eta(p.depart_s);
+        self.model.observe(p.depart_s, eta); // reinforce prior (proxy for GPS feedback)
+        out.emit(
+            0,
+            value(BusEtaMsg {
+                bus_id: p.bus_id,
+                onboard: p.onboard,
+                eta_s: eta,
+            }),
+            self.small_bytes,
+        );
+    }
+    fn cost(&self, _t: &Tuple) -> SimDuration {
+        self.cost
+    }
+    fn state_bytes(&self) -> u64 {
+        32 + self.state_padding
+    }
+    fn snapshot(&self) -> OpState {
+        op_state(ArrivalState(self.model.clone()))
+    }
+    fn restore(&mut self, st: &OpState) {
+        if let Some(s) = (**st).as_any().downcast_ref::<ArrivalState>() {
+            self.model = s.0.clone();
+        }
+    }
+}
+
+/// `L`: alighting model.
+struct AlightOp {
+    cost: SimDuration,
+    model: AlightingModel,
+    state_padding: u64,
+    small_bytes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct AlightState(AlightingModel);
+
+impl Operator for AlightOp {
+    fn process(&mut self, tuple: &Tuple, _port: usize, out: &mut Outputs, _rng: &mut SimRng) {
+        let Some(p) = tuple.value_as::<PrevStopMsg>() else {
+            return;
+        };
+        out.emit(
+            0,
+            value(AlightMsg {
+                bus_id: p.bus_id,
+                alight: self.model.predict(p.onboard),
+            }),
+            self.small_bytes,
+        );
+    }
+    fn cost(&self, _t: &Tuple) -> SimDuration {
+        self.cost
+    }
+    fn state_bytes(&self) -> u64 {
+        24 + self.state_padding
+    }
+    fn snapshot(&self) -> OpState {
+        op_state(AlightState(self.model.clone()))
+    }
+    fn restore(&mut self, st: &OpState) {
+        if let Some(s) = (**st).as_any().downcast_ref::<AlightState>() {
+            self.model = s.0.clone();
+        }
+    }
+}
+
+/// `D`: dispatcher (frame admission).
+struct Dispatcher {
+    cost: SimDuration,
+}
+
+impl Operator for Dispatcher {
+    fn process(&mut self, tuple: &Tuple, _port: usize, out: &mut Outputs, _rng: &mut SimRng) {
+        out.emit(0, tuple.value.clone(), tuple.bytes);
+    }
+    fn cost(&self, _t: &Tuple) -> SimDuration {
+        self.cost
+    }
+}
+
+/// `H`: motion detection / passerby filter — compares the frame's mean
+/// brightness against a background model (people change the scene) and
+/// splits admitted frames into four quadrant crops.
+struct MotionSplit {
+    cost: SimDuration,
+    background: Ewma,
+    state_padding: u64,
+    crop_bytes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct MotionSplitState(Ewma);
+
+impl Operator for MotionSplit {
+    fn process(&mut self, tuple: &Tuple, _port: usize, out: &mut Outputs, _rng: &mut SimRng) {
+        let Some(m) = tuple.value_as::<FrameMsg>() else {
+            return;
+        };
+        let frame = &m.frame;
+        // Real pixel work: frame mean vs adaptive background.
+        let mean =
+            frame.pixels.iter().map(|&p| p as u64).sum::<u64>() as f64 / frame.pixels.len() as f64;
+        self.background.observe(mean);
+        // Passerby filter: frames indistinguishable from background
+        // (nobody present) are dropped.
+        if frame.truth_faces == 0 && (mean - self.background.value).abs() < 0.5 {
+            return;
+        }
+        for q in 0..4 {
+            out.emit(
+                q,
+                value(CropMsg {
+                    seq: frame.seq,
+                    quadrant: q,
+                    frame: Arc::clone(frame),
+                }),
+                self.crop_bytes,
+            );
+        }
+    }
+    fn cost(&self, _t: &Tuple) -> SimDuration {
+        self.cost
+    }
+    fn state_bytes(&self) -> u64 {
+        24 + self.state_padding
+    }
+    fn snapshot(&self) -> OpState {
+        op_state(MotionSplitState(self.background))
+    }
+    fn restore(&mut self, st: &OpState) {
+        if let Some(s) = (**st).as_any().downcast_ref::<MotionSplitState>() {
+            self.background = s.0;
+        }
+    }
+}
+
+/// `C0..C3`: Haar face counter on one quadrant. The kernel really runs.
+struct HaarCounter {
+    cost: SimDuration,
+    cascade: Cascade,
+    small_bytes: u64,
+    /// Tuples counted (tiny state).
+    counted: u64,
+}
+
+#[derive(Debug, Clone)]
+struct HaarCounterState(u64);
+
+impl Operator for HaarCounter {
+    fn process(&mut self, tuple: &Tuple, _port: usize, out: &mut Outputs, _rng: &mut SimRng) {
+        let Some(c) = tuple.value_as::<CropMsg>() else {
+            return;
+        };
+        let count = count_faces_quadrant(&c.frame, &self.cascade, c.quadrant);
+        self.counted += 1;
+        out.emit(
+            0,
+            value(CountMsg {
+                seq: c.seq,
+                quadrant: c.quadrant,
+                count,
+            }),
+            self.small_bytes,
+        );
+    }
+    fn cost(&self, _t: &Tuple) -> SimDuration {
+        self.cost
+    }
+    fn state_bytes(&self) -> u64 {
+        8
+    }
+    fn snapshot(&self) -> OpState {
+        op_state(HaarCounterState(self.counted))
+    }
+    fn restore(&mut self, st: &OpState) {
+        if let Some(s) = (**st).as_any().downcast_ref::<HaarCounterState>() {
+            self.counted = s.0;
+        }
+    }
+}
+
+/// `B`: aggregates the four quadrant counts of a frame and predicts
+/// boardings.
+struct BoardingOp {
+    cost: SimDuration,
+    partial: BTreeMap<u64, (u32, u32)>, // seq -> (quadrants seen, total)
+    model: BoardingModel,
+    state_padding: u64,
+    small_bytes: u64,
+    last_onboard: u32,
+}
+
+#[derive(Debug, Clone)]
+struct BoardingState {
+    partial: Vec<(u64, u32, u32)>,
+    model: BoardingModel,
+    last_onboard: u32,
+}
+
+impl Operator for BoardingOp {
+    fn process(&mut self, tuple: &Tuple, _port: usize, out: &mut Outputs, _rng: &mut SimRng) {
+        let Some(c) = tuple.value_as::<CountMsg>() else {
+            return;
+        };
+        let entry = self.partial.entry(c.seq).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += c.count;
+        if entry.0 == 4 {
+            let (_, waiting) = self.partial.remove(&c.seq).expect("present");
+            let boarding = self.model.predict(waiting, self.last_onboard);
+            self.model.observe(waiting, boarding);
+            out.emit(
+                0,
+                value(WaitingMsg {
+                    seq: c.seq,
+                    waiting,
+                    boarding_est: boarding,
+                }),
+                self.small_bytes,
+            );
+        }
+        // Bound the partial map (frames whose counters died).
+        while self.partial.len() > 64 {
+            let oldest = *self.partial.keys().next().expect("non-empty");
+            self.partial.remove(&oldest);
+        }
+    }
+    fn cost(&self, _t: &Tuple) -> SimDuration {
+        self.cost
+    }
+    fn state_bytes(&self) -> u64 {
+        self.partial.len() as u64 * 24 + 32 + self.state_padding
+    }
+    fn snapshot(&self) -> OpState {
+        op_state(BoardingState {
+            partial: self.partial.iter().map(|(&s, &(q, t))| (s, q, t)).collect(),
+            model: self.model.clone(),
+            last_onboard: self.last_onboard,
+        })
+    }
+    fn restore(&mut self, st: &OpState) {
+        if let Some(s) = (**st).as_any().downcast_ref::<BoardingState>() {
+            self.partial = s.partial.iter().map(|&(s, q, t)| (s, (q, t))).collect();
+            self.model = s.model.clone();
+            self.last_onboard = s.last_onboard;
+        }
+    }
+}
+
+/// `J`: annotate every camera-side estimate with the latest
+/// approaching-bus info (port 0 = `A`, port 1 = `B`).
+struct JoinOp {
+    cost: SimDuration,
+    latest_bus: Option<BusEtaMsg>,
+    state_padding: u64,
+    small_bytes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct JoinState(Option<BusEtaMsg>);
+
+impl Operator for JoinOp {
+    fn process(&mut self, tuple: &Tuple, port: usize, out: &mut Outputs, _rng: &mut SimRng) {
+        if port == 0 {
+            if let Some(b) = tuple.value_as::<BusEtaMsg>() {
+                self.latest_bus = Some(*b);
+            }
+            return;
+        }
+        let Some(w) = tuple.value_as::<WaitingMsg>() else {
+            return;
+        };
+        out.emit(
+            0,
+            value(JoinedMsg {
+                seq: w.seq,
+                waiting: w.waiting,
+                boarding_est: w.boarding_est,
+                bus: self.latest_bus,
+            }),
+            self.small_bytes,
+        );
+    }
+    fn cost(&self, _t: &Tuple) -> SimDuration {
+        self.cost
+    }
+    fn state_bytes(&self) -> u64 {
+        40 + self.state_padding
+    }
+    fn snapshot(&self) -> OpState {
+        op_state(JoinState(self.latest_bus))
+    }
+    fn restore(&mut self, st: &OpState) {
+        if let Some(s) = (**st).as_any().downcast_ref::<JoinState>() {
+            self.latest_bus = s.0;
+        }
+    }
+}
+
+/// `P`: capacity prediction (port 0 = `J`, port 1 = `L`).
+struct CapacityOp {
+    cost: SimDuration,
+    latest_alight: Option<AlightMsg>,
+    capacity: u32,
+    state_padding: u64,
+    small_bytes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CapacityState(Option<AlightMsg>);
+
+impl Operator for CapacityOp {
+    fn process(&mut self, tuple: &Tuple, port: usize, out: &mut Outputs, _rng: &mut SimRng) {
+        if port == 1 {
+            if let Some(a) = tuple.value_as::<AlightMsg>() {
+                self.latest_alight = Some(*a);
+            }
+            return;
+        }
+        let Some(j) = tuple.value_as::<JoinedMsg>() else {
+            return;
+        };
+        let (bus_id, onboard, eta) = match j.bus {
+            Some(b) => (b.bus_id, b.onboard, b.eta_s),
+            None => (0, 0, tuple.entered.as_secs_f64()),
+        };
+        let alight = self
+            .latest_alight
+            .filter(|a| a.bus_id == bus_id)
+            .map(|a| a.alight)
+            .unwrap_or(0);
+        let onboard_next = combine_capacity(onboard, alight, j.boarding_est, self.capacity);
+        out.emit(
+            0,
+            value(CapacityMsg {
+                bus_id,
+                onboard_next,
+                waiting: j.waiting,
+                depart_s: eta + 20.0, // dwell time
+            }),
+            self.small_bytes,
+        );
+    }
+    fn cost(&self, _t: &Tuple) -> SimDuration {
+        self.cost
+    }
+    fn state_bytes(&self) -> u64 {
+        24 + self.state_padding
+    }
+    fn snapshot(&self) -> OpState {
+        op_state(CapacityState(self.latest_alight))
+    }
+    fn restore(&mut self, st: &OpState) {
+        if let Some(s) = (**st).as_any().downcast_ref::<CapacityState>() {
+            self.latest_alight = s.0;
+        }
+    }
+}
+
+/// `K`: sink (publishes to the next region; the node runtime handles
+/// the inter-region send).
+struct SinkOp {
+    cost: SimDuration,
+}
+
+impl Operator for SinkOp {
+    fn process(&mut self, _t: &Tuple, _port: usize, _out: &mut Outputs, _rng: &mut SimRng) {}
+    fn cost(&self, _t: &Tuple) -> SimDuration {
+        self.cost
+    }
+}
+
+// ---------------------------------------------------------------- builder
+
+/// Build the BCP region bundle (graph + placement + feeds).
+///
+/// Placement (8 phones, paper grouping "operators with the same color
+/// are on the same node"):
+///
+/// | slot | ops |
+/// |---|---|
+/// | 0 | S1 (camera source) |
+/// | 1 | S0, N, A, L (bus-side models) |
+/// | 2 | D, H |
+/// | 3 | C0, C1 |
+/// | 4 | C2, C3 |
+/// | 5 | B, J, P, K |
+/// | 6, 7 | idle (checkpoint replicas / standby) |
+pub fn build_bcp(cal: &Calibration, slots: u32, first_stop: bool) -> AppBundle {
+    let c = cal.clone();
+    let mut g = QueryGraph::new();
+
+    let s0 = g.add_op("S0", OpKind::Source, {
+        let c = c.clone();
+        move || Box::new(PrevStopSource { cost: c.cost_src })
+    });
+    let s1 = g.add_op("S1", OpKind::Source, {
+        let c = c.clone();
+        move || Box::new(Dispatcher { cost: c.cost_src })
+    });
+    let n = g.add_op("N", OpKind::Compute, {
+        let c = c.clone();
+        move || {
+            Box::new(NoiseFilter {
+                cost: c.cost_n,
+                smooth: Ewma::new(10.0, 0.3),
+            })
+        }
+    });
+    let a = g.add_op("A", OpKind::Compute, {
+        let c = c.clone();
+        move || {
+            Box::new(ArrivalOp {
+                cost: c.cost_a,
+                model: ArrivalModel::new(90.0),
+                state_padding: c.state_a,
+                small_bytes: c.bcp_small_bytes,
+            })
+        }
+    });
+    let l = g.add_op("L", OpKind::Compute, {
+        let c = c.clone();
+        move || {
+            Box::new(AlightOp {
+                cost: c.cost_l,
+                model: AlightingModel::new(0.25),
+                state_padding: c.state_l,
+                small_bytes: c.bcp_small_bytes,
+            })
+        }
+    });
+    let d = g.add_op("D", OpKind::Compute, {
+        let c = c.clone();
+        move || Box::new(Dispatcher { cost: c.cost_d })
+    });
+    let h = g.add_op("H", OpKind::Compute, {
+        let c = c.clone();
+        move || {
+            Box::new(MotionSplit {
+                cost: c.cost_h,
+                background: Ewma::new(200.0, 0.05),
+                state_padding: c.state_h,
+                crop_bytes: c.bcp_crop_bytes,
+            })
+        }
+    });
+    let counters: Vec<_> = (0..4)
+        .map(|i| {
+            g.add_op(format!("C{i}"), OpKind::Compute, {
+                let c = c.clone();
+                move || {
+                    Box::new(HaarCounter {
+                        cost: c.cost_haar,
+                        cascade: Cascade::default(),
+                        small_bytes: c.bcp_small_bytes,
+                        counted: 0,
+                    }) as Box<dyn Operator>
+                }
+            })
+        })
+        .collect();
+    let b = g.add_op("B", OpKind::Compute, {
+        let c = c.clone();
+        move || {
+            Box::new(BoardingOp {
+                cost: c.cost_b,
+                partial: BTreeMap::new(),
+                model: BoardingModel::new(60),
+                state_padding: c.state_b,
+                small_bytes: c.bcp_small_bytes,
+                last_onboard: 0,
+            })
+        }
+    });
+    let j = g.add_op("J", OpKind::Compute, {
+        let c = c.clone();
+        move || {
+            Box::new(JoinOp {
+                cost: c.cost_j,
+                latest_bus: None,
+                state_padding: c.state_j,
+                small_bytes: c.bcp_small_bytes,
+            })
+        }
+    });
+    let p = g.add_op("P", OpKind::Compute, {
+        let c = c.clone();
+        move || {
+            Box::new(CapacityOp {
+                cost: c.cost_p,
+                latest_alight: None,
+                capacity: 60,
+                state_padding: c.state_p,
+                small_bytes: c.bcp_small_bytes,
+            })
+        }
+    });
+    let k = g.add_op("K", OpKind::Sink, {
+        let c = c.clone();
+        move || Box::new(SinkOp { cost: c.cost_k })
+    });
+
+    g.connect(s0, n); // edge 0
+    g.connect(n, a); // N port 0
+    g.connect(n, l); // N port 1
+    g.connect(a, j); // J port 0
+    g.connect(s1, d);
+    g.connect(d, h);
+    for &ci in &counters {
+        g.connect(h, ci); // H ports 0..3
+    }
+    for &ci in &counters {
+        g.connect(ci, b);
+    }
+    g.connect(b, j); // J port 1
+    g.connect(j, p); // P port 0
+    g.connect(l, p); // P port 1
+    g.connect(p, k);
+    g.validate().expect("BCP graph valid");
+
+    let mut placement = Placement::new(&g, slots);
+    placement
+        .assign(s1, 0)
+        .assign(s0, 1)
+        .assign(n, 1)
+        .assign(a, 1)
+        .assign(l, 1)
+        .assign(d, 2)
+        .assign(h, 2)
+        .assign(counters[0], 3)
+        .assign(counters[1], 3)
+        .assign(counters[2], 4)
+        .assign(counters[3], 4)
+        .assign(b, 5)
+        .assign(j, 5)
+        .assign(p, 5)
+        .assign(k, 5);
+    placement.validate(&g).expect("BCP placement valid");
+
+    // Feeds: the camera (every region) and, at the first stop only, the
+    // depot's bus announcements.
+    let mut feeds = Vec::new();
+    {
+        let cal2 = c.clone();
+        feeds.push(FeedSpec {
+            op: s1,
+            period: c.bcp_frame_period,
+            jitter: c.bcp_frame_jitter,
+            make_gen: Box::new(move || {
+                let gen = FrameGen {
+                    wire_bytes: cal2.bcp_frame_bytes,
+                    mean_faces: cal2.bcp_mean_faces,
+                    ..FrameGen::default()
+                };
+                let bytes = cal2.bcp_frame_bytes;
+                Box::new(move |rng, seq| {
+                    let frame = Arc::new(gen.faces_frame(rng, seq));
+                    (value(FrameMsg { frame }), bytes)
+                })
+            }),
+        });
+    }
+    if first_stop {
+        let bytes = c.bcp_small_bytes;
+        feeds.push(FeedSpec {
+            op: s0,
+            period: c.bcp_bus_period,
+            jitter: 0.2,
+            make_gen: Box::new(move || {
+                Box::new(move |rng, seq| {
+                    let onboard = rng.poisson(18.0).min(60) as u32;
+                    (
+                        value(PrevStopMsg {
+                            bus_id: seq + 1,
+                            onboard,
+                            depart_s: 0.0,
+                        }),
+                        bytes,
+                    )
+                })
+            }),
+        });
+    }
+
+    AppBundle {
+        graph: Arc::new(g),
+        placement,
+        feeds,
+        inter_region_input: s0,
+        name: "bcp",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_matches_fig2() {
+        let bundle = build_bcp(&Calibration::default(), 8, true);
+        let g = &bundle.graph;
+        assert_eq!(g.op_count(), 15, "S0,S1,N,A,L,D,H,C0-3,B,J,P,K");
+        assert_eq!(g.sources().len(), 2);
+        assert_eq!(g.sinks().len(), 1);
+        assert!(g.validate().is_ok());
+        // J has two inputs (A and B), P has two inputs (J and L).
+        let j = g.op_by_name("J").unwrap();
+        let p = g.op_by_name("P").unwrap();
+        assert_eq!(g.op(j).in_edges.len(), 2);
+        assert_eq!(g.op(p).in_edges.len(), 2);
+        // H fans out to the four counters.
+        let h = g.op_by_name("H").unwrap();
+        assert_eq!(g.op(h).out_edges.len(), 4);
+    }
+
+    #[test]
+    fn placement_uses_six_slots_two_idle() {
+        let bundle = build_bcp(&Calibration::default(), 8, true);
+        assert_eq!(bundle.placement.used_slots().len(), 6);
+        assert_eq!(bundle.placement.idle_slots(&bundle.graph), vec![6, 7]);
+    }
+
+    #[test]
+    fn operators_instantiate_and_snapshot() {
+        let bundle = build_bcp(&Calibration::default(), 8, true);
+        for op in bundle.graph.op_ids() {
+            let inst = bundle.graph.op(op).instantiate();
+            let st = inst.snapshot();
+            let mut inst2 = bundle.graph.op(op).instantiate();
+            inst2.restore(&st); // must not panic
+        }
+    }
+
+    #[test]
+    fn full_pipeline_dataflow_by_hand() {
+        // Drive the operators directly (no sim) through one frame + one
+        // bus and check a CapacityMsg comes out.
+        let cal = Calibration::default();
+        let bundle = build_bcp(&cal, 8, true);
+        let g = &bundle.graph;
+        let mut rng = SimRng::new(5);
+        let mk = |name: &str| g.op(g.op_by_name(name).unwrap()).instantiate();
+        let mut s0 = mk("S0");
+        let mut n = mk("N");
+        let mut a = mk("A");
+        let mut l = mk("L");
+        let mut h = mk("H");
+        let mut c0 = mk("C0");
+        let mut b = mk("B");
+        let mut j = mk("J");
+        let mut p = mk("P");
+
+        let run = |op: &mut Box<dyn Operator>, v: dsps::tuple::TupleValue, bytes: u64, port: usize, rng: &mut SimRng| {
+            let t = Tuple::new(1, simkernel::SimTime::from_secs(10), bytes, v);
+            let mut out = Outputs::default();
+            op.process(&t, port, &mut out, rng);
+            out.drain()
+        };
+
+        // Bus side.
+        let bus = value(PrevStopMsg { bus_id: 7, onboard: 20, depart_s: 100.0 });
+        let s0_out = run(&mut s0, bus, 200, 0, &mut rng);
+        assert_eq!(s0_out.len(), 1);
+        let n_out = run(&mut n, s0_out[0].1.clone(), 200, 0, &mut rng);
+        assert_eq!(n_out.len(), 2, "N fans to A and L");
+        let a_out = run(&mut a, n_out[0].1.clone(), 200, 0, &mut rng);
+        let l_out = run(&mut l, n_out[1].1.clone(), 200, 0, &mut rng);
+        run(&mut j, a_out[0].1.clone(), 200, 0, &mut rng); // J stores latest bus
+        run(&mut p, l_out[0].1.clone(), 200, 1, &mut rng); // P stores latest alight
+
+        // Camera side.
+        let gen = FrameGen {
+            mean_faces: 8.0,
+            ..FrameGen::default()
+        };
+        let frame = Arc::new(gen.faces_frame(&mut rng, 1));
+        let truth = frame.truth_faces;
+        let h_out = run(&mut h, value(FrameMsg { frame }), cal.bcp_frame_bytes, 0, &mut rng);
+        assert_eq!(h_out.len(), 4, "H splits into quadrants");
+        // Count all four crops (one counter instance suffices here).
+        let mut waiting_msg = None;
+        for (_, crop, bytes) in h_out {
+            let c_out = run(&mut c0, crop, bytes, 0, &mut rng);
+            for (_, count, bytes) in c_out {
+                let b_out = run(&mut b, count, bytes, 0, &mut rng);
+                if !b_out.is_empty() {
+                    waiting_msg = Some(b_out[0].1.clone());
+                }
+            }
+        }
+        let waiting_msg = waiting_msg.expect("B aggregates after 4 counts");
+        let j_out = run(&mut j, waiting_msg, 200, 1, &mut rng);
+        assert_eq!(j_out.len(), 1);
+        let p_out = run(&mut p, j_out[0].1.clone(), 200, 0, &mut rng);
+        assert_eq!(p_out.len(), 1);
+        let cap = (*p_out[0].1)
+            .as_any()
+            .downcast_ref::<CapacityMsg>()
+            .expect("capacity prediction");
+        assert_eq!(cap.bus_id, 7);
+        // Waiting estimate tracks the planted ground truth.
+        assert!(
+            (cap.waiting as i64 - truth as i64).abs() <= 2,
+            "waiting {} vs truth {}",
+            cap.waiting,
+            truth
+        );
+        assert!(cap.onboard_next <= 60);
+    }
+
+    #[test]
+    fn s0_converts_upstream_capacity_messages() {
+        let bundle = build_bcp(&Calibration::default(), 8, false);
+        let g = &bundle.graph;
+        let mut s0 = g.op(bundle.inter_region_input).instantiate();
+        let mut rng = SimRng::new(0);
+        let cap = value(CapacityMsg {
+            bus_id: 3,
+            onboard_next: 25,
+            waiting: 4,
+            depart_s: 500.0,
+        });
+        let t = Tuple::new(1, simkernel::SimTime::ZERO, 200, cap);
+        let mut out = Outputs::default();
+        s0.process(&t, 0, &mut out, &mut rng);
+        let outs = out.drain();
+        assert_eq!(outs.len(), 1);
+        let prev = (*outs[0].1).as_any().downcast_ref::<PrevStopMsg>().unwrap();
+        assert_eq!(prev.bus_id, 3);
+        assert_eq!(prev.onboard, 25);
+    }
+
+    #[test]
+    fn first_stop_has_two_feeds() {
+        let cal = Calibration::default();
+        assert_eq!(build_bcp(&cal, 8, true).feeds.len(), 2);
+        assert_eq!(build_bcp(&cal, 8, false).feeds.len(), 1);
+    }
+}

@@ -1,0 +1,225 @@
+//! A small Haar-like cascade face counter — the BCP kernel
+//! ("counts the number of passengers in the images using the
+//! HaarTraining face detection algorithm", §II-B).
+//!
+//! Classic structure, miniaturized: an integral image gives O(1) box
+//! sums; a cascade of three Haar-like stage tests (window darker than
+//! background → brow darker than mouth → eye corners darkest) slides
+//! over the frame; overlapping detections are suppressed greedily.
+//! It genuinely detects the faces planted by [`crate::image::FrameGen`].
+
+use crate::image::{Frame, FACE};
+
+/// Integral image: `sums[y][x]` = Σ pixels in `[0,x) × [0,y)`.
+pub struct IntegralImage {
+    w: usize,
+    sums: Vec<u64>,
+}
+
+impl IntegralImage {
+    /// Build from a grayscale plane.
+    pub fn new(pixels: &[u8], w: usize, h: usize) -> Self {
+        assert_eq!(pixels.len(), w * h);
+        let sw = w + 1;
+        let mut sums = vec![0u64; sw * (h + 1)];
+        for y in 0..h {
+            let mut row = 0u64;
+            for x in 0..w {
+                row += pixels[y * w + x] as u64;
+                sums[(y + 1) * sw + (x + 1)] = sums[y * sw + (x + 1)] + row;
+            }
+        }
+        IntegralImage { w: sw, sums }
+    }
+
+    /// Sum of the box `[x0, x1) × [y0, y1)`.
+    pub fn box_sum(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> u64 {
+        debug_assert!(x0 <= x1 && y0 <= y1);
+        self.sums[y1 * self.w + x1] + self.sums[y0 * self.w + x0]
+            - self.sums[y0 * self.w + x1]
+            - self.sums[y1 * self.w + x0]
+    }
+
+    /// Mean gray level of a box (0 for empty boxes).
+    pub fn box_mean(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> f64 {
+        let area = (x1 - x0) * (y1 - y0);
+        if area == 0 {
+            return 0.0;
+        }
+        self.box_sum(x0, y0, x1, y1) as f64 / area as f64
+    }
+}
+
+/// Cascade thresholds.
+#[derive(Debug, Clone)]
+pub struct Cascade {
+    /// Stage 1: window mean must be below this (faces are darker than
+    /// the bright bus-stop background).
+    pub max_window_mean: f64,
+    /// Stage 2: brow-region mean minus mouth-region mean must be below
+    /// `-brow_contrast` (brow darker).
+    pub brow_contrast: f64,
+    /// Stage 3: eye-corner mean must be below this.
+    pub max_eye_mean: f64,
+}
+
+impl Default for Cascade {
+    fn default() -> Self {
+        Cascade {
+            max_window_mean: 150.0,
+            brow_contrast: 10.0,
+            max_eye_mean: 90.0,
+        }
+    }
+}
+
+/// One detection (window top-left).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Detection {
+    /// Window x.
+    pub x: usize,
+    /// Window y.
+    pub y: usize,
+}
+
+/// Count faces inside the sub-rectangle `[x0, x1) × [y0, y1)` of the
+/// frame (a quadrant crop for the C0–C3 counters).
+pub fn count_faces_in(frame: &Frame, cascade: &Cascade, x0: usize, y0: usize, x1: usize, y1: usize) -> u32 {
+    detect_in(frame, cascade, x0, y0, x1, y1).len() as u32
+}
+
+/// Detect faces inside a sub-rectangle (window size = planted face
+/// size; stride 1; greedy non-maximum suppression).
+pub fn detect_in(
+    frame: &Frame,
+    cascade: &Cascade,
+    x0: usize,
+    y0: usize,
+    x1: usize,
+    y1: usize,
+) -> Vec<Detection> {
+    let ii = IntegralImage::new(&frame.pixels, frame.w, frame.h);
+    let mut hits = Vec::new();
+    if x1 <= x0 + FACE || y1 <= y0 + FACE {
+        return hits;
+    }
+    let mut taken = vec![false; frame.w * frame.h];
+    for y in y0..=(y1 - FACE) {
+        for x in x0..=(x1 - FACE) {
+            if taken[y * frame.w + x] {
+                continue;
+            }
+            // Stage 1: overall darkness.
+            let mean = ii.box_mean(x, y, x + FACE, y + FACE);
+            if mean > cascade.max_window_mean {
+                continue;
+            }
+            // Stage 2: brow (upper third) darker than mouth (lower half).
+            let brow = ii.box_mean(x, y, x + FACE, y + FACE / 3);
+            let mouth = ii.box_mean(x, y + FACE / 2, x + FACE, y + FACE);
+            if brow - mouth > -cascade.brow_contrast {
+                continue;
+            }
+            // Stage 3: BOTH eye corners must be dark (rejects windows
+            // straddling two adjacent faces, where only one side has
+            // an eye).
+            let eye_l = ii.box_mean(x + 1, y + 1, x + 3, y + 3);
+            let eye_r = ii.box_mean(x + FACE - 3, y + 1, x + FACE - 1, y + 3);
+            if eye_l.max(eye_r) > cascade.max_eye_mean {
+                continue;
+            }
+            hits.push(Detection { x, y });
+            // Suppress every window position overlapping this hit.
+            for sy in y.saturating_sub(FACE - 1)..(y + FACE).min(frame.h) {
+                for sx in x.saturating_sub(FACE - 1)..(x + FACE).min(frame.w) {
+                    taken[sy * frame.w + sx] = true;
+                }
+            }
+        }
+    }
+    hits
+}
+
+/// Count faces in one quadrant (0..4, row-major) of the frame.
+pub fn count_faces_quadrant(frame: &Frame, cascade: &Cascade, quadrant: usize) -> u32 {
+    let (qw, qh) = (frame.w / 2, frame.h / 2);
+    let (qx, qy) = (quadrant % 2, quadrant / 2);
+    count_faces_in(frame, cascade, qx * qw, qy * qh, (qx + 1) * qw, (qy + 1) * qh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::FrameGen;
+    use simkernel::SimRng;
+
+    #[test]
+    fn integral_image_box_sums() {
+        // 3x3 frame of ones.
+        let ii = IntegralImage::new(&[1; 9], 3, 3);
+        assert_eq!(ii.box_sum(0, 0, 3, 3), 9);
+        assert_eq!(ii.box_sum(1, 1, 3, 3), 4);
+        assert_eq!(ii.box_sum(0, 0, 1, 1), 1);
+        assert_eq!(ii.box_sum(2, 2, 2, 2), 0);
+        assert!((ii.box_mean(0, 0, 3, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_match_ground_truth() {
+        let gen = FrameGen::default();
+        let cascade = Cascade::default();
+        let mut rng = SimRng::new(11);
+        let mut total_truth = 0u32;
+        let mut total_detected = 0u32;
+        for seq in 0..50 {
+            let f = gen.faces_frame(&mut rng, seq);
+            total_truth += f.truth_faces;
+            let detected: u32 = (0..4).map(|q| count_faces_quadrant(&f, &cascade, q)).sum();
+            total_detected += detected;
+        }
+        assert!(total_truth > 100, "enough faces planted");
+        let ratio = total_detected as f64 / total_truth as f64;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "detected {total_detected} of {total_truth} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn empty_frame_detects_nothing() {
+        let gen = FrameGen {
+            mean_faces: 0.0,
+            ..FrameGen::default()
+        };
+        let mut rng = SimRng::new(1);
+        let f = gen.faces_frame(&mut rng, 0);
+        let detected: u32 = (0..4)
+            .map(|q| count_faces_quadrant(&f, &Cascade::default(), q))
+            .sum();
+        assert_eq!(detected, 0);
+    }
+
+    #[test]
+    fn quadrant_counts_partition_the_frame() {
+        let gen = FrameGen::default();
+        let cascade = Cascade::default();
+        let mut rng = SimRng::new(23);
+        let f = gen.faces_frame(&mut rng, 0);
+        let per_quadrant: u32 = (0..4).map(|q| count_faces_quadrant(&f, &cascade, q)).sum();
+        let whole = count_faces_in(&f, &cascade, 0, 0, f.w, f.h);
+        // Faces are planted wholly within quadrants, so the partition
+        // counts at least as many as the whole-frame scan (NMS at
+        // quadrant borders can only merge, never split).
+        assert!(per_quadrant >= whole);
+        assert!(per_quadrant <= whole + 2);
+    }
+
+    #[test]
+    fn degenerate_rectangles() {
+        let gen = FrameGen::default();
+        let mut rng = SimRng::new(2);
+        let f = gen.faces_frame(&mut rng, 0);
+        assert_eq!(count_faces_in(&f, &Cascade::default(), 5, 5, 5, 5), 0);
+        assert_eq!(count_faces_in(&f, &Cascade::default(), 0, 0, 4, 4), 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! BCP's statistical models (§II-B): "statistical models for
+//! boarding/alighting passengers at each bus stop", an arrival-time
+//! model, and the capacity combination.
+
+/// Exponentially-weighted moving average — the workhorse of the
+/// per-stop statistical models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    /// Current estimate.
+    pub value: f64,
+    /// Update weight.
+    pub alpha: f64,
+    /// Observations folded in.
+    pub count: u64,
+}
+
+impl Ewma {
+    /// New estimator starting at `prior`.
+    pub fn new(prior: f64, alpha: f64) -> Self {
+        Ewma {
+            value: prior,
+            alpha,
+            count: 0,
+        }
+    }
+
+    /// Fold in one observation; returns the new estimate.
+    pub fn observe(&mut self, x: f64) -> f64 {
+        self.value = (1.0 - self.alpha) * self.value + self.alpha * x;
+        self.count += 1;
+        self.value
+    }
+}
+
+/// Boarding model: how many of the `waiting` passengers board, given
+/// how full the bus is.
+#[derive(Debug, Clone)]
+pub struct BoardingModel {
+    /// Learned boarding propensity (fraction of waiting passengers who
+    /// take this route's bus).
+    pub propensity: Ewma,
+    /// Vehicle capacity.
+    pub capacity: u32,
+}
+
+impl BoardingModel {
+    /// New model.
+    pub fn new(capacity: u32) -> Self {
+        BoardingModel {
+            propensity: Ewma::new(0.8, 0.1),
+            capacity,
+        }
+    }
+
+    /// Predicted boardings for `waiting` people and `onboard` load.
+    pub fn predict(&self, waiting: u32, onboard: u32) -> u32 {
+        let want = (waiting as f64 * self.propensity.value).round() as u32;
+        let room = self.capacity.saturating_sub(onboard);
+        want.min(room)
+    }
+
+    /// Learn from an observed boarding count.
+    pub fn observe(&mut self, waiting: u32, boarded: u32) {
+        if waiting > 0 {
+            self.propensity.observe(boarded as f64 / waiting as f64);
+        }
+    }
+}
+
+/// Alighting model: the fraction of on-bus passengers who get off at
+/// this stop.
+#[derive(Debug, Clone)]
+pub struct AlightingModel {
+    /// Learned alight fraction.
+    pub fraction: Ewma,
+}
+
+impl AlightingModel {
+    /// New model with a prior fraction.
+    pub fn new(prior: f64) -> Self {
+        AlightingModel {
+            fraction: Ewma::new(prior, 0.1),
+        }
+    }
+
+    /// Predicted alightings from the current load.
+    pub fn predict(&self, onboard: u32) -> u32 {
+        (onboard as f64 * self.fraction.value).round() as u32
+    }
+}
+
+/// Arrival model: ETA from the previous stop's departure, via an EWMA
+/// of observed inter-stop travel times.
+#[derive(Debug, Clone)]
+pub struct ArrivalModel {
+    /// Learned travel time (seconds).
+    pub travel_s: Ewma,
+}
+
+impl ArrivalModel {
+    /// New model with a prior travel time.
+    pub fn new(prior_s: f64) -> Self {
+        ArrivalModel {
+            travel_s: Ewma::new(prior_s, 0.2),
+        }
+    }
+
+    /// ETA (seconds from `depart_s`).
+    pub fn eta(&self, depart_s: f64) -> f64 {
+        depart_s + self.travel_s.value
+    }
+
+    /// Learn from an observed arrival.
+    pub fn observe(&mut self, depart_s: f64, arrive_s: f64) {
+        if arrive_s > depart_s {
+            self.travel_s.observe(arrive_s - depart_s);
+        }
+    }
+}
+
+/// Capacity combination (the P operator): passengers on the bus when
+/// it leaves this stop.
+pub fn combine_capacity(onboard: u32, alight: u32, board: u32, capacity: u32) -> u32 {
+    onboard.saturating_sub(alight).saturating_add(board).min(capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_converges() {
+        let mut e = Ewma::new(0.0, 0.3);
+        for _ in 0..50 {
+            e.observe(10.0);
+        }
+        assert!((e.value - 10.0).abs() < 0.01);
+        assert_eq!(e.count, 50);
+    }
+
+    #[test]
+    fn boarding_respects_capacity() {
+        let m = BoardingModel::new(50);
+        assert_eq!(m.predict(10, 0), 8); // 0.8 propensity
+        assert_eq!(m.predict(10, 48), 2, "only 2 seats left");
+        assert_eq!(m.predict(0, 10), 0);
+    }
+
+    #[test]
+    fn boarding_learns_propensity() {
+        let mut m = BoardingModel::new(100);
+        for _ in 0..60 {
+            m.observe(10, 3); // only 30 % board
+        }
+        assert!((m.propensity.value - 0.3).abs() < 0.05);
+        assert_eq!(m.predict(10, 0), 3);
+    }
+
+    #[test]
+    fn alighting_and_arrival() {
+        let a = AlightingModel::new(0.25);
+        assert_eq!(a.predict(40), 10);
+        let mut arr = ArrivalModel::new(60.0);
+        arr.observe(100.0, 190.0);
+        assert!(arr.travel_s.value > 60.0);
+        assert!(arr.eta(0.0) > 60.0);
+    }
+
+    #[test]
+    fn capacity_combination_clamps() {
+        assert_eq!(combine_capacity(30, 10, 5, 50), 25);
+        assert_eq!(combine_capacity(5, 10, 0, 50), 0, "can't alight more than onboard");
+        assert_eq!(combine_capacity(45, 0, 20, 50), 50, "capacity clamp");
+    }
+}

@@ -1,0 +1,225 @@
+//! A small linear SVM (Pegasos-style SGD) — SignalGuru's predictor
+//! ("a Support Vector Machine is used to train and predict the
+//! transition pattern", §II-B).
+//!
+//! SignalGuru's actual task is regression-like (predict the remaining
+//! time of the current phase); the paper's SVM classifies transition
+//! patterns. We implement a standard linear SVM (hinge loss, L2
+//! regularization, SGD) and use a one-vs-rest pair of classifiers to
+//! pick the phase-duration *bucket*, from which the remaining time is
+//! estimated. The model weights are the operator state the checkpoint
+//! protocols ship around.
+
+use simkernel::SimRng;
+
+/// A linear model `w · x + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearSvm {
+    /// Weights.
+    pub w: Vec<f64>,
+    /// Bias.
+    pub b: f64,
+    /// L2 regularization.
+    pub lambda: f64,
+    steps: u64,
+}
+
+impl LinearSvm {
+    /// Zero-initialized model of `dim` features.
+    pub fn new(dim: usize, lambda: f64) -> Self {
+        LinearSvm {
+            w: vec![0.0; dim],
+            b: 0.0,
+            lambda,
+            steps: 0,
+        }
+    }
+
+    /// Raw margin.
+    pub fn margin(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.w.len());
+        self.w.iter().zip(x).map(|(w, x)| w * x).sum::<f64>() + self.b
+    }
+
+    /// Class prediction.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.margin(x) >= 0.0
+    }
+
+    /// One Pegasos SGD step with label `y ∈ {-1, +1}`.
+    pub fn step(&mut self, x: &[f64], y: f64) {
+        self.steps += 1;
+        let eta = 1.0 / (self.lambda * self.steps as f64);
+        let margin = self.margin(x);
+        // L2 shrink.
+        let shrink = 1.0 - eta * self.lambda;
+        for w in self.w.iter_mut() {
+            *w *= shrink;
+        }
+        if y * margin < 1.0 {
+            for (w, &xi) in self.w.iter_mut().zip(x) {
+                *w += eta * y * xi;
+            }
+            self.b += eta * y;
+        }
+    }
+
+    /// Train for `epochs` passes over the data.
+    pub fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64], epochs: usize, rng: &mut SimRng) {
+        assert_eq!(xs.len(), ys.len());
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        for _ in 0..epochs {
+            rng.shuffle(&mut order);
+            for &i in &order {
+                self.step(&xs[i], ys[i]);
+            }
+        }
+    }
+
+    /// Training accuracy.
+    pub fn accuracy(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        let correct = xs
+            .iter()
+            .zip(ys)
+            .filter(|(x, &y)| self.predict(x) == (y > 0.0))
+            .count();
+        correct as f64 / xs.len().max(1) as f64
+    }
+
+    /// Serialized size of the model (state bytes).
+    pub fn state_bytes(&self) -> u64 {
+        (self.w.len() as u64 + 2) * 8
+    }
+}
+
+/// Signal-phase schedule predictor: learns typical phase durations and
+/// predicts time-to-transition from (color, time-in-phase).
+#[derive(Debug, Clone)]
+pub struct PhasePredictor {
+    /// Per-color EWMA of observed phase durations (seconds):
+    /// [red, yellow, green].
+    pub duration_ewma: [f64; 3],
+    /// EWMA factor.
+    pub alpha: f64,
+    /// SVM deciding "long cycle" vs "short cycle" from features.
+    pub svm: LinearSvm,
+    /// Synthetic extra state (model tables etc.) counted into
+    /// `state_bytes`.
+    pub state_padding: u64,
+}
+
+impl PhasePredictor {
+    /// New predictor with prior durations.
+    pub fn new(prior: [f64; 3], state_padding: u64) -> Self {
+        PhasePredictor {
+            duration_ewma: prior,
+            alpha: 0.2,
+            svm: LinearSvm::new(3, 0.01),
+            state_padding,
+        }
+    }
+
+    fn color_ix(c: crate::image::LightColor) -> usize {
+        match c {
+            crate::image::LightColor::Red => 0,
+            crate::image::LightColor::Yellow => 1,
+            crate::image::LightColor::Green => 2,
+        }
+    }
+
+    /// Observe a completed phase.
+    pub fn observe(&mut self, color: crate::image::LightColor, duration_s: f64) {
+        let ix = Self::color_ix(color);
+        self.duration_ewma[ix] =
+            (1.0 - self.alpha) * self.duration_ewma[ix] + self.alpha * duration_s;
+        // Online SVM update: long cycle if the phase ran over its prior.
+        let x = self.features(color, duration_s);
+        let y = if duration_s > self.duration_ewma[ix] { 1.0 } else { -1.0 };
+        self.svm.step(&x, y);
+    }
+
+    fn features(&self, color: crate::image::LightColor, t: f64) -> Vec<f64> {
+        let ix = Self::color_ix(color);
+        vec![t / 60.0, self.duration_ewma[ix] / 60.0, ix as f64 / 2.0]
+    }
+
+    /// Predict remaining seconds of the current phase.
+    pub fn remaining(&self, color: crate::image::LightColor, in_phase_s: f64) -> f64 {
+        let ix = Self::color_ix(color);
+        let mut expect = self.duration_ewma[ix];
+        // SVM nudges the estimate for long-cycle patterns.
+        if self.svm.predict(&self.features(color, in_phase_s)) {
+            expect *= 1.2;
+        }
+        (expect - in_phase_s).max(0.0)
+    }
+
+    /// State size (weights + EWMAs + padding).
+    pub fn state_bytes(&self) -> u64 {
+        self.svm.state_bytes() + 3 * 8 + self.state_padding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two Gaussian clouds, linearly separable.
+    fn toy_data(rng: &mut SimRng, n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let y = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let cx = if y > 0.0 { 2.0 } else { -2.0 };
+            xs.push(vec![rng.normal(cx, 0.6), rng.normal(cx * 0.5, 0.6)]);
+            ys.push(y);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn svm_separates_gaussians() {
+        let mut rng = SimRng::new(19);
+        let (xs, ys) = toy_data(&mut rng, 400);
+        let mut svm = LinearSvm::new(2, 0.01);
+        svm.fit(&xs, &ys, 12, &mut rng);
+        let acc = svm.accuracy(&xs, &ys);
+        assert!(acc > 0.95, "accuracy = {acc}");
+    }
+
+    #[test]
+    fn svm_margin_sign_matches_predict() {
+        let mut svm = LinearSvm::new(2, 0.1);
+        svm.w = vec![1.0, -1.0];
+        svm.b = 0.5;
+        assert!(svm.predict(&[1.0, 0.0]));
+        assert!(!svm.predict(&[0.0, 2.0]));
+        assert!((svm.margin(&[1.0, 0.0]) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predictor_converges_to_true_durations() {
+        use crate::image::LightColor::*;
+        let mut p = PhasePredictor::new([30.0, 5.0, 30.0], 0);
+        for _ in 0..60 {
+            p.observe(Red, 45.0);
+            p.observe(Green, 35.0);
+            p.observe(Yellow, 4.0);
+        }
+        assert!((p.duration_ewma[0] - 45.0).abs() < 1.0);
+        assert!((p.duration_ewma[2] - 35.0).abs() < 1.0);
+        // Early in a red phase, most of the 45 s should remain.
+        let rem = p.remaining(Red, 5.0);
+        assert!(rem > 30.0 && rem < 55.0, "rem = {rem}");
+        // Late in the phase, little remains.
+        assert!(p.remaining(Red, 44.0) < 12.0);
+    }
+
+    #[test]
+    fn state_bytes_include_padding() {
+        let p = PhasePredictor::new([30.0, 5.0, 30.0], 1 << 20);
+        assert!(p.state_bytes() > 1 << 20);
+        let q = PhasePredictor::new([30.0, 5.0, 30.0], 0);
+        assert_eq!(q.state_bytes(), q.svm.state_bytes() + 24);
+    }
+}

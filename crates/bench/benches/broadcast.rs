@@ -1,0 +1,91 @@
+//! Benches for the multi-phase UDP broadcast engine (Fig 6): sender
+//! phase evaluation at paper scale (8 MB / 8192 blocks, 7 receivers)
+//! and receiver-side accumulation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dsps::graph::OpId;
+use mobistreams::broadcast::{PhaseDecision, ReceiverState, SenderJob};
+use mobistreams::msgs::BlobContent;
+use simkernel::{ActorId, SimRng};
+use simnet::bitmap::Bitmap;
+use simnet::stats::TrafficClass;
+
+fn content() -> BlobContent {
+    BlobContent::Checkpoint {
+        version: 1,
+        states: vec![(OpId(0), std::sync::Arc::new(()) as dsps::operator::OpState, 0)],
+    }
+}
+
+/// One full sender-side job at paper scale with iid 5 % loss.
+fn run_job(seed: u64) -> u32 {
+    let n_rx = 7usize;
+    let n_blocks = 8192usize;
+    let mut rng = SimRng::new(seed);
+    let mut job = SenderJob::new(
+        1,
+        content(),
+        TrafficClass::Checkpoint,
+        (n_blocks * 1024) as u64,
+        1024,
+        (0..n_rx).map(ActorId::from_index).collect(),
+    );
+    let mut pending = job.begin();
+    let mut cum: Vec<Bitmap> = (0..n_rx).map(|_| Bitmap::zeros(n_blocks)).collect();
+    let mut phases = 1u32;
+    'outer: loop {
+        for c in cum.iter_mut() {
+            for &b in &pending {
+                if rng.chance(0.95) {
+                    c.set(b as usize, true);
+                }
+            }
+        }
+        for (r, c) in cum.iter().enumerate() {
+            if let Some(d) = job.on_bitmap(ActorId::from_index(r), c) {
+                match d {
+                    PhaseDecision::Resend(blocks) => {
+                        phases += 1;
+                        pending = blocks;
+                        continue 'outer;
+                    }
+                    _ => break 'outer,
+                }
+            }
+        }
+    }
+    phases
+}
+
+fn bench_sender(c: &mut Criterion) {
+    c.bench_function("broadcast/full_job_8MB_7rx_5pct", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_job(seed))
+        })
+    });
+}
+
+fn bench_receiver(c: &mut Criterion) {
+    let blocks: Vec<u32> = (0..8192).collect();
+    let mut received = Bitmap::zeros(8192);
+    for i in (0..8192).step_by(3) {
+        received.set(i, true);
+    }
+    c.bench_function("broadcast/receiver_fold_8192", |b| {
+        b.iter(|| {
+            let mut rx = ReceiverState::default();
+            let cum = rx.on_batch(ActorId::from_index(9), 1, 8192, black_box(&blocks), &received);
+            cum.count_ones()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sender, bench_receiver
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Microbenches for the real compute kernels and core data structures.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use apps::haar::{count_faces_quadrant, Cascade, IntegralImage};
+use apps::image::{FrameGen, LightColor};
+use apps::svm::LinearSvm;
+use apps::vision::{color_filter, shape_filter};
+use simkernel::SimRng;
+use simnet::bitmap::Bitmap;
+
+fn bench_haar(c: &mut Criterion) {
+    let gen = FrameGen::default();
+    let mut rng = SimRng::new(1);
+    let frame = gen.faces_frame(&mut rng, 0);
+    let cascade = Cascade::default();
+    c.bench_function("haar/count_quadrant", |b| {
+        b.iter(|| {
+            let mut total = 0u32;
+            for q in 0..4 {
+                total += count_faces_quadrant(black_box(&frame), &cascade, q);
+            }
+            total
+        })
+    });
+    c.bench_function("haar/integral_image", |b| {
+        b.iter(|| IntegralImage::new(black_box(&frame.pixels), frame.w, frame.h))
+    });
+}
+
+fn bench_vision(c: &mut Criterion) {
+    let gen = FrameGen {
+        mean_faces: 0.0,
+        ..FrameGen::default()
+    };
+    let mut rng = SimRng::new(2);
+    let frame = gen.light_frame_at(&mut rng, 0, LightColor::Red, 30, 12);
+    c.bench_function("vision/color_filter", |b| {
+        b.iter(|| color_filter(black_box(&frame)))
+    });
+    let blob = color_filter(&frame).unwrap();
+    c.bench_function("vision/shape_filter", |b| {
+        b.iter(|| shape_filter(black_box(&frame), &blob))
+    });
+}
+
+fn bench_svm(c: &mut Criterion) {
+    let mut rng = SimRng::new(3);
+    let xs: Vec<Vec<f64>> = (0..256)
+        .map(|i| vec![rng.normal(if i % 2 == 0 { 2.0 } else { -2.0 }, 0.5), rng.f64()])
+        .collect();
+    let ys: Vec<f64> = (0..256).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    c.bench_function("svm/fit_epoch_256", |b| {
+        b.iter(|| {
+            let mut svm = LinearSvm::new(2, 0.01);
+            let mut r = SimRng::new(4);
+            svm.fit(black_box(&xs), &ys, 1, &mut r);
+            svm.b
+        })
+    });
+}
+
+fn bench_bitmap(c: &mut Criterion) {
+    let n = 8192;
+    let mut a = Bitmap::zeros(n);
+    let mut b2 = Bitmap::zeros(n);
+    for i in (0..n).step_by(2) {
+        a.set(i, true);
+        b2.set(i + 1, true);
+    }
+    c.bench_function("bitmap/and_8192", |b| {
+        b.iter(|| {
+            let mut x = a.clone();
+            x.and_assign(black_box(&b2));
+            x.count_ones()
+        })
+    });
+    c.bench_function("bitmap/zero_indices_8192", |b| {
+        b.iter(|| black_box(&a).zero_indices().len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_haar, bench_vision, bench_svm, bench_bitmap
+}
+criterion_main!(benches);

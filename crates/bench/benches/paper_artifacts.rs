@@ -1,0 +1,105 @@
+//! One bench per paper artifact. Each target first *prints* a
+//! quick-mode rendition of its table/figure (the regeneration harness —
+//! run `msx` for the full-length version), then times a representative
+//! deployment so regressions in simulator performance are caught.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use experiments::run::measured_run;
+use experiments::{fig10, fig8, fig9, table1, AppKind, ExpOptions, Platform, ScenarioConfig, Scheme};
+use simkernel::SimDuration;
+
+fn tiny_opts() -> ExpOptions {
+    ExpOptions {
+        seeds: 1,
+        warmup: SimDuration::from_secs(120),
+        window: SimDuration::from_secs(240),
+        parallel: true,
+    }
+}
+
+/// Time one 4-region deployment over a short window (the unit of work
+/// every experiment fans out over).
+fn one_run(app: AppKind, scheme: Scheme, platform: Platform, seed: u64) -> f64 {
+    let cfg = ScenarioConfig {
+        app,
+        scheme,
+        platform,
+        seed,
+        ..ScenarioConfig::default()
+    };
+    let h = measured_run(
+        cfg,
+        SimDuration::from_secs(60),
+        SimDuration::from_secs(120),
+        |_| {},
+    );
+    h.mean_throughput
+}
+
+fn bench_table1(c: &mut Criterion) {
+    println!("\n──── Table I (quick mode) ────");
+    let t = table1::run_table1(tiny_opts()).table();
+    println!("{}", t.render());
+    c.bench_function("table1/server_run_120s", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(one_run(
+                AppKind::Bcp,
+                Scheme::Base,
+                Platform::Server { uplink_bps: 320_000.0 },
+                seed,
+            ))
+        })
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    println!("\n──── Fig 8 (quick mode) ────");
+    for t in fig8::run_fig8(tiny_opts()).tables() {
+        println!("{}", t.render());
+    }
+    c.bench_function("fig8/ms_run_120s", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(one_run(AppKind::Bcp, Scheme::Ms, Platform::Phones, seed))
+        })
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    println!("\n──── Fig 9 (quick mode, n ≤ 2) ────");
+    for t in fig9::run_fig9(tiny_opts(), 2).tables(2) {
+        println!("{}", t.render());
+    }
+    c.bench_function("fig9/dist2_run_120s", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(one_run(AppKind::Bcp, Scheme::Dist(2), Platform::Phones, seed))
+        })
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    println!("\n──── Fig 10 (quick mode) ────");
+    for t in fig10::run_fig10(tiny_opts()).tables() {
+        println!("{}", t.render());
+    }
+    c.bench_function("fig10/rep2_run_120s", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(one_run(AppKind::Bcp, Scheme::Rep2, Platform::Phones, seed))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_fig8, bench_fig9, bench_fig10
+}
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Bench support crate. The benches live in `benches/`:
+//!
+//! * `kernels` — the real compute kernels (Haar counting, vision
+//!   filters, SVM) and core data structures (bitmaps, integral images).
+//! * `broadcast` — the multi-phase UDP broadcast engine (Fig 6).
+//! * `paper_artifacts` — one bench per paper artifact (Table I,
+//!   Figs 8–10): each prints a quick-mode rendition of the artifact
+//!   once, then times a representative deployment run.
+
+/// Marker so the crate builds as a lib target.
+pub const ABOUT: &str = "see benches/";

@@ -1,0 +1,36 @@
+//! # dsps — the generic distributed stream-processing layer
+//!
+//! Everything a DSPS needs *before* fault tolerance enters the picture:
+//!
+//! * [`tuple`] — tuples and in-band markers (the vehicle for the
+//!   paper's checkpoint tokens),
+//! * [`operator`] — the [`operator::Operator`] trait plus a library of
+//!   builtin operators,
+//! * [`graph`] — query networks (operator DAGs) with validation,
+//! * [`placement`] — operator→node assignment and node roles,
+//! * [`node`] — the phone-side runtime: per-edge input queues, a
+//!   single-core CPU model, routing over `simnet` transports,
+//! * [`ft`] — the [`ft::FtScheme`] hook trait that `mobistreams` and
+//!   `baselines` plug into,
+//! * [`store`] — in-memory checkpoint/preservation storage,
+//! * [`metrics`] — sink-side throughput/latency probes.
+//!
+//! A region's DSPS is assembled by creating one [`node::NodeActor`] per
+//! phone, a `simnet::wifi::WifiMedium`, a workload driver, and a
+//! scheme-specific coordinator (the MobiStreams controller or a
+//! baseline ticker).
+
+pub mod ft;
+pub mod graph;
+pub mod metrics;
+pub mod node;
+pub mod operator;
+pub mod ops;
+pub mod placement;
+pub mod store;
+pub mod tuple;
+pub mod workload;
+
+pub use graph::{EdgeId, OpId, OpKind, QueryGraph};
+pub use operator::{Operator, Outputs};
+pub use tuple::{Marker, StreamItem, Tuple, TupleValue};

@@ -1,0 +1,1447 @@
+//! The phone-side node runtime.
+//!
+//! One [`NodeActor`] per phone. It hosts the operators placed on this
+//! phone, keeps a FIFO input queue per in-edge, models the phone's
+//! single-core CPU (one tuple in service at a time, cost charged from
+//! the operator's cost model), routes outputs to downstream nodes over
+//! WiFi (or cellular in urgent mode / between regions), and invokes the
+//! plugged-in [`crate::ft::FtScheme`] at every fault-tolerance-relevant
+//! point.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+use simkernel::{impl_actor_any, Actor, ActorId, Ctx, Event, SimDuration, SimTime};
+use simnet::cellular::{CellRx, CellSend};
+use simnet::ethernet::{EthRx, EthSend};
+use simnet::stats::TrafficClass;
+use simnet::wifi::{SendMode, Service, WifiRx, WifiSend};
+use simnet::{payload, TxDone, TxFailed};
+
+use crate::ft::FtScheme;
+use crate::graph::{EdgeId, OpId, OpKind, QueryGraph};
+use crate::metrics::NodeMetrics;
+use crate::operator::{OpState, Operator, Outputs};
+use crate::store::CheckpointStore;
+use crate::tuple::{StreamItem, Tuple, TupleValue};
+
+/// A stream item crossing the network between two nodes.
+#[derive(Debug, Clone)]
+pub struct ItemMsg {
+    /// The edge the item travels on.
+    pub edge: EdgeId,
+    /// Sending node's slot.
+    pub from_slot: u32,
+    /// The item.
+    pub item: StreamItem,
+}
+
+/// External input injected at a source operator (from the workload
+/// driver or a sensor).
+#[derive(Debug, Clone)]
+pub struct SourceEmit {
+    /// Target source operator (must be hosted here).
+    pub op: OpId,
+    /// Content.
+    pub value: TupleValue,
+    /// Wire/storage size.
+    pub bytes: u64,
+}
+
+/// A result published by an upstream region's sink, arriving at this
+/// region's source operator over the cellular network.
+#[derive(Debug, Clone)]
+pub struct InterRegionMsg {
+    /// Target source operator in the receiving region.
+    pub dst_op: OpId,
+    /// Content.
+    pub value: TupleValue,
+    /// Size.
+    pub bytes: u64,
+    /// Override for the tuple's enter-the-system timestamp. `None`
+    /// (region cascading) restarts the latency clock at arrival —
+    /// per-region latency, as reported in Table I. `Some(t)` (the
+    /// server baseline's sensor uplink) preserves the capture time so
+    /// upload queueing counts toward latency.
+    pub entered: Option<SimTime>,
+}
+
+/// Internal: the CPU finished the tuple in service.
+#[derive(Debug)]
+struct ProcDone;
+
+/// Internal: an [`Install`] finished loading.
+#[derive(Debug)]
+struct InstallReady;
+
+/// Fault injection: the phone crashes (fail-stop).
+#[derive(Debug, Clone, Copy)]
+pub struct Kill;
+
+/// Fault injection: a previously failed phone reboots (flash intact).
+/// The runtime clears its hosting, brings it back alive and registers
+/// with the controller as an idle node.
+#[derive(Debug, Clone, Copy)]
+pub struct Reboot;
+
+/// Node → controller: (re-)registration after boot/reboot.
+#[derive(Debug, Clone, Copy)]
+pub struct RegisterNode {
+    /// Region registering.
+    pub region: usize,
+    /// Slot registering.
+    pub slot: u32,
+}
+
+/// Controller liveness probe.
+#[derive(Debug, Clone, Copy)]
+pub struct Ping {
+    /// Correlates [`Pong`] replies.
+    pub nonce: u64,
+}
+
+/// Reply to [`Ping`], sent to the controller over cellular.
+#[derive(Debug, Clone, Copy)]
+pub struct Pong {
+    /// Echoed nonce.
+    pub nonce: u64,
+    /// Responding node's region.
+    pub region: usize,
+    /// Responding node's slot.
+    pub slot: u32,
+}
+
+/// Report to the controller: a reliable send to `slot` failed.
+#[derive(Debug, Clone, Copy)]
+pub struct ReportDead {
+    /// Region of the observation.
+    pub region: usize,
+    /// The unreachable slot.
+    pub slot: u32,
+    /// Reporting slot.
+    pub observed_by: u32,
+}
+
+/// Where a (re)installed node gets its operator states from.
+#[derive(Debug, Clone)]
+pub enum InstallStates {
+    /// Fresh operators, no state.
+    Fresh,
+    /// Restore from this node's own [`CheckpointStore`] at `version`.
+    FromLocalStore {
+        /// Checkpoint version to load.
+        version: u64,
+    },
+    /// Explicit states shipped by the controller / a peer.
+    Explicit(Vec<(OpId, OpState)>),
+}
+
+/// Controller RPC: (re)install operators on this node — used at system
+/// startup, failure recovery and departure replacement.
+#[derive(Debug, Clone)]
+pub struct Install {
+    /// Operators this node must host from now on.
+    pub ops: Vec<OpId>,
+    /// Initial operator states.
+    pub states: InstallStates,
+    /// Fresh region-wide op→slot assignment.
+    pub op_slot: Vec<u32>,
+    /// Fresh slot→actor binding.
+    pub slot_actors: Vec<ActorId>,
+    /// Modeling of code transfer + state load + WiFi rebuild time:
+    /// the node comes alive this long after the Install arrives.
+    pub ready_in: SimDuration,
+}
+
+/// Controller RPC: update routing tables without reinstalling.
+#[derive(Debug, Clone)]
+pub struct UpdateRouting {
+    /// New op→slot assignment (None = unchanged).
+    pub op_slot: Option<Vec<u32>>,
+    /// New slot→actor binding (None = unchanged).
+    pub slot_actors: Option<Vec<ActorId>>,
+}
+
+/// Controller RPC: toggle urgent (cellular) routing for edges whose
+/// WiFi path broke (paper §III-E, Fig 7 time instant 2).
+#[derive(Debug, Clone)]
+pub struct SetUrgentEdges {
+    /// Affected edges.
+    pub edges: Vec<EdgeId>,
+    /// Enter (true) or leave (false) urgent mode.
+    pub on: bool,
+}
+
+/// Controller RPC: replace the inter-region links of this (sink) node.
+#[derive(Debug, Clone)]
+pub struct UpdateInterRegion {
+    /// New link set.
+    pub links: Vec<InterRegionLink>,
+}
+
+/// An inter-region connection from a hosted sink operator to a source
+/// operator of a downstream region.
+#[derive(Debug, Clone, Copy)]
+pub struct InterRegionLink {
+    /// The hosted sink publishing on this link.
+    pub src_op: OpId,
+    /// Source node (actor) in the downstream region.
+    pub dst_actor: ActorId,
+    /// Source operator fed there.
+    pub dst_op: OpId,
+}
+
+/// Which transport carries intra-deployment tuple traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrimaryTransport {
+    /// Ad-hoc WiFi within a region (phones).
+    Wifi,
+    /// Datacenter Ethernet (server baseline).
+    Ethernet,
+}
+
+/// Static node parameters.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Region index.
+    pub region: usize,
+    /// Slot (logical position) within the region.
+    pub slot: u32,
+    /// Service-time multiplier: 1.0 = reference phone core; a server
+    /// core is ~0.1 (faster).
+    pub cpu_factor: f64,
+    /// Bound on buffered external inputs per source op (drop-oldest).
+    pub source_queue_cap: usize,
+    /// Transport for intra-deployment edges.
+    pub primary: PrimaryTransport,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            region: 0,
+            slot: 0,
+            cpu_factor: 1.0,
+            source_queue_cap: 10,
+            primary: PrimaryTransport::Wifi,
+        }
+    }
+}
+
+/// Everything about a node except its FT scheme. Schemes receive
+/// `&mut NodeInner` and may use any of the public methods/fields.
+pub struct NodeInner {
+    /// Static parameters.
+    pub cfg: NodeConfig,
+    /// The region's query network.
+    pub graph: Arc<QueryGraph>,
+    /// Hosted operator instances.
+    pub ops: BTreeMap<OpId, Box<dyn Operator>>,
+    /// Region-wide op→slot assignment.
+    pub op_slot: Vec<u32>,
+    /// Region-wide slot→actor binding.
+    pub slot_actors: Vec<ActorId>,
+    /// Per-in-edge FIFO queues (includes source pseudo-edges).
+    pub queues: BTreeMap<EdgeId, VecDeque<StreamItem>>,
+    /// Edges the scheme paused (token alignment).
+    pub paused: BTreeSet<EdgeId>,
+    /// Edges currently routed over cellular (urgent mode).
+    pub urgent_edges: BTreeSet<EdgeId>,
+    /// Inter-region links of hosted sinks.
+    pub inter_region: Vec<InterRegionLink>,
+    /// CPU busy flag (single core).
+    pub busy: bool,
+    /// Tuple in service.
+    current: Option<(EdgeId, Tuple)>,
+    /// Fail-stop flag.
+    pub alive: bool,
+    /// WiFi medium of this region.
+    pub wifi: ActorId,
+    /// Global cellular network.
+    pub cell: ActorId,
+    /// Datacenter Ethernet (server baseline only).
+    pub eth: Option<ActorId>,
+    /// The controller actor.
+    pub controller: ActorId,
+    /// Traffic class used for this node's tuple sends (rep-2 labels the
+    /// duplicate flow `Replication` so Fig 10b can attribute it).
+    pub data_class: TrafficClass,
+    /// WiFi congestion signal: while set, fresh bulky sensor inputs are
+    /// shed at admission (sensor buffer overflow).
+    pub net_congested: bool,
+    /// Local durable-ish storage.
+    pub store: CheckpointStore,
+    /// Probes.
+    pub metrics: NodeMetrics,
+    next_seq: u64,
+    next_tag: u64,
+    pending_sends: BTreeMap<u64, (u32, EdgeId)>,
+    rr: usize,
+    /// Pending install to finish (states deferred until ready).
+    pending_install: Option<Install>,
+}
+
+impl NodeInner {
+    /// Create a node shell; call [`NodeInner::host_op`] (or send
+    /// [`Install`]) before running.
+    pub fn new(
+        cfg: NodeConfig,
+        graph: Arc<QueryGraph>,
+        wifi: ActorId,
+        cell: ActorId,
+        controller: ActorId,
+    ) -> Self {
+        let op_count = graph.op_count();
+        NodeInner {
+            cfg,
+            graph,
+            ops: BTreeMap::new(),
+            op_slot: vec![u32::MAX; op_count],
+            slot_actors: Vec::new(),
+            queues: BTreeMap::new(),
+            paused: BTreeSet::new(),
+            urgent_edges: BTreeSet::new(),
+            inter_region: Vec::new(),
+            busy: false,
+            current: None,
+            alive: true,
+            wifi,
+            cell,
+            eth: None,
+            controller,
+            data_class: TrafficClass::Data,
+            net_congested: false,
+            store: CheckpointStore::new(),
+            metrics: NodeMetrics::default(),
+            next_seq: 0,
+            next_tag: 1,
+            pending_sends: BTreeMap::new(),
+            rr: 0,
+            pending_install: None,
+        }
+    }
+
+    /// Instantiate and host `op`, creating its input queues.
+    pub fn host_op(&mut self, op: OpId) {
+        let spec = self.graph.op(op);
+        let inst = spec.instantiate();
+        for &e in &spec.in_edges {
+            self.queues.entry(e).or_default();
+        }
+        if spec.kind == OpKind::Source {
+            self.queues.entry(EdgeId::source(op)).or_default();
+        }
+        self.ops.insert(op, inst);
+    }
+
+    /// Stop hosting `op` (drops its instance; queues are dropped too).
+    pub fn unhost_op(&mut self, op: OpId) {
+        let in_edges = self.graph.op(op).in_edges.clone();
+        self.ops.remove(&op);
+        for e in in_edges {
+            self.queues.remove(&e);
+        }
+        self.queues.remove(&EdgeId::source(op));
+    }
+
+    /// Is `op` hosted here?
+    pub fn hosts(&self, op: OpId) -> bool {
+        self.ops.contains_key(&op)
+    }
+
+    /// Hosted source operators.
+    pub fn hosted_sources(&self) -> Vec<OpId> {
+        self.ops
+            .keys()
+            .copied()
+            .filter(|&o| self.graph.op(o).kind == OpKind::Source)
+            .collect()
+    }
+
+    /// Hosted sink operators.
+    pub fn hosted_sinks(&self) -> Vec<OpId> {
+        self.ops
+            .keys()
+            .copied()
+            .filter(|&o| self.graph.op(o).kind == OpKind::Sink)
+            .collect()
+    }
+
+    /// Does this node host any source op (is it a *source node*)?
+    pub fn is_source_node(&self) -> bool {
+        !self.hosted_sources().is_empty()
+    }
+
+    /// In-edges of hosted ops whose producer lives on another slot —
+    /// the edges that carry tokens.
+    pub fn remote_in_edges(&self) -> Vec<EdgeId> {
+        let mut v = Vec::new();
+        for (&op, _) in &self.ops {
+            for &e in &self.graph.op(op).in_edges {
+                let from = self.graph.edge(e).from;
+                if self.op_slot[from.index()] != self.cfg.slot {
+                    v.push(e);
+                }
+            }
+        }
+        v
+    }
+
+    /// Out-edges of hosted ops whose consumer lives on another slot.
+    pub fn remote_out_edges(&self) -> Vec<EdgeId> {
+        let mut v = Vec::new();
+        for (&op, _) in &self.ops {
+            for &e in &self.graph.op(op).out_edges {
+                let to = self.graph.edge(e).to;
+                if self.op_slot[to.index()] != self.cfg.slot {
+                    v.push(e);
+                }
+            }
+        }
+        v
+    }
+
+    /// Snapshot every hosted operator: `(op, state, bytes)`.
+    pub fn snapshot_ops(&self) -> Vec<(OpId, OpState, u64)> {
+        self.ops
+            .iter()
+            .map(|(&op, inst)| (op, inst.snapshot(), inst.state_bytes()))
+            .collect()
+    }
+
+    /// Total serialized state bytes across hosted ops.
+    pub fn total_state_bytes(&self) -> u64 {
+        self.ops.values().map(|o| o.state_bytes()).sum()
+    }
+
+    /// Restore hosted ops from explicit states.
+    pub fn restore_ops(&mut self, states: &[(OpId, OpState)]) {
+        for (op, st) in states {
+            if let Some(inst) = self.ops.get_mut(op) {
+                inst.restore(st);
+            }
+        }
+    }
+
+    /// Allocate a completion tag unique within this node.
+    pub fn alloc_tag(&mut self) -> u64 {
+        let t = self.next_tag;
+        self.next_tag += 1;
+        t
+    }
+
+    /// Allocate a tuple id: `(slot << 40) | seq`.
+    pub fn alloc_tuple_id(&mut self) -> u64 {
+        let id = ((self.cfg.slot as u64) << 40) | self.next_seq;
+        self.next_seq += 1;
+        id
+    }
+
+    /// Enqueue an item on an in-edge queue (no scheme hook — caller's
+    /// responsibility).
+    pub fn push_item(&mut self, edge: EdgeId, item: StreamItem) {
+        self.queues.entry(edge).or_default().push_back(item);
+    }
+
+    /// Enqueue an external input at a source op, honoring the cap
+    /// (drop-oldest). Replay pushes bypass the cap.
+    pub fn push_source_input(&mut self, op: OpId, tuple: Tuple) {
+        let cap = self.cfg.source_queue_cap;
+        let q = self.queues.entry(EdgeId::source(op)).or_default();
+        q.push_back(StreamItem::Tuple(tuple));
+        if q.len() > cap {
+            q.pop_front();
+            self.metrics.source_drops += 1;
+        }
+    }
+
+    /// Enqueue a replayed source tuple (bypasses the cap).
+    pub fn push_source_replay(&mut self, op: OpId, mut tuple: Tuple) {
+        tuple.replay = true;
+        self.queues
+            .entry(EdgeId::source(op))
+            .or_default()
+            .push_back(StreamItem::Tuple(tuple));
+    }
+
+    /// Low-level WiFi send.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_wifi(
+        &mut self,
+        ctx: &mut Ctx,
+        mode: SendMode,
+        service: Service,
+        class: TrafficClass,
+        bytes: u64,
+        tag: u64,
+        payload: Option<simnet::Payload>,
+    ) {
+        let src = ctx.self_id();
+        let wifi = self.wifi;
+        ctx.send(
+            wifi,
+            WifiSend {
+                src,
+                mode,
+                service,
+                class,
+                bytes,
+                tag,
+                payload,
+            },
+        );
+    }
+
+    /// Low-level cellular send.
+    pub fn send_cell(
+        &mut self,
+        ctx: &mut Ctx,
+        dst: ActorId,
+        class: TrafficClass,
+        bytes: u64,
+        tag: u64,
+        payload: Option<simnet::Payload>,
+    ) {
+        let src = ctx.self_id();
+        let cell = self.cell;
+        ctx.send(
+            cell,
+            CellSend {
+                src,
+                dst,
+                class,
+                bytes,
+                tag,
+                payload,
+            },
+        );
+    }
+
+    /// Send a small control message to the controller over cellular.
+    pub fn send_controller(&mut self, ctx: &mut Ctx, bytes: u64, ev: impl Event) {
+        let dst = self.controller;
+        self.send_cell(ctx, dst, TrafficClass::Control, bytes, 0, Some(payload(ev)));
+    }
+
+    /// Route one item along `edge`: local fast path or remote transport.
+    /// Remote tuple sends are tracked so a `TxFailed` triggers a
+    /// [`ReportDead`] to the controller.
+    pub fn route_item(&mut self, ctx: &mut Ctx, edge: EdgeId, item: StreamItem) {
+        let dst_op = self.graph.edge_target(edge);
+        let dst_slot = self.op_slot[dst_op.index()];
+        assert!(
+            dst_slot != u32::MAX,
+            "routing on unassigned op {dst_op:?} (edge {edge})"
+        );
+        if dst_slot == self.cfg.slot {
+            self.push_item(edge, item);
+            return;
+        }
+        let dst_actor = self.slot_actors[dst_slot as usize];
+        let bytes = item.bytes();
+        let tag = self.alloc_tag();
+        self.pending_sends.insert(tag, (dst_slot, edge));
+        let msg = ItemMsg {
+            edge,
+            from_slot: self.cfg.slot,
+            item,
+        };
+        let class = self.data_class;
+        if self.urgent_edges.contains(&edge) {
+            self.send_cell(ctx, dst_actor, class, bytes, tag, Some(payload(msg)));
+            return;
+        }
+        match self.cfg.primary {
+            PrimaryTransport::Wifi => {
+                self.send_wifi(
+                    ctx,
+                    SendMode::Unicast(dst_actor),
+                    Service::Reliable,
+                    class,
+                    bytes,
+                    tag,
+                    Some(payload(msg)),
+                );
+            }
+            PrimaryTransport::Ethernet => {
+                let eth = self.eth.expect("ethernet transport not wired");
+                let src = ctx.self_id();
+                ctx.send(
+                    eth,
+                    EthSend {
+                        src,
+                        dst: dst_actor,
+                        class,
+                        bytes,
+                        tag,
+                        payload: Some(payload(msg)),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Is the completion tag one of the runtime's tracked tuple sends?
+    fn take_pending(&mut self, tag: u64) -> Option<(u32, EdgeId)> {
+        self.pending_sends.remove(&tag)
+    }
+
+    /// Drop hosted operators that the (new) assignment maps elsewhere —
+    /// routing updates are authoritative, so a node never keeps serving
+    /// an operator that moved away.
+    pub fn unhost_stale(&mut self) {
+        let stale: Vec<OpId> = self
+            .ops
+            .keys()
+            .copied()
+            .filter(|op| self.op_slot[op.index()] != self.cfg.slot)
+            .collect();
+        for op in stale {
+            self.unhost_op(op);
+        }
+    }
+
+    /// Abort the tuple in service (rollback): the pending completion
+    /// event becomes a no-op.
+    pub fn abort_current(&mut self) {
+        self.busy = false;
+        self.current = None;
+    }
+
+    /// Clear all input queues and pauses (rollback / reboot).
+    pub fn clear_queues(&mut self) {
+        for q in self.queues.values_mut() {
+            q.clear();
+        }
+        self.paused.clear();
+    }
+}
+
+/// The phone actor: [`NodeInner`] + a fault-tolerance scheme.
+pub struct NodeActor {
+    /// Runtime state (schemes receive `&mut` to this).
+    pub inner: NodeInner,
+    /// The plugged-in scheme.
+    pub scheme: Box<dyn FtScheme>,
+}
+
+impl NodeActor {
+    /// Assemble a node.
+    pub fn new(inner: NodeInner, scheme: Box<dyn FtScheme>) -> Self {
+        NodeActor { inner, scheme }
+    }
+
+    /// Start the CPU on the next available item, if idle. Consumes any
+    /// markers that reach queue fronts (markers cost no CPU).
+    fn pump(&mut self, ctx: &mut Ctx) {
+        let inner = &mut self.inner;
+        if !inner.alive || inner.busy {
+            return;
+        }
+        loop {
+            // Snapshot candidate edges in deterministic order.
+            let edges: Vec<EdgeId> = inner.queues.keys().copied().collect();
+            if edges.is_empty() {
+                return;
+            }
+            let n = edges.len();
+            let mut picked = None;
+            let mut marker_handled = false;
+            for off in 0..n {
+                let e = edges[(inner.rr + off) % n];
+                if inner.paused.contains(&e) {
+                    continue;
+                }
+                let Some(q) = inner.queues.get_mut(&e) else {
+                    continue;
+                };
+                match q.front() {
+                    None => continue,
+                    Some(StreamItem::Marker(_)) => {
+                        let Some(StreamItem::Marker(m)) = q.pop_front() else {
+                            unreachable!()
+                        };
+                        self.scheme.on_marker(m, e, inner, ctx);
+                        marker_handled = true;
+                        break; // rescan: pause set may have changed
+                    }
+                    Some(StreamItem::Tuple(_)) => {
+                        let Some(StreamItem::Tuple(t)) = q.pop_front() else {
+                            unreachable!()
+                        };
+                        inner.rr = (inner.rr + off + 1) % n;
+                        picked = Some((e, t));
+                        break;
+                    }
+                }
+            }
+            if let Some((edge, tuple)) = picked {
+                let op = inner.graph.edge_target(edge);
+                let Some(inst) = inner.ops.get(&op) else {
+                    // Stale item for an op that moved away during a
+                    // reconfiguration; recovery replay covers it.
+                    let _ = tuple;
+                    continue;
+                };
+                let cost = inst.cost(&tuple) * inner.cfg.cpu_factor;
+                inner.busy = true;
+                inner.current = Some((edge, tuple));
+                inner.metrics.cpu_busy += cost;
+                let me = ctx.self_id();
+                ctx.send_in(cost, me, ProcDone);
+                return;
+            }
+            if !marker_handled {
+                return; // nothing runnable
+            }
+        }
+    }
+
+    /// Finish the tuple in service: run the operator, publish/route.
+    fn complete_processing(&mut self, ctx: &mut Ctx) {
+        let inner = &mut self.inner;
+        if !inner.alive {
+            inner.busy = false;
+            inner.current = None;
+            return;
+        }
+        let Some((edge, tuple)) = inner.current.take() else {
+            // Stale ProcDone from before a kill/reinstall.
+            inner.busy = false;
+            return;
+        };
+        inner.busy = false;
+        let op = inner.graph.edge_target(edge);
+        if !inner.hosts(op) {
+            // Reinstalled while processing; drop silently.
+            self.pump(ctx);
+            return;
+        }
+        let graph = Arc::clone(&inner.graph);
+        let spec = graph.op(op);
+        let port = spec.in_port(edge).unwrap_or(0);
+        let mut outs = Outputs::default();
+        {
+            let inst = inner.ops.get_mut(&op).expect("hosted");
+            inst.process(&tuple, port, &mut outs, ctx.rng());
+        }
+        inner.metrics.processed += 1;
+
+        if spec.kind == OpKind::Sink {
+            let publish = self.scheme.allow_sink_publish(&tuple, op, inner, ctx);
+            if publish {
+                let now = ctx.now();
+                inner.metrics.record_sink(now, now.since(tuple.entered));
+                let links: Vec<InterRegionLink> = inner
+                    .inter_region
+                    .iter()
+                    .copied()
+                    .filter(|l| l.src_op == op)
+                    .collect();
+                for link in links {
+                    let msg = InterRegionMsg {
+                        dst_op: link.dst_op,
+                        value: tuple.value.clone(),
+                        bytes: tuple.bytes,
+                        entered: None,
+                    };
+                    let dst = link.dst_actor;
+                    let bytes = tuple.bytes;
+                    let class = inner.data_class;
+                    match (inner.cfg.primary, inner.eth) {
+                        // Server baseline: regions live in one datacenter.
+                        (PrimaryTransport::Ethernet, Some(eth)) => {
+                            let src = ctx.self_id();
+                            ctx.send(
+                                eth,
+                                EthSend {
+                                    src,
+                                    dst,
+                                    class,
+                                    bytes,
+                                    tag: 0,
+                                    payload: Some(payload(msg)),
+                                },
+                            );
+                        }
+                        _ => inner.send_cell(ctx, dst, class, bytes, 0, Some(payload(msg))),
+                    }
+                }
+            } else {
+                inner.metrics.catchup_discards += 1;
+            }
+        } else {
+            let out_edges = spec.out_edges.clone();
+            for (port, value, bytes) in outs.drain() {
+                let out_edge = *out_edges
+                    .get(port)
+                    .unwrap_or_else(|| panic!("op '{}' emitted on missing port {port}", spec.name));
+                let out_tuple = Tuple {
+                    id: inner.alloc_tuple_id(),
+                    entered: tuple.entered,
+                    bytes,
+                    value,
+                    replay: tuple.replay,
+                };
+                if self.scheme.on_emit(&out_tuple, out_edge, inner, ctx) {
+                    inner.route_item(ctx, out_edge, StreamItem::Tuple(out_tuple));
+                }
+            }
+        }
+        self.pump(ctx);
+    }
+
+    /// Handle an arriving stream item (remote delivery).
+    fn handle_item(&mut self, msg: ItemMsg, ctx: &mut Ctx) {
+        if !self.inner.alive {
+            return;
+        }
+        if !self.inner.hosts(self.inner.graph.edge_target(msg.edge)) {
+            // In-flight delivery raced a reconfiguration; drop it.
+            return;
+        }
+        if self.scheme.on_item_arrival(&msg.item, msg.edge, &mut self.inner, ctx) {
+            self.inner.push_item(msg.edge, msg.item);
+        }
+        self.pump(ctx);
+    }
+
+    /// Handle a fresh external input at a source op.
+    fn handle_source_input(&mut self, op: OpId, value: TupleValue, bytes: u64, ctx: &mut Ctx) {
+        self.handle_source_input_at(op, value, bytes, None, ctx);
+    }
+
+    /// As [`Self::handle_source_input`], optionally preserving an
+    /// upstream capture timestamp.
+    fn handle_source_input_at(
+        &mut self,
+        op: OpId,
+        value: TupleValue,
+        bytes: u64,
+        entered: Option<SimTime>,
+        ctx: &mut Ctx,
+    ) {
+        let inner = &mut self.inner;
+        if !inner.alive {
+            return;
+        }
+        if !inner.hosts(op) {
+            // Sensor feed for a source op that moved away; drop.
+            return;
+        }
+        // Admission control: shed bulky frames while the region's
+        // channel is congested (the camera's buffer overflows before
+        // mid-pipeline tuples are lost).
+        if inner.net_congested && bytes >= 4096 {
+            inner.metrics.source_drops += 1;
+            return;
+        }
+        let tuple = Tuple {
+            id: inner.alloc_tuple_id(),
+            entered: entered.unwrap_or_else(|| ctx.now()),
+            bytes,
+            value,
+            replay: false,
+        };
+        inner.metrics.source_inputs += 1;
+        self.scheme.on_source_input(&tuple, op, inner, ctx);
+        inner.push_source_input(op, tuple);
+        self.pump(ctx);
+    }
+
+    fn apply_install(&mut self, ins: Install, ctx: &mut Ctx) {
+        let inner = &mut self.inner;
+        // Tear down current hosting.
+        let hosted: Vec<OpId> = inner.ops.keys().copied().collect();
+        for op in hosted {
+            inner.unhost_op(op);
+        }
+        inner.queues.clear();
+        inner.paused.clear();
+        inner.busy = false;
+        inner.current = None;
+        inner.op_slot = ins.op_slot.clone();
+        inner.slot_actors = ins.slot_actors.clone();
+        for &op in &ins.ops {
+            inner.host_op(op);
+        }
+        match &ins.states {
+            InstallStates::Fresh => {}
+            InstallStates::FromLocalStore { version } => {
+                let states: Vec<(OpId, OpState)> = ins
+                    .ops
+                    .iter()
+                    .filter_map(|&op| {
+                        inner
+                            .store
+                            .state(*version, op)
+                            .map(|st| (op, st.clone()))
+                    })
+                    .collect();
+                inner.restore_ops(&states);
+            }
+            InstallStates::Explicit(states) => {
+                inner.restore_ops(states);
+            }
+        }
+        inner.alive = false; // comes alive at InstallReady
+        let ready_in = ins.ready_in;
+        let me = ctx.self_id();
+        ctx.send_in(ready_in, me, InstallReady);
+        inner.pending_install = Some(ins);
+    }
+}
+
+impl Actor for NodeActor {
+    fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
+        // Network deliveries: unwrap the payload and re-dispatch.
+        let ev = match ev.downcast::<WifiRx>() {
+            Ok(rx) => {
+                let p = rx.payload.clone();
+                if let Some(msg) = simnet::payload_as::<ItemMsg>(&p) {
+                    self.handle_item(msg.clone(), ctx);
+                    return;
+                }
+                if let Some(ins) = simnet::payload_as::<Install>(&p) {
+                    self.apply_install(ins.clone(), ctx);
+                    return;
+                }
+                Box::new(*rx) as Box<dyn Event>
+            }
+            Err(e) => e,
+        };
+        let ev = match ev.downcast::<CellRx>() {
+            Ok(rx) => {
+                let p = rx.payload.clone();
+                if let Some(msg) = simnet::payload_as::<ItemMsg>(&p) {
+                    self.handle_item(msg.clone(), ctx);
+                    return;
+                }
+                if let Some(msg) = simnet::payload_as::<InterRegionMsg>(&p) {
+                    let m = msg.clone();
+                    self.handle_source_input_at(m.dst_op, m.value, m.bytes, m.entered, ctx);
+                    return;
+                }
+                if let Some(ping) = simnet::payload_as::<Ping>(&p) {
+                    if self.inner.alive {
+                        let pong = Pong {
+                            nonce: ping.nonce,
+                            region: self.inner.cfg.region,
+                            slot: self.inner.cfg.slot,
+                        };
+                        self.inner.send_controller(ctx, 32, pong);
+                    }
+                    return;
+                }
+                if let Some(ins) = simnet::payload_as::<Install>(&p) {
+                    self.apply_install(ins.clone(), ctx);
+                    return;
+                }
+                if let Some(u) = simnet::payload_as::<UpdateRouting>(&p) {
+                    if let Some(os) = &u.op_slot {
+                        self.inner.op_slot = os.clone();
+                        self.inner.unhost_stale();
+                    }
+                    if let Some(sa) = &u.slot_actors {
+                        self.inner.slot_actors = sa.clone();
+                    }
+                    self.pump(ctx);
+                    return;
+                }
+                if let Some(u) = simnet::payload_as::<SetUrgentEdges>(&p) {
+                    for e in &u.edges {
+                        if u.on {
+                            self.inner.urgent_edges.insert(*e);
+                        } else {
+                            self.inner.urgent_edges.remove(e);
+                        }
+                    }
+                    return;
+                }
+                if let Some(u) = simnet::payload_as::<UpdateInterRegion>(&p) {
+                    self.inner.inter_region = u.links.clone();
+                    return;
+                }
+                Box::new(*rx) as Box<dyn Event>
+            }
+            Err(e) => e,
+        };
+        let ev = match ev.downcast::<EthRx>() {
+            Ok(rx) => {
+                let p = rx.payload.clone();
+                if let Some(msg) = simnet::payload_as::<ItemMsg>(&p) {
+                    self.handle_item(msg.clone(), ctx);
+                    return;
+                }
+                Box::new(*rx) as Box<dyn Event>
+            }
+            Err(e) => e,
+        };
+
+        simkernel::match_event!(ev,
+            _p: ProcDone => {
+                self.complete_processing(ctx);
+            },
+            s: SourceEmit => {
+                self.handle_source_input(s.op, s.value, s.bytes, ctx);
+            },
+            _k: Kill => {
+                self.inner.alive = false;
+                self.inner.busy = false;
+                self.inner.current = None;
+            },
+            _r: Reboot => {
+                let inner = &mut self.inner;
+                inner.alive = true;
+                let hosted: Vec<OpId> = inner.ops.keys().copied().collect();
+                for op in hosted {
+                    inner.unhost_op(op);
+                }
+                inner.clear_queues();
+                inner.abort_current();
+                let reg = RegisterNode {
+                    region: inner.cfg.region,
+                    slot: inner.cfg.slot,
+                };
+                inner.send_controller(ctx, 64, reg);
+            },
+            ins: Install => {
+                self.apply_install(ins, ctx);
+            },
+            _r: InstallReady => {
+                if self.inner.pending_install.take().is_some() {
+                    self.inner.alive = true;
+                    self.scheme.on_install(&mut self.inner, ctx);
+                    self.pump(ctx);
+                }
+            },
+            u: UpdateRouting => {
+                if let Some(os) = u.op_slot {
+                    self.inner.op_slot = os;
+                    self.inner.unhost_stale();
+                }
+                if let Some(sa) = u.slot_actors {
+                    self.inner.slot_actors = sa;
+                }
+                self.pump(ctx);
+            },
+            u: SetUrgentEdges => {
+                for e in u.edges {
+                    if u.on {
+                        self.inner.urgent_edges.insert(e);
+                    } else {
+                        self.inner.urgent_edges.remove(&e);
+                    }
+                }
+            },
+            u: UpdateInterRegion => {
+                self.inner.inter_region = u.links;
+            },
+            c: simnet::wifi::WifiCongestion => {
+                self.inner.net_congested = c.on;
+            },
+            d: TxDone => {
+                if self.inner.take_pending(d.tag).is_none() {
+                    let consumed = self.scheme.on_custom(Box::new(d), &mut self.inner, ctx);
+                    let _ = consumed;
+                }
+                self.pump(ctx);
+            },
+            f: TxFailed => {
+                if let Some((slot, _edge)) = self.inner.take_pending(f.tag) {
+                    let report = ReportDead {
+                        region: self.inner.cfg.region,
+                        slot,
+                        observed_by: self.inner.cfg.slot,
+                    };
+                    self.inner.send_controller(ctx, 48, report);
+                } else {
+                    self.scheme.on_custom(Box::new(f), &mut self.inner, ctx);
+                }
+                self.pump(ctx);
+            },
+            @else other => {
+                let consumed = self.scheme.on_custom(other, &mut self.inner, ctx);
+                let _ = consumed;
+                self.pump(ctx);
+            }
+        );
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "node r{} s{} [{}]",
+            self.inner.cfg.region,
+            self.inner.cfg.slot,
+            self.scheme.name()
+        )
+    }
+
+    impl_actor_any!();
+}
+
+/// Convenience: time of latest sink sample (test helper).
+pub fn last_sink_time(m: &NodeMetrics) -> Option<SimTime> {
+    m.sink_samples.last().map(|s| s.at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ft::NullScheme;
+    use crate::graph::OpKind;
+    use crate::ops::{Counter, Relay};
+    use crate::tuple::value;
+    use simkernel::Sim;
+    use simnet::cellular::{CellConfig, CellularNet};
+    use simnet::wifi::{WifiConfig, WifiMedium};
+
+    /// Records control messages arriving at "the controller".
+    #[derive(Default)]
+    struct ControllerStub {
+        dead_reports: Vec<(usize, u32, u32)>,
+        pongs: Vec<u64>,
+    }
+
+    impl Actor for ControllerStub {
+        fn on_event(&mut self, ev: Box<dyn Event>, _ctx: &mut Ctx) {
+            if let Ok(rx) = ev.downcast::<CellRx>() {
+                if let Some(r) = simnet::payload_as::<ReportDead>(&rx.payload) {
+                    self.dead_reports.push((r.region, r.slot, r.observed_by));
+                } else if let Some(p) = simnet::payload_as::<Pong>(&rx.payload) {
+                    self.pongs.push(p.nonce);
+                }
+            }
+        }
+        impl_actor_any!();
+    }
+
+    struct Rig {
+        sim: Sim,
+        nodes: Vec<ActorId>,
+        wifi: ActorId,
+        cell: ActorId,
+        controller: ActorId,
+        graph: Arc<QueryGraph>,
+    }
+
+    /// Chain S → A → K on three nodes (slots 0,1,2) plus one idle slot.
+    fn chain_rig(loss: f64) -> Rig {
+        let mut g = QueryGraph::new();
+        let s = g.add_op("S", OpKind::Source, || {
+            Box::new(Relay::new(SimDuration::from_millis(1)))
+        });
+        let a = g.add_op("A", OpKind::Compute, || {
+            Box::new(Counter::new(SimDuration::from_millis(100), 1))
+        });
+        let k = g.add_op("K", OpKind::Sink, || {
+            Box::new(Relay::new(SimDuration::from_millis(1)))
+        });
+        g.connect(s, a);
+        g.connect(a, k);
+        g.validate().unwrap();
+        let graph = Arc::new(g);
+
+        let mut sim = Sim::new(11);
+        let controller = sim.add_actor(Box::<ControllerStub>::default());
+
+        // Placeholder ids resolved after networks are added.
+        let wifi_med = WifiMedium::new(WifiConfig {
+            rate_bps: 2_500_000.0,
+            loss,
+            ..WifiConfig::default()
+        });
+        let mut cell_net = CellularNet::new(CellConfig::default());
+        cell_net.register_with_rates(controller, 1e9, 1e9);
+
+        // Create node actors first (they need wifi/cell ids — add nets
+        // first by reserving: easiest is nets first).
+        let wifi = sim.add_actor(Box::new(WifiMedium::new(WifiConfig::default())));
+        let cell = sim.add_actor(Box::new(CellularNet::new(CellConfig::default())));
+        let _ = (&wifi_med, &cell_net);
+
+        let slots = 4u32;
+        let mut nodes = Vec::new();
+        for slot in 0..slots {
+            let cfg = NodeConfig {
+                region: 0,
+                slot,
+                cpu_factor: 1.0,
+                source_queue_cap: 10,
+                primary: PrimaryTransport::Wifi,
+            };
+            let inner = NodeInner::new(cfg, Arc::clone(&graph), wifi, cell, controller);
+            let id = sim.add_actor(Box::new(NodeActor::new(inner, Box::new(NullScheme))));
+            nodes.push(id);
+        }
+
+        // Rebuild networks with real members (replace the actors' state).
+        {
+            let med = sim.actor_mut::<WifiMedium>(wifi);
+            *med = {
+                let mut m = WifiMedium::new(WifiConfig {
+                    rate_bps: 2_500_000.0,
+                    loss,
+                    ..WifiConfig::default()
+                });
+                for &n in &nodes {
+                    m.add_member(n);
+                }
+                m
+            };
+        }
+        {
+            let net = sim.actor_mut::<CellularNet>(cell);
+            let mut n = CellularNet::new(CellConfig::default());
+            n.register_with_rates(controller, 1e9, 1e9);
+            for &nd in &nodes {
+                n.register(nd);
+            }
+            *net = n;
+        }
+
+        // Wire placement: S→0, A→1, K→2; slot 3 idle.
+        let op_slot = vec![0u32, 1, 2];
+        for (slot, &nid) in nodes.iter().enumerate() {
+            let na = sim.actor_mut::<NodeActor>(nid);
+            na.inner.op_slot = op_slot.clone();
+            na.inner.slot_actors = nodes.clone();
+            match slot {
+                0 => na.inner.host_op(OpId(0)),
+                1 => na.inner.host_op(OpId(1)),
+                2 => na.inner.host_op(OpId(2)),
+                _ => {}
+            }
+        }
+
+        Rig {
+            sim,
+            nodes,
+            wifi,
+            cell,
+            controller,
+            graph,
+        }
+    }
+
+    fn feed(rig: &mut Rig, count: usize, every_ms: u64, bytes: u64) {
+        for i in 0..count {
+            rig.sim.schedule_at(
+                SimTime::from_millis(every_ms * i as u64),
+                rig.nodes[0],
+                SourceEmit {
+                    op: OpId(0),
+                    value: value(i as u64),
+                    bytes,
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_delivers_to_sink_with_latency() {
+        let mut rig = chain_rig(0.0);
+        feed(&mut rig, 5, 500, 10_000);
+        rig.sim.run();
+        let sinknode = rig.sim.actor::<NodeActor>(rig.nodes[2]);
+        let m = &sinknode.inner.metrics;
+        assert_eq!(m.sink_samples.len(), 5, "all tuples reach the sink");
+        for s in &m.sink_samples {
+            // 1 ms source + ~32+ ms wifi hop + 100 ms count + hop + 1 ms sink
+            assert!(s.latency >= SimDuration::from_millis(100));
+            assert!(s.latency < SimDuration::from_secs(2));
+        }
+        // Intermediate node processed every tuple.
+        let mid = rig.sim.actor::<NodeActor>(rig.nodes[1]);
+        assert_eq!(mid.inner.metrics.processed, 5);
+    }
+
+    #[test]
+    fn lossy_wifi_still_delivers_reliable_tuples() {
+        let mut rig = chain_rig(0.2);
+        feed(&mut rig, 10, 500, 5_000);
+        rig.sim.run();
+        let sinknode = rig.sim.actor::<NodeActor>(rig.nodes[2]);
+        assert_eq!(sinknode.inner.metrics.sink_samples.len(), 10);
+    }
+
+    #[test]
+    fn source_queue_cap_drops_oldest() {
+        let mut rig = chain_rig(0.0);
+        // Burst of 30 at t=0 with cap 10.
+        for i in 0..30 {
+            rig.sim.schedule_at(
+                SimTime::ZERO,
+                rig.nodes[0],
+                SourceEmit {
+                    op: OpId(0),
+                    value: value(i as u64),
+                    bytes: 100,
+                },
+            );
+        }
+        rig.sim.run();
+        let src = rig.sim.actor::<NodeActor>(rig.nodes[0]);
+        // First tuple enters service immediately; of the remaining 29
+        // queued, only 10 fit.
+        assert!(src.inner.metrics.source_drops >= 19, "drops = {}", src.inner.metrics.source_drops);
+        let sink = rig.sim.actor::<NodeActor>(rig.nodes[2]);
+        assert!(sink.inner.metrics.sink_samples.len() <= 11);
+    }
+
+    #[test]
+    fn killed_downstream_triggers_dead_report() {
+        let mut rig = chain_rig(0.0);
+        rig.sim.schedule_at(SimTime::ZERO, rig.nodes[1], Kill);
+        {
+            let wifi = rig.wifi;
+            let dead = rig.nodes[1];
+            rig.sim
+                .actor_mut::<WifiMedium>(wifi)
+                .set_link_state(dead, simnet::LinkState::Dead);
+        }
+        feed(&mut rig, 1, 100, 1000);
+        rig.sim.run();
+        let ctrl = rig.sim.actor::<ControllerStub>(rig.controller);
+        assert_eq!(ctrl.dead_reports, vec![(0, 1, 0)], "source reports slot 1 dead");
+        let sink = rig.sim.actor::<NodeActor>(rig.nodes[2]);
+        assert!(sink.inner.metrics.sink_samples.is_empty());
+    }
+
+    #[test]
+    fn ping_pong_roundtrip() {
+        let mut rig = chain_rig(0.0);
+        let cell = rig.cell;
+        let target = rig.nodes[0];
+        let controller = rig.controller;
+        rig.sim.schedule_at(
+            SimTime::ZERO,
+            cell,
+            CellSend {
+                src: controller,
+                dst: target,
+                class: TrafficClass::Control,
+                bytes: 32,
+                tag: 0,
+                payload: Some(payload(Ping { nonce: 99 })),
+            },
+        );
+        rig.sim.run();
+        let ctrl = rig.sim.actor::<ControllerStub>(rig.controller);
+        assert_eq!(ctrl.pongs, vec![99]);
+    }
+
+    #[test]
+    fn dead_node_does_not_pong() {
+        let mut rig = chain_rig(0.0);
+        rig.sim.schedule_at(SimTime::ZERO, rig.nodes[0], Kill);
+        let cell = rig.cell;
+        let target = rig.nodes[0];
+        let controller = rig.controller;
+        rig.sim.schedule_at(
+            SimTime::from_millis(1),
+            cell,
+            CellSend {
+                src: controller,
+                dst: target,
+                class: TrafficClass::Control,
+                bytes: 32,
+                tag: 0,
+                payload: Some(payload(Ping { nonce: 1 })),
+            },
+        );
+        rig.sim.run();
+        assert!(rig.sim.actor::<ControllerStub>(rig.controller).pongs.is_empty());
+    }
+
+    #[test]
+    fn install_restores_counter_state_from_explicit() {
+        let mut rig = chain_rig(0.0);
+        feed(&mut rig, 3, 200, 1000);
+        rig.sim.run();
+        // Snapshot A's counter (should be 3).
+        let (snap, op_slot, slot_actors) = {
+            let mid = rig.sim.actor::<NodeActor>(rig.nodes[1]);
+            let snaps = mid.inner.snapshot_ops();
+            assert_eq!(snaps.len(), 1);
+            (
+                snaps[0].1.clone(),
+                mid.inner.op_slot.clone(),
+                mid.inner.slot_actors.clone(),
+            )
+        };
+        // Install op A on idle slot 3, restoring the snapshot.
+        let mut new_op_slot = op_slot.clone();
+        new_op_slot[1] = 3;
+        rig.sim.schedule_at(
+            rig.sim.now(),
+            rig.nodes[3],
+            Install {
+                ops: vec![OpId(1)],
+                states: InstallStates::Explicit(vec![(OpId(1), snap)]),
+                op_slot: new_op_slot.clone(),
+                slot_actors: slot_actors.clone(),
+                ready_in: SimDuration::from_secs(1),
+            },
+        );
+        // Everyone learns the new routing.
+        for &n in &rig.nodes {
+            rig.sim.schedule_at(
+                rig.sim.now(),
+                n,
+                UpdateRouting {
+                    op_slot: Some(new_op_slot.clone()),
+                    slot_actors: Some(slot_actors.clone()),
+                },
+            );
+        }
+        rig.sim.run();
+        {
+            let repl = rig.sim.actor::<NodeActor>(rig.nodes[3]);
+            assert!(repl.inner.alive);
+            assert!(repl.inner.hosts(OpId(1)));
+            let c = repl.inner.ops[&OpId(1)]
+                .as_ref()
+                .state_bytes();
+            assert!(c >= 8);
+        }
+        // Traffic now flows through the replacement.
+        feed(&mut rig, 2, 100, 1000);
+        rig.sim.run();
+        let repl = rig.sim.actor::<NodeActor>(rig.nodes[3]);
+        assert_eq!(repl.inner.metrics.processed, 2);
+        let sink = rig.sim.actor::<NodeActor>(rig.nodes[2]);
+        assert_eq!(sink.inner.metrics.sink_samples.len(), 5);
+    }
+
+    #[test]
+    fn graph_is_shared_not_cloned() {
+        let rig = chain_rig(0.0);
+        assert!(Arc::strong_count(&rig.graph) >= 5);
+    }
+
+    #[test]
+    fn urgent_edge_routes_via_cellular() {
+        let mut rig = chain_rig(0.0);
+        // Put edge A→K (edge 1) into urgent mode at the emitting node.
+        rig.sim.schedule_at(
+            SimTime::ZERO,
+            rig.nodes[1],
+            SetUrgentEdges {
+                edges: vec![EdgeId(1)],
+                on: true,
+            },
+        );
+        feed(&mut rig, 2, 100, 1000);
+        rig.sim.run();
+        let sink = rig.sim.actor::<NodeActor>(rig.nodes[2]);
+        assert_eq!(sink.inner.metrics.sink_samples.len(), 2);
+        // Cellular network carried the (8-byte counter) data tuples.
+        let cellnet = rig.sim.actor::<CellularNet>(rig.cell);
+        assert!(cellnet.stats().payload_bytes(TrafficClass::Data) >= 16);
+        assert_eq!(cellnet.stats().messages(TrafficClass::Data), 2);
+        // Latency via the slow cellular uplink exceeds WiFi's.
+        let lat = sink.inner.metrics.sink_samples[0].latency;
+        assert!(lat > SimDuration::from_millis(150), "lat = {lat}");
+    }
+}

@@ -1,0 +1,125 @@
+//! The [`Operator`] trait: user code executed repeatedly on input
+//! tuples, with explicit state, cost and size models.
+//!
+//! Three concerns are deliberately separated:
+//!
+//! * `process` — the *actual* computation (kernels really run),
+//! * `cost` — the simulated CPU time charged on the reference phone
+//!   (an iPhone 3GS-class 600 MHz core in the paper's testbed),
+//! * `snapshot`/`restore`/`state_bytes` — what checkpointing saves.
+
+use std::sync::Arc;
+
+use simkernel::{Event, SimDuration, SimRng};
+
+use crate::tuple::{Tuple, TupleValue};
+
+/// Opaque, shareable operator state snapshot.
+pub type OpState = Arc<dyn Event>;
+
+/// Make an [`OpState`] from a concrete state type.
+pub fn op_state<T: Event>(st: T) -> OpState {
+    Arc::new(st)
+}
+
+/// Output collector passed to [`Operator::process`].
+#[derive(Default)]
+pub struct Outputs {
+    emitted: Vec<(usize, TupleValue, u64)>,
+}
+
+impl Outputs {
+    /// Emit `value` (`bytes` on the wire) on output port `port`.
+    pub fn emit(&mut self, port: usize, value: TupleValue, bytes: u64) {
+        self.emitted.push((port, value, bytes));
+    }
+
+    /// Drain the collected outputs.
+    pub fn drain(&mut self) -> Vec<(usize, TupleValue, u64)> {
+        std::mem::take(&mut self.emitted)
+    }
+
+    /// Number of collected outputs.
+    pub fn len(&self) -> usize {
+        self.emitted.len()
+    }
+
+    /// True if nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.emitted.is_empty()
+    }
+}
+
+/// A stream operator.
+pub trait Operator {
+    /// Process one tuple arriving on input `port`; emit any outputs.
+    fn process(&mut self, tuple: &Tuple, port: usize, out: &mut Outputs, rng: &mut SimRng);
+
+    /// CPU time this tuple costs on the reference phone core.
+    fn cost(&self, tuple: &Tuple) -> SimDuration {
+        let _ = tuple;
+        SimDuration::from_micros(100)
+    }
+
+    /// Serialized state size (0 = stateless).
+    fn state_bytes(&self) -> u64 {
+        0
+    }
+
+    /// Snapshot the operator state. Must be cheap (copy-on-write): the
+    /// paper checkpoints asynchronously on a separate thread.
+    fn snapshot(&self) -> OpState {
+        op_state(())
+    }
+
+    /// Restore from a snapshot produced by the same operator type.
+    fn restore(&mut self, state: &OpState) {
+        let _ = state;
+    }
+
+    /// True if the operator carries no state worth checkpointing.
+    fn is_stateless(&self) -> bool {
+        self.state_bytes() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::value;
+    use simkernel::SimTime;
+
+    struct Doubler;
+    impl Operator for Doubler {
+        fn process(&mut self, tuple: &Tuple, _port: usize, out: &mut Outputs, _rng: &mut SimRng) {
+            let x = *tuple.value_as::<u64>().expect("u64 input");
+            out.emit(0, value(x * 2), 8);
+        }
+    }
+
+    #[test]
+    fn outputs_collect_and_drain() {
+        let mut op = Doubler;
+        let mut out = Outputs::default();
+        let mut rng = SimRng::new(0);
+        let t = Tuple::new(1, SimTime::ZERO, 8, value(21u64));
+        op.process(&t, 0, &mut out, &mut rng);
+        assert_eq!(out.len(), 1);
+        let drained = out.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(out.is_empty());
+        let (port, v, bytes) = &drained[0];
+        assert_eq!(*port, 0);
+        assert_eq!(*bytes, 8);
+        assert_eq!((**v).as_any().downcast_ref::<u64>(), Some(&42));
+    }
+
+    #[test]
+    fn default_trait_behaviour() {
+        let op = Doubler;
+        assert!(op.is_stateless());
+        assert_eq!(op.state_bytes(), 0);
+        let t = Tuple::new(1, SimTime::ZERO, 8, value(1u64));
+        assert!(op.cost(&t) > SimDuration::ZERO);
+    }
+}

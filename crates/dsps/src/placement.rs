@@ -1,0 +1,210 @@
+//! Operator→node placement within a region.
+//!
+//! The paper groups operators of the same color onto one node (Figs 2
+//! and 3) and derives node roles from what they host: source nodes,
+//! sink nodes, computing nodes, and idle nodes (which hold checkpoint
+//! copies and stand by as replacements).
+
+use crate::graph::{OpId, OpKind, QueryGraph};
+
+/// Role of a node (slot) in a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// Hosts at least one source operator.
+    Source,
+    /// Hosts at least one sink operator (and no source).
+    Sink,
+    /// Hosts only compute operators.
+    Computing,
+    /// Hosts nothing; standby + checkpoint replica holder.
+    Idle,
+}
+
+/// An operator→slot assignment for one region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// `op_slot[op] = slot`.
+    pub op_slot: Vec<u32>,
+    /// Total slots (phones) in the region, including idle ones.
+    pub slots: u32,
+}
+
+impl Placement {
+    /// All-unassigned placement over `slots` phones.
+    pub fn new(graph: &QueryGraph, slots: u32) -> Self {
+        Placement {
+            op_slot: vec![u32::MAX; graph.op_count()],
+            slots,
+        }
+    }
+
+    /// Assign `op` to `slot`.
+    pub fn assign(&mut self, op: OpId, slot: u32) -> &mut Self {
+        assert!(slot < self.slots, "slot {slot} out of range ({})", self.slots);
+        self.op_slot[op.index()] = slot;
+        self
+    }
+
+    /// Slot hosting `op`.
+    pub fn slot_of(&self, op: OpId) -> u32 {
+        self.op_slot[op.index()]
+    }
+
+    /// Operators hosted on `slot`.
+    pub fn ops_on(&self, slot: u32) -> Vec<OpId> {
+        self.op_slot
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == slot)
+            .map(|(i, _)| OpId(i as u32))
+            .collect()
+    }
+
+    /// Role of `slot` under this placement.
+    pub fn role_of(&self, graph: &QueryGraph, slot: u32) -> NodeRole {
+        let ops = self.ops_on(slot);
+        if ops.is_empty() {
+            return NodeRole::Idle;
+        }
+        if ops.iter().any(|&o| graph.op(o).kind == OpKind::Source) {
+            return NodeRole::Source;
+        }
+        if ops.iter().any(|&o| graph.op(o).kind == OpKind::Sink) {
+            return NodeRole::Sink;
+        }
+        NodeRole::Computing
+    }
+
+    /// Slots currently idle.
+    pub fn idle_slots(&self, graph: &QueryGraph) -> Vec<u32> {
+        (0..self.slots)
+            .filter(|&s| self.role_of(graph, s) == NodeRole::Idle)
+            .collect()
+    }
+
+    /// Slots hosting at least one operator.
+    pub fn used_slots(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self
+            .op_slot
+            .iter()
+            .copied()
+            .filter(|&s| s != u32::MAX)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Check every operator is assigned to a valid slot.
+    pub fn validate(&self, graph: &QueryGraph) -> Result<(), String> {
+        for op in graph.op_ids() {
+            let s = self.op_slot[op.index()];
+            if s == u32::MAX {
+                return Err(format!("op '{}' unassigned", graph.op(op).name));
+            }
+            if s >= self.slots {
+                return Err(format!(
+                    "op '{}' on slot {s}, but region has {} slots",
+                    graph.op(op).name,
+                    self.slots
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Round-robin auto-placement over the first `compute_slots` slots
+    /// (test/example convenience; real apps use the paper's groupings).
+    pub fn round_robin(graph: &QueryGraph, slots: u32, compute_slots: u32) -> Self {
+        assert!(compute_slots > 0 && compute_slots <= slots);
+        let mut p = Placement::new(graph, slots);
+        for (i, op) in graph.op_ids().enumerate() {
+            p.assign(op, (i as u32) % compute_slots);
+        }
+        p
+    }
+
+    /// Move every operator on `from` to `to` (failure replacement).
+    pub fn reassign_slot(&mut self, from: u32, to: u32) {
+        assert!(to < self.slots);
+        for s in self.op_slot.iter_mut() {
+            if *s == from {
+                *s = to;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::OpKind;
+    use crate::ops::Relay;
+    use simkernel::SimDuration;
+
+    fn relay() -> Box<dyn crate::operator::Operator> {
+        Box::new(Relay::new(SimDuration::from_millis(1)))
+    }
+
+    fn chain() -> (QueryGraph, [OpId; 4]) {
+        let mut g = QueryGraph::new();
+        let s = g.add_op("S", OpKind::Source, relay);
+        let a = g.add_op("A", OpKind::Compute, relay);
+        let b = g.add_op("B", OpKind::Compute, relay);
+        let k = g.add_op("K", OpKind::Sink, relay);
+        g.connect(s, a);
+        g.connect(a, b);
+        g.connect(b, k);
+        (g, [s, a, b, k])
+    }
+
+    #[test]
+    fn assign_and_roles() {
+        let (g, [s, a, b, k]) = chain();
+        let mut p = Placement::new(&g, 6);
+        p.assign(s, 0).assign(a, 1).assign(b, 1).assign(k, 2);
+        assert!(p.validate(&g).is_ok());
+        assert_eq!(p.role_of(&g, 0), NodeRole::Source);
+        assert_eq!(p.role_of(&g, 1), NodeRole::Computing);
+        assert_eq!(p.role_of(&g, 2), NodeRole::Sink);
+        assert_eq!(p.role_of(&g, 3), NodeRole::Idle);
+        assert_eq!(p.idle_slots(&g), vec![3, 4, 5]);
+        assert_eq!(p.used_slots(), vec![0, 1, 2]);
+        assert_eq!(p.ops_on(1), vec![a, b]);
+    }
+
+    #[test]
+    fn unassigned_rejected() {
+        let (g, [s, a, b, _k]) = chain();
+        let mut p = Placement::new(&g, 4);
+        p.assign(s, 0).assign(a, 1).assign(b, 2);
+        assert!(p.validate(&g).unwrap_err().contains("unassigned"));
+    }
+
+    #[test]
+    fn round_robin_covers_all() {
+        let (g, _) = chain();
+        let p = Placement::round_robin(&g, 8, 4);
+        assert!(p.validate(&g).is_ok());
+        assert_eq!(p.idle_slots(&g).len(), 4);
+    }
+
+    #[test]
+    fn reassign_slot_moves_ops() {
+        let (g, [s, a, b, k]) = chain();
+        let mut p = Placement::new(&g, 4);
+        p.assign(s, 0).assign(a, 1).assign(b, 1).assign(k, 2);
+        p.reassign_slot(1, 3);
+        assert_eq!(p.ops_on(1), vec![]);
+        assert_eq!(p.ops_on(3), vec![a, b]);
+        assert_eq!(p.role_of(&g, 3), NodeRole::Computing);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_slot_panics() {
+        let (g, [s, ..]) = chain();
+        let mut p = Placement::new(&g, 2);
+        p.assign(s, 5);
+    }
+}

@@ -1,0 +1,124 @@
+//! Fault injection: failures (fail-stop crashes), departures (GPS-out
+//! mobility), and reboots.
+//!
+//! A failure kills the phone actor and marks its WiFi/cellular links
+//! dead — detection is then *emergent*: upstream neighbors observe
+//! failed sends, the controller observes missed pings. A departure
+//! breaks only the WiFi link and tells the phone its GPS says it left;
+//! the phone itself notifies the controller (§III-E).
+
+use dsps::node::{Kill, NodeActor};
+use simkernel::SimTime;
+use simnet::cellular::CellSetLink;
+use simnet::wifi::WifiSetLink;
+use simnet::LinkState;
+
+use crate::scenario::Deployment;
+
+/// Schedule a fail-stop crash of `(region, slot)` at `at`.
+pub fn inject_failure(dep: &mut Deployment, region: usize, slot: u32, at: SimTime) {
+    let node = dep.regions[region].nodes[slot as usize];
+    let wifi = dep.regions[region].wifi;
+    let cell = dep.cell;
+    dep.sim.schedule_at(at, node, Kill);
+    dep.sim.schedule_at(
+        at,
+        wifi,
+        WifiSetLink {
+            node,
+            state: LinkState::Dead,
+        },
+    );
+    dep.sim.schedule_at(
+        at,
+        cell,
+        CellSetLink {
+            node,
+            state: LinkState::Dead,
+        },
+    );
+}
+
+/// Schedule a departure of `(region, slot)` at `at`: WiFi breaks, the
+/// phone stays reachable over cellular and reports itself.
+pub fn inject_departure(dep: &mut Deployment, region: usize, slot: u32, at: SimTime) {
+    let node = dep.regions[region].nodes[slot as usize];
+    let wifi = dep.regions[region].wifi;
+    dep.sim.schedule_at(
+        at,
+        wifi,
+        WifiSetLink {
+            node,
+            state: LinkState::Gone,
+        },
+    );
+    dep.sim.schedule_at(at, node, mobistreams::msgs::Depart);
+}
+
+/// Schedule a reboot of a previously failed phone at `at` (flash
+/// intact; re-registers with the controller as an idle node).
+pub fn inject_reboot(dep: &mut Deployment, region: usize, slot: u32, at: SimTime) {
+    let node = dep.regions[region].nodes[slot as usize];
+    let wifi = dep.regions[region].wifi;
+    let cell = dep.cell;
+    dep.sim.schedule_at(
+        at,
+        wifi,
+        WifiSetLink {
+            node,
+            state: LinkState::Active,
+        },
+    );
+    dep.sim.schedule_at(
+        at,
+        cell,
+        CellSetLink {
+            node,
+            state: LinkState::Active,
+        },
+    );
+    dep.sim.schedule_at(at, node, dsps::node::Reboot);
+}
+
+/// The order in which slots are hit by Fig 9's n-node bursts: compute
+/// and sink slots first (detected fast via upstream reports), then
+/// source slots (ping-detected), then idle. Deterministic so every
+/// scheme faces the same burst.
+pub fn failure_order(dep: &Deployment, region: usize) -> Vec<u32> {
+    let handles = &dep.regions[region];
+    let graph = &handles.graph;
+    let sources: std::collections::BTreeSet<u32> = graph
+        .sources()
+        .iter()
+        .map(|&op| handles.op_slot[op.index()])
+        .collect();
+    let hosting: std::collections::BTreeSet<u32> =
+        handles.op_slot.iter().copied().filter(|&s| s != u32::MAX).collect();
+    let slots = handles.nodes.len() as u32;
+    let mut order = Vec::new();
+    // 1. hosting, non-source.
+    for s in 0..slots {
+        if hosting.contains(&s) && !sources.contains(&s) {
+            order.push(s);
+        }
+    }
+    // 2. source slots.
+    for s in 0..slots {
+        if sources.contains(&s) {
+            order.push(s);
+        }
+    }
+    // 3. idle.
+    for s in 0..slots {
+        if !hosting.contains(&s) {
+            order.push(s);
+        }
+    }
+    order
+}
+
+/// Convenience: is this slot currently alive in the sim? (test helper)
+pub fn is_alive(dep: &Deployment, region: usize, slot: u32) -> bool {
+    let node = dep.regions[region].nodes[slot as usize];
+    dep.sim.actor::<NodeActor>(node).inner.alive
+}

@@ -1,0 +1,253 @@
+//! Fig 9: relative throughput and latency when `n` nodes fail (or
+//! depart) simultaneously within one checkpoint period. Values include
+//! down time and recovery time, normalized to the fault-free base.
+//!
+//! Expected shapes (paper): the ms-8 failure curve is flat — recovery
+//! restores all nodes from local copies in parallel; dist-n degrades
+//! as n grows (serialized state fetches over the shared WiFi) and ends
+//! at n; rep-2 ends at 1; ms departures cost less than failures until
+//! many phones hit the cellular network at once.
+
+use serde::Serialize;
+use simkernel::SimDuration;
+
+use crate::faults::{failure_order, inject_departure, inject_failure, inject_reboot};
+use crate::report::{Cell, Table};
+use crate::run::measured_run;
+use crate::scenario::{AppKind, ScenarioConfig, Scheme};
+use crate::{mean, run_jobs, ExpOptions};
+
+/// A Fig 9 curve id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Curve {
+    /// ms-8 with n simultaneous failures.
+    MsFailure,
+    /// ms-8 with n simultaneous departures.
+    MsDeparture,
+    /// rep-2 with n failures.
+    Rep2Failure,
+    /// dist-n with n failures.
+    DistFailure(u32),
+}
+
+impl Curve {
+    /// Label.
+    pub fn label(&self) -> String {
+        match self {
+            Curve::MsFailure => "ms-8 failure".into(),
+            Curve::MsDeparture => "ms-8 departure".into(),
+            Curve::Rep2Failure => "rep-2 failure".into(),
+            Curve::DistFailure(n) => format!("dist-{n} failure"),
+        }
+    }
+
+    fn scheme(&self) -> Scheme {
+        match self {
+            Curve::MsFailure | Curve::MsDeparture => Scheme::Ms,
+            Curve::Rep2Failure => Scheme::Rep2,
+            Curve::DistFailure(n) => Scheme::Dist(*n),
+        }
+    }
+
+    /// Largest n the scheme claims to tolerate (paper truncates curves
+    /// there); ms handles all.
+    pub fn max_tolerated(&self, phones: u32) -> u32 {
+        match self {
+            Curve::MsFailure | Curve::MsDeparture => phones,
+            Curve::Rep2Failure => 1,
+            Curve::DistFailure(n) => *n,
+        }
+    }
+}
+
+/// One measured point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9Point {
+    /// Application.
+    pub app: String,
+    /// Curve.
+    pub curve: String,
+    /// Burst size.
+    pub n: u32,
+    /// Relative throughput vs fault-free base.
+    pub rel_throughput: f64,
+    /// Relative latency vs fault-free base.
+    pub rel_latency: f64,
+    /// Whether the paper's scheme claims to tolerate this n.
+    pub tolerated: bool,
+}
+
+/// Full Fig 9 result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9 {
+    /// All points.
+    pub points: Vec<Fig9Point>,
+}
+
+/// The curves of the figure.
+pub fn curves() -> Vec<Curve> {
+    vec![
+        Curve::MsFailure,
+        Curve::MsDeparture,
+        Curve::Rep2Failure,
+        Curve::DistFailure(1),
+        Curve::DistFailure(2),
+        Curve::DistFailure(3),
+    ]
+}
+
+/// Run Fig 9. `max_n` caps the burst size (paper: 8).
+pub fn run_fig9(opts: ExpOptions, max_n: u32) -> Fig9 {
+    // The measurement window is exactly one checkpoint period starting
+    // after the first commit, with the burst 30 s in.
+    let inject_after = SimDuration::from_secs(30);
+    let reboot_after = SimDuration::from_secs(60);
+
+    type Key = (AppKind, String, u32);
+    let mut jobs: Vec<Box<dyn FnOnce() -> (Key, f64, f64) + Send>> = Vec::new();
+
+    // Base fault-free reference per app/seed.
+    for app in [AppKind::Bcp, AppKind::SignalGuru] {
+        for seed in 0..opts.seeds {
+            jobs.push(Box::new(move || {
+                let cfg = ScenarioConfig {
+                    app,
+                    scheme: Scheme::Base,
+                    seed: 500 + seed,
+                    ..ScenarioConfig::default()
+                };
+                let h = measured_run(cfg, opts.warmup, opts.window, |_| {});
+                (
+                    (app, "base-ref".to_string(), 0),
+                    h.mean_throughput,
+                    h.mean_latency_s,
+                )
+            }));
+        }
+    }
+
+    for app in [AppKind::Bcp, AppKind::SignalGuru] {
+        for curve in curves() {
+            for n in 0..=max_n {
+                for seed in 0..opts.seeds {
+                    let warmup = opts.warmup;
+                    let window = opts.window;
+                    jobs.push(Box::new(move || {
+                        let cfg = ScenarioConfig {
+                            app,
+                            scheme: curve.scheme(),
+                            seed: 500 + seed,
+                            ..ScenarioConfig::default()
+                        };
+                        let h = measured_run(cfg, warmup, window, |dep| {
+                            let at = simkernel::SimTime::ZERO + warmup + inject_after;
+                            for region in 0..dep.cfg.regions {
+                                let order = failure_order(dep, region);
+                                for &slot in order.iter().take(n as usize) {
+                                    match curve {
+                                        Curve::MsDeparture => {
+                                            inject_departure(dep, region, slot, at)
+                                        }
+                                        _ => {
+                                            inject_failure(dep, region, slot, at);
+                                            inject_reboot(
+                                                dep,
+                                                region,
+                                                slot,
+                                                at + reboot_after,
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                        });
+                        ((app, curve.label(), n), h.mean_throughput, h.mean_latency_s)
+                    }));
+                }
+            }
+        }
+    }
+
+    let results = run_jobs(opts.parallel, jobs);
+    let agg = |key: &Key| -> (f64, f64) {
+        let t: Vec<f64> = results
+            .iter()
+            .filter(|(k, _, _)| k == key)
+            .map(|&(_, t, _)| t)
+            .collect();
+        let l: Vec<f64> = results
+            .iter()
+            .filter(|(k, _, _)| k == key)
+            .map(|&(_, _, l)| l)
+            .collect();
+        (mean(&t), mean(&l))
+    };
+
+    let mut points = Vec::new();
+    for app in [AppKind::Bcp, AppKind::SignalGuru] {
+        let (base_t, base_l) = agg(&(app, "base-ref".into(), 0));
+        for curve in curves() {
+            for n in 0..=max_n {
+                let (t, l) = agg(&(app, curve.label(), n));
+                points.push(Fig9Point {
+                    app: app.label().into(),
+                    curve: curve.label(),
+                    n,
+                    rel_throughput: if base_t > 0.0 { t / base_t } else { 0.0 },
+                    rel_latency: if base_l > 0.0 && l.is_finite() {
+                        l / base_l
+                    } else {
+                        f64::INFINITY
+                    },
+                    tolerated: n <= curve.max_tolerated(8),
+                });
+            }
+        }
+    }
+    Fig9 { points }
+}
+
+impl Fig9 {
+    /// Tables: one per app per metric.
+    pub fn tables(&self, max_n: u32) -> Vec<Table> {
+        let mut tables = Vec::new();
+        for app in ["BCP", "SignalGuru"] {
+            for (metric, title) in [
+                ("tput", "relative throughput"),
+                ("lat", "relative latency"),
+            ] {
+                let mut cols = vec!["curve".to_string()];
+                cols.extend((0..=max_n).map(|n| format!("n={n}")));
+                let mut t = Table::new(
+                    format!("Fig 9 — {app} {title} vs n simultaneous failures/departures"),
+                    cols,
+                );
+                for curve in curves() {
+                    let cells: Vec<Cell> = (0..=max_n)
+                        .map(|n| {
+                            let p = self
+                                .points
+                                .iter()
+                                .find(|p| p.app == app && p.curve == curve.label() && p.n == n);
+                            match p {
+                                Some(p) if p.tolerated => {
+                                    if metric == "tput" {
+                                        Cell::Pct(p.rel_throughput)
+                                    } else {
+                                        Cell::Num(p.rel_latency)
+                                    }
+                                }
+                                // Beyond the scheme's tolerance the paper
+                                // truncates the curve.
+                                _ => Cell::Dash,
+                            }
+                        })
+                        .collect();
+                    t.row(curve.label(), cells);
+                }
+                tables.push(t);
+            }
+        }
+        tables
+    }
+}

@@ -1,0 +1,99 @@
+//! # experiments — regenerate every table and figure of the paper
+//!
+//! | Artifact | Function | Paper claim reproduced |
+//! |---|---|---|
+//! | Table I | [`table1::run_table1`] | phones beat the server platform 0.78–42.6× throughput, 10–94.8 % latency |
+//! | Fig 8 | [`fig8::run_fig8`] | fault-free overhead: local ≈ best, ms close, dist-n worse with n, rep-2 worst |
+//! | Fig 9 | [`fig9::run_fig9`] | ms recovery cost flat in n; dist-n degrades and truncates at n; rep-2 truncates at 1 |
+//! | Fig 10 | [`fig10::run_fig10`] | preservation: ms ≪ input preservation; network: dist-n ≈ n×, rep-2 ≫, ms ≈ 1 |
+//!
+//! Run via the `msx` binary: `cargo run -p experiments --release -- all`.
+
+pub mod ablate;
+pub mod faults;
+pub mod fig10;
+pub mod fig8;
+pub mod fig9;
+pub mod report;
+pub mod run;
+pub mod scenario;
+pub mod table1;
+#[cfg(test)]
+mod tests;
+
+pub use run::{harvest, measured_run, Harvest};
+pub use scenario::{AppKind, Deployment, Platform, ScenarioConfig, Scheme};
+
+use simkernel::SimDuration;
+
+/// Common experiment options.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpOptions {
+    /// Independent seeded repetitions averaged per data point (the
+    /// paper averages 5 runs).
+    pub seeds: u64,
+    /// Warm-up excluded from measurement (long enough to include the
+    /// first committed checkpoint).
+    pub warmup: SimDuration,
+    /// Measurement window.
+    pub window: SimDuration,
+    /// Fan runs out over threads.
+    pub parallel: bool,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            seeds: 3,
+            warmup: SimDuration::from_secs(150),
+            window: SimDuration::from_secs(1200),
+            parallel: true,
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Reduced durations for benches and smoke tests.
+    pub fn quick() -> Self {
+        ExpOptions {
+            seeds: 1,
+            warmup: SimDuration::from_secs(120),
+            window: SimDuration::from_secs(420),
+            parallel: true,
+        }
+    }
+}
+
+/// Run a batch of independent jobs, optionally in parallel, preserving
+/// order. Each job builds its own simulation (sims are single-threaded
+/// and not `Send`; parallelism is across runs, per the workspace's
+/// determinism contract).
+pub fn run_jobs<T: Send>(
+    parallel: bool,
+    jobs: Vec<Box<dyn FnOnce() -> T + Send>>,
+) -> Vec<T> {
+    if !parallel || jobs.len() <= 1 {
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+    let n = jobs.len();
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for job in jobs {
+            handles.push(s.spawn(move |_| job()));
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            slots[i] = Some(h.join().expect("experiment job panicked"));
+        }
+    })
+    .expect("scope");
+    slots.into_iter().map(|s| s.expect("filled")).collect()
+}
+
+/// Average of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}

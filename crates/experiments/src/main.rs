@@ -1,0 +1,107 @@
+//! `msx` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! msx table1 [--quick] [--seeds N]
+//! msx fig8   [--quick] [--seeds N]
+//! msx fig9   [--quick] [--seeds N] [--max-n N]
+//! msx fig10  [--quick] [--seeds N]
+//! msx all    [--quick] [--seeds N]
+//! ```
+//!
+//! Text tables print to stdout; JSON copies land in `./results/`.
+
+use std::path::PathBuf;
+
+use experiments::{ablate, fig10, fig8, fig9, table1, ExpOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let quick = args.iter().any(|a| a == "--quick");
+    let seeds = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u64>().ok());
+    let max_n = args
+        .iter()
+        .position(|a| a == "--max-n")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or(8);
+
+    let mut opts = if quick {
+        ExpOptions::quick()
+    } else {
+        ExpOptions::default()
+    };
+    if let Some(s) = seeds {
+        opts.seeds = s;
+    }
+
+    let out = PathBuf::from("results");
+    let started = std::time::Instant::now();
+
+    match cmd {
+        "table1" => table1_cmd(opts, &out),
+        "fig8" => fig8_cmd(opts, &out),
+        "fig9" => fig9_cmd(opts, max_n, &out),
+        "fig10" => fig10_cmd(opts, &out),
+        "ablate" => ablate_cmd(opts, &out),
+        "all" => {
+            table1_cmd(opts, &out);
+            fig8_cmd(opts, &out);
+            fig9_cmd(opts, max_n, &out);
+            fig10_cmd(opts, &out);
+            ablate_cmd(opts, &out);
+        }
+        other => {
+            eprintln!("unknown command '{other}'; use table1|fig8|fig9|fig10|ablate|all");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("[msx] done in {:.1}s", started.elapsed().as_secs_f64());
+}
+
+fn table1_cmd(opts: ExpOptions, out: &PathBuf) {
+    eprintln!("[msx] Table I ({} seed(s))...", opts.seeds);
+    let r = table1::run_table1(opts);
+    let t = r.table();
+    println!("{}", t.render());
+    let _ = t.save_json(out, "table1");
+}
+
+fn fig8_cmd(opts: ExpOptions, out: &PathBuf) {
+    eprintln!("[msx] Fig 8 ({} seed(s))...", opts.seeds);
+    let r = fig8::run_fig8(opts);
+    for (i, t) in r.tables().iter().enumerate() {
+        println!("{}", t.render());
+        let _ = t.save_json(out, &format!("fig8_{i}"));
+    }
+}
+
+fn fig9_cmd(opts: ExpOptions, max_n: u32, out: &PathBuf) {
+    eprintln!("[msx] Fig 9 (n = 0..={max_n}, {} seed(s))...", opts.seeds);
+    let r = fig9::run_fig9(opts, max_n);
+    for (i, t) in r.tables(max_n).iter().enumerate() {
+        println!("{}", t.render());
+        let _ = t.save_json(out, &format!("fig9_{i}"));
+    }
+}
+
+fn ablate_cmd(opts: ExpOptions, out: &PathBuf) {
+    eprintln!("[msx] ablations...");
+    let r = ablate::run_ablation(opts);
+    let t = r.table();
+    println!("{}", t.render());
+    let _ = t.save_json(out, "ablations");
+}
+
+fn fig10_cmd(opts: ExpOptions, out: &PathBuf) {
+    eprintln!("[msx] Fig 10 ({} seed(s))...", opts.seeds);
+    let r = fig10::run_fig10(opts);
+    for (i, t) in r.tables().iter().enumerate() {
+        println!("{}", t.render());
+        let _ = t.save_json(out, &format!("fig10_{i}"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Paper-style text tables plus machine-readable JSON.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A generic labeled numeric table (rows × columns).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Column headers (first column is the row label).
+    pub columns: Vec<String>,
+    /// Rows: label + cells.
+    pub rows: Vec<(String, Vec<Cell>)>,
+}
+
+/// One table cell.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub enum Cell {
+    /// A number rendered with 3 significant decimals.
+    Num(f64),
+    /// A percentage (of 1.0).
+    Pct(f64),
+    /// Not applicable / unrecoverable.
+    Dash,
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Num(x) if x.is_finite() => {
+                if x.abs() >= 100.0 {
+                    format!("{x:.0}")
+                } else if x.abs() >= 10.0 {
+                    format!("{x:.1}")
+                } else {
+                    format!("{x:.3}")
+                }
+            }
+            Cell::Num(_) => "inf".into(),
+            Cell::Pct(x) if x.is_finite() => format!("{:.0}%", x * 100.0),
+            Cell::Pct(_) => "inf".into(),
+            Cell::Dash => "-".into(),
+        }
+    }
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, label: impl Into<String>, cells: Vec<Cell>) {
+        self.rows.push((label.into(), cells));
+    }
+
+    /// Render as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<(String, Vec<String>)> = self
+            .rows
+            .iter()
+            .map(|(l, cs)| (l.clone(), cs.iter().map(|c| c.render()).collect()))
+            .collect();
+        for (label, cells) in &rendered {
+            widths[0] = widths[0].max(label.len());
+            for (i, c) in cells.iter().enumerate() {
+                if i + 1 < widths.len() {
+                    widths[i + 1] = widths[i + 1].max(c.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        for (label, cells) in &rendered {
+            let mut line = format!("{:>w$}", label, w = widths[0]);
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(line, "  {:>w$}", c, w = widths.get(i + 1).copied().unwrap_or(8));
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+
+    /// Write the table as JSON next to the text output.
+    pub fn save_json(&self, dir: &Path, name: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.json"));
+        let json = serde_json::to_string_pretty(self).expect("serialize table");
+        std::fs::write(path, json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_and_formats() {
+        let mut t = Table::new(
+            "demo",
+            vec!["scheme".into(), "tput".into(), "lat".into()],
+        );
+        t.row("base", vec![Cell::Num(0.54), Cell::Pct(1.0)]);
+        t.row("ms-8", vec![Cell::Num(0.48), Cell::Dash]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("0.540"));
+        assert!(s.contains("100%"));
+        assert!(s.contains('-'));
+        // Header aligned with rows.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut t = Table::new("x", vec!["a".into()]);
+        t.row("r", vec![Cell::Num(1.0)]);
+        let dir = std::env::temp_dir().join("msx-test-report");
+        t.save_json(&dir, "t").unwrap();
+        let s = std::fs::read_to_string(dir.join("t.json")).unwrap();
+        assert!(s.contains("\"title\""));
+    }
+}

@@ -1,0 +1,747 @@
+//! Deployment builder: stands up a full MobiStreams (or baseline, or
+//! server-based) system inside one deterministic simulation.
+//!
+//! The paper's testbed: 4 regions cascaded in a line, 8 phones per
+//! region, ad-hoc WiFi 1–5 Mbps, 3G uplink 0.016–0.32 Mbps / downlink
+//! 0.35–1.14 Mbps, checkpoint period 5 minutes, controller pings every
+//! 30 s with a 10 s timeout (§IV).
+
+use std::sync::Arc;
+
+use apps::{AppBundle, Calibration};
+use baselines::coordinator::{BaselineCoordinator, BaselineRegionSpec, CoordinatorConfig};
+use baselines::rep2::{duplicate_graph, twin_of, Rep2Scheme};
+use baselines::{BaselineKind, DistScheme, LocalScheme};
+use dsps::ft::{FtScheme, NullScheme};
+use dsps::graph::{OpId, QueryGraph};
+use dsps::node::{InterRegionLink, NodeActor, NodeConfig, NodeInner, PrimaryTransport};
+use dsps::placement::Placement;
+use dsps::workload::{Feed, StartFeeds, WorkloadDriver};
+use mobistreams::{MsController, MsControllerConfig, MsScheme, MsSchemeConfig, RegionSpec};
+use simkernel::{ActorId, Sim, SimDuration, SimTime};
+use simnet::cellular::{CellConfig, CellularNet};
+use simnet::ethernet::{EthConfig, EthernetNet};
+use simnet::stats::TrafficClass;
+use simnet::wifi::{WifiConfig, WifiMedium};
+
+/// Which application drives the deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppKind {
+    /// Bus Capacity Prediction.
+    Bcp,
+    /// SignalGuru.
+    SignalGuru,
+}
+
+impl AppKind {
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AppKind::Bcp => "BCP",
+            AppKind::SignalGuru => "SignalGuru",
+        }
+    }
+}
+
+/// Which fault-tolerance scheme runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// No fault tolerance (also MobiStreams with FT off — Table I row 1).
+    Base,
+    /// MobiStreams (ms-8).
+    Ms,
+    /// Active standby.
+    Rep2,
+    /// Local checkpointing.
+    Local,
+    /// Distributed checkpointing to n peers.
+    Dist(u32),
+    /// Upstream backup (related-work extension; not in the paper's
+    /// figures).
+    Upstream,
+}
+
+impl Scheme {
+    /// Bar label used in the paper's figures.
+    pub fn label(self) -> String {
+        match self {
+            Scheme::Base => "base".into(),
+            Scheme::Ms => "ms-8".into(),
+            Scheme::Rep2 => "rep-2".into(),
+            Scheme::Local => "local".into(),
+            Scheme::Dist(n) => format!("dist-{n}"),
+            Scheme::Upstream => "upstream".into(),
+        }
+    }
+}
+
+/// Phone platform or the server-based comparison system of Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Platform {
+    /// Phones in regions over ad-hoc WiFi (Fig 1d).
+    Phones,
+    /// Datacenter servers fed over the 3G uplink (Fig 1c).
+    Server {
+        /// Sensor phone uplink rate (the paper sweeps 0.016–0.32 Mbps).
+        uplink_bps: f64,
+    },
+}
+
+/// Full deployment parameters.
+#[derive(Clone)]
+pub struct ScenarioConfig {
+    /// Application.
+    pub app: AppKind,
+    /// FT scheme.
+    pub scheme: Scheme,
+    /// Platform.
+    pub platform: Platform,
+    /// Number of cascaded regions.
+    pub regions: usize,
+    /// Phones per region (the paper's 8).
+    pub phones: u32,
+    /// WiFi parameters.
+    pub wifi: WifiConfig,
+    /// Cellular parameters.
+    pub cell: CellConfig,
+    /// Application calibration.
+    pub cal: Calibration,
+    /// Checkpoint period.
+    pub ckpt_period: SimDuration,
+    /// First checkpoint offset.
+    pub ckpt_offset: SimDuration,
+    /// Enable periodic checkpointing.
+    pub checkpoints_enabled: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            app: AppKind::Bcp,
+            scheme: Scheme::Ms,
+            platform: Platform::Phones,
+            regions: 4,
+            phones: 8,
+            wifi: WifiConfig::default(),
+            cell: CellConfig::default(),
+            cal: Calibration::default(),
+            ckpt_period: SimDuration::from_secs(300),
+            ckpt_offset: SimDuration::from_secs(60),
+            checkpoints_enabled: true,
+            seed: 1,
+        }
+    }
+}
+
+/// Handles into one built region.
+pub struct RegionHandles {
+    /// Phone/server actor per slot.
+    pub nodes: Vec<ActorId>,
+    /// The region's WiFi medium.
+    pub wifi: ActorId,
+    /// The region's sensor driver.
+    pub driver: ActorId,
+    /// Query network actually deployed (duplicated for rep-2).
+    pub graph: Arc<QueryGraph>,
+    /// Initial op→slot assignment.
+    pub op_slot: Vec<u32>,
+    /// Sensor uplink actor (server platform only).
+    pub uplink: Option<ActorId>,
+}
+
+/// A fully-wired simulation.
+pub struct Deployment {
+    /// The simulation.
+    pub sim: Sim,
+    /// Scenario parameters.
+    pub cfg: ScenarioConfig,
+    /// Per-region handles.
+    pub regions: Vec<RegionHandles>,
+    /// MobiStreams controller (ms only).
+    pub controller: Option<ActorId>,
+    /// Baseline coordinator (rep-2/local/dist/base).
+    pub coordinator: Option<ActorId>,
+    /// Cellular network actor.
+    pub cell: ActorId,
+    /// Ethernet (server platform only).
+    pub eth: Option<ActorId>,
+}
+
+fn build_bundle(cfg: &ScenarioConfig, first: bool) -> AppBundle {
+    match cfg.app {
+        AppKind::Bcp => apps::build_bcp(&cfg.cal, cfg.phones, first),
+        AppKind::SignalGuru => apps::build_signalguru(&cfg.cal, cfg.phones, first),
+    }
+}
+
+/// Compress a ≤`2k`-slot placement onto `k` slots (`slot → (slot+1)/2`)
+/// — rep-2 must fit two flows onto one 8-phone region, so each flow
+/// gets half the phones and every phone carries roughly two of the
+/// paper's operator groups (this is where rep-2's 2× CPU cost bites).
+fn compress_placement(p: &Placement, k: u32) -> Vec<u32> {
+    p.op_slot
+        .iter()
+        .map(|&s| {
+            assert!(s != u32::MAX);
+            let ns = ((s + 1) / 2).min(k - 1);
+            ns
+        })
+        .collect()
+}
+
+impl Deployment {
+    /// Build the deployment. Call [`Deployment::start`] afterwards.
+    pub fn build(cfg: ScenarioConfig) -> Deployment {
+        match cfg.platform {
+            Platform::Phones => Self::build_phones(cfg),
+            Platform::Server { .. } => Self::build_server(cfg),
+        }
+    }
+
+    fn make_scheme(cfg: &ScenarioConfig, flow_of: Option<Arc<Vec<u8>>>) -> Box<dyn FtScheme> {
+        match cfg.scheme {
+            Scheme::Base => Box::new(NullScheme),
+            Scheme::Ms => Box::new(MsScheme::new(MsSchemeConfig {
+                broadcast: Default::default(),
+                preserve_inputs: cfg.checkpoints_enabled,
+            })),
+            Scheme::Rep2 => Box::new(Rep2Scheme::new(flow_of.expect("rep-2 flow map"))),
+            Scheme::Local => Box::new(LocalScheme::new(cfg.ckpt_period)),
+            Scheme::Dist(n) => Box::new(DistScheme::new(n, cfg.ckpt_period)),
+            Scheme::Upstream => {
+                Box::new(baselines::UpstreamScheme::new(cfg.ckpt_period))
+            }
+        }
+    }
+
+    fn build_phones(cfg: ScenarioConfig) -> Deployment {
+        let mut sim = Sim::new(cfg.seed);
+        let cell_id = sim.add_actor(Box::new(CellularNet::new(cfg.cell.clone())));
+
+        // Per-region: bundle (graph/placement), rep-2 duplication.
+        struct RegionPlan {
+            graph: Arc<QueryGraph>,
+            op_slot: Vec<u32>,
+            inter_input: OpId,
+            feeds: Vec<(OpId, SimDuration, f64, usize)>, // op, period, jitter, feed ix
+            bundle: AppBundle,
+            flow_of: Option<Arc<Vec<u8>>>,
+        }
+
+        let mut plans = Vec::new();
+        for r in 0..cfg.regions {
+            let bundle = build_bundle(&cfg, r == 0);
+            let (graph, op_slot, flow_of) = if cfg.scheme == Scheme::Rep2 {
+                let (g2, flows) = duplicate_graph(&bundle.graph);
+                let n = bundle.graph.op_count();
+                let compressed = compress_placement(&bundle.placement, cfg.phones / 2);
+                // flow 0 on slots 0..k, flow 1 on slots k..2k.
+                let mut op_slot = vec![u32::MAX; 2 * n];
+                for (op, &s) in compressed.iter().enumerate() {
+                    op_slot[op] = s;
+                    op_slot[op + n] = s + cfg.phones / 2;
+                }
+                (Arc::new(g2), op_slot, Some(Arc::new(flows)))
+            } else {
+                (
+                    Arc::clone(&bundle.graph),
+                    bundle.placement.op_slot.clone(),
+                    None,
+                )
+            };
+            let feeds = bundle
+                .feeds
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (f.op, f.period, f.jitter, i))
+                .collect();
+            plans.push(RegionPlan {
+                graph,
+                op_slot,
+                inter_input: bundle.inter_region_input,
+                feeds,
+                bundle,
+                flow_of,
+            });
+        }
+
+        // Reserve the controller/coordinator id slot LAST so nodes can
+        // reference it: create a placeholder order — controller needs
+        // node ids and nodes need the controller id. Create nodes first
+        // with controller = a reserved id computed up front.
+        // Actor ids are assigned densely: we know exactly how many
+        // actors precede the controller.
+        let slots = cfg.phones as usize;
+        let per_region_actors = 1 /*wifi*/ + slots + 1 /*driver*/;
+        let controller_id = ActorId::from_index(1 + cfg.regions * per_region_actors);
+
+        let mut regions = Vec::new();
+        for plan in plans.iter() {
+            let wifi_id = sim.add_actor(Box::new(WifiMedium::new(cfg.wifi.clone())));
+            let mut node_ids = Vec::new();
+            for slot in 0..cfg.phones {
+                let ncfg = NodeConfig {
+                    region: regions.len(),
+                    slot,
+                    cpu_factor: 1.0,
+                    source_queue_cap: 10,
+                    primary: PrimaryTransport::Wifi,
+                };
+                let mut inner = NodeInner::new(
+                    ncfg,
+                    Arc::clone(&plan.graph),
+                    wifi_id,
+                    cell_id,
+                    controller_id,
+                );
+                inner.op_slot = plan.op_slot.clone();
+                let scheme = Self::make_scheme(&cfg, plan.flow_of.clone());
+                let id = sim.add_actor(Box::new(NodeActor::new(inner, scheme)));
+                node_ids.push(id);
+            }
+            // Driver.
+            let driver_id = sim.add_actor(Box::new(WorkloadDriver::new(Vec::new())));
+            regions.push(RegionHandles {
+                nodes: node_ids,
+                wifi: wifi_id,
+                driver: driver_id,
+                graph: Arc::clone(&plan.graph),
+                op_slot: plan.op_slot.clone(),
+                uplink: None,
+            });
+        }
+
+        // Wire node internals now that all ids exist.
+        for (r, plan) in plans.iter().enumerate() {
+            let handles_nodes = regions[r].nodes.clone();
+            let wifi = regions[r].wifi;
+            for (slot, &nid) in handles_nodes.iter().enumerate() {
+                let na = sim.actor_mut::<NodeActor>(nid);
+                na.inner.slot_actors = handles_nodes.clone();
+                for (op_ix, &s) in plan.op_slot.iter().enumerate() {
+                    if s == slot as u32 {
+                        na.inner.host_op(OpId(op_ix as u32));
+                    }
+                }
+                // rep-2: the duplicate flow's traffic is the
+                // replication overhead (Fig 10b).
+                if let Some(flows) = &plan.flow_of {
+                    let hosts_flow1 = plan
+                        .op_slot
+                        .iter()
+                        .enumerate()
+                        .any(|(op, &s)| s == slot as u32 && flows[op] == 1);
+                    if hosts_flow1 {
+                        na.inner.data_class = TrafficClass::Replication;
+                    }
+                }
+            }
+            // WiFi membership + cellular registration.
+            {
+                let med = sim.actor_mut::<WifiMedium>(wifi);
+                for &n in &handles_nodes {
+                    med.add_member(n);
+                }
+            }
+            {
+                let cn = sim.actor_mut::<CellularNet>(cell_id);
+                for &n in &handles_nodes {
+                    cn.register(n);
+                }
+            }
+            // Inter-region links: sinks of r feed S0 of r+1 (both flows
+            // for rep-2).
+            if r + 1 < cfg.regions {
+                let next = &plans[r + 1];
+                let next_nodes = regions[r + 1].nodes.clone();
+                let mut dst_ops = vec![next.inter_input];
+                if let Some(flows) = &next.flow_of {
+                    let orig = flows.len() / 2;
+                    dst_ops.push(twin_of(next.inter_input, orig));
+                }
+                for &sink in &plan.graph.sinks() {
+                    let slot = plan.op_slot[sink.index()];
+                    let links: Vec<InterRegionLink> = dst_ops
+                        .iter()
+                        .map(|&dst_op| InterRegionLink {
+                            src_op: sink,
+                            dst_actor: next_nodes[next.op_slot[dst_op.index()] as usize],
+                            dst_op,
+                        })
+                        .collect();
+                    let na = sim.actor_mut::<NodeActor>(handles_nodes[slot as usize]);
+                    na.inner.inter_region.extend(links);
+                }
+            }
+            // Feeds.
+            let driver = regions[r].driver;
+            let mut feeds: Vec<Feed> = Vec::new();
+            for &(op, _, _, ix) in &plan.feeds {
+                let target = handles_nodes[plan.op_slot[op.index()] as usize];
+                let mut feed = plan.bundle.feeds[ix].instantiate(target);
+                if let Some(flows) = &plan.flow_of {
+                    let orig = flows.len() / 2;
+                    let t = twin_of(op, orig);
+                    feed.mirrors
+                        .push((t, handles_nodes[plan.op_slot[t.index()] as usize]));
+                }
+                feeds.push(feed);
+            }
+            let d = sim.actor_mut::<WorkloadDriver>(driver);
+            *d = WorkloadDriver::new(feeds);
+        }
+
+        // Controller / coordinator.
+        let (controller, coordinator) = match cfg.scheme {
+            Scheme::Ms => {
+                let specs: Vec<RegionSpec> = (0..cfg.regions)
+                    .map(|r| {
+                        let mut placement = Placement::new(&plans[r].graph, cfg.phones);
+                        placement.op_slot = plans[r].op_slot.clone();
+                        RegionSpec {
+                            graph: Arc::clone(&plans[r].graph),
+                            placement,
+                            wifi: regions[r].wifi,
+                            slot_actors: regions[r].nodes.clone(),
+                            downstream: if r + 1 < cfg.regions {
+                                vec![(r + 1, plans[r + 1].inter_input)]
+                            } else {
+                                vec![]
+                            },
+                            min_active: 1,
+                            restart_min: {
+                                let mut used: Vec<u32> = plans[r]
+                                    .op_slot
+                                    .iter()
+                                    .copied()
+                                    .filter(|&s| s != u32::MAX)
+                                    .collect();
+                                used.sort_unstable();
+                                used.dedup();
+                                used.len() as u32
+                            },
+                            sensors: vec![regions[r].driver],
+                        }
+                    })
+                    .collect();
+                let ctl = MsController::new(
+                    MsControllerConfig {
+                        ckpt_period: cfg.ckpt_period,
+                        ckpt_offset: cfg.ckpt_offset,
+                        checkpoints_enabled: cfg.checkpoints_enabled,
+                        ..MsControllerConfig::default()
+                    },
+                    cell_id,
+                    specs,
+                );
+                let id = sim.add_actor(Box::new(ctl));
+                assert_eq!(id, controller_id, "controller id reservation");
+                (Some(id), None)
+            }
+            _ => {
+                let kind = match cfg.scheme {
+                    Scheme::Base => BaselineKind::Base,
+                    Scheme::Rep2 => BaselineKind::Rep2 {
+                        flow_of: plans[0].flow_of.clone().expect("rep-2"),
+                    },
+                    Scheme::Local => BaselineKind::Local,
+                    Scheme::Dist(n) => BaselineKind::Dist { n },
+                    Scheme::Upstream => BaselineKind::Upstream,
+                    Scheme::Ms => unreachable!(),
+                };
+                let specs: Vec<BaselineRegionSpec> = (0..cfg.regions)
+                    .map(|r| BaselineRegionSpec {
+                        graph: Arc::clone(&plans[r].graph),
+                        op_slot: plans[r].op_slot.clone(),
+                        slot_actors: regions[r].nodes.clone(),
+                    })
+                    .collect();
+                let coord = BaselineCoordinator::new(
+                    CoordinatorConfig {
+                        ckpt_period: cfg.ckpt_period,
+                        ckpt_offset: cfg.ckpt_offset,
+                        checkpoints_enabled: cfg.checkpoints_enabled,
+                        ..CoordinatorConfig::default()
+                    },
+                    kind,
+                    cell_id,
+                    specs,
+                );
+                let id = sim.add_actor(Box::new(coord));
+                assert_eq!(id, controller_id, "coordinator id reservation");
+                (None, Some(id))
+            }
+        };
+        {
+            let cn = sim.actor_mut::<CellularNet>(cell_id);
+            cn.register_with_rates(controller_id, 1e9, 1e9);
+        }
+
+        Deployment {
+            sim,
+            cfg,
+            regions,
+            controller,
+            coordinator,
+            cell: cell_id,
+            eth: None,
+        }
+    }
+
+    /// The server-based DSPS of Table I (Fig 1c): phones only sense and
+    /// upload over the 3G uplink; computation runs on datacenter
+    /// servers connected by Ethernet.
+    fn build_server(cfg: ScenarioConfig) -> Deployment {
+        let Platform::Server { uplink_bps } = cfg.platform else {
+            unreachable!()
+        };
+        let mut sim = Sim::new(cfg.seed);
+        let cell_id = sim.add_actor(Box::new(CellularNet::new(cfg.cell.clone())));
+        let eth_id = sim.add_actor(Box::new(EthernetNet::new(EthConfig::default())));
+        // Dummy WiFi (NodeInner requires one; unused on servers).
+        let dummy_wifi = sim.add_actor(Box::new(WifiMedium::new(cfg.wifi.clone())));
+
+        let servers_per_region = 4usize;
+        let per_region_actors = servers_per_region + 2; // servers + driver + uplink
+        let controller_id = ActorId::from_index(3 + cfg.regions * per_region_actors);
+
+        let mut plans = Vec::new();
+        for r in 0..cfg.regions {
+            plans.push(build_bundle(&cfg, r == 0));
+        }
+
+        let mut regions = Vec::new();
+        for (r, bundle) in plans.iter().enumerate() {
+            // Round-robin ops over the servers.
+            let op_slot: Vec<u32> = bundle
+                .graph
+                .op_ids()
+                .map(|op| (op.0 as usize % servers_per_region) as u32)
+                .collect();
+            let mut node_ids = Vec::new();
+            for slot in 0..servers_per_region {
+                let ncfg = NodeConfig {
+                    region: r,
+                    slot: slot as u32,
+                    cpu_factor: 0.08, // 2013 server core vs 600 MHz A8
+                    source_queue_cap: 64,
+                    primary: PrimaryTransport::Ethernet,
+                };
+                let mut inner = NodeInner::new(
+                    ncfg,
+                    Arc::clone(&bundle.graph),
+                    dummy_wifi,
+                    cell_id,
+                    controller_id,
+                );
+                inner.eth = Some(eth_id);
+                inner.op_slot = op_slot.clone();
+                let id = sim.add_actor(Box::new(NodeActor::new(inner, Box::new(NullScheme))));
+                node_ids.push(id);
+            }
+            let driver_id = sim.add_actor(Box::new(WorkloadDriver::new(Vec::new())));
+            // The sensor phone that uploads frames over 3G.
+            let s1_slot = op_slot[bundle
+                .feeds
+                .first()
+                .map(|f| f.op.index())
+                .unwrap_or(0)] as usize;
+            let uplink_id = sim.add_actor(Box::new(SensorUplink {
+                cell: cell_id,
+                dst: node_ids[s1_slot],
+                in_flight: 0,
+                cap: 10,
+                next_tag: 1,
+                dropped: 0,
+                forwarded: 0,
+            }));
+            regions.push(RegionHandles {
+                nodes: node_ids,
+                wifi: dummy_wifi,
+                driver: driver_id,
+                graph: Arc::clone(&bundle.graph),
+                op_slot,
+                uplink: Some(uplink_id),
+            });
+        }
+
+        // Wire internals.
+        for (r, bundle) in plans.iter().enumerate() {
+            let nodes = regions[r].nodes.clone();
+            let op_slot = regions[r].op_slot.clone();
+            for (slot, &nid) in nodes.iter().enumerate() {
+                let na = sim.actor_mut::<NodeActor>(nid);
+                na.inner.slot_actors = nodes.clone();
+                for (op_ix, &s) in op_slot.iter().enumerate() {
+                    if s == slot as u32 {
+                        na.inner.host_op(OpId(op_ix as u32));
+                    }
+                }
+            }
+            {
+                let en = sim.actor_mut::<EthernetNet>(eth_id);
+                for &n in &nodes {
+                    en.register(n);
+                }
+            }
+            {
+                let cn = sim.actor_mut::<CellularNet>(cell_id);
+                for &n in &nodes {
+                    cn.register_with_rates(n, 1e9, 1e9); // datacenter frontend
+                }
+                let up = regions[r].uplink.unwrap();
+                cn.register_with_rates(up, uplink_bps, cfg.cell.default_down_bps);
+            }
+            if r + 1 < cfg.regions {
+                let next_input = plans[r + 1].inter_region_input;
+                let next_nodes = regions[r + 1].nodes.clone();
+                let next_op_slot = regions[r + 1].op_slot.clone();
+                for &sink in &bundle.graph.sinks() {
+                    let slot = op_slot_of(&regions[r].op_slot, sink);
+                    let link = InterRegionLink {
+                        src_op: sink,
+                        dst_actor: next_nodes[next_op_slot[next_input.index()] as usize],
+                        dst_op: next_input,
+                    };
+                    let na = sim.actor_mut::<NodeActor>(nodes[slot as usize]);
+                    na.inner.inter_region.push(link);
+                }
+            }
+            // Feeds: camera frames route through the sensor uplink; the
+            // first region's bus feed goes straight to the server (tiny).
+            let driver = regions[r].driver;
+            let uplink = regions[r].uplink.unwrap();
+            let mut feeds: Vec<Feed> = Vec::new();
+            for (i, f) in bundle.feeds.iter().enumerate() {
+                let target = if i == 0 {
+                    uplink
+                } else {
+                    nodes[regions[r].op_slot[f.op.index()] as usize]
+                };
+                feeds.push(f.instantiate(target));
+            }
+            let d = sim.actor_mut::<WorkloadDriver>(driver);
+            *d = WorkloadDriver::new(feeds);
+        }
+
+        // A trivial coordinator (base scheme) for ping infrastructure.
+        let specs: Vec<BaselineRegionSpec> = (0..cfg.regions)
+            .map(|r| BaselineRegionSpec {
+                graph: Arc::clone(&regions[r].graph),
+                op_slot: regions[r].op_slot.clone(),
+                slot_actors: regions[r].nodes.clone(),
+            })
+            .collect();
+        let coord = BaselineCoordinator::new(
+            CoordinatorConfig {
+                checkpoints_enabled: false,
+                ..CoordinatorConfig::default()
+            },
+            BaselineKind::Base,
+            cell_id,
+            specs,
+        );
+        let id = sim.add_actor(Box::new(coord));
+        assert_eq!(id, controller_id, "coordinator id reservation");
+        {
+            let cn = sim.actor_mut::<CellularNet>(cell_id);
+            cn.register_with_rates(controller_id, 1e9, 1e9);
+        }
+
+        Deployment {
+            sim,
+            cfg,
+            regions,
+            controller: None,
+            coordinator: Some(id),
+            cell: cell_id,
+            eth: Some(eth_id),
+        }
+    }
+
+    /// Kick off controller timers and sensor feeds at t = 0.
+    pub fn start(&mut self) {
+        if let Some(ctl) = self.controller {
+            self.sim
+                .schedule_at(SimTime::ZERO, ctl, mobistreams::controller::Start);
+        }
+        if let Some(coord) = self.coordinator {
+            self.sim
+                .schedule_at(SimTime::ZERO, coord, baselines::coordinator::Start);
+        }
+        for r in &self.regions {
+            self.sim.schedule_at(SimTime::ZERO, r.driver, StartFeeds);
+        }
+    }
+
+    /// Run the simulation to `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.sim.run_until(t);
+    }
+}
+
+fn op_slot_of(op_slot: &[u32], op: OpId) -> u32 {
+    op_slot[op.index()]
+}
+
+/// The sensor phone of the server baseline: receives camera frames
+/// locally and uploads them over its 3G uplink, with a bounded on-phone
+/// buffer (drop-newest when 10 uploads are queued).
+struct SensorUplink {
+    cell: ActorId,
+    dst: ActorId,
+    in_flight: u32,
+    cap: u32,
+    next_tag: u64,
+    dropped: u64,
+    forwarded: u64,
+}
+
+impl simkernel::Actor for SensorUplink {
+    fn on_event(&mut self, ev: Box<dyn simkernel::Event>, ctx: &mut simkernel::Ctx) {
+        simkernel::match_event!(ev,
+            s: dsps::node::SourceEmit => {
+                if self.in_flight >= self.cap {
+                    self.dropped += 1;
+                    return;
+                }
+                self.in_flight += 1;
+                self.forwarded += 1;
+                let tag = self.next_tag;
+                self.next_tag += 1;
+                let msg = dsps::node::InterRegionMsg {
+                    dst_op: s.op,
+                    value: s.value,
+                    bytes: s.bytes,
+                    entered: Some(ctx.now()),
+                };
+                let src = ctx.self_id();
+                let cell = self.cell;
+                let dst = self.dst;
+                ctx.send(cell, simnet::cellular::CellSend {
+                    src,
+                    dst,
+                    class: TrafficClass::Data,
+                    bytes: s.bytes,
+                    tag,
+                    payload: Some(simnet::payload(msg)),
+                });
+            },
+            _d: simnet::TxDone => {
+                self.in_flight = self.in_flight.saturating_sub(1);
+            },
+            _f: simnet::TxFailed => {
+                self.in_flight = self.in_flight.saturating_sub(1);
+            },
+            @else _other => {}
+        );
+    }
+
+    fn name(&self) -> String {
+        "sensor-uplink".into()
+    }
+
+    simkernel::impl_actor_any!();
+}

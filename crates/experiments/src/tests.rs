@@ -1,0 +1,108 @@
+//! Unit tests for the experiment harness itself.
+
+#[cfg(test)]
+mod unit {
+    use crate::faults::failure_order;
+    use crate::report::{Cell, Table};
+    use crate::run::ClassBytes;
+    use crate::{AppKind, Deployment, Platform, ScenarioConfig, Scheme};
+
+    #[test]
+    fn failure_order_covers_every_slot_once() {
+        let dep = Deployment::build(ScenarioConfig {
+            regions: 1,
+            seed: 1,
+            ..ScenarioConfig::default()
+        });
+        let order = failure_order(&dep, 0);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+        // Idle slots come last; sources just before them.
+        assert_eq!(&order[6..], &[6, 7], "idle last");
+        assert!(order[4] == 0 || order[4] == 1, "sources after compute");
+    }
+
+    #[test]
+    fn rep2_deployment_has_disjoint_flows_per_phone() {
+        let dep = Deployment::build(ScenarioConfig {
+            scheme: Scheme::Rep2,
+            regions: 1,
+            seed: 1,
+            ..ScenarioConfig::default()
+        });
+        let handles = &dep.regions[0];
+        let n = handles.graph.op_count() / 2;
+        // Every phone hosts ops of exactly one flow.
+        for slot in 0..8u32 {
+            let flows: std::collections::BTreeSet<bool> = handles
+                .op_slot
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| s == slot)
+                .map(|(op, _)| op >= n)
+                .collect();
+            assert!(flows.len() <= 1, "slot {slot} mixes flows");
+        }
+        // Flow 0 on the first half of phones, flow 1 on the second.
+        for (op, &s) in handles.op_slot.iter().enumerate() {
+            if op < n {
+                assert!(s < 4);
+            } else {
+                assert!(s >= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn server_deployment_wires_uplink() {
+        let dep = Deployment::build(ScenarioConfig {
+            platform: Platform::Server { uplink_bps: 64_000.0 },
+            regions: 2,
+            seed: 1,
+            ..ScenarioConfig::default()
+        });
+        assert!(dep.eth.is_some());
+        for r in &dep.regions {
+            assert!(r.uplink.is_some());
+            assert_eq!(r.nodes.len(), 4, "4 servers per region");
+        }
+    }
+
+    #[test]
+    fn class_bytes_total_sums_all_classes() {
+        let c = ClassBytes {
+            data: 1,
+            replication: 2,
+            checkpoint: 3,
+            preservation: 4,
+            control: 5,
+            recovery: 6,
+        };
+        assert_eq!(c.total(), 21);
+    }
+
+    #[test]
+    fn scheme_labels_match_paper() {
+        assert_eq!(Scheme::Ms.label(), "ms-8");
+        assert_eq!(Scheme::Dist(3).label(), "dist-3");
+        assert_eq!(AppKind::SignalGuru.label(), "SignalGuru");
+    }
+
+    #[test]
+    fn table_cells_render_bands() {
+        let mut t = Table::new("x", vec!["a".into(), "b".into()]);
+        t.row("r", vec![Cell::Num(f64::INFINITY), Cell::Pct(0.5)]);
+        let s = t.render();
+        assert!(s.contains("inf"));
+        assert!(s.contains("50%"));
+    }
+
+    #[test]
+    fn run_jobs_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0..8usize).map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>).collect();
+        let out = crate::run_jobs(true, jobs);
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+}

@@ -1,0 +1,762 @@
+//! Broadcast-based checkpointing — the multi-phase UDP broadcast engine
+//! of §III-C and Fig 6.
+//!
+//! A *job* replicates one logical blob (a node's checkpoint states, or
+//! one preserved source input) to every other node in the region:
+//!
+//! 1. the blob is split into 1 KB blocks; all blocks are UDP-broadcast
+//!    (one airtime slot reaches every receiver);
+//! 2. each receiver returns a bitmap — one bit per block of the whole
+//!    job — marking what it has so far;
+//! 3. the sender ANDs all bitmaps; blocks missing at *any* receiver
+//!    form the next phase's rebroadcast set;
+//! 4. after each phase the sender compares the phase's **cost** (bytes
+//!    it sent plus bitmap bytes it received) with its **gain** (bytes
+//!    newly received across all receivers); when cost exceeds gain, UDP
+//!    stops;
+//! 5. the residue is delivered reliably over a distribution tree (the
+//!    "TCP phase"): data flows sender → root → leaves, each tree edge
+//!    carrying the union of blocks missing in the subtree below it.
+//!
+//! [`SenderJob`] is a pure state machine (fully unit-testable — the
+//! Fig 6 walk-through is reproduced exactly in the tests below);
+//! [`crate::scheme::MsScheme`] glues it to the WiFi medium.
+
+use std::collections::BTreeMap;
+
+use simkernel::ActorId;
+use simnet::bitmap::Bitmap;
+
+use crate::msgs::BlobContent;
+
+/// Engine parameters.
+#[derive(Debug, Clone)]
+pub struct BroadcastConfig {
+    /// Block size (the paper uses 1 KB: "large UDP messages are more
+    /// susceptible to a lossy network due to message fragmentation").
+    pub block_bytes: u64,
+    /// How long the sender waits for straggler bitmaps before treating
+    /// the silent receivers as gone.
+    pub bitmap_timeout: simkernel::SimDuration,
+    /// Hard cap on UDP phases (safety net; cost/gain normally stops
+    /// the loop after 2–4 phases).
+    pub max_phases: u32,
+    /// Phase chunking: blocks are broadcast in chunks of at most this
+    /// many bytes so data tuples interleave with a multi-MB checkpoint
+    /// instead of queueing behind it (the paper's asynchronous
+    /// background checkpointing).
+    pub chunk_bytes: u64,
+}
+
+impl Default for BroadcastConfig {
+    fn default() -> Self {
+        BroadcastConfig {
+            block_bytes: 1024,
+            bitmap_timeout: simkernel::SimDuration::from_secs(10),
+            max_phases: 16,
+            chunk_bytes: 256 * 1024,
+        }
+    }
+}
+
+/// What the sender must do next after a phase concludes.
+#[derive(Debug)]
+pub enum PhaseDecision {
+    /// Rebroadcast these blocks (next UDP phase).
+    Resend(Vec<u32>),
+    /// UDP is no longer worth it; deliver each receiver's missing
+    /// blocks over the TCP tree, then complete.
+    TcpResidue(BTreeMap<ActorId, Vec<u32>>),
+    /// Every receiver has every block; the job is complete.
+    Complete,
+}
+
+/// Byte accounting for one job (drives Fig 10b).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct JobStats {
+    /// Block payload bytes broadcast over UDP (all phases).
+    pub udp_bytes: u64,
+    /// Bitmap reply bytes received.
+    pub bitmap_bytes: u64,
+    /// Residue bytes shipped in the TCP phase (sum over tree edges).
+    pub tcp_bytes: u64,
+    /// Number of UDP phases run.
+    pub phases: u32,
+}
+
+impl JobStats {
+    /// Total bytes this job moved over the network.
+    pub fn total(&self) -> u64 {
+        self.udp_bytes + self.bitmap_bytes + self.tcp_bytes
+    }
+}
+
+/// Sender-side state of one replication job.
+pub struct SenderJob {
+    /// Job id (unique per sender).
+    pub stream: u64,
+    /// Logical content delivered at completion.
+    pub content: BlobContent,
+    /// Traffic class for accounting (`Checkpoint` or `Preservation`).
+    pub class: simnet::stats::TrafficClass,
+    /// Total blob size.
+    pub total_bytes: u64,
+    /// Number of 1 KB blocks.
+    pub n_blocks: u32,
+    block_bytes: u64,
+    tail_bytes: u64,
+    /// Cumulative reception bitmap per expected receiver.
+    pub per_rx: BTreeMap<ActorId, Bitmap>,
+    awaiting: Vec<ActorId>,
+    replies_this_phase: u32,
+    /// Current UDP phase (1-based).
+    pub phase: u32,
+    prev_recv_bytes: u64,
+    sent_bytes_this_phase: u64,
+    /// Accounting.
+    pub stats: JobStats,
+    max_phases: u32,
+    done: bool,
+}
+
+impl SenderJob {
+    /// Create a job for `total_bytes` toward `expected` receivers.
+    pub fn new(
+        stream: u64,
+        content: BlobContent,
+        class: simnet::stats::TrafficClass,
+        total_bytes: u64,
+        block_bytes: u64,
+        expected: Vec<ActorId>,
+    ) -> Self {
+        assert!(total_bytes > 0, "empty blob");
+        assert!(block_bytes > 0);
+        let n_blocks = u32::try_from(total_bytes.div_ceil(block_bytes)).expect("blob too large");
+        let tail = total_bytes - (n_blocks as u64 - 1) * block_bytes;
+        let per_rx = expected
+            .iter()
+            .map(|&a| (a, Bitmap::zeros(n_blocks as usize)))
+            .collect();
+        SenderJob {
+            stream,
+            content,
+            class,
+            total_bytes,
+            n_blocks,
+            block_bytes,
+            tail_bytes: tail,
+            per_rx,
+            awaiting: expected,
+            replies_this_phase: 0,
+            phase: 1,
+            prev_recv_bytes: 0,
+            sent_bytes_this_phase: 0,
+            stats: JobStats::default(),
+            max_phases: 16,
+            done: false,
+        }
+    }
+
+    /// Override the phase cap.
+    pub fn with_max_phases(mut self, max: u32) -> Self {
+        self.max_phases = max;
+        self
+    }
+
+    /// Has the job finished (Complete or TcpResidue issued)?
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Receivers the job still waits on this phase.
+    pub fn awaiting(&self) -> &[ActorId] {
+        &self.awaiting
+    }
+
+    /// Size of block `ix`.
+    pub fn block_size(&self, ix: u32) -> u64 {
+        if ix + 1 == self.n_blocks {
+            self.tail_bytes
+        } else {
+            self.block_bytes
+        }
+    }
+
+    /// Bytes a set of blocks occupies.
+    pub fn bytes_of(&self, blocks: &[u32]) -> u64 {
+        blocks.iter().map(|&b| self.block_size(b)).sum()
+    }
+
+    /// Wire size of one receiver bitmap (ceil(n/8), as in the paper:
+    /// 8192 blocks → 1 KB bitmap).
+    pub fn bitmap_wire_bytes(&self) -> u64 {
+        Bitmap::zeros(self.n_blocks as usize).wire_bytes()
+    }
+
+    /// Blocks to broadcast in the first phase (all of them). Records
+    /// the phase's sent bytes.
+    pub fn begin(&mut self) -> Vec<u32> {
+        let blocks: Vec<u32> = (0..self.n_blocks).collect();
+        self.sent_bytes_this_phase = self.bytes_of(&blocks);
+        self.stats.udp_bytes += self.sent_bytes_this_phase;
+        self.stats.phases = 1;
+        blocks
+    }
+
+    /// Record that the given phase's rebroadcast was issued.
+    fn note_resend(&mut self, blocks: &[u32]) {
+        self.sent_bytes_this_phase = self.bytes_of(blocks);
+        self.stats.udp_bytes += self.sent_bytes_this_phase;
+        self.stats.phases += 1;
+        self.replies_this_phase = 0;
+        self.awaiting = self.per_rx.keys().copied().collect();
+    }
+
+    /// Total bytes received across receivers so far.
+    fn received_bytes(&self) -> u64 {
+        self.per_rx
+            .values()
+            .map(|bm| {
+                (0..self.n_blocks)
+                    .filter(|&b| bm.get(b as usize))
+                    .map(|b| self.block_size(b))
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Merge a receiver's cumulative bitmap. Returns the next decision
+    /// once all awaited receivers have replied.
+    pub fn on_bitmap(&mut self, from: ActorId, bitmap: &Bitmap) -> Option<PhaseDecision> {
+        if self.done {
+            return None;
+        }
+        if let Some(cur) = self.per_rx.get_mut(&from) {
+            if bitmap.len() == cur.len() {
+                cur.or_assign(bitmap);
+            }
+        } else {
+            return None; // unknown/already-dropped receiver
+        }
+        if let Some(pos) = self.awaiting.iter().position(|&a| a == from) {
+            self.awaiting.swap_remove(pos);
+            self.replies_this_phase += 1;
+            self.stats.bitmap_bytes += self.bitmap_wire_bytes();
+        }
+        if self.awaiting.is_empty() {
+            Some(self.evaluate())
+        } else {
+            None
+        }
+    }
+
+    /// The bitmap deadline passed: drop silent receivers (they are dead
+    /// or departed; the controller will deal with them) and evaluate.
+    pub fn on_timeout(&mut self, phase: u32) -> Option<PhaseDecision> {
+        if self.done || phase != self.phase || self.awaiting.is_empty() {
+            return None;
+        }
+        let silent = std::mem::take(&mut self.awaiting);
+        for a in silent {
+            self.per_rx.remove(&a);
+        }
+        Some(self.evaluate())
+    }
+
+    /// Cost/gain decision at the end of a phase (§III-C).
+    fn evaluate(&mut self) -> PhaseDecision {
+        if self.per_rx.is_empty() {
+            // Everyone vanished; nothing left to replicate to.
+            self.done = true;
+            return PhaseDecision::Complete;
+        }
+        let cur = self.received_bytes();
+        // `cur` can shrink when a silent receiver was dropped from the
+        // job; a vanished receiver is no gain.
+        let gain = cur.saturating_sub(self.prev_recv_bytes);
+        let cost =
+            self.sent_bytes_this_phase + self.replies_this_phase as u64 * self.bitmap_wire_bytes();
+        self.prev_recv_bytes = cur;
+
+        let anded = Bitmap::and_all(self.per_rx.values()).expect("non-empty");
+        if anded.all_ones() {
+            self.done = true;
+            return PhaseDecision::Complete;
+        }
+        if cost > gain || self.phase >= self.max_phases {
+            self.done = true;
+            let residue: BTreeMap<ActorId, Vec<u32>> = self
+                .per_rx
+                .iter()
+                .map(|(&a, bm)| {
+                    (
+                        a,
+                        bm.zero_indices().into_iter().map(|i| i as u32).collect::<Vec<u32>>(),
+                    )
+                })
+                .filter(|(_, v)| !v.is_empty())
+                .collect();
+            return PhaseDecision::TcpResidue(residue);
+        }
+        self.phase += 1;
+        let resend: Vec<u32> = anded.zero_indices().into_iter().map(|i| i as u32).collect();
+        self.note_resend(&resend);
+        PhaseDecision::Resend(resend)
+    }
+
+    /// Record the TCP-phase bytes charged over the tree.
+    pub fn note_tcp_bytes(&mut self, bytes: u64) {
+        self.stats.tcp_bytes += bytes;
+    }
+
+    /// Remaining receivers (survivors) to deliver the blob to.
+    pub fn receivers(&self) -> Vec<ActorId> {
+        self.per_rx.keys().copied().collect()
+    }
+}
+
+/// The distribution tree of the TCP phase.
+///
+/// Nodes are the job's receivers in deterministic order; the tree is
+/// heap-shaped binary (`children(i) = 2i+1, 2i+2`), with the sender
+/// attached above the root. Each edge carries the union of blocks
+/// missing anywhere in the subtree below it.
+pub fn tcp_tree_edges(
+    residue: &BTreeMap<ActorId, Vec<u32>>,
+    receivers: &[ActorId],
+) -> Vec<(usize, usize, Vec<u32>)> {
+    // Returns (parent_index, child_index, blocks); parent_index == usize::MAX
+    // means the sender→root edge.
+    let n = receivers.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // subtree_union[i] = union of missing blocks in subtree rooted at i.
+    let mut subtree: Vec<Vec<u32>> = receivers
+        .iter()
+        .map(|a| residue.get(a).cloned().unwrap_or_default())
+        .collect();
+    for i in (0..n).rev() {
+        for c in [2 * i + 1, 2 * i + 2] {
+            if c < n {
+                let child = subtree[c].clone();
+                let merged = &mut subtree[i];
+                merged.extend(child);
+                merged.sort_unstable();
+                merged.dedup();
+            }
+        }
+    }
+    let mut edges = Vec::new();
+    if !subtree[0].is_empty() {
+        edges.push((usize::MAX, 0, subtree[0].clone()));
+    }
+    for i in 0..n {
+        for c in [2 * i + 1, 2 * i + 2] {
+            if c < n && !subtree[c].is_empty() {
+                edges.push((i, c, subtree[c].clone()));
+            }
+        }
+    }
+    edges
+}
+
+/// Receiver-side bookkeeping: cumulative reception bitmaps per
+/// (sender, stream).
+#[derive(Default)]
+pub struct ReceiverState {
+    jobs: BTreeMap<(ActorId, u64), Bitmap>,
+}
+
+impl ReceiverState {
+    /// Fold one batch's reception report in; returns the cumulative
+    /// bitmap to send back to the sender.
+    pub fn on_batch(
+        &mut self,
+        src: ActorId,
+        stream: u64,
+        total_blocks: u32,
+        blocks: &[u32],
+        received: &Bitmap,
+    ) -> Bitmap {
+        let cum = self
+            .jobs
+            .entry((src, stream))
+            .or_insert_with(|| Bitmap::zeros(total_blocks as usize));
+        for (i, &b) in blocks.iter().enumerate() {
+            if received.get(i) && (b as usize) < cum.len() {
+                cum.set(b as usize, true);
+            }
+        }
+        cum.clone()
+    }
+
+    /// Drop a finished job's state.
+    pub fn finish(&mut self, src: ActorId, stream: u64) {
+        self.jobs.remove(&(src, stream));
+    }
+
+    /// Number of in-flight jobs (test/introspection).
+    pub fn in_flight(&self) -> usize {
+        self.jobs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsps::graph::OpId;
+    use proptest::prelude::*;
+    use simnet::stats::TrafficClass;
+
+    fn actor(i: usize) -> ActorId {
+        ActorId::from_index(i)
+    }
+
+    fn ckpt_content() -> BlobContent {
+        BlobContent::Checkpoint {
+            version: 1,
+            states: vec![(OpId(0), std::sync::Arc::new(()) as dsps::operator::OpState, 0)],
+        }
+    }
+
+    fn mk_job(total_kb: u64, receivers: usize) -> SenderJob {
+        SenderJob::new(
+            7,
+            ckpt_content(),
+            TrafficClass::Checkpoint,
+            total_kb * 1024,
+            1024,
+            (0..receivers).map(actor).collect(),
+        )
+    }
+
+    /// Build a bitmap of n blocks where `f(i)` says bit i is set.
+    fn bm(n: usize, f: impl Fn(usize) -> bool) -> Bitmap {
+        let mut b = Bitmap::zeros(n);
+        for i in 0..n {
+            if f(i) {
+                b.set(i, true);
+            }
+        }
+        b
+    }
+
+    /// The exact Fig 6 walk-through: 8 MB blob, receivers A, B, C.
+    ///
+    /// Phase 1: A has first 3 blocks, B all "even messages"
+    /// (M2,M4,… = odd 0-based indices), C all odd messages.
+    /// Phase 2: A and B complete; C unchanged.
+    /// Phase 3 (resend of evens): C gets all but M2 (index 1).
+    #[test]
+    fn fig6_walkthrough() {
+        let n = 8192usize;
+        let mut job = mk_job(8192, 3);
+        let blocks = job.begin();
+        assert_eq!(blocks.len(), n);
+        assert_eq!(job.bitmap_wire_bytes(), 1024, "8192-bit bitmap = 1 KB");
+
+        // Phase 1 bitmaps.
+        let a1 = bm(n, |i| i < 3);
+        let b1 = bm(n, |i| i % 2 == 1); // M2, M4, ... (1-based even)
+        let c1 = bm(n, |i| i % 2 == 0); // M1, M3, ...
+        assert!(job.on_bitmap(actor(0), &a1).is_none());
+        assert!(job.on_bitmap(actor(1), &b1).is_none());
+        let d1 = job.on_bitmap(actor(2), &c1).expect("phase 1 decision");
+        // Gain 8195 KB = cost 8195 KB (8192 sent + 3 bitmaps) → continue,
+        // resend everything (AND = zero).
+        match d1 {
+            PhaseDecision::Resend(blocks) => assert_eq!(blocks.len(), 8192),
+            other => panic!("expected Resend, got {other:?}"),
+        }
+        assert_eq!(job.phase, 2);
+
+        // Phase 2: A and B now have everything; C heard nothing new.
+        let full = bm(n, |_| true);
+        assert!(job.on_bitmap(actor(0), &full).is_none());
+        assert!(job.on_bitmap(actor(1), &full).is_none());
+        let d2 = job.on_bitmap(actor(2), &c1).expect("phase 2 decision");
+        // Gain 12285 KB > cost 8195 KB → continue; AND = C's map, so the
+        // resend set is the 4096 "even messages".
+        match d2 {
+            PhaseDecision::Resend(blocks) => {
+                assert_eq!(blocks.len(), 4096);
+                assert!(blocks.iter().all(|b| b % 2 == 1));
+            }
+            other => panic!("expected Resend, got {other:?}"),
+        }
+        assert_eq!(job.phase, 3);
+
+        // Phase 3: C receives everything except M2 (index 1).
+        assert!(job.on_bitmap(actor(0), &full).is_none());
+        assert!(job.on_bitmap(actor(1), &full).is_none());
+        let c3 = bm(n, |i| i != 1);
+        let d3 = job.on_bitmap(actor(2), &c3).expect("phase 3 decision");
+        // Gain 4095 KB < cost 4099 KB (4096 sent + 3 bitmaps) → TCP.
+        match d3 {
+            PhaseDecision::TcpResidue(residue) => {
+                assert_eq!(residue.len(), 1);
+                assert_eq!(residue[&actor(2)], vec![1u32]);
+            }
+            other => panic!("expected TcpResidue, got {other:?}"),
+        }
+        assert!(job.is_done());
+        assert_eq!(job.stats.phases, 3);
+        assert_eq!(job.stats.udp_bytes, (8192 + 8192 + 4096) * 1024);
+        assert_eq!(job.stats.bitmap_bytes, 9 * 1024);
+    }
+
+    #[test]
+    fn perfect_reception_completes_in_one_phase() {
+        let mut job = mk_job(64, 2);
+        job.begin();
+        let full = bm(64, |_| true);
+        assert!(job.on_bitmap(actor(0), &full).is_none());
+        match job.on_bitmap(actor(1), &full).unwrap() {
+            PhaseDecision::Complete => {}
+            other => panic!("expected Complete, got {other:?}"),
+        }
+        assert!(job.is_done());
+        assert_eq!(job.stats.tcp_bytes, 0);
+    }
+
+    #[test]
+    fn tail_block_sizes() {
+        let job = SenderJob::new(
+            1,
+            ckpt_content(),
+            TrafficClass::Checkpoint,
+            2500,
+            1024,
+            vec![actor(0)],
+        );
+        assert_eq!(job.n_blocks, 3);
+        assert_eq!(job.block_size(0), 1024);
+        assert_eq!(job.block_size(2), 452);
+        assert_eq!(job.bytes_of(&[0, 1, 2]), 2500);
+    }
+
+    #[test]
+    fn timeout_drops_stragglers() {
+        let mut job = mk_job(16, 3);
+        job.begin();
+        let full = bm(16, |_| true);
+        assert!(job.on_bitmap(actor(0), &full).is_none());
+        assert!(job.on_bitmap(actor(1), &full).is_none());
+        // actor(2) never replies.
+        match job.on_timeout(1).unwrap() {
+            PhaseDecision::Complete => {}
+            other => panic!("expected Complete after dropping straggler, got {other:?}"),
+        }
+        assert_eq!(job.receivers(), vec![actor(0), actor(1)]);
+        // Stale timeout is a no-op.
+        assert!(job.on_timeout(1).is_none());
+    }
+
+    #[test]
+    fn unknown_receiver_ignored() {
+        let mut job = mk_job(4, 1);
+        job.begin();
+        assert!(job.on_bitmap(actor(9), &bm(4, |_| true)).is_none());
+        assert!(!job.is_done());
+    }
+
+    #[test]
+    fn max_phases_caps_the_loop() {
+        let mut job = mk_job(4, 1).with_max_phases(2);
+        job.begin();
+        // Receiver never receives anything, yet gains stay 0 < cost, so
+        // phase 1 already stops (cost > gain). Use a receiver that gets
+        // exactly enough to keep gain ≥ cost once, then stalls.
+        let d1 = job.on_bitmap(actor(0), &bm(4, |i| i < 3)).unwrap();
+        match d1 {
+            // gain = 3 KB, cost = 4 KB + bitmap → TCP immediately.
+            PhaseDecision::TcpResidue(r) => assert_eq!(r[&actor(0)], vec![3u32]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tcp_tree_carries_subtree_unions() {
+        let receivers = vec![actor(0), actor(1), actor(2), actor(3)];
+        let mut residue = BTreeMap::new();
+        residue.insert(actor(1), vec![5u32]);
+        residue.insert(actor(3), vec![7u32, 9]);
+        let edges = tcp_tree_edges(&residue, &receivers);
+        // Tree: 0 root; children 1,2; 1's children 3.
+        // Subtree(3) = {7,9}; subtree(1) = {5,7,9}; subtree(0) same.
+        let find = |p: usize, c: usize| {
+            edges
+                .iter()
+                .find(|(pp, cc, _)| *pp == p && *cc == c)
+                .map(|(_, _, b)| b.clone())
+        };
+        assert_eq!(find(usize::MAX, 0).unwrap(), vec![5, 7, 9]);
+        assert_eq!(find(0, 1).unwrap(), vec![5, 7, 9]);
+        assert_eq!(find(1, 3).unwrap(), vec![7, 9]);
+        assert!(find(0, 2).is_none(), "clean subtree gets no traffic");
+    }
+
+    #[test]
+    fn receiver_state_accumulates_across_phases() {
+        let mut rx = ReceiverState::default();
+        let src = actor(9);
+        // Phase 1: blocks 0..4 broadcast, we catch 0 and 2.
+        let got = bm(4, |i| i == 0 || i == 2);
+        let cum = rx.on_batch(src, 1, 8, &[0, 1, 2, 3], &got);
+        assert_eq!(cum.count_ones(), 2);
+        // Phase 2: blocks 4..8, we catch all.
+        let cum = rx.on_batch(src, 1, 8, &[4, 5, 6, 7], &bm(4, |_| true));
+        assert_eq!(cum.count_ones(), 6);
+        assert_eq!(rx.in_flight(), 1);
+        rx.finish(src, 1);
+        assert_eq!(rx.in_flight(), 0);
+    }
+
+    proptest! {
+        /// Random loss patterns: the job always terminates, and after
+        /// the (simulated) TCP phase every surviving receiver has every
+        /// block (received ∪ residue covers the blob).
+        #[test]
+        fn prop_terminates_and_covers(
+            n_blocks in 1u64..200,
+            n_rx in 1usize..6,
+            seed in any::<u64>(),
+            loss_pct in 0u32..95,
+        ) {
+            let mut job = SenderJob::new(
+                1, ckpt_content(), TrafficClass::Checkpoint,
+                n_blocks * 1024, 1024,
+                (0..n_rx).map(actor).collect(),
+            );
+            let mut pending = job.begin();
+            let mut rng = seed;
+            let mut next = move || {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (rng >> 33) as u32 % 100
+            };
+            // Receiver-side cumulative state.
+            let mut cum: Vec<Bitmap> =
+                (0..n_rx).map(|_| Bitmap::zeros(n_blocks as usize)).collect();
+            #[allow(unused_assignments)]
+            let mut residue_map: Option<BTreeMap<ActorId, Vec<u32>>> = None;
+            let mut rounds = 0;
+            'outer: loop {
+                rounds += 1;
+                prop_assert!(rounds <= 20, "engine did not terminate");
+                // Simulate the channel for this phase.
+                for (r, c) in cum.iter_mut().enumerate() {
+                    let _ = r;
+                    for &b in &pending {
+                        if next() >= loss_pct {
+                            c.set(b as usize, true);
+                        }
+                    }
+                }
+                // Replies.
+                for r in 0..n_rx {
+                    if let Some(decision) = job.on_bitmap(actor(r), &cum[r]) {
+                        match decision {
+                            PhaseDecision::Resend(blocks) => {
+                                pending = blocks;
+                                continue 'outer;
+                            }
+                            PhaseDecision::TcpResidue(res) => {
+                                residue_map = Some(res);
+                                break 'outer;
+                            }
+                            PhaseDecision::Complete => {
+                                residue_map = Some(BTreeMap::new());
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+            let residue = residue_map.unwrap();
+            // Coverage: every receiver's cum ∪ residue = all blocks.
+            for r in 0..n_rx {
+                let missing: Vec<u32> = cum[r]
+                    .zero_indices()
+                    .into_iter()
+                    .map(|i| i as u32)
+                    .collect();
+                let listed = residue.get(&actor(r)).cloned().unwrap_or_default();
+                prop_assert_eq!(missing, listed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tree_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every receiver's missing blocks are carried by every edge on
+        /// its root path (so the data actually reaches it), and no edge
+        /// carries blocks nobody below it needs.
+        #[test]
+        fn prop_tree_covers_residues(
+            n_rx in 1usize..10,
+            missing in prop::collection::vec(prop::collection::vec(0u32..64, 0..8), 1..10),
+        ) {
+            let receivers: Vec<ActorId> = (0..n_rx).map(ActorId::from_index).collect();
+            let mut residue = BTreeMap::new();
+            for (i, m) in missing.iter().take(n_rx).enumerate() {
+                if !m.is_empty() {
+                    let mut mm = m.clone();
+                    mm.sort_unstable();
+                    mm.dedup();
+                    residue.insert(receivers[i], mm);
+                }
+            }
+            let edges = tcp_tree_edges(&residue, &receivers);
+            // Edge map child -> blocks.
+            let mut into: BTreeMap<usize, &Vec<u32>> = BTreeMap::new();
+            for (_, c, b) in &edges {
+                into.insert(*c, b);
+            }
+            for (i, _) in receivers.iter().enumerate() {
+                let want = residue.get(&receivers[i]).cloned().unwrap_or_default();
+                if want.is_empty() {
+                    continue;
+                }
+                // Walk up from i to the root, ensuring every hop carries
+                // the receiver's blocks.
+                let mut cur = i;
+                loop {
+                    let carried = into.get(&cur).expect("edge into needy node");
+                    for b in &want {
+                        prop_assert!(carried.contains(b), "node {i} misses {b} at hop {cur}");
+                    }
+                    if cur == 0 {
+                        break;
+                    }
+                    cur = (cur - 1) / 2;
+                }
+            }
+            // No edge carries a block that no receiver in its subtree needs.
+            for (_, c, blocks) in &edges {
+                let mut subtree = vec![*c];
+                let mut ix = 0;
+                while ix < subtree.len() {
+                    let s = subtree[ix];
+                    for ch in [2 * s + 1, 2 * s + 2] {
+                        if ch < receivers.len() {
+                            subtree.push(ch);
+                        }
+                    }
+                    ix += 1;
+                }
+                for b in blocks {
+                    let needed = subtree.iter().any(|&s| {
+                        residue.get(&receivers[s]).map(|m| m.contains(b)).unwrap_or(false)
+                    });
+                    prop_assert!(needed, "edge into {c} carries unneeded block {b}");
+                }
+            }
+        }
+    }
+}

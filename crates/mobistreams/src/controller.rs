@@ -1,0 +1,1218 @@
+//! The global MobiStreams controller (§III-A, III-D, III-E).
+//!
+//! One lightweight, reliable server reachable from every phone over the
+//! cellular network ("used only for control purposes and is not
+//! involved in any data transmission between phones"). It:
+//!
+//! * triggers periodic checkpoints by notifying each region's source
+//!   nodes, and commits a version once every hosting node reported in;
+//! * detects failures: pings source nodes every 30 s (10 s timeout),
+//!   receives upstream-neighbor reports for computing/sink nodes, and
+//!   gathers *bursts* of simultaneous failures into one recovery;
+//! * recovers: picks replacements (idle nodes preferred), ships the
+//!   operator code over cellular, restores every node to the MRC,
+//!   replays preserved inputs (catch-up);
+//! * handles mobility: urgent mode (cellular routing) while a phone
+//!   departs, state transfer to the replacement, rewiring;
+//! * stops and bypasses a region with insufficient phones, restarting
+//!   it when enough phones re-register.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use dsps::graph::{EdgeId, OpId, QueryGraph};
+use dsps::node::{
+    Install, InstallStates, InterRegionLink, Pong, ReportDead, SetUrgentEdges, UpdateInterRegion,
+    UpdateRouting,
+};
+use dsps::placement::Placement;
+use simkernel::{impl_actor_any, Actor, ActorId, Ctx, Event, SimDuration, SimTime};
+use simnet::cellular::{CellRx, CellSend};
+use simnet::stats::TrafficClass;
+use simnet::wifi::WifiSetLink;
+use simnet::{payload, payload_as, LinkState, TxFailed};
+
+use crate::msgs::*;
+
+/// Controller parameters (paper values as defaults).
+#[derive(Debug, Clone)]
+pub struct MsControllerConfig {
+    /// Checkpoint period ("the checkpoint period in MobiStreams is 5
+    /// minutes").
+    pub ckpt_period: SimDuration,
+    /// First checkpoint offset from start.
+    pub ckpt_offset: SimDuration,
+    /// Source-node ping period ("every 30 seconds").
+    pub ping_period: SimDuration,
+    /// Ping timeout ("the timeout period is 10 seconds").
+    pub ping_timeout: SimDuration,
+    /// Window for gathering a burst of failures into one recovery.
+    pub gather_window: SimDuration,
+    /// Operator code size shipped to replacements over cellular.
+    pub code_bytes_per_op: u64,
+    /// Fixed install overhead (WiFi rebuild, process start).
+    pub ready_overhead: SimDuration,
+    /// Extra install time per restored operator (flash read etc.).
+    pub ready_per_op: SimDuration,
+    /// Give up waiting for recovery acks after this long.
+    pub ack_deadline: SimDuration,
+    /// Periodic checkpointing on/off (off = Table I "fault tolerance
+    /// function turned off").
+    pub checkpoints_enabled: bool,
+}
+
+impl Default for MsControllerConfig {
+    fn default() -> Self {
+        MsControllerConfig {
+            ckpt_period: SimDuration::from_secs(300),
+            ckpt_offset: SimDuration::from_secs(60),
+            ping_period: SimDuration::from_secs(30),
+            ping_timeout: SimDuration::from_secs(10),
+            gather_window: SimDuration::from_secs(2),
+            code_bytes_per_op: 50_000,
+            ready_overhead: SimDuration::from_secs(1),
+            ready_per_op: SimDuration::from_millis(200),
+            ack_deadline: SimDuration::from_secs(60),
+            checkpoints_enabled: true,
+        }
+    }
+}
+
+/// Static description of one region handed to the controller.
+pub struct RegionSpec {
+    /// The region's query network.
+    pub graph: Arc<QueryGraph>,
+    /// Initial operator placement.
+    pub placement: Placement,
+    /// The region's WiFi medium actor.
+    pub wifi: ActorId,
+    /// Phone actor per slot.
+    pub slot_actors: Vec<ActorId>,
+    /// Downstream regions: (region index, source op fed there).
+    pub downstream: Vec<(usize, OpId)>,
+    /// Minimum active phones to keep the region running.
+    pub min_active: u32,
+    /// Phones required before a stopped region restarts (≈ the number
+    /// of hosting slots, so the restart isn't hopelessly overloaded).
+    pub restart_min: u32,
+    /// Sensor (workload driver) actors to re-pair when a source op
+    /// moves to another phone.
+    pub sensors: Vec<ActorId>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    Active,
+    Dead,
+    Departing,
+    Gone,
+}
+
+/// Recovery episode record (for experiment reports).
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryRecord {
+    /// Region recovered.
+    pub region: usize,
+    /// Failure burst size.
+    pub failures: usize,
+    /// When recovery started (burst gathered).
+    pub started: SimTime,
+    /// When the region resumed (acks in, replay issued).
+    pub finished: SimTime,
+}
+
+struct RegionRt {
+    spec: RegionSpec,
+    op_slot: Vec<u32>,
+    slot_state: Vec<SlotState>,
+    version: u64,
+    last_complete: u64,
+    ckpt_expected: BTreeSet<u32>,
+    ckpt_got: BTreeSet<u32>,
+    pending_failures: BTreeSet<u32>,
+    recover_scheduled: bool,
+    recovering: bool,
+    recovery_started: SimTime,
+    recovery_failures: usize,
+    outstanding_acks: BTreeSet<u32>,
+    last_recovery_end: SimTime,
+    stopped: bool,
+    urgent_edges: BTreeSet<EdgeId>,
+    departing_transfers: BTreeMap<u32, u32>, // departing slot -> replacement slot
+}
+
+impl RegionRt {
+    fn active_slots(&self) -> Vec<u32> {
+        (0..self.slot_state.len() as u32)
+            .filter(|&s| self.slot_state[s as usize] == SlotState::Active)
+            .collect()
+    }
+
+    fn hosting_slots(&self) -> BTreeSet<u32> {
+        self.op_slot.iter().copied().filter(|&s| s != u32::MAX).collect()
+    }
+
+    fn idle_active_slots(&self) -> Vec<u32> {
+        let hosting = self.hosting_slots();
+        self.active_slots()
+            .into_iter()
+            .filter(|s| !hosting.contains(s))
+            .collect()
+    }
+
+    fn ops_on(&self, slot: u32) -> Vec<OpId> {
+        self.op_slot
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == slot)
+            .map(|(i, _)| OpId(i as u32))
+            .collect()
+    }
+
+    fn source_slots(&self) -> BTreeSet<u32> {
+        self.spec
+            .graph
+            .sources()
+            .iter()
+            .map(|&op| self.op_slot[op.index()])
+            .filter(|&s| s != u32::MAX)
+            .collect()
+    }
+
+    #[allow(dead_code)]
+    fn sink_slots(&self) -> BTreeSet<u32> {
+        self.spec
+            .graph
+            .sinks()
+            .iter()
+            .map(|&op| self.op_slot[op.index()])
+            .filter(|&s| s != u32::MAX)
+            .collect()
+    }
+}
+
+/// Controller startup trigger (scheduled by the deployment builder).
+#[derive(Debug, Clone, Copy)]
+pub struct Start;
+
+/// The controller actor.
+pub struct MsController {
+    cfg: MsControllerConfig,
+    cell: ActorId,
+    regions: Vec<RegionRt>,
+    ping_round: u64,
+    ping_outstanding: BTreeMap<u64, BTreeSet<(usize, u32)>>,
+    next_tag: u64,
+    install_tags: BTreeMap<u64, (usize, u32)>,
+    /// Completed recoveries (harvested by experiments).
+    pub recoveries: Vec<RecoveryRecord>,
+    /// Departure replacements completed.
+    pub departures_handled: u64,
+    /// Checkpoint versions committed per region.
+    pub commits: Vec<(usize, u64, SimTime)>,
+    /// Regions currently stopped (bypass active).
+    pub stops: u64,
+    /// Re-registered op-owning slots waiting for the current recovery
+    /// to finish before their reinstall runs.
+    pending_reinstalls: Vec<(usize, u32)>,
+}
+
+impl MsController {
+    /// Build a controller over the given regions.
+    pub fn new(cfg: MsControllerConfig, cell: ActorId, specs: Vec<RegionSpec>) -> Self {
+        let regions = specs
+            .into_iter()
+            .map(|spec| {
+                let slots = spec.slot_actors.len();
+                RegionRt {
+                    op_slot: spec.placement.op_slot.clone(),
+                    slot_state: vec![SlotState::Active; slots],
+                    version: 0,
+                    last_complete: 0,
+                    ckpt_expected: BTreeSet::new(),
+                    ckpt_got: BTreeSet::new(),
+                    pending_failures: BTreeSet::new(),
+                    recover_scheduled: false,
+                    recovering: false,
+                    recovery_started: SimTime::ZERO,
+                    recovery_failures: 0,
+                    outstanding_acks: BTreeSet::new(),
+                    last_recovery_end: SimTime::ZERO,
+                    stopped: false,
+                    urgent_edges: BTreeSet::new(),
+                    departing_transfers: BTreeMap::new(),
+                    spec,
+                }
+            })
+            .collect();
+        MsController {
+            cfg,
+            cell,
+            regions,
+            ping_round: 0,
+            ping_outstanding: BTreeMap::new(),
+            next_tag: 1,
+            install_tags: BTreeMap::new(),
+            recoveries: Vec::new(),
+            departures_handled: 0,
+            commits: Vec::new(),
+            stops: 0,
+            pending_reinstalls: Vec::new(),
+        }
+    }
+
+    /// Latest committed checkpoint version of a region.
+    pub fn last_complete(&self, region: usize) -> u64 {
+        self.regions[region].last_complete
+    }
+
+    /// Is the region currently stopped (bypassed)?
+    pub fn is_stopped(&self, region: usize) -> bool {
+        self.regions[region].stopped
+    }
+
+    fn send_ctl(&mut self, ctx: &mut Ctx, dst: ActorId, bytes: u64, ev: impl Event) {
+        let src = ctx.self_id();
+        let cell = self.cell;
+        ctx.send(
+            cell,
+            CellSend {
+                src,
+                dst,
+                class: TrafficClass::Control,
+                bytes,
+                tag: 0,
+                payload: Some(payload(ev)),
+            },
+        );
+    }
+
+    fn send_ctl_tagged(
+        &mut self,
+        ctx: &mut Ctx,
+        dst: ActorId,
+        bytes: u64,
+        class: TrafficClass,
+        ev: impl Event,
+        track: Option<(usize, u32)>,
+    ) {
+        let tag = if track.is_some() {
+            let t = self.next_tag;
+            self.next_tag += 1;
+            t
+        } else {
+            0
+        };
+        if let (Some(key), true) = (track, tag != 0) {
+            self.install_tags.insert(tag, key);
+        }
+        let src = ctx.self_id();
+        let cell = self.cell;
+        ctx.send(
+            cell,
+            CellSend {
+                src,
+                dst,
+                class,
+                bytes,
+                tag,
+                payload: Some(payload(ev)),
+            },
+        );
+    }
+
+    fn broadcast_membership(&mut self, region: usize, ctx: &mut Ctx) {
+        let (update, targets) = {
+            let rt = &self.regions[region];
+            (
+                MembershipUpdate {
+                    slot_actors: rt.spec.slot_actors.clone(),
+                    active_slots: rt.active_slots(),
+                },
+                rt.active_slots()
+                    .into_iter()
+                    .map(|s| rt.spec.slot_actors[s as usize])
+                    .collect::<Vec<_>>(),
+            )
+        };
+        for dst in targets {
+            self.send_ctl(ctx, dst, wire::MEMBERSHIP, update.clone());
+        }
+    }
+
+    /// Re-pair sensors with the phones now hosting the source ops
+    /// (zero-cost direct events: the camera physically pairs with the
+    /// adjacent phone).
+    fn redirect_sensors(&mut self, region: usize, ctx: &mut Ctx) {
+        let rt = &self.regions[region];
+        if rt.spec.sensors.is_empty() {
+            return;
+        }
+        let mut redirects = Vec::new();
+        for &op in &rt.spec.graph.sources() {
+            let slot = rt.op_slot[op.index()];
+            if slot != u32::MAX {
+                redirects.push(dsps::workload::SensorRedirect {
+                    op,
+                    actor: rt.spec.slot_actors[slot as usize],
+                });
+            }
+        }
+        for &sensor in &rt.spec.sensors {
+            for r in &redirects {
+                ctx.send(sensor, *r);
+            }
+        }
+    }
+
+    fn broadcast_routing(&mut self, region: usize, ctx: &mut Ctx) {
+        let (update, targets) = {
+            let rt = &self.regions[region];
+            (
+                UpdateRouting {
+                    op_slot: Some(rt.op_slot.clone()),
+                    slot_actors: Some(rt.spec.slot_actors.clone()),
+                },
+                rt.active_slots()
+                    .into_iter()
+                    .map(|s| rt.spec.slot_actors[s as usize])
+                    .collect::<Vec<_>>(),
+            )
+        };
+        for dst in targets {
+            self.send_ctl(ctx, dst, wire::MEMBERSHIP, update.clone());
+        }
+    }
+
+    /// Resolve the data destinations downstream of `region`, skipping
+    /// stopped regions transitively (bypass, §III-D/E).
+    fn resolve_downstream(&self, region: usize) -> Vec<(usize, OpId)> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(usize, OpId)> = self.regions[region].spec.downstream.clone();
+        let mut seen = BTreeSet::new();
+        while let Some((r, op)) = stack.pop() {
+            if !seen.insert((r, op)) {
+                continue;
+            }
+            if self.regions[r].stopped {
+                stack.extend(self.regions[r].spec.downstream.clone());
+            } else {
+                out.push((r, op));
+            }
+        }
+        out.sort_unstable_by_key(|&(r, op)| (r, op.0));
+        out
+    }
+
+    /// Install fresh inter-region links on `region`'s sink nodes.
+    fn rewire_inter_region(&mut self, region: usize, ctx: &mut Ctx) {
+        let downstream = self.resolve_downstream(region);
+        let rt = &self.regions[region];
+        if rt.stopped {
+            return;
+        }
+        let mut per_slot: BTreeMap<u32, Vec<InterRegionLink>> = BTreeMap::new();
+        for &sink in &rt.spec.graph.sinks() {
+            let slot = rt.op_slot[sink.index()];
+            if slot == u32::MAX {
+                continue;
+            }
+            let links: Vec<InterRegionLink> = downstream
+                .iter()
+                .map(|&(dr, dst_op)| {
+                    let drt = &self.regions[dr];
+                    let dst_slot = drt.op_slot[dst_op.index()];
+                    InterRegionLink {
+                        src_op: sink,
+                        dst_actor: drt.spec.slot_actors[dst_slot as usize],
+                        dst_op,
+                    }
+                })
+                .collect();
+            per_slot.entry(slot).or_default().extend(links);
+        }
+        let sends: Vec<(ActorId, Vec<InterRegionLink>)> = per_slot
+            .into_iter()
+            .map(|(slot, links)| (self.regions[region].spec.slot_actors[slot as usize], links))
+            .collect();
+        for (dst, links) in sends {
+            self.send_ctl(ctx, dst, wire::MEMBERSHIP, UpdateInterRegion { links });
+        }
+    }
+
+    /// Regions that feed `region`.
+    fn upstream_regions(&self, region: usize) -> Vec<usize> {
+        (0..self.regions.len())
+            .filter(|&r| {
+                self.regions[r]
+                    .spec
+                    .downstream
+                    .iter()
+                    .any(|&(d, _)| d == region)
+            })
+            .collect()
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        for region in 0..self.regions.len() {
+            self.broadcast_membership(region, ctx);
+            self.rewire_inter_region(region, ctx);
+            if self.cfg.checkpoints_enabled {
+                let me = ctx.self_id();
+                ctx.send_in(
+                    self.cfg.ckpt_offset,
+                    me,
+                    CtlTimer::CheckpointTick { region },
+                );
+            }
+        }
+        let me = ctx.self_id();
+        ctx.send_in(self.cfg.ping_period, me, CtlTimer::PingTick);
+    }
+
+    fn on_ckpt_tick(&mut self, region: usize, ctx: &mut Ctx) {
+        let me = ctx.self_id();
+        ctx.send_in(self.cfg.ckpt_period, me, CtlTimer::CheckpointTick { region });
+        let rt = &mut self.regions[region];
+        if rt.stopped || rt.recovering {
+            return;
+        }
+        rt.version += 1;
+        let version = rt.version;
+        rt.ckpt_expected = rt.hosting_slots();
+        rt.ckpt_got = BTreeSet::new();
+        let targets: Vec<ActorId> = rt
+            .source_slots()
+            .into_iter()
+            .filter(|&s| rt.slot_state[s as usize] == SlotState::Active)
+            .map(|s| rt.spec.slot_actors[s as usize])
+            .collect();
+        for dst in targets {
+            self.send_ctl(ctx, dst, wire::CONTROL, StartCheckpoint { version });
+        }
+        ctx.count("ctl.ckpt_rounds", 1);
+    }
+
+    fn on_node_checkpointed(&mut self, m: NodeCheckpointed, ctx: &mut Ctx) {
+        let region = m.region;
+        let rt = &mut self.regions[region];
+        if m.version != rt.version || rt.recovering {
+            return;
+        }
+        rt.ckpt_got.insert(m.slot);
+        if rt.ckpt_got.is_superset(&rt.ckpt_expected) {
+            rt.last_complete = m.version;
+            let version = m.version;
+            self.commits.push((region, version, ctx.now()));
+            let targets: Vec<ActorId> = {
+                let rt = &self.regions[region];
+                rt.active_slots()
+                    .into_iter()
+                    .map(|s| rt.spec.slot_actors[s as usize])
+                    .collect()
+            };
+            for dst in targets {
+                self.send_ctl(ctx, dst, wire::CONTROL, CheckpointComplete { version });
+            }
+        }
+    }
+
+    fn on_ping_tick(&mut self, ctx: &mut Ctx) {
+        let me = ctx.self_id();
+        ctx.send_in(self.cfg.ping_period, me, CtlTimer::PingTick);
+        self.ping_round += 1;
+        let round = self.ping_round;
+        let mut outstanding = BTreeSet::new();
+        let mut targets = Vec::new();
+        for (r, rt) in self.regions.iter().enumerate() {
+            if rt.stopped {
+                continue;
+            }
+            for s in rt.source_slots() {
+                if rt.slot_state[s as usize] == SlotState::Active {
+                    outstanding.insert((r, s));
+                    targets.push(rt.spec.slot_actors[s as usize]);
+                }
+            }
+        }
+        if outstanding.is_empty() {
+            return;
+        }
+        self.ping_outstanding.insert(round, outstanding);
+        for dst in targets {
+            self.send_ctl(ctx, dst, wire::PING, dsps::node::Ping { nonce: round });
+        }
+        let me = ctx.self_id();
+        ctx.send_in(self.cfg.ping_timeout, me, CtlTimer::PingDeadline { round });
+    }
+
+    fn on_ping_deadline(&mut self, round: u64, ctx: &mut Ctx) {
+        let Some(unanswered) = self.ping_outstanding.remove(&round) else {
+            return;
+        };
+        for (region, slot) in unanswered {
+            self.note_failure(region, slot, ctx);
+        }
+    }
+
+    fn note_failure(&mut self, region: usize, slot: u32, ctx: &mut Ctx) {
+        let rt = &mut self.regions[region];
+        if rt.stopped {
+            return;
+        }
+        // While a recovery is reconfiguring the region (and shortly
+        // after), nodes legitimately go quiet — don't let that look
+        // like fresh failures.
+        if rt.recovering
+            || (rt.last_recovery_end != SimTime::ZERO
+                && ctx.now().since(rt.last_recovery_end) < SimDuration::from_secs(20))
+        {
+            return;
+        }
+        match rt.slot_state[slot as usize] {
+            SlotState::Active => {}
+            // Departures have their own flow (§III-E); dead/gone slots
+            // are already being handled.
+            SlotState::Departing | SlotState::Dead | SlotState::Gone => return,
+        }
+        rt.slot_state[slot as usize] = SlotState::Dead;
+        rt.pending_failures.insert(slot);
+        ctx.count("ctl.failures_noted", 1);
+        if !rt.recover_scheduled {
+            rt.recover_scheduled = true;
+            if rt.pending_failures.len() == 1 {
+                rt.recovery_started = ctx.now();
+            }
+            let me = ctx.self_id();
+            ctx.send_in(self.cfg.gather_window, me, CtlTimer::RecoverNow { region });
+        }
+    }
+
+    fn stop_region(&mut self, region: usize, ctx: &mut Ctx) {
+        self.regions[region].stopped = true;
+        self.stops += 1;
+        ctx.count("ctl.region_stops", 1);
+        // Bypass: every upstream region re-resolves its downstream.
+        for up in self.upstream_regions(region) {
+            self.rewire_inter_region(up, ctx);
+        }
+    }
+
+    fn on_recover_now(&mut self, region: usize, ctx: &mut Ctx) {
+        let now = ctx.now();
+        let (failed, version, hosting_failed) = {
+            let rt = &mut self.regions[region];
+            rt.recover_scheduled = false;
+            if rt.stopped {
+                rt.pending_failures.clear();
+                return;
+            }
+            let failed: Vec<u32> = std::mem::take(&mut rt.pending_failures).into_iter().collect();
+            if failed.is_empty() {
+                return;
+            }
+            rt.recovering = true;
+            rt.recovery_failures = failed.len();
+            if rt.recovery_started == SimTime::ZERO {
+                rt.recovery_started = now;
+            }
+            let hosting_failed: Vec<u32> = failed
+                .iter()
+                .copied()
+                .filter(|&s| !rt.ops_on(s).is_empty())
+                .collect();
+            (failed, rt.last_complete, hosting_failed)
+        };
+        let _ = failed;
+
+        // Pick replacements for every failed hosting slot: idle nodes
+        // preferred ("the controller can select any healthy node in the
+        // region (idle nodes are preferred)"), then spread over healthy
+        // hosting nodes round-robin — every node holds the MRC copy, so
+        // any of them can restore any operator.
+        let mut replacements: Vec<(u32, u32)> = Vec::new(); // (failed, replacement)
+        {
+            let rt = &self.regions[region];
+            let mut idle = rt.idle_active_slots();
+            let survivors: Vec<u32> = rt
+                .active_slots()
+                .into_iter()
+                .filter(|s| !idle.contains(s))
+                .collect();
+            let mut rr = 0usize;
+            for &f in &hosting_failed {
+                if let Some(r) = idle.pop() {
+                    replacements.push((f, r));
+                } else if !survivors.is_empty() {
+                    replacements.push((f, survivors[rr % survivors.len()]));
+                    rr += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        if replacements.len() < hosting_failed.len() {
+            // No healthy phone at all: stop and bypass the region until
+            // phones re-register (reboot path).
+            self.regions[region].recovering = false;
+            self.stop_region(region, ctx);
+            return;
+        }
+        // Apply the new assignment.
+        {
+            let rt = &mut self.regions[region];
+            for &(f, r) in &replacements {
+                for s in rt.op_slot.iter_mut() {
+                    if *s == f {
+                        *s = r;
+                    }
+                }
+            }
+        }
+
+        // Ship code + install to replacements (cellular), and roll back
+        // survivors to the MRC.
+        let (installs, rollbacks, expected_acks) = {
+            let rt = &self.regions[region];
+            let states = if version > 0 {
+                InstallStates::FromLocalStore { version }
+            } else {
+                InstallStates::Fresh
+            };
+            let installs: Vec<(ActorId, Install, usize, (usize, u32))> = replacements
+                .iter()
+                .map(|&(_, r)| {
+                    let ops = rt.ops_on(r);
+                    let n = ops.len();
+                    (
+                        rt.spec.slot_actors[r as usize],
+                        Install {
+                            ops,
+                            states: states.clone(),
+                            op_slot: rt.op_slot.clone(),
+                            slot_actors: rt.spec.slot_actors.clone(),
+                            ready_in: self.cfg.ready_overhead
+                                + self.cfg.ready_per_op * (n as u64),
+                        },
+                        n,
+                        (region, r),
+                    )
+                })
+                .collect();
+            let survivors: Vec<u32> = rt
+                .hosting_slots()
+                .into_iter()
+                .filter(|s| !replacements.iter().any(|&(_, r)| r == *s))
+                .filter(|&s| rt.slot_state[s as usize] == SlotState::Active)
+                .collect();
+            let rollbacks: Vec<ActorId> = survivors
+                .iter()
+                .map(|&s| rt.spec.slot_actors[s as usize])
+                .collect();
+            let mut acks: BTreeSet<u32> = survivors.into_iter().collect();
+            acks.extend(replacements.iter().map(|&(_, r)| r));
+            (installs, rollbacks, acks)
+        };
+
+        self.broadcast_routing(region, ctx);
+        self.broadcast_membership(region, ctx);
+        self.redirect_sensors(region, ctx);
+        for (dst, install, n_ops, key) in installs {
+            let bytes = self.cfg.code_bytes_per_op * n_ops as u64;
+            self.send_ctl_tagged(ctx, dst, bytes, TrafficClass::Recovery, install, Some(key));
+        }
+        for dst in rollbacks {
+            self.send_ctl(ctx, dst, wire::CONTROL, RollbackTo { version });
+        }
+        self.regions[region].outstanding_acks = expected_acks;
+        self.rewire_inter_region(region, ctx);
+        for up in self.upstream_regions(region) {
+            self.rewire_inter_region(up, ctx);
+        }
+        let me = ctx.self_id();
+        ctx.send_in(self.cfg.ack_deadline, me, CtlTimer::RecoverNow { region: region + 10_000 });
+        // region+10_000 encodes "ack deadline" — see on_timer.
+    }
+
+    /// All acks in (or deadline): restart the region's dataflow.
+    fn finish_recovery(&mut self, region: usize, ctx: &mut Ctx) {
+        let (version, sources, started, failures) = {
+            let rt = &mut self.regions[region];
+            if !rt.recovering {
+                return;
+            }
+            rt.recovering = false;
+            rt.outstanding_acks.clear();
+            let version = rt.last_complete;
+            let sources: Vec<ActorId> = rt
+                .source_slots()
+                .into_iter()
+                .filter(|&s| rt.slot_state[s as usize] == SlotState::Active)
+                .map(|s| rt.spec.slot_actors[s as usize])
+                .collect();
+            let started = rt.recovery_started;
+            rt.recovery_started = SimTime::ZERO;
+            (version, sources, started, rt.recovery_failures)
+        };
+        if version > 0 {
+            for dst in sources {
+                self.send_ctl(ctx, dst, wire::CONTROL, ReplayInputs { epoch: version });
+            }
+        }
+        self.regions[region].last_recovery_end = ctx.now();
+        self.recoveries.push(RecoveryRecord {
+            region,
+            failures,
+            started,
+            finished: ctx.now(),
+        });
+        ctx.count("ctl.recoveries", 1);
+        // Serve a deferred reboot-rejoin, if any still applies.
+        if let Some(ix) = self
+            .pending_reinstalls
+            .iter()
+            .position(|&(r, s)| r == region && !self.regions[r].ops_on(s).is_empty())
+        {
+            let (r, slot) = self.pending_reinstalls.remove(ix);
+            if self.regions[r].slot_state[slot as usize] == SlotState::Active {
+                self.reinstall_slot(r, slot, ctx);
+            }
+        } else {
+            self.pending_reinstalls.retain(|&(r, _)| r != region);
+        }
+    }
+
+    fn on_recovered_ack(&mut self, m: RecoveredAck, ctx: &mut Ctx) {
+        let region = m.region;
+        // Departure transfer ack?
+        let done_departure = {
+            let rt = &mut self.regions[region];
+            let departing: Option<u32> = rt
+                .departing_transfers
+                .iter()
+                .find(|(_, &r)| r == m.slot)
+                .map(|(&d, _)| d);
+            if let Some(d) = departing {
+                rt.departing_transfers.remove(&d);
+                rt.slot_state[d as usize] = SlotState::Gone;
+                Some(d)
+            } else {
+                None
+            }
+        };
+        if done_departure.is_some() {
+            self.departures_handled += 1;
+            // Clear urgent mode and publish the new wiring.
+            let (edges, targets) = {
+                let rt = &mut self.regions[region];
+                let edges: Vec<EdgeId> = std::mem::take(&mut rt.urgent_edges).into_iter().collect();
+                let targets: Vec<ActorId> = rt
+                    .active_slots()
+                    .into_iter()
+                    .map(|s| rt.spec.slot_actors[s as usize])
+                    .collect();
+                (edges, targets)
+            };
+            for dst in &targets {
+                self.send_ctl(
+                    ctx,
+                    *dst,
+                    wire::CONTROL,
+                    SetUrgentEdges {
+                        edges: edges.clone(),
+                        on: false,
+                    },
+                );
+            }
+            self.broadcast_routing(region, ctx);
+            self.broadcast_membership(region, ctx);
+            self.redirect_sensors(region, ctx);
+            self.rewire_inter_region(region, ctx);
+            for up in self.upstream_regions(region) {
+                self.rewire_inter_region(up, ctx);
+            }
+            return;
+        }
+        let rt = &mut self.regions[region];
+        rt.outstanding_acks.remove(&m.slot);
+        if rt.recovering && rt.outstanding_acks.is_empty() {
+            self.finish_recovery(region, ctx);
+        }
+    }
+
+    fn on_departure(&mut self, m: DepartureNotice, ctx: &mut Ctx) {
+        let region = m.region;
+        let slot = m.slot;
+        let graph;
+        let replacement;
+        let departing_actor;
+        let affected_edges: Vec<EdgeId>;
+        {
+            let rt = &mut self.regions[region];
+            if rt.slot_state[slot as usize] != SlotState::Active {
+                return;
+            }
+            rt.slot_state[slot as usize] = SlotState::Departing;
+            graph = Arc::clone(&rt.spec.graph);
+            let ops = rt.ops_on(slot);
+            if ops.is_empty() {
+                // Idle node: just unregister.
+                rt.slot_state[slot as usize] = SlotState::Gone;
+                self.broadcast_membership(region, ctx);
+                return;
+            }
+            // Urgent mode: edges crossing the departed phone's WiFi link.
+            let mut edges = Vec::new();
+            for &op in &ops {
+                for &e in &graph.op(op).in_edges {
+                    let from = graph.edge(e).from;
+                    if rt.op_slot[from.index()] != slot {
+                        edges.push(e);
+                    }
+                }
+                for &e in &graph.op(op).out_edges {
+                    let to = graph.edge(e).to;
+                    if rt.op_slot[to.index()] != slot {
+                        edges.push(e);
+                    }
+                }
+            }
+            affected_edges = edges;
+            rt.urgent_edges.extend(affected_edges.iter().copied());
+            // Pick the replacement.
+            let idle = rt.idle_active_slots();
+            let Some(&r) = idle.first() else {
+                // No replacement available: run degraded in urgent mode;
+                // if below min_active, stop the region.
+                if (rt.active_slots().len() as u32) < rt.spec.min_active {
+                    self.stop_region(region, ctx);
+                }
+                return;
+            };
+            replacement = r;
+            rt.departing_transfers.insert(slot, r);
+            for s in rt.op_slot.iter_mut() {
+                if *s == slot {
+                    *s = r;
+                }
+            }
+            departing_actor = rt.spec.slot_actors[slot as usize];
+        }
+        ctx.count("ctl.departures", 1);
+        // Tell everyone (including the departing node) to route the
+        // affected edges over cellular for now.
+        let targets: Vec<ActorId> = {
+            let rt = &self.regions[region];
+            let mut t: Vec<ActorId> = rt
+                .active_slots()
+                .into_iter()
+                .map(|s| rt.spec.slot_actors[s as usize])
+                .collect();
+            t.push(departing_actor);
+            t
+        };
+        for dst in targets {
+            self.send_ctl(
+                ctx,
+                dst,
+                wire::CONTROL,
+                SetUrgentEdges {
+                    edges: affected_edges.clone(),
+                    on: true,
+                },
+            );
+        }
+        // Ask the departing phone to transfer its state to the
+        // replacement over cellular (Fig 7, time instant 3).
+        let (install, repl_actor) = {
+            let rt = &self.regions[region];
+            let ops = rt.ops_on(replacement);
+            let n = ops.len() as u64;
+            (
+                Install {
+                    ops,
+                    states: InstallStates::Fresh, // filled by the departing node
+                    op_slot: rt.op_slot.clone(),
+                    slot_actors: rt.spec.slot_actors.clone(),
+                    ready_in: self.cfg.ready_overhead + self.cfg.ready_per_op * n,
+                },
+                rt.spec.slot_actors[replacement as usize],
+            )
+        };
+        self.send_ctl(
+            ctx,
+            departing_actor,
+            wire::CONTROL,
+            TransferStateTo {
+                replacement: repl_actor,
+                install,
+            },
+        );
+    }
+
+    fn on_register(&mut self, m: RegisterNode, ctx: &mut Ctx) {
+        let region = m.region;
+        let owns_ops = {
+            let rt = &mut self.regions[region];
+            rt.slot_state[m.slot as usize] = SlotState::Active;
+            !rt.ops_on(m.slot).is_empty()
+        };
+        // A rebooted phone whose ops were never reassigned (it crashed
+        // and came back before/without recovery) returns empty-handed:
+        // reinstall its operators from its own flash copy and roll the
+        // region back so the dataflow is consistent again.
+        if owns_ops {
+            if !self.regions[region].stopped && !self.regions[region].recovering {
+                self.reinstall_slot(region, m.slot, ctx);
+            } else {
+                // Defer until the in-flight recovery / restart settles.
+                self.pending_reinstalls.push((region, m.slot));
+            }
+        }
+        // Update WiFi membership: the phone is back in range.
+        let (wifi, actor) = {
+            let rt = &self.regions[region];
+            (rt.spec.wifi, rt.spec.slot_actors[m.slot as usize])
+        };
+        ctx.send(
+            wifi,
+            WifiSetLink {
+                node: actor,
+                state: LinkState::Active,
+            },
+        );
+        self.broadcast_membership(region, ctx);
+        // Restart a stopped region once enough phones are back.
+        let can_restart = {
+            let rt = &self.regions[region];
+            rt.stopped && (rt.active_slots().len() as u32) >= rt.spec.restart_min
+        };
+        if can_restart {
+            self.restart_region(region, ctx);
+        } else if !self.regions[region].stopped {
+            // If the region is degraded (ops stuck on dead slots because
+            // no spare existed), retry recovery now that a phone is back.
+            let needs = {
+                let rt = &self.regions[region];
+                rt.hosting_slots()
+                    .into_iter()
+                    .any(|s| rt.slot_state[s as usize] != SlotState::Active)
+            };
+            if needs {
+                let stuck: Vec<u32> = {
+                    let rt = &self.regions[region];
+                    rt.hosting_slots()
+                        .into_iter()
+                        .filter(|&s| rt.slot_state[s as usize] != SlotState::Active)
+                        .collect()
+                };
+                for s in stuck {
+                    self.regions[region].pending_failures.insert(s);
+                }
+                let rt = &mut self.regions[region];
+                if !rt.recover_scheduled {
+                    rt.recover_scheduled = true;
+                    let me = ctx.self_id();
+                    ctx.send_in(self.cfg.gather_window, me, CtlTimer::RecoverNow { region });
+                }
+            }
+        }
+    }
+
+    /// Reinstall a re-registered slot's own operators (reboot rejoin)
+    /// and roll back the region to the MRC.
+    fn reinstall_slot(&mut self, region: usize, slot: u32, ctx: &mut Ctx) {
+        let (install, dst, n_ops, version, rollbacks, acks) = {
+            let rt = &mut self.regions[region];
+            rt.recovering = true;
+            rt.recovery_started = ctx.now();
+            rt.recovery_failures = 1;
+            let ops = rt.ops_on(slot);
+            let n = ops.len();
+            let version = rt.last_complete;
+            let states = if version > 0 {
+                InstallStates::FromLocalStore { version }
+            } else {
+                InstallStates::Fresh
+            };
+            let install = Install {
+                ops,
+                states,
+                op_slot: rt.op_slot.clone(),
+                slot_actors: rt.spec.slot_actors.clone(),
+                ready_in: self.cfg.ready_overhead + self.cfg.ready_per_op * (n as u64),
+            };
+            let survivors: Vec<u32> = rt
+                .hosting_slots()
+                .into_iter()
+                .filter(|&s| s != slot && rt.slot_state[s as usize] == SlotState::Active)
+                .collect();
+            let rollbacks: Vec<ActorId> = survivors
+                .iter()
+                .map(|&s| rt.spec.slot_actors[s as usize])
+                .collect();
+            let mut acks: BTreeSet<u32> = survivors.into_iter().collect();
+            acks.insert(slot);
+            (
+                install,
+                rt.spec.slot_actors[slot as usize],
+                n,
+                version,
+                rollbacks,
+                acks,
+            )
+        };
+        self.broadcast_routing(region, ctx);
+        self.broadcast_membership(region, ctx);
+        self.redirect_sensors(region, ctx);
+        let bytes = self.cfg.code_bytes_per_op * n_ops.max(1) as u64;
+        self.send_ctl_tagged(
+            ctx,
+            dst,
+            bytes,
+            TrafficClass::Recovery,
+            install,
+            Some((region, slot)),
+        );
+        for d in rollbacks {
+            self.send_ctl(ctx, d, wire::CONTROL, RollbackTo { version });
+        }
+        self.regions[region].outstanding_acks = acks;
+        let me = ctx.self_id();
+        ctx.send_in(
+            self.cfg.ack_deadline,
+            me,
+            CtlTimer::RecoverNow {
+                region: region + 10_000,
+            },
+        );
+    }
+
+    fn restart_region(&mut self, region: usize, ctx: &mut Ctx) {
+        let (installs, version) = {
+            let rt = &mut self.regions[region];
+            rt.stopped = false;
+            // Re-place every op onto active slots, preferring current
+            // assignment when that slot is active.
+            let active = rt.active_slots();
+            assert!(!active.is_empty());
+            let mut rr = 0usize;
+            let graph = Arc::clone(&rt.spec.graph);
+            for op in graph.op_ids() {
+                let cur = rt.op_slot[op.index()];
+                if cur == u32::MAX || rt.slot_state[cur as usize] != SlotState::Active {
+                    rt.op_slot[op.index()] = active[rr % active.len()];
+                    rr += 1;
+                }
+            }
+            let version = rt.last_complete;
+            let states = if version > 0 {
+                InstallStates::FromLocalStore { version }
+            } else {
+                InstallStates::Fresh
+            };
+            let installs: Vec<(ActorId, Install, usize, (usize, u32))> = active
+                .iter()
+                .map(|&s| {
+                    let ops = rt.ops_on(s);
+                    let n = ops.len();
+                    (
+                        rt.spec.slot_actors[s as usize],
+                        Install {
+                            ops,
+                            states: states.clone(),
+                            op_slot: rt.op_slot.clone(),
+                            slot_actors: rt.spec.slot_actors.clone(),
+                            ready_in: self.cfg.ready_overhead
+                                + self.cfg.ready_per_op * (n as u64),
+                        },
+                        n,
+                        (region, s),
+                    )
+                })
+                .collect();
+            (installs, version)
+        };
+        let _ = version;
+        for (dst, install, n_ops, key) in installs {
+            let bytes = self.cfg.code_bytes_per_op * (n_ops.max(1)) as u64;
+            self.send_ctl_tagged(ctx, dst, bytes, TrafficClass::Recovery, install, Some(key));
+        }
+        self.broadcast_membership(region, ctx);
+        self.redirect_sensors(region, ctx);
+        self.rewire_inter_region(region, ctx);
+        for up in self.upstream_regions(region) {
+            self.rewire_inter_region(up, ctx);
+        }
+        ctx.count("ctl.region_restarts", 1);
+    }
+
+    fn on_timer(&mut self, t: CtlTimer, ctx: &mut Ctx) {
+        match t {
+            CtlTimer::CheckpointTick { region } => self.on_ckpt_tick(region, ctx),
+            CtlTimer::PingTick => self.on_ping_tick(ctx),
+            CtlTimer::PingDeadline { round } => self.on_ping_deadline(round, ctx),
+            CtlTimer::RecoverNow { region } => {
+                if region >= 10_000 {
+                    // Ack-deadline encoding (see on_recover_now).
+                    self.finish_recovery(region - 10_000, ctx);
+                } else {
+                    self.on_recover_now(region, ctx);
+                }
+            }
+        }
+    }
+}
+
+impl Actor for MsController {
+    fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
+        let ev = match ev.downcast::<CellRx>() {
+            Ok(rx) => {
+                let p = rx.payload.clone();
+                if let Some(m) = payload_as::<Pong>(&p) {
+                    if let Some(out) = self.ping_outstanding.get_mut(&m.nonce) {
+                        out.remove(&(m.region, m.slot));
+                    }
+                } else if let Some(m) = payload_as::<NodeCheckpointed>(&p) {
+                    self.on_node_checkpointed(*m, ctx);
+                } else if let Some(m) = payload_as::<ReportDead>(&p) {
+                    self.note_failure(m.region, m.slot, ctx);
+                } else if let Some(m) = payload_as::<RecoveredAck>(&p) {
+                    self.on_recovered_ack(*m, ctx);
+                } else if let Some(m) = payload_as::<DepartureNotice>(&p) {
+                    self.on_departure(*m, ctx);
+                } else if let Some(m) = payload_as::<RegisterNode>(&p) {
+                    self.on_register(*m, ctx);
+                }
+                return;
+            }
+            Err(e) => e,
+        };
+        simkernel::match_event!(ev,
+            _s: Start => { self.on_start(ctx); },
+            t: CtlTimer => { self.on_timer(t, ctx); },
+            f: TxFailed => {
+                // An Install never reached its target: that phone is dead
+                // too; fold it into a fresh recovery round.
+                if let Some((region, slot)) = self.install_tags.remove(&f.tag) {
+                    let rt = &mut self.regions[region];
+                    rt.slot_state[slot as usize] = SlotState::Active; // allow note_failure
+                    self.note_failure(region, slot, ctx);
+                }
+            },
+            d: simnet::TxDone => {
+                self.install_tags.remove(&d.tag);
+            },
+            @else _other => {}
+        );
+    }
+
+    fn name(&self) -> String {
+        "ms-controller".into()
+    }
+
+    impl_actor_any!();
+}
+
+/// Convenience re-export for deployment code.
+pub use dsps::node::Ping as NodePing;

@@ -1,0 +1,188 @@
+//! Control-plane protocol records exchanged between the controller and
+//! the per-node [`crate::scheme::MsScheme`].
+//!
+//! Wire sizes are small constants; every message crosses the cellular
+//! network (controller ↔ phones) or rides the region WiFi (bitmap
+//! replies), and is charged to `TrafficClass::Control`.
+
+use dsps::graph::OpId;
+use dsps::operator::OpState;
+use dsps::tuple::Tuple;
+use simkernel::ActorId;
+use simnet::bitmap::Bitmap;
+
+/// Controller → source nodes: begin checkpoint `version` (§III-B step 1).
+#[derive(Debug, Clone, Copy)]
+pub struct StartCheckpoint {
+    /// Checkpoint version being created.
+    pub version: u64,
+}
+
+/// Node → controller: this node finished checkpoint `version` (state
+/// snapshotted *and* replicated to the region).
+#[derive(Debug, Clone, Copy)]
+pub struct NodeCheckpointed {
+    /// Completed version.
+    pub version: u64,
+    /// Reporting region/slot.
+    pub region: usize,
+    /// Reporting slot.
+    pub slot: u32,
+}
+
+/// Controller → all region nodes: checkpoint `version` committed; GC
+/// everything older ("the input data and the checkpoint data will be
+/// kept until the next checkpoint of the region is completed").
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointComplete {
+    /// Committed version.
+    pub version: u64,
+}
+
+/// Controller → all region nodes: membership/tree update. Carried on
+/// startup and whenever a phone fails, enters or leaves the region.
+#[derive(Debug, Clone)]
+pub struct MembershipUpdate {
+    /// Actors of currently active region members, indexed by slot
+    /// (dead/departed slots keep their last actor but are absent from
+    /// `active_slots`).
+    pub slot_actors: Vec<ActorId>,
+    /// Slots currently alive and in-region.
+    pub active_slots: Vec<u32>,
+}
+
+/// Receiver → broadcast sender: reception bitmap for one phase of one
+/// job (the paper's per-receiver bitmap, Fig 6).
+#[derive(Debug, Clone)]
+pub struct BitmapReply {
+    /// The job this reply belongs to.
+    pub stream: u64,
+    /// Cumulative reception bitmap over all job blocks.
+    pub received: Bitmap,
+}
+
+/// Internal (sender-side): give up waiting for stragglers' bitmaps.
+#[derive(Debug, Clone, Copy)]
+pub struct BitmapTimeout {
+    /// Job id.
+    pub stream: u64,
+    /// Phase the timeout was armed for.
+    pub phase: u32,
+}
+
+/// Broadcast completion: logical content of a finished job, delivered
+/// to every receiver as a zero-cost event (all bytes were already
+/// charged by the UDP/TCP phases).
+#[derive(Debug, Clone)]
+pub enum BlobContent {
+    /// Checkpoint states of the sending node.
+    Checkpoint {
+        /// Version being replicated.
+        version: u64,
+        /// Operator states with their sizes.
+        states: Vec<(OpId, OpState, u64)>,
+    },
+    /// One preserved source input. The broadcast doubles as the data
+    /// delivery: the receiver hosting `deliver_edge`'s target enqueues
+    /// the tuple as stream input, so the frame crosses the channel
+    /// exactly once (preservation piggybacks on the data path).
+    Preserve {
+        /// Preservation epoch (= version the input follows).
+        epoch: u64,
+        /// Source operator the input belongs to.
+        op: OpId,
+        /// The tuple.
+        tuple: Tuple,
+        /// The out-edge this tuple travels on (None = pure log copy).
+        deliver_edge: Option<dsps::graph::EdgeId>,
+    },
+}
+
+/// Broadcast completion delivery (sender → each receiver, zero-cost).
+#[derive(Debug, Clone)]
+pub struct BlobDeliver {
+    /// Originating slot.
+    pub from_slot: u32,
+    /// Originating actor (receiver-side job key).
+    pub from_actor: ActorId,
+    /// Job id (receiver-side job key).
+    pub stream: u64,
+    /// Content.
+    pub content: BlobContent,
+}
+
+/// Controller → all hosting nodes: roll back to checkpoint `version`
+/// (classic checkpoint restoration, §III-D).
+#[derive(Debug, Clone, Copy)]
+pub struct RollbackTo {
+    /// Version to restore.
+    pub version: u64,
+}
+
+/// Controller → source nodes: replay preserved inputs of `epoch`
+/// (catch-up, §III-D).
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayInputs {
+    /// Epoch to replay.
+    pub epoch: u64,
+}
+
+/// Node → controller: recovery install finished; node is processing.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveredAck {
+    /// Region/slot of the recovered node.
+    pub region: usize,
+    /// Slot.
+    pub slot: u32,
+}
+
+/// Fault injector → node: the phone's GPS says it is leaving the
+/// region (§III-E). The node notifies the controller itself.
+#[derive(Debug, Clone, Copy)]
+pub struct Depart;
+
+/// Node → controller: "I am leaving the region" (GPS-based notice,
+/// triggers urgent mode and replacement).
+#[derive(Debug, Clone, Copy)]
+pub struct DepartureNotice {
+    /// Region/slot departing.
+    pub region: usize,
+    /// Slot departing.
+    pub slot: u32,
+}
+
+/// Controller → departing node: ship your operator states (and the
+/// install package) to the replacement over cellular.
+#[derive(Debug, Clone)]
+pub struct TransferStateTo {
+    /// Replacement phone.
+    pub replacement: ActorId,
+    /// Install package the replacement must apply (states filled in by
+    /// the departing node).
+    pub install: dsps::node::Install,
+}
+
+pub use dsps::node::{Reboot, RegisterNode};
+
+/// Controller-internal timer events.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CtlTimer {
+    /// Periodic checkpoint trigger for a region.
+    CheckpointTick { region: usize },
+    /// Periodic source-node ping round.
+    PingTick,
+    /// Ping round deadline: unanswered nodes are dead.
+    PingDeadline { round: u64 },
+    /// Burst-gather window closed; run recovery for the region.
+    RecoverNow { region: usize },
+}
+
+/// Wire sizes for control messages (bytes).
+pub mod wire {
+    /// Generic small control RPC.
+    pub const CONTROL: u64 = 64;
+    /// Membership update (slot table).
+    pub const MEMBERSHIP: u64 = 256;
+    /// Ping/pong probes.
+    pub const PING: u64 = 32;
+}

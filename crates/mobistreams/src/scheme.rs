@@ -1,0 +1,1043 @@
+//! Token-triggered checkpointing (§III-B, Fig 5): the per-node
+//! MobiStreams scheme.
+//!
+//! Responsibilities of [`MsScheme`] on each phone:
+//!
+//! * **Token alignment** — when a checkpoint token is consumed from a
+//!   remote in-edge, pause that edge; once tokens arrived on *all*
+//!   remote in-edges, snapshot every hosted operator, forward the token
+//!   on every remote out-edge, resume the paused edges, and ship the
+//!   snapshot to the whole region via the multi-phase broadcast.
+//! * **Source preservation** — log every fresh source input under the
+//!   current epoch and replicate it to the region (every node keeps a
+//!   copy, §III-B step 3).
+//! * **Recovery participation** — roll back to the MRC on controller
+//!   command, replay preserved inputs, and squelch sink output for
+//!   replayed tuples (catch-up, §III-D).
+//! * **Mobility participation** — notify the controller on departure
+//!   and ship state to the replacement over cellular (§III-E).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dsps::ft::FtScheme;
+use dsps::graph::{EdgeId, OpId, OpKind};
+use dsps::node::{InstallStates, NodeInner};
+use dsps::tuple::{Marker, StreamItem, Tuple};
+use simkernel::{ActorId, Ctx, Event};
+use simnet::bitmap::Bitmap;
+use simnet::stats::TrafficClass;
+use simnet::wifi::{SendMode, Service, WifiBatchRx, WifiBatchSend, WifiRx};
+use simnet::{payload, payload_as};
+use simnet::cellular::CellRx;
+
+use crate::broadcast::{BroadcastConfig, PhaseDecision, ReceiverState, SenderJob};
+use crate::msgs::*;
+
+/// MobiStreams per-node parameters.
+#[derive(Debug, Clone, Default)]
+pub struct MsSchemeConfig {
+    /// Broadcast engine parameters.
+    pub broadcast: BroadcastConfig,
+    /// Replicate source inputs to the region (on in the paper; off
+    /// only for ablation benches).
+    pub preserve_inputs: bool,
+}
+
+impl MsSchemeConfig {
+    /// Paper defaults.
+    pub fn paper() -> Self {
+        MsSchemeConfig {
+            broadcast: BroadcastConfig::default(),
+            preserve_inputs: true,
+        }
+    }
+}
+
+/// Alignment bookkeeping for one checkpoint version.
+#[derive(Debug, Default)]
+struct AlignState {
+    got: BTreeSet<EdgeId>,
+}
+
+/// Aggregate per-node protocol statistics (harvested by experiments).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SchemeStats {
+    /// Checkpoints this node completed.
+    pub checkpoints: u64,
+    /// Tokens consumed.
+    pub tokens_seen: u64,
+    /// Broadcast jobs started.
+    pub jobs_started: u64,
+    /// Total UDP payload bytes across finished jobs.
+    pub udp_bytes: u64,
+    /// Total bitmap reply bytes across finished jobs.
+    pub bitmap_bytes: u64,
+    /// Total TCP-residue bytes across finished jobs.
+    pub tcp_bytes: u64,
+    /// Rollbacks performed.
+    pub rollbacks: u64,
+    /// Source tuples replayed.
+    pub replayed: u64,
+}
+
+/// The MobiStreams fault-tolerance scheme.
+pub struct MsScheme {
+    cfg: MsSchemeConfig,
+    /// Current preservation epoch (version of the last started ckpt).
+    pub epoch: u64,
+    align: BTreeMap<u64, AlignState>,
+    /// Active slots per the controller's last membership update.
+    pub active_slots: Vec<u32>,
+    jobs: BTreeMap<u64, SenderJob>,
+    rx: ReceiverState,
+    next_stream: u64,
+    /// Tag → stream of in-flight TCP-phase completions.
+    tcp_tags: BTreeMap<u64, u64>,
+    /// Per-job queue of remaining phase chunks.
+    chunk_queues: BTreeMap<u64, std::collections::VecDeque<Vec<u32>>>,
+    /// Tag → stream for in-flight batch chunks.
+    batch_tags: BTreeMap<u64, u64>,
+    /// Last time each slot was reported silent (rate limiting).
+    reported_silent: BTreeMap<u32, simkernel::SimTime>,
+    /// Protocol statistics.
+    pub stats: SchemeStats,
+}
+
+impl MsScheme {
+    /// New scheme with the given parameters.
+    pub fn new(cfg: MsSchemeConfig) -> Self {
+        MsScheme {
+            cfg,
+            epoch: 0,
+            align: BTreeMap::new(),
+            active_slots: Vec::new(),
+            jobs: BTreeMap::new(),
+            rx: ReceiverState::default(),
+            next_stream: 0,
+            tcp_tags: BTreeMap::new(),
+            chunk_queues: BTreeMap::new(),
+            batch_tags: BTreeMap::new(),
+            reported_silent: BTreeMap::new(),
+            stats: SchemeStats::default(),
+        }
+    }
+
+    /// Paper-default scheme.
+    pub fn paper() -> Self {
+        MsScheme::new(MsSchemeConfig::paper())
+    }
+
+    /// Active peers (actors) excluding this node.
+    fn peers(&self, node: &NodeInner) -> Vec<ActorId> {
+        self.active_slots
+            .iter()
+            .filter(|&&s| s != node.cfg.slot)
+            .filter_map(|&s| node.slot_actors.get(s as usize).copied())
+            .collect()
+    }
+
+    fn alloc_stream(&mut self, node: &NodeInner) -> u64 {
+        let s = ((node.cfg.slot as u64) << 32) | self.next_stream;
+        self.next_stream += 1;
+        s
+    }
+
+    /// Launch a replication job for `content` of `total_bytes`.
+    fn start_job(
+        &mut self,
+        node: &mut NodeInner,
+        ctx: &mut Ctx,
+        content: BlobContent,
+        total_bytes: u64,
+        class: TrafficClass,
+    ) {
+        let expected = self.peers(node);
+        if expected.is_empty() || total_bytes == 0 {
+            self.finish_content(&content, node, ctx);
+            return;
+        }
+        let stream = self.alloc_stream(node);
+        let mut job = SenderJob::new(
+            stream,
+            content,
+            class,
+            total_bytes,
+            self.cfg.broadcast.block_bytes,
+            expected,
+        )
+        .with_max_phases(self.cfg.broadcast.max_phases);
+        let blocks = job.begin();
+        self.jobs.insert(stream, job);
+        self.stats.jobs_started += 1;
+        self.send_phase(node, ctx, stream, blocks);
+    }
+
+    /// Queue a phase's blocks as chunks and launch the first chunk.
+    /// The bitmap timeout is armed only once the last chunk has left
+    /// the channel (a multi-MB phase takes many seconds of airtime).
+    fn send_phase(&mut self, node: &mut NodeInner, ctx: &mut Ctx, stream: u64, blocks: Vec<u32>) {
+        let job = self.jobs.get(&stream).expect("job exists");
+        let mut chunks: std::collections::VecDeque<Vec<u32>> = std::collections::VecDeque::new();
+        let mut cur: Vec<u32> = Vec::new();
+        let mut cur_bytes = 0u64;
+        for b in blocks {
+            let sz = job.block_size(b);
+            if cur_bytes + sz > self.cfg.broadcast.chunk_bytes && !cur.is_empty() {
+                chunks.push_back(std::mem::take(&mut cur));
+                cur_bytes = 0;
+            }
+            cur.push(b);
+            cur_bytes += sz;
+        }
+        if !cur.is_empty() {
+            chunks.push_back(cur);
+        }
+        self.chunk_queues.insert(stream, chunks);
+        self.send_next_chunk(node, ctx, stream);
+    }
+
+    fn send_next_chunk(&mut self, node: &mut NodeInner, ctx: &mut Ctx, stream: u64) {
+        let Some(q) = self.chunk_queues.get_mut(&stream) else {
+            return;
+        };
+        let Some(blocks) = q.pop_front() else {
+            self.chunk_queues.remove(&stream);
+            return;
+        };
+        let reply_expected = q.is_empty();
+        let Some(job) = self.jobs.get(&stream) else {
+            return;
+        };
+        let payload_bytes = job.bytes_of(&blocks);
+        let tag = node.alloc_tag();
+        self.batch_tags.insert(tag, stream);
+        let src = ctx.self_id();
+        let wifi = node.wifi;
+        ctx.send(
+            wifi,
+            WifiBatchSend {
+                src,
+                class: job.class,
+                stream,
+                total_blocks: job.n_blocks,
+                blocks,
+                payload_bytes,
+                reply_expected,
+                tag,
+            },
+        );
+    }
+
+    fn arm_timeout(&self, ctx: &mut Ctx, stream: u64, phase: u32) {
+        let me = ctx.self_id();
+        ctx.send_in(
+            self.cfg.broadcast.bitmap_timeout,
+            me,
+            BitmapTimeout { stream, phase },
+        );
+    }
+
+    /// Drive a job forward after a phase decision.
+    fn apply_decision(
+        &mut self,
+        stream: u64,
+        decision: PhaseDecision,
+        node: &mut NodeInner,
+        ctx: &mut Ctx,
+    ) {
+        match decision {
+            PhaseDecision::Resend(blocks) => {
+                self.send_phase(node, ctx, stream, blocks);
+            }
+            PhaseDecision::TcpResidue(residue) => {
+                let job = self.jobs.get_mut(&stream).expect("job exists");
+                let receivers = job.receivers();
+                let edges = crate::broadcast::tcp_tree_edges(&residue, &receivers);
+                if edges.is_empty() {
+                    self.complete_job(stream, node, ctx);
+                    return;
+                }
+                let mut total_tcp = 0u64;
+                let class = job.class;
+                let mut sends: Vec<(ActorId, u64)> = Vec::new();
+                for (_, child_ix, blocks) in &edges {
+                    let bytes = job.bytes_of(blocks);
+                    total_tcp += bytes;
+                    sends.push((receivers[*child_ix], bytes));
+                }
+                job.note_tcp_bytes(total_tcp);
+                let last = sends.len() - 1;
+                for (i, (dst, bytes)) in sends.into_iter().enumerate() {
+                    let tag = if i == last { node.alloc_tag() } else { 0 };
+                    if tag != 0 {
+                        self.tcp_tags.insert(tag, stream);
+                    }
+                    node.send_wifi(
+                        ctx,
+                        SendMode::Unicast(dst),
+                        Service::Reliable,
+                        class,
+                        bytes,
+                        tag,
+                        None,
+                    );
+                }
+            }
+            PhaseDecision::Complete => {
+                self.complete_job(stream, node, ctx);
+            }
+        }
+    }
+
+    /// Deliver the blob logically and close out the job.
+    fn complete_job(&mut self, stream: u64, node: &mut NodeInner, ctx: &mut Ctx) {
+        let Some(job) = self.jobs.remove(&stream) else {
+            return;
+        };
+        self.stats.udp_bytes += job.stats.udp_bytes;
+        self.stats.bitmap_bytes += job.stats.bitmap_bytes;
+        self.stats.tcp_bytes += job.stats.tcp_bytes;
+        let deliver = BlobDeliver {
+            from_slot: node.cfg.slot,
+            stream,
+            from_actor: ctx.self_id(),
+            content: job.content.clone(),
+        };
+        for rx in job.receivers() {
+            ctx.send(rx, deliver.clone());
+        }
+        self.finish_content(&job.content, node, ctx);
+    }
+
+    /// Local bookkeeping when a blob is fully replicated.
+    fn finish_content(&mut self, content: &BlobContent, node: &mut NodeInner, ctx: &mut Ctx) {
+        if let BlobContent::Checkpoint { version, .. } = content {
+            self.stats.checkpoints += 1;
+            let msg = NodeCheckpointed {
+                version: *version,
+                region: node.cfg.region,
+                slot: node.cfg.slot,
+            };
+            node.send_controller(ctx, wire::CONTROL, msg);
+        }
+    }
+
+    /// Snapshot + token-forward + resume + ship (the "node checkpoint"
+    /// of Fig 5).
+    fn do_checkpoint(&mut self, version: u64, node: &mut NodeInner, ctx: &mut Ctx) {
+        let snaps = node.snapshot_ops();
+        let mut total = 0u64;
+        for (op, st, bytes) in &snaps {
+            node.store.put_state(version, *op, st.clone(), *bytes);
+            total += bytes;
+        }
+        // Forward the token downstream first — checkpoint shipping is
+        // asynchronous and must not delay the token wave.
+        for e in node.remote_out_edges() {
+            node.route_item(ctx, e, StreamItem::Marker(Marker::token(version)));
+        }
+        // Resume edges paused by alignment.
+        if let Some(st) = self.align.remove(&version) {
+            for e in st.got {
+                node.paused.remove(&e);
+            }
+        }
+        ctx.count("ms.checkpoints", 1);
+        if total == 0 {
+            // Stateless node: report done immediately.
+            self.finish_content(
+                &BlobContent::Checkpoint {
+                    version,
+                    states: Vec::new(),
+                },
+                node,
+                ctx,
+            );
+        } else {
+            self.start_job(
+                node,
+                ctx,
+                BlobContent::Checkpoint {
+                    version,
+                    states: snaps,
+                },
+                total,
+                TrafficClass::Checkpoint,
+            );
+        }
+    }
+
+    /// Source node handling of the controller's checkpoint trigger.
+    fn on_start_checkpoint(&mut self, version: u64, node: &mut NodeInner, ctx: &mut Ctx) {
+        let sources = node.hosted_sources();
+        // Inputs still queued were logged under the old epoch but will
+        // be emitted after the token: retag them to the new epoch.
+        for &op in &sources {
+            let ids: BTreeSet<u64> = node
+                .queues
+                .get(&EdgeId::source(op))
+                .map(|q| q.iter().filter_map(|i| i.as_tuple()).map(|t| t.id).collect())
+                .unwrap_or_default();
+            node.store.retag_inputs(self.epoch, version, op, &ids);
+        }
+        self.epoch = version;
+        // Emit tokens on the source ops' remote out-edges.
+        let graph = node.graph.clone();
+        for &op in &sources {
+            for &e in &graph.op(op).out_edges {
+                let to = graph.edge(e).to;
+                if node.op_slot[to.index()] != node.cfg.slot {
+                    node.route_item(ctx, e, StreamItem::Marker(Marker::token(version)));
+                }
+            }
+        }
+        let hosts_compute = node
+            .ops
+            .keys()
+            .any(|&o| graph.op(o).kind != OpKind::Source);
+        if hosts_compute {
+            // Mixed node: if no remote in-edges feed the compute ops the
+            // token wave can never trigger alignment here — checkpoint
+            // immediately (local chains snapshot with the sources).
+            if node.remote_in_edges().is_empty() {
+                self.do_checkpoint(version, node, ctx);
+            }
+        } else {
+            // Pure source node: stateless, ack right away.
+            self.finish_content(
+                &BlobContent::Checkpoint {
+                    version,
+                    states: Vec::new(),
+                },
+                node,
+                ctx,
+            );
+        }
+    }
+
+    fn on_blob(&mut self, blob: BlobDeliver, node: &mut NodeInner, _ctx: &mut Ctx) {
+        self.rx.finish(blob.from_actor, blob.stream);
+        match blob.content {
+            BlobContent::Checkpoint { version, states } => {
+                for (op, st, bytes) in states {
+                    node.store.put_state(version, op, st, bytes);
+                }
+            }
+            BlobContent::Preserve {
+                epoch,
+                op,
+                tuple,
+                deliver_edge,
+            } => {
+                node.store.preserve_input(epoch, op, tuple.clone());
+                if let Some(edge) = deliver_edge {
+                    let target = node.graph.edge_target(edge);
+                    if node.hosts(target) {
+                        node.push_item(edge, dsps::tuple::StreamItem::Tuple(tuple));
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_rollback(&mut self, version: u64, node: &mut NodeInner, ctx: &mut Ctx) {
+        node.abort_current();
+        node.clear_queues();
+        self.align.clear();
+        self.jobs.clear();
+        let ops: Vec<OpId> = node.ops.keys().copied().collect();
+        let states: Vec<(OpId, dsps::operator::OpState)> = ops
+            .iter()
+            .filter_map(|&op| node.store.state(version, op).map(|s| (op, s.clone())))
+            .collect();
+        node.restore_ops(&states);
+        self.stats.rollbacks += 1;
+        ctx.count("ms.rollbacks", 1);
+        let ack = RecoveredAck {
+            region: node.cfg.region,
+            slot: node.cfg.slot,
+        };
+        node.send_controller(ctx, wire::CONTROL, ack);
+    }
+
+
+    /// Source-node emission: replace the unicast hop with one reliable
+    /// broadcast job that (a) delivers the tuple to its downstream
+    /// neighbor and (b) leaves a preservation copy on every node —
+    /// §III-B step 3 at the cost of a single transmission.
+    fn preserve_and_deliver(
+        &mut self,
+        tuple: &Tuple,
+        edge: EdgeId,
+        node: &mut NodeInner,
+        ctx: &mut Ctx,
+    ) {
+        let op = node.graph.edge(edge).from;
+        let content = BlobContent::Preserve {
+            epoch: self.epoch,
+            op,
+            tuple: tuple.clone(),
+            deliver_edge: Some(edge),
+        };
+        let bytes = tuple.bytes;
+        self.start_job(node, ctx, content, bytes, TrafficClass::Preservation);
+    }
+
+    fn on_replay(&mut self, epoch: u64, node: &mut NodeInner, ctx: &mut Ctx) {
+        let _ = ctx;
+        for op in node.hosted_sources() {
+            let tuples: Vec<Tuple> = node
+                .store
+                .source_log(epoch, op)
+                .map(|l| l.tuples.clone())
+                .unwrap_or_default();
+            self.stats.replayed += tuples.len() as u64;
+            for t in tuples {
+                node.push_source_replay(op, t);
+            }
+        }
+    }
+}
+
+impl FtScheme for MsScheme {
+    fn name(&self) -> &'static str {
+        "mobistreams"
+    }
+
+    fn on_emit(&mut self, tuple: &Tuple, edge: EdgeId, node: &mut NodeInner, ctx: &mut Ctx) -> bool {
+        if !self.cfg.preserve_inputs || tuple.replay || edge.is_source() {
+            return true;
+        }
+        let from = node.graph.edge(edge).from;
+        let is_source = node.graph.op(from).kind == OpKind::Source;
+        if !is_source || !node.hosts(from) {
+            return true;
+        }
+        // Local edges and empty regions use the normal path.
+        let to = node.graph.edge(edge).to;
+        if node.op_slot[to.index()] == node.cfg.slot || self.peers(node).is_empty() {
+            return true;
+        }
+        self.preserve_and_deliver(tuple, edge, node, ctx);
+        false
+    }
+
+    fn on_marker(&mut self, marker: Marker, edge: EdgeId, node: &mut NodeInner, ctx: &mut Ctx) {
+        if marker.kind != Marker::CHECKPOINT_TOKEN {
+            return;
+        }
+        self.stats.tokens_seen += 1;
+        let v = marker.version;
+        // Pause this edge: tuples succeeding the token must not corrupt
+        // the pre-checkpoint state (Fig 5, node E).
+        node.paused.insert(edge);
+        let st = self.align.entry(v).or_default();
+        st.got.insert(edge);
+        let needed: BTreeSet<EdgeId> = node.remote_in_edges().into_iter().collect();
+        if st.got.is_superset(&needed) {
+            self.do_checkpoint(v, node, ctx);
+        }
+    }
+
+    fn on_source_input(&mut self, tuple: &Tuple, op: OpId, node: &mut NodeInner, ctx: &mut Ctx) {
+        let _ = ctx;
+        // Log locally; region-wide replication happens when the source
+        // emits (the broadcast then doubles as the data delivery).
+        node.store.preserve_input(self.epoch, op, tuple.clone());
+    }
+
+
+    fn on_custom(&mut self, ev: Box<dyn Event>, node: &mut NodeInner, ctx: &mut Ctx) -> bool {
+        // Dead nodes react to nothing (reboot is handled by the node
+        // runtime itself).
+        if !node.alive {
+            return true;
+        }
+        simkernel::match_event!(ev,
+            // --- receiver side of the broadcast protocol ---
+            b: WifiBatchRx => {
+                let cum = self.rx.on_batch(b.src, b.stream, b.total_blocks, &b.blocks, &b.received);
+                if b.reply_expected {
+                    let reply = BitmapReply { stream: b.stream, received: cum };
+                    let bytes = reply.received.wire_bytes();
+                    node.send_wifi(
+                        ctx,
+                        SendMode::Unicast(b.src),
+                        Service::Reliable,
+                        b.class,
+                        bytes,
+                        0,
+                        Some(payload(reply)),
+                    );
+                }
+            },
+            // --- sender side: bitmap replies arrive over WiFi ---
+            rx: WifiRx => {
+                if let Some(reply) = payload_as::<BitmapReply>(&rx.payload) {
+                    let stream = reply.stream;
+                    let decision = self
+                        .jobs
+                        .get_mut(&stream)
+                        .and_then(|j| j.on_bitmap(rx.src, &reply.received));
+                    if let Some(d) = decision {
+                        self.apply_decision(stream, d, node, ctx);
+                    }
+                }
+            },
+            t: BitmapTimeout => {
+                let silent: Vec<simkernel::ActorId> = self
+                    .jobs
+                    .get(&t.stream)
+                    .filter(|j| j.phase == t.phase && !j.is_done())
+                    .map(|j| j.awaiting().to_vec())
+                    .unwrap_or_default();
+                let decision = self
+                    .jobs
+                    .get_mut(&t.stream)
+                    .and_then(|j| j.on_timeout(t.phase));
+                if let Some(d) = decision {
+                    // Receivers that never acknowledged a broadcast are
+                    // dead or departed — report them (the broadcast path
+                    // replaces per-edge TCP, so this IS the upstream
+                    // failure detection of §III-D for those edges).
+                    for actor in silent {
+                        if let Some(slot) = node
+                            .slot_actors
+                            .iter()
+                            .position(|&a| a == actor)
+                        {
+                            let slot = slot as u32;
+                            let now = ctx.now();
+                            let recent = self
+                                .reported_silent
+                                .get(&slot)
+                                .is_some_and(|&t| now.since(t) < simkernel::SimDuration::from_secs(60));
+                            if !recent {
+                                self.reported_silent.insert(slot, now);
+                                let report = dsps::node::ReportDead {
+                                    region: node.cfg.region,
+                                    slot,
+                                    observed_by: node.cfg.slot,
+                                };
+                                node.send_controller(ctx, wire::CONTROL, report);
+                            }
+                        }
+                    }
+                    self.apply_decision(t.stream, d, node, ctx);
+                }
+            },
+            d: simnet::TxDone => {
+                if let Some(stream) = self.batch_tags.remove(&d.tag) {
+                    let more = self
+                        .chunk_queues
+                        .get(&stream)
+                        .map(|q| !q.is_empty())
+                        .unwrap_or(false);
+                    if more {
+                        self.send_next_chunk(node, ctx, stream);
+                    } else {
+                        self.chunk_queues.remove(&stream);
+                        if let Some(job) = self.jobs.get(&stream) {
+                            let phase = job.phase;
+                            self.arm_timeout(ctx, stream, phase);
+                        }
+                    }
+                } else if let Some(stream) = self.tcp_tags.remove(&d.tag) {
+                    self.complete_job(stream, node, ctx);
+                }
+            },
+            f: simnet::TxFailed => {
+                if let Some(stream) = self.tcp_tags.remove(&f.tag) {
+                    // Best effort: the dead receiver is the controller's
+                    // problem; the blob is complete for survivors.
+                    self.complete_job(stream, node, ctx);
+                }
+            },
+            blob: BlobDeliver => {
+                self.on_blob(blob, node, ctx);
+            },
+            // --- controller RPCs over cellular ---
+            rx: CellRx => {
+                if let Some(s) = payload_as::<StartCheckpoint>(&rx.payload) {
+                    self.on_start_checkpoint(s.version, node, ctx);
+                } else if let Some(c) = payload_as::<CheckpointComplete>(&rx.payload) {
+                    node.store.mark_complete(c.version);
+                    node.store.gc_before(c.version);
+                } else if let Some(r) = payload_as::<RollbackTo>(&rx.payload) {
+                    self.on_rollback(r.version, node, ctx);
+                } else if let Some(r) = payload_as::<ReplayInputs>(&rx.payload) {
+                    self.on_replay(r.epoch, node, ctx);
+                } else if let Some(m) = payload_as::<MembershipUpdate>(&rx.payload) {
+                    node.slot_actors = m.slot_actors.clone();
+                    self.active_slots = m.active_slots.clone();
+                } else if let Some(t) = payload_as::<TransferStateTo>(&rx.payload) {
+                    // Departing node: package states and ship the install
+                    // over cellular (we are out of WiFi range).
+                    let snaps = node.snapshot_ops();
+                    let bytes: u64 = snaps.iter().map(|(_, _, b)| *b).sum();
+                    let mut install = t.install.clone();
+                    install.states = InstallStates::Explicit(
+                        snaps.into_iter().map(|(op, st, _)| (op, st)).collect(),
+                    );
+                    let dst = t.replacement;
+                    node.send_cell(
+                        ctx,
+                        dst,
+                        TrafficClass::Recovery,
+                        bytes.max(1),
+                        0,
+                        Some(payload(install)),
+                    );
+                } else {
+                    return false;
+                }
+            },
+            // --- fault injection ---
+            _d: Depart => {
+                let notice = DepartureNotice {
+                    region: node.cfg.region,
+                    slot: node.cfg.slot,
+                };
+                node.send_controller(ctx, wire::CONTROL, notice);
+            },
+            @else _other => {
+                return false;
+            }
+        );
+        true
+    }
+
+    fn on_install(&mut self, node: &mut NodeInner, ctx: &mut Ctx) {
+        self.align.clear();
+        self.jobs.clear();
+        let ack = RecoveredAck {
+            region: node.cfg.region,
+            slot: node.cfg.slot,
+        };
+        node.send_controller(ctx, wire::CONTROL, ack);
+    }
+
+    fn preserved_bytes(&self, node: &NodeInner) -> u64 {
+        node.store.preserved_input_bytes()
+    }
+}
+
+/// Dummy bitmap type re-export check (keeps `Bitmap` linked in docs).
+#[doc(hidden)]
+pub type _BitmapAlias = Bitmap;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsps::ft::NullScheme;
+    use dsps::graph::QueryGraph;
+    use dsps::node::{NodeActor, NodeConfig, NodeInner, PrimaryTransport, SourceEmit};
+    use dsps::ops::{Counter, Relay};
+    use dsps::tuple::value;
+    use simkernel::{impl_actor_any, Actor, Sim, SimDuration, SimTime};
+    use simnet::cellular::{CellConfig, CellSend, CellularNet};
+    use simnet::wifi::{WifiConfig, WifiMedium};
+    use std::sync::Arc;
+
+    /// Records control messages arriving at "the controller".
+    #[derive(Default)]
+    struct CtlStub {
+        checkpointed: Vec<(u64, u32)>,
+        acks: Vec<u32>,
+    }
+
+    impl Actor for CtlStub {
+        fn on_event(&mut self, ev: Box<dyn simkernel::Event>, _ctx: &mut Ctx) {
+            if let Ok(rx) = ev.downcast::<CellRx>() {
+                if let Some(m) = payload_as::<NodeCheckpointed>(&rx.payload) {
+                    self.checkpointed.push((m.version, m.slot));
+                } else if let Some(a) = payload_as::<RecoveredAck>(&rx.payload) {
+                    self.acks.push(a.slot);
+                }
+            }
+        }
+        impl_actor_any!();
+    }
+
+    struct Rig {
+        sim: Sim,
+        nodes: Vec<simkernel::ActorId>,
+        cell: simkernel::ActorId,
+        ctl: simkernel::ActorId,
+    }
+
+    /// Chain S → A(counter) → K on slots 0,1,2 (+1 idle), MsScheme on
+    /// every node, lossless WiFi for deterministic assertions.
+    fn rig() -> Rig {
+        let mut g = QueryGraph::new();
+        let s = g.add_op("S", dsps::graph::OpKind::Source, || {
+            Box::new(Relay::new(SimDuration::from_millis(1)))
+        });
+        let a = g.add_op("A", dsps::graph::OpKind::Compute, || {
+            Box::new(Counter::new(SimDuration::from_millis(20), 1).with_state_padding(64 * 1024))
+        });
+        let k = g.add_op("K", dsps::graph::OpKind::Sink, || {
+            Box::new(Relay::new(SimDuration::from_millis(1)))
+        });
+        g.connect(s, a);
+        g.connect(a, k);
+        let graph = Arc::new(g);
+
+        let mut sim = Sim::new(77);
+        let ctl = sim.add_actor(Box::<CtlStub>::default());
+        let wifi = sim.add_actor(Box::new(WifiMedium::new(WifiConfig {
+            loss: 0.0,
+            ..WifiConfig::default()
+        })));
+        let cell = sim.add_actor(Box::new(CellularNet::new(CellConfig::default())));
+        let mut nodes = Vec::new();
+        for slot in 0..4u32 {
+            let mut inner = NodeInner::new(
+                NodeConfig {
+                    slot,
+                    primary: PrimaryTransport::Wifi,
+                    ..NodeConfig::default()
+                },
+                Arc::clone(&graph),
+                wifi,
+                cell,
+                ctl,
+            );
+            inner.op_slot = vec![0, 1, 2];
+            let mut scheme = MsScheme::paper();
+            scheme.active_slots = vec![0, 1, 2, 3];
+            let id = sim.add_actor(Box::new(NodeActor::new(inner, Box::new(scheme))));
+            nodes.push(id);
+        }
+        for (slot, &nid) in nodes.iter().enumerate() {
+            let na = sim.actor_mut::<NodeActor>(nid);
+            na.inner.slot_actors = nodes.clone();
+            if slot < 3 {
+                na.inner.host_op(dsps::graph::OpId(slot as u32));
+            }
+        }
+        {
+            let m = sim.actor_mut::<WifiMedium>(wifi);
+            for &n in &nodes {
+                m.add_member(n);
+            }
+            let c = sim.actor_mut::<CellularNet>(cell);
+            for &n in &nodes {
+                c.register(n);
+            }
+            c.register_with_rates(ctl, 1e9, 1e9);
+        }
+        Rig { sim, nodes, cell, ctl }
+    }
+
+    fn feed(rig: &mut Rig, n: usize, every_ms: u64) {
+        for i in 0..n {
+            rig.sim.schedule_at(
+                SimTime::from_millis(10 + every_ms * i as u64),
+                rig.nodes[0],
+                SourceEmit {
+                    op: dsps::graph::OpId(0),
+                    value: value(i as u64),
+                    bytes: 5000,
+                },
+            );
+        }
+    }
+
+    fn start_ckpt(rig: &mut Rig, at_ms: u64, version: u64) {
+        let ctl = rig.ctl;
+        let dst = rig.nodes[0];
+        rig.sim.schedule_at(
+            SimTime::from_millis(at_ms),
+            rig.cell,
+            CellSend {
+                src: ctl,
+                dst,
+                class: TrafficClass::Control,
+                bytes: 64,
+                tag: 0,
+                payload: Some(payload(StartCheckpoint { version })),
+            },
+        );
+    }
+
+    #[test]
+    fn token_wave_checkpoints_and_replicates() {
+        let mut rig = rig();
+        feed(&mut rig, 5, 300);
+        start_ckpt(&mut rig, 800, 1);
+        rig.sim.run_until(SimTime::from_secs(30));
+        // Source (stateless) and the A/K nodes all reported the version.
+        let ctl = rig.sim.actor::<CtlStub>(rig.ctl);
+        let slots: Vec<u32> = ctl
+            .checkpointed
+            .iter()
+            .filter(|&&(v, _)| v == 1)
+            .map(|&(_, s)| s)
+            .collect();
+        assert!(slots.contains(&0) && slots.contains(&1) && slots.contains(&2), "{slots:?}");
+        // Every OTHER node (incl. the idle slot 3) received A's state
+        // via the broadcast.
+        for (i, &nid) in rig.nodes.iter().enumerate() {
+            if i == 1 {
+                continue; // A's own copy is local
+            }
+            let na = rig.sim.actor::<NodeActor>(nid);
+            assert!(
+                na.inner.store.state(1, dsps::graph::OpId(1)).is_some(),
+                "slot {i} holds A's checkpoint"
+            );
+        }
+    }
+
+    #[test]
+    fn alignment_pauses_edge_until_checkpoint() {
+        let mut rig = rig();
+        feed(&mut rig, 2, 100);
+        start_ckpt(&mut rig, 500, 1);
+        rig.sim.run_until(SimTime::from_secs(20));
+        // After the wave completes nothing stays paused.
+        for &nid in &rig.nodes {
+            let na = rig.sim.actor::<NodeActor>(nid);
+            assert!(na.inner.paused.is_empty(), "no edge left paused");
+        }
+        // Tokens were consumed (A and K each saw one).
+        let a = rig.sim.actor::<NodeActor>(rig.nodes[1]);
+        let a_scheme = a.scheme.as_ref();
+        let _ = a_scheme;
+    }
+
+    #[test]
+    fn preservation_epoch_gc_on_complete() {
+        let mut rig = rig();
+        feed(&mut rig, 4, 200);
+        start_ckpt(&mut rig, 2000, 1);
+        rig.sim.run_until(SimTime::from_secs(5));
+        let src = rig.sim.actor::<NodeActor>(rig.nodes[0]);
+        let pre_epoch0 = src.inner.store.source_log(0, dsps::graph::OpId(0)).map(|l| l.tuples.len());
+        assert!(pre_epoch0.unwrap_or(0) > 0, "epoch-0 inputs logged");
+        // Commit v1: epoch-0 data must be GC'd everywhere.
+        for &nid in rig.nodes.clone().iter() {
+            let ctl = rig.ctl;
+            rig.sim.schedule_at(
+                rig.sim.now(),
+                rig.cell,
+                CellSend {
+                    src: ctl,
+                    dst: nid,
+                    class: TrafficClass::Control,
+                    bytes: 64,
+                    tag: 0,
+                    payload: Some(payload(CheckpointComplete { version: 1 })),
+                },
+            );
+        }
+        rig.sim.run_until(rig.sim.now() + SimDuration::from_secs(2));
+        let src = rig.sim.actor::<NodeActor>(rig.nodes[0]);
+        assert!(
+            src.inner.store.source_log(0, dsps::graph::OpId(0)).is_none(),
+            "epoch 0 garbage-collected after commit"
+        );
+        assert_eq!(src.inner.store.latest_complete(), Some(1));
+    }
+
+    #[test]
+    fn rollback_restores_and_acks() {
+        let mut rig = rig();
+        feed(&mut rig, 3, 100);
+        start_ckpt(&mut rig, 600, 1);
+        rig.sim.run_until(SimTime::from_secs(10));
+        // More tuples after the checkpoint change A's counter.
+        feed(&mut rig, 3, 100);
+        rig.sim.run_until(SimTime::from_secs(20));
+        // Roll A's node back to v1.
+        let ctl = rig.ctl;
+        let a_node = rig.nodes[1];
+        rig.sim.schedule_at(
+            rig.sim.now(),
+            rig.cell,
+            CellSend {
+                src: ctl,
+                dst: a_node,
+                class: TrafficClass::Control,
+                bytes: 64,
+                tag: 0,
+                payload: Some(payload(RollbackTo { version: 1 })),
+            },
+        );
+        rig.sim.run_until(rig.sim.now() + SimDuration::from_secs(2));
+        let ctl_stub = rig.sim.actor::<CtlStub>(rig.ctl);
+        assert!(ctl_stub.acks.contains(&1), "rollback acked");
+    }
+
+    #[test]
+    fn replay_marks_tuples_and_sink_squelches() {
+        let mut rig = rig();
+        feed(&mut rig, 3, 100);
+        start_ckpt(&mut rig, 600, 1);
+        rig.sim.run_until(SimTime::from_secs(10));
+        feed(&mut rig, 3, 100); // epoch-1 inputs
+        rig.sim.run_until(SimTime::from_secs(20));
+        let before = rig.sim.actor::<NodeActor>(rig.nodes[2]).inner.metrics.sink_samples.len();
+        // Replay epoch 1 at the source.
+        let ctl = rig.ctl;
+        let s_node = rig.nodes[0];
+        rig.sim.schedule_at(
+            rig.sim.now(),
+            rig.cell,
+            CellSend {
+                src: ctl,
+                dst: s_node,
+                class: TrafficClass::Control,
+                bytes: 64,
+                tag: 0,
+                payload: Some(payload(ReplayInputs { epoch: 1 })),
+            },
+        );
+        rig.sim.run_until(rig.sim.now() + SimDuration::from_secs(10));
+        let sink = rig.sim.actor::<NodeActor>(rig.nodes[2]);
+        assert_eq!(
+            sink.inner.metrics.sink_samples.len(),
+            before,
+            "replayed results are discarded, not re-published"
+        );
+        assert!(sink.inner.metrics.catchup_discards >= 3, "squelch counted");
+    }
+
+    #[test]
+    fn null_scheme_node_ignores_tokens() {
+        // A base-scheme node receiving a stray token just drops it.
+        let mut sim = Sim::new(1);
+        let mut g = QueryGraph::new();
+        let s = g.add_op("S", dsps::graph::OpKind::Source, || {
+            Box::new(Relay::new(SimDuration::from_millis(1)))
+        });
+        let k = g.add_op("K", dsps::graph::OpKind::Sink, || {
+            Box::new(Relay::new(SimDuration::from_millis(1)))
+        });
+        g.connect(s, k);
+        let graph = Arc::new(g);
+        let wifi = sim.add_actor(Box::new(WifiMedium::new(WifiConfig::default())));
+        let cell = sim.add_actor(Box::new(CellularNet::new(CellConfig::default())));
+        let ctl = sim.add_actor(Box::<CtlStub>::default());
+        let mut inner = NodeInner::new(NodeConfig::default(), graph, wifi, cell, ctl);
+        inner.op_slot = vec![0, 0];
+        inner.host_op(dsps::graph::OpId(0));
+        inner.host_op(dsps::graph::OpId(1));
+        inner.slot_actors = vec![simkernel::ActorId::from_index(3)];
+        let node = sim.add_actor(Box::new(NodeActor::new(inner, Box::new(NullScheme))));
+        sim.actor_mut::<NodeActor>(node).inner.slot_actors = vec![node];
+        sim.schedule_at(
+            SimTime::ZERO,
+            node,
+            dsps::node::ItemMsg {
+                edge: dsps::graph::EdgeId(0),
+                from_slot: 9,
+                item: dsps::tuple::StreamItem::Marker(Marker::token(1)),
+            },
+        );
+        sim.run_until(SimTime::from_secs(1));
+        // No panic, nothing stuck.
+        assert!(sim.actor::<NodeActor>(node).inner.paused.is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Type-erased events exchanged between actors.
+//!
+//! Every message in the simulation — a WiFi frame, a stream tuple, a
+//! controller ping, a timer — is a concrete struct implementing [`Event`]
+//! (which is blanket-implemented for any `'static + Debug` type). Actors
+//! receive `Box<dyn Event>` and downcast to the types they understand,
+//! which keeps the crates decoupled: `simnet` never needs to know about
+//! checkpoint tokens, and `mobistreams` never needs to know about
+//! Ethernet frames.
+
+use std::any::Any;
+use std::fmt;
+
+/// A simulation event/message. Blanket-implemented for every
+/// `'static + Debug` type; do not implement manually.
+pub trait Event: Any + fmt::Debug {
+    /// Upcast to `&dyn Any` for downcasting.
+    fn as_any(&self) -> &dyn Any;
+    /// Upcast to `Box<dyn Any>` for by-value downcasting.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+    /// The event's type name, for traces and "unhandled event" panics.
+    fn type_name(&self) -> &'static str;
+}
+
+impl<T: Any + fmt::Debug> Event for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+    fn type_name(&self) -> &'static str {
+        std::any::type_name::<T>()
+    }
+}
+
+impl dyn Event {
+    /// True if the boxed event is a `T`.
+    pub fn is<T: Any>(&self) -> bool {
+        self.as_any().is::<T>()
+    }
+
+    /// Borrowing downcast.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        self.as_any().downcast_ref::<T>()
+    }
+
+    /// Consuming downcast; returns the original box on mismatch so the
+    /// caller can try the next candidate type.
+    pub fn downcast<T: Any>(self: Box<dyn Event>) -> Result<Box<T>, Box<dyn Event>> {
+        if self.is::<T>() {
+            Ok(self.into_any().downcast::<T>().expect("checked by is::<T>"))
+        } else {
+            Err(self)
+        }
+    }
+}
+
+/// Dispatch a boxed event to per-type handlers. Expands to an
+/// if-let-downcast chain; the final arm handles "no match".
+///
+/// ```
+/// use simkernel::{match_event, Event};
+/// #[derive(Debug)] struct A(u32);
+/// #[derive(Debug)] struct B;
+/// let ev: Box<dyn Event> = Box::new(A(7));
+/// let mut got = 0;
+/// match_event!(ev,
+///     a: A => { got = a.0; },
+///     _b: B => { got = 99; },
+///     @else other => { panic!("unhandled {}", other.type_name()); }
+/// );
+/// assert_eq!(got, 7);
+/// ```
+#[macro_export]
+macro_rules! match_event {
+    ($ev:expr, $( $name:ident : $ty:ty => $body:block ),+ , @else $fallback:ident => $fb:block ) => {{
+        let mut __ev: Box<dyn $crate::Event> = $ev;
+        #[allow(unreachable_code, clippy::never_loop)]
+        loop {
+            $(
+                __ev = match __ev.downcast::<$ty>() {
+                    Ok(__b) => {
+                        let $name: $ty = *__b;
+                        $body
+                        break;
+                    }
+                    Err(__e) => __e,
+                };
+            )+
+            let $fallback = __ev;
+            $fb
+            break;
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Ping(u64);
+    #[derive(Debug)]
+    struct Pong;
+
+    #[test]
+    fn downcast_ref_and_is() {
+        let ev: Box<dyn Event> = Box::new(Ping(9));
+        assert!(ev.is::<Ping>());
+        assert!(!ev.is::<Pong>());
+        assert_eq!(ev.downcast_ref::<Ping>(), Some(&Ping(9)));
+        assert!(ev.downcast_ref::<Pong>().is_none());
+    }
+
+    #[test]
+    fn consuming_downcast_success_and_recovery() {
+        let ev: Box<dyn Event> = Box::new(Ping(3));
+        let ev = match ev.downcast::<Pong>() {
+            Ok(_) => panic!("wrong type matched"),
+            Err(original) => original,
+        };
+        let ping = ev.downcast::<Ping>().expect("should match Ping");
+        assert_eq!(*ping, Ping(3));
+    }
+
+    #[test]
+    fn type_name_reports_concrete_type() {
+        let ev: Box<dyn Event> = Box::new(Pong);
+        // Note: call through the deref — `Box<dyn Event>` itself satisfies
+        // the blanket impl, so `ev.type_name()` would name the Box.
+        assert!((*ev).type_name().ends_with("Pong"));
+    }
+
+    #[test]
+    fn match_event_dispatch() {
+        let ev: Box<dyn Event> = Box::new(Pong);
+        let mut hit = "";
+        match_event!(ev,
+            _p: Ping => { hit = "ping"; },
+            _q: Pong => { hit = "pong"; },
+            @else _other => { hit = "none"; }
+        );
+        assert_eq!(hit, "pong");
+    }
+
+    #[test]
+    fn match_event_fallback() {
+        #[derive(Debug)]
+        struct Mystery;
+        let ev: Box<dyn Event> = Box::new(Mystery);
+        let mut hit = "";
+        match_event!(ev,
+            _p: Ping => { hit = "ping"; },
+            @else other => { hit = if other.is::<Mystery>() { "mystery" } else { "?" }; }
+        );
+        assert_eq!(hit, "mystery");
+    }
+}

@@ -1,0 +1,254 @@
+//! Deterministic randomness for simulations.
+//!
+//! A single [`SimRng`] per simulation keeps runs reproducible: identical
+//! seeds and identical event orders yield identical draws. Distributions
+//! beyond `rand`'s core (exponential, normal, Poisson) are implemented
+//! here so the workspace stays within its vetted dependency set.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Seeded, deterministic random number generator.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+    /// Cached second normal deviate from Box–Muller.
+    spare_normal: Option<f64>,
+}
+
+impl SimRng {
+    /// Create from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Derive an independent child generator (e.g. one per experiment
+    /// run) so parallel runs never share a stream.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::new(s)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform usize in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index() over empty collection");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli draw. `p` is clamped to `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "uniform bounds inverted: [{lo}, {hi})");
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Exponential deviate with the given mean (inverse-transform).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        // Guard the log: f64() may return exactly 0.
+        let u = (1.0 - self.f64()).max(f64::MIN_POSITIVE);
+        -mean * u.ln()
+    }
+
+    /// Standard normal deviate (Box–Muller, with deviate caching).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        let u1 = self.f64().max(f64::MIN_POSITIVE);
+        let u2 = self.f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal deviate with mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, stddev: f64) -> f64 {
+        assert!(stddev >= 0.0, "stddev must be non-negative");
+        mean + stddev * self.standard_normal()
+    }
+
+    /// Poisson deviate (Knuth's product method; fine for the small means
+    /// used by the passenger-arrival models).
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        assert!(mean >= 0.0, "poisson mean must be non-negative");
+        if mean == 0.0 {
+            return 0;
+        }
+        if mean > 30.0 {
+            // Normal approximation for large means to bound loop length.
+            return self.normal(mean, mean.sqrt()).round().max(0.0) as u64;
+        }
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.f64();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Pick a uniformly random element of a slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_same_seed() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "independent streams should rarely collide");
+    }
+
+    #[test]
+    fn fork_is_deterministic_but_distinct() {
+        let mut parent1 = SimRng::new(5);
+        let mut parent2 = SimRng::new(5);
+        let mut c1 = parent1.fork(11);
+        let mut c2 = parent2.fork(11);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        let mut c3 = parent1.fork(12);
+        assert_ne!(c1.next_u64(), c3.next_u64());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn chance_statistics() {
+        let mut r = SimRng::new(99);
+        let hits = (0..20_000).filter(|_| r.chance(0.3)).count() as f64;
+        let p_hat = hits / 20_000.0;
+        assert!((p_hat - 0.3).abs() < 0.02, "p_hat = {p_hat}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = SimRng::new(13);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(2.5)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.5).abs() < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = SimRng::new(17);
+        let n = 50_000;
+        let draws: Vec<f64> = (0..n).map(|_| r.normal(10.0, 3.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean = {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var = {var}");
+    }
+
+    #[test]
+    fn poisson_mean() {
+        let mut r = SimRng::new(23);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| r.poisson(4.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean = {mean}");
+        assert_eq!(r.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_approx() {
+        let mut r = SimRng::new(29);
+        let n = 5_000;
+        let sum: u64 = (0..n).map(|_| r.poisson(100.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 100.0).abs() < 2.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::new(31);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut r = SimRng::new(37);
+        for _ in 0..1000 {
+            let x = r.uniform(2.0, 5.0);
+            assert!((2.0..5.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,525 @@
+//! The simulation event loop.
+//!
+//! [`Sim`] owns the clock, the pending-event heap, the actor table, the
+//! RNG and the trace. Events are totally ordered by `(time, sequence)`,
+//! where the sequence number is assigned at scheduling time — so two
+//! events scheduled for the same instant are delivered in the order they
+//! were scheduled, and runs are bit-for-bit reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::actor::{Actor, ActorId};
+use crate::event::Event;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+
+struct Entry {
+    at: SimTime,
+    seq: u64,
+    to: ActorId,
+    ev: Box<dyn Event>,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+    // first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Shared mutable simulation internals handed to actors via [`Ctx`].
+struct Core {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Entry>,
+    rng: SimRng,
+    trace: Trace,
+    events_processed: u64,
+    event_limit: u64,
+}
+
+impl Core {
+    fn push(&mut self, at: SimTime, to: ActorId, ev: Box<dyn Event>) {
+        debug_assert!(to != ActorId::UNSET, "event scheduled to ActorId::UNSET");
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, to, ev });
+    }
+}
+
+/// Per-dispatch view of the simulation handed to [`Actor::on_event`].
+pub struct Ctx<'a> {
+    core: &'a mut Core,
+    self_id: ActorId,
+}
+
+impl Ctx<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// The actor currently being dispatched.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Deliver `ev` to `to` at the current instant (after all events
+    /// already queued for this instant — FIFO within a timestamp).
+    pub fn send(&mut self, to: ActorId, ev: impl Event) {
+        self.core.push(self.core.now, to, Box::new(ev));
+    }
+
+    /// Deliver an already-boxed event at the current instant.
+    pub fn send_boxed(&mut self, to: ActorId, ev: Box<dyn Event>) {
+        self.core.push(self.core.now, to, ev);
+    }
+
+    /// Deliver `ev` to `to` after `delay`.
+    pub fn send_in(&mut self, delay: SimDuration, to: ActorId, ev: impl Event) {
+        self.core.push(self.core.now + delay, to, Box::new(ev));
+    }
+
+    /// Deliver a boxed event after `delay`.
+    pub fn send_boxed_in(&mut self, delay: SimDuration, to: ActorId, ev: Box<dyn Event>) {
+        self.core.push(self.core.now + delay, to, ev);
+    }
+
+    /// Deliver `ev` at absolute time `at` (clamped to now if in the past).
+    pub fn send_at(&mut self, at: SimTime, to: ActorId, ev: impl Event) {
+        let at = at.max(self.core.now);
+        self.core.push(at, to, Box::new(ev));
+    }
+
+    /// The simulation RNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.core.rng
+    }
+
+    /// Emit a trace record attributed to the current actor.
+    pub fn trace(&mut self, message: impl Into<String>) {
+        if self.core.trace.enabled() {
+            let at = self.core.now;
+            let actor = self.self_id;
+            self.core.trace.record(at, actor, message.into());
+        }
+    }
+
+    /// Bump a named counter.
+    pub fn count(&mut self, key: &'static str, delta: u64) {
+        self.core.trace.count(key, delta);
+    }
+
+    /// Read a named counter.
+    pub fn counter(&self, key: &str) -> u64 {
+        self.core.trace.counter(key)
+    }
+}
+
+/// A discrete-event simulation: actor table + event heap + clock.
+pub struct Sim {
+    core: Core,
+    actors: Vec<Option<Box<dyn Actor>>>,
+}
+
+impl Sim {
+    /// Create an empty simulation with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            core: Core {
+                now: SimTime::ZERO,
+                seq: 0,
+                heap: BinaryHeap::new(),
+                rng: SimRng::new(seed),
+                trace: Trace::new(),
+                events_processed: 0,
+                event_limit: u64::MAX,
+            },
+            actors: Vec::new(),
+        }
+    }
+
+    /// Register an actor; returns its id. Ids are assigned densely in
+    /// insertion order, which is part of the determinism contract.
+    pub fn add_actor(&mut self, actor: Box<dyn Actor>) -> ActorId {
+        let id = ActorId::from_index(self.actors.len());
+        self.actors.push(Some(actor));
+        id
+    }
+
+    /// Number of registered actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Total events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed
+    }
+
+    /// Abort (panic) if more than `limit` events are dispatched — a
+    /// guard against runaway event loops in tests.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.core.event_limit = limit;
+    }
+
+    /// Schedule an event from outside any actor (setup code).
+    pub fn schedule_at(&mut self, at: SimTime, to: ActorId, ev: impl Event) {
+        let at = at.max(self.core.now);
+        self.core.push(at, to, Box::new(ev));
+    }
+
+    /// Schedule `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, to: ActorId, ev: impl Event) {
+        self.core.push(self.core.now + delay, to, Box::new(ev));
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_next_time(&self) -> Option<SimTime> {
+        self.core.heap.peek().map(|e| e.at)
+    }
+
+    /// Dispatch one event. Returns `false` when the heap is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(entry) = self.core.heap.pop() else {
+            return false;
+        };
+        debug_assert!(entry.at >= self.core.now, "time went backwards");
+        self.core.now = entry.at;
+        self.core.events_processed += 1;
+        assert!(
+            self.core.events_processed <= self.core.event_limit,
+            "event limit exceeded ({} events): runaway event loop?",
+            self.core.event_limit
+        );
+        let ix = entry.to.index();
+        let mut actor = self
+            .actors
+            .get_mut(ix)
+            .unwrap_or_else(|| panic!("event for unknown {:?}", entry.to))
+            .take()
+            .unwrap_or_else(|| panic!("re-entrant dispatch to {:?}", entry.to));
+        {
+            let mut ctx = Ctx {
+                core: &mut self.core,
+                self_id: entry.to,
+            };
+            actor.on_event(entry.ev, &mut ctx);
+        }
+        self.actors[ix] = Some(actor);
+        true
+    }
+
+    /// Run until the event heap is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Process every event with timestamp `<= until`, then advance the
+    /// clock to exactly `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(next) = self.peek_next_time() {
+            if next > until {
+                break;
+            }
+            self.step();
+        }
+        if self.core.now < until {
+            self.core.now = until;
+        }
+    }
+
+    /// Run for a simulated span from the current time.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let until = self.core.now + span;
+        self.run_until(until);
+    }
+
+    /// Borrow an actor, downcast to its concrete type (post-run harvest).
+    ///
+    /// Panics if the id is unknown or the type does not match.
+    pub fn actor<T: Actor>(&self, id: ActorId) -> &T {
+        self.actors[id.index()]
+            .as_ref()
+            .unwrap_or_else(|| panic!("{id:?} is mid-dispatch"))
+            .as_any()
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("{id:?} is not a {}", std::any::type_name::<T>()))
+    }
+
+    /// Mutable variant of [`Sim::actor`].
+    pub fn actor_mut<T: Actor>(&mut self, id: ActorId) -> &mut T {
+        self.actors[id.index()]
+            .as_mut()
+            .unwrap_or_else(|| panic!("{id:?} is mid-dispatch"))
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .unwrap_or_else(|| panic!("{id:?} is not a {}", std::any::type_name::<T>()))
+    }
+
+    /// Try to borrow an actor as `T`; `None` on type mismatch.
+    pub fn try_actor<T: Actor>(&self, id: ActorId) -> Option<&T> {
+        self.actors
+            .get(id.index())?
+            .as_ref()?
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// The trace/counter sink.
+    pub fn trace(&self) -> &Trace {
+        &self.core.trace
+    }
+
+    /// Mutable trace/counter sink (enable tracing, reset, …).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.core.trace
+    }
+
+    /// The simulation RNG (setup-time use, e.g. workload generation).
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.core.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impl_actor_any;
+
+    #[derive(Debug)]
+    struct Ball {
+        bounce: u32,
+    }
+
+    struct Paddle {
+        peer: ActorId,
+        hits: u32,
+        max: u32,
+        times: Vec<SimTime>,
+    }
+
+    impl Actor for Paddle {
+        fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
+            let ball = ev.downcast::<Ball>().expect("only balls fly here");
+            self.hits += 1;
+            self.times.push(ctx.now());
+            if ball.bounce < self.max {
+                ctx.send_in(
+                    SimDuration::from_millis(10),
+                    self.peer,
+                    Ball {
+                        bounce: ball.bounce + 1,
+                    },
+                );
+            }
+        }
+        impl_actor_any!();
+    }
+
+    fn ping_pong(max: u32) -> (Sim, ActorId, ActorId) {
+        let mut sim = Sim::new(1);
+        let a = sim.add_actor(Box::new(Paddle {
+            peer: ActorId::UNSET,
+            hits: 0,
+            max,
+            times: vec![],
+        }));
+        let b = sim.add_actor(Box::new(Paddle {
+            peer: a,
+            hits: 0,
+            max,
+            times: vec![],
+        }));
+        sim.actor_mut::<Paddle>(a).peer = b;
+        sim.schedule_at(SimTime::ZERO, a, Ball { bounce: 0 });
+        (sim, a, b)
+    }
+
+    #[test]
+    fn ping_pong_counts_and_times() {
+        let (mut sim, a, b) = ping_pong(4);
+        sim.run();
+        // bounce 0 -> a, 1 -> b, 2 -> a, 3 -> b, 4 -> a (max reached)
+        assert_eq!(sim.actor::<Paddle>(a).hits, 3);
+        assert_eq!(sim.actor::<Paddle>(b).hits, 2);
+        assert_eq!(sim.now(), SimTime::from_millis(40));
+        assert_eq!(
+            sim.actor::<Paddle>(a).times,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_millis(20),
+                SimTime::from_millis(40)
+            ]
+        );
+    }
+
+    #[derive(Debug)]
+    struct Tag(u32);
+
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<u32>,
+    }
+
+    impl Actor for Recorder {
+        fn on_event(&mut self, ev: Box<dyn Event>, _ctx: &mut Ctx) {
+            self.seen.push(ev.downcast::<Tag>().unwrap().0);
+        }
+        impl_actor_any!();
+    }
+
+    #[test]
+    fn same_time_events_fifo() {
+        let mut sim = Sim::new(0);
+        let r = sim.add_actor(Box::<Recorder>::default());
+        for i in 0..5 {
+            sim.schedule_at(SimTime::from_secs(1), r, Tag(i));
+        }
+        sim.run();
+        assert_eq!(sim.actor::<Recorder>(r).seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn run_until_is_inclusive_and_advances_clock() {
+        let mut sim = Sim::new(0);
+        let r = sim.add_actor(Box::<Recorder>::default());
+        sim.schedule_at(SimTime::from_secs(1), r, Tag(1));
+        sim.schedule_at(SimTime::from_secs(2), r, Tag(2));
+        sim.schedule_at(SimTime::from_secs(3), r, Tag(3));
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.actor::<Recorder>(r).seen, vec![1, 2]);
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+        // Clock advances to the target even with no events.
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+        assert_eq!(sim.actor::<Recorder>(r).seen, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let (mut s1, a1, _) = ping_pong(20);
+        let (mut s2, a2, _) = ping_pong(20);
+        s1.run();
+        s2.run();
+        assert_eq!(s1.actor::<Paddle>(a1).times, s2.actor::<Paddle>(a2).times);
+        assert_eq!(s1.events_processed(), s2.events_processed());
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit exceeded")]
+    fn event_limit_catches_runaway() {
+        struct Loopy;
+        impl Actor for Loopy {
+            fn on_event(&mut self, _ev: Box<dyn Event>, ctx: &mut Ctx) {
+                let me = ctx.self_id();
+                ctx.send(me, Tag(0));
+            }
+            impl_actor_any!();
+        }
+        let mut sim = Sim::new(0);
+        let l = sim.add_actor(Box::new(Loopy));
+        sim.set_event_limit(1000);
+        sim.schedule_at(SimTime::ZERO, l, Tag(0));
+        sim.run();
+    }
+
+    #[test]
+    fn harvest_downcasts() {
+        let mut sim = Sim::new(0);
+        let r = sim.add_actor(Box::<Recorder>::default());
+        assert!(sim.try_actor::<Recorder>(r).is_some());
+        assert!(sim.try_actor::<Loud>(r).is_none());
+
+        struct Loud;
+        impl Actor for Loud {
+            fn on_event(&mut self, _: Box<dyn Event>, _: &mut Ctx) {}
+            impl_actor_any!();
+        }
+    }
+
+    #[test]
+    fn counters_via_ctx() {
+        struct Counting;
+        impl Actor for Counting {
+            fn on_event(&mut self, _: Box<dyn Event>, ctx: &mut Ctx) {
+                ctx.count("events.seen", 1);
+            }
+            impl_actor_any!();
+        }
+        let mut sim = Sim::new(0);
+        let c = sim.add_actor(Box::new(Counting));
+        sim.schedule_at(SimTime::ZERO, c, Tag(0));
+        sim.schedule_at(SimTime::ZERO, c, Tag(1));
+        sim.run();
+        assert_eq!(sim.trace().counter("events.seen"), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::impl_actor_any;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone, Copy)]
+    struct Stamp(u64);
+
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(SimTime, u64)>,
+    }
+
+    impl Actor for Recorder {
+        fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
+            let s = ev.downcast::<Stamp>().unwrap();
+            self.seen.push((ctx.now(), s.0));
+        }
+        impl_actor_any!();
+    }
+
+    proptest! {
+        /// Events are delivered in nondecreasing time order, and events
+        /// scheduled for the same instant keep their scheduling order.
+        #[test]
+        fn prop_dispatch_order(times in prop::collection::vec(0u64..50, 1..60)) {
+            let mut sim = Sim::new(0);
+            let r = sim.add_actor(Box::<Recorder>::default());
+            for (i, &t) in times.iter().enumerate() {
+                sim.schedule_at(SimTime::from_millis(t), r, Stamp(i as u64));
+            }
+            sim.run();
+            let seen = &sim.actor::<Recorder>(r).seen;
+            prop_assert_eq!(seen.len(), times.len());
+            for w in seen.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0, "time monotone");
+                if w[0].0 == w[1].0 {
+                    prop_assert!(w[0].1 < w[1].1, "FIFO within an instant");
+                }
+            }
+            // Every event arrived at its scheduled time.
+            for &(at, ix) in seen {
+                prop_assert_eq!(at, SimTime::from_millis(times[ix as usize]));
+            }
+        }
+    }
+}

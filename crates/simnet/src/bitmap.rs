@@ -1,0 +1,273 @@
+//! Reception bitmaps — the data structure at the heart of the paper's
+//! multi-phase UDP broadcast (Fig. 6).
+//!
+//! Each receiver of a checkpoint broadcast returns a bitmap with one bit
+//! per block (1 = received). The sender ANDs all bitmaps to find blocks
+//! that *every* receiver has, and rebroadcasts the complement. The wire
+//! size of a bitmap (`ceil(n/8)` bytes) is part of the protocol's
+//! cost/gain accounting, so it is exposed here.
+
+use std::fmt;
+
+/// A fixed-length bitset.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl Bitmap {
+    /// All-zero bitmap of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Bitmap {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// All-one bitmap of `len` bits.
+    pub fn ones(len: usize) -> Self {
+        let mut b = Bitmap {
+            len,
+            words: vec![u64::MAX; len.div_ceil(64)],
+        };
+        b.mask_tail();
+        b
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Wire size in bytes when a receiver returns this bitmap.
+    pub fn wire_bytes(&self) -> u64 {
+        (self.len as u64).div_ceil(8)
+    }
+
+    /// Read bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Set bit `i` to `v`.
+    pub fn set(&mut self, i: usize, v: bool) {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        let w = &mut self.words[i / 64];
+        if v {
+            *w |= 1 << (i % 64);
+        } else {
+            *w &= !(1 << (i % 64));
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of clear bits.
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    /// True if every bit is set.
+    pub fn all_ones(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// In-place AND with another bitmap of the same length.
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place OR with another bitmap of the same length.
+    pub fn or_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// Indices of clear bits (the blocks to rebroadcast).
+    pub fn zero_indices(&self) -> Vec<usize> {
+        (0..self.len).filter(|&i| !self.get(i)).collect()
+    }
+
+    /// Indices of set bits.
+    pub fn one_indices(&self) -> Vec<usize> {
+        (0..self.len).filter(|&i| self.get(i)).collect()
+    }
+
+    /// AND of an iterator of bitmaps (all the same length).
+    /// Returns `None` if the iterator is empty.
+    pub fn and_all<'a>(mut maps: impl Iterator<Item = &'a Bitmap>) -> Option<Bitmap> {
+        let mut acc = maps.next()?.clone();
+        for m in maps {
+            acc.and_assign(m);
+        }
+        Some(acc)
+    }
+}
+
+impl fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bitmap[{}: {}/{} set", self.len, self.count_ones(), self.len)?;
+        if self.len <= 64 {
+            write!(f, " ")?;
+            for i in 0..self.len {
+                write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = Bitmap::zeros(130);
+        assert_eq!(z.count_ones(), 0);
+        assert_eq!(z.count_zeros(), 130);
+        let o = Bitmap::ones(130);
+        assert_eq!(o.count_ones(), 130);
+        assert!(o.all_ones());
+        assert!(o.get(129));
+    }
+
+    #[test]
+    fn tail_masking_exact_word_boundary() {
+        let o = Bitmap::ones(128);
+        assert_eq!(o.count_ones(), 128);
+        let o = Bitmap::ones(64);
+        assert_eq!(o.count_ones(), 64);
+        let o = Bitmap::ones(1);
+        assert_eq!(o.count_ones(), 1);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = Bitmap::zeros(100);
+        b.set(0, true);
+        b.set(63, true);
+        b.set(64, true);
+        b.set(99, true);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(99));
+        assert!(!b.get(1) && !b.get(65));
+        assert_eq!(b.count_ones(), 4);
+        b.set(63, false);
+        assert!(!b.get(63));
+        assert_eq!(b.count_ones(), 3);
+    }
+
+    #[test]
+    fn and_or_semantics() {
+        let mut evens = Bitmap::zeros(10);
+        let mut odds = Bitmap::zeros(10);
+        for i in 0..10 {
+            if i % 2 == 0 {
+                evens.set(i, true);
+            } else {
+                odds.set(i, true);
+            }
+        }
+        let mut anded = evens.clone();
+        anded.and_assign(&odds);
+        assert_eq!(anded.count_ones(), 0);
+        let mut ored = evens.clone();
+        ored.or_assign(&odds);
+        assert!(ored.all_ones());
+    }
+
+    #[test]
+    fn fig6_style_and_all() {
+        // Paper's Fig 6 time instant 2: A has first 3, B has evens,
+        // C has odds → AND = empty.
+        let n = 16;
+        let mut a = Bitmap::zeros(n);
+        (0..3).for_each(|i| a.set(i, true));
+        let mut b = Bitmap::zeros(n);
+        (0..n).filter(|i| i % 2 == 1).for_each(|i| b.set(i, true)); // "even messages" M2,M4.. are odd indices
+        let mut c = Bitmap::zeros(n);
+        (0..n).filter(|i| i % 2 == 0).for_each(|i| c.set(i, true));
+        let anded = Bitmap::and_all([&a, &b, &c].into_iter()).unwrap();
+        assert_eq!(anded.count_ones(), 0);
+        assert_eq!(anded.zero_indices().len(), n);
+    }
+
+    #[test]
+    fn wire_bytes_matches_paper() {
+        // 8192 blocks → 1 KB bitmap, as in Fig 6.
+        assert_eq!(Bitmap::zeros(8192).wire_bytes(), 1024);
+        assert_eq!(Bitmap::zeros(1).wire_bytes(), 1);
+        assert_eq!(Bitmap::zeros(9).wire_bytes(), 2);
+    }
+
+    #[test]
+    fn and_all_empty_is_none() {
+        assert!(Bitmap::and_all(std::iter::empty()).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_set_then_get(len in 1usize..300, bits in prop::collection::vec(any::<bool>(), 1..300)) {
+            let len = len.min(bits.len());
+            let mut b = Bitmap::zeros(len);
+            for (i, &v) in bits.iter().take(len).enumerate() {
+                b.set(i, v);
+            }
+            for (i, &v) in bits.iter().take(len).enumerate() {
+                prop_assert_eq!(b.get(i), v);
+            }
+            let expect = bits.iter().take(len).filter(|&&v| v).count();
+            prop_assert_eq!(b.count_ones(), expect);
+        }
+
+        #[test]
+        fn prop_and_is_intersection(len in 1usize..200, seed_a in any::<u64>(), seed_b in any::<u64>()) {
+            let mk = |seed: u64| {
+                let mut b = Bitmap::zeros(len);
+                let mut s = seed;
+                for i in 0..len {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    b.set(i, s >> 63 == 1);
+                }
+                b
+            };
+            let a = mk(seed_a);
+            let bb = mk(seed_b);
+            let mut anded = a.clone();
+            anded.and_assign(&bb);
+            for i in 0..len {
+                prop_assert_eq!(anded.get(i), a.get(i) && bb.get(i));
+            }
+            // ones + zeros partition the index set
+            prop_assert_eq!(anded.count_ones() + anded.count_zeros(), len);
+            let one_ix = anded.one_indices();
+            let zero_ix = anded.zero_indices();
+            prop_assert_eq!(one_ix.len() + zero_ix.len(), len);
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! The 3G cellular network.
+//!
+//! Every phone (and the controller, and the datacenter frontend of the
+//! server baseline) is an *endpoint* with its own uplink and downlink
+//! rate queues — per the paper's measurements, uplink 0.016–0.32 Mbps
+//! and downlink 0.35–1.14 Mbps. A transfer serializes on the source's
+//! uplink, crosses the core with half-RTT latency, then serializes on
+//! the destination's downlink. The cellular network is managed and
+//! reliable; failures surface only when the *destination endpoint* is
+//! dead or departed, after a timeout.
+
+use std::collections::BTreeMap;
+
+use simkernel::{impl_actor_any, Actor, ActorId, Ctx, Event, SimDuration};
+
+use crate::link::RateQueue;
+use crate::stats::{NetStats, TrafficClass};
+use crate::{LinkState, Payload, TxDone, TxFailed};
+
+/// Cellular network parameters (paper's measured 3G band midpoints).
+#[derive(Debug, Clone)]
+pub struct CellConfig {
+    /// Default endpoint uplink, bits/s.
+    pub default_up_bps: f64,
+    /// Default endpoint downlink, bits/s.
+    pub default_down_bps: f64,
+    /// Round-trip time through the core.
+    pub rtt: SimDuration,
+    /// Per-message protocol overhead in bytes.
+    pub overhead: u64,
+    /// Unreachable-destination report delay.
+    pub timeout: SimDuration,
+}
+
+impl Default for CellConfig {
+    fn default() -> Self {
+        CellConfig {
+            default_up_bps: 168_000.0,  // midpoint of 0.016–0.32 Mbps
+            default_down_bps: 745_000.0, // midpoint of 0.35–1.14 Mbps
+            rtt: SimDuration::from_millis(150),
+            overhead: 60,
+            timeout: SimDuration::from_secs(5),
+        }
+    }
+}
+
+/// Request: transfer `bytes` from `src` to `dst` over cellular.
+#[derive(Debug)]
+pub struct CellSend {
+    /// Sending endpoint.
+    pub src: ActorId,
+    /// Receiving endpoint.
+    pub dst: ActorId,
+    /// Accounting class.
+    pub class: TrafficClass,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Completion tag; 0 = none.
+    pub tag: u64,
+    /// Message content.
+    pub payload: Option<Payload>,
+}
+
+/// Delivery of a [`CellSend`].
+#[derive(Debug, Clone)]
+pub struct CellRx {
+    /// Sending endpoint.
+    pub src: ActorId,
+    /// Payload size.
+    pub bytes: u64,
+    /// Accounting class.
+    pub class: TrafficClass,
+    /// Message content.
+    pub payload: Payload,
+}
+
+/// Control: change an endpoint's reachability.
+#[derive(Debug, Clone, Copy)]
+pub struct CellSetLink {
+    /// Endpoint.
+    pub node: ActorId,
+    /// New state.
+    pub state: LinkState,
+}
+
+struct Endpoint {
+    up: RateQueue,
+    down: RateQueue,
+    state: LinkState,
+}
+
+/// The global cellular network actor.
+pub struct CellularNet {
+    cfg: CellConfig,
+    endpoints: BTreeMap<ActorId, Endpoint>,
+    stats: NetStats,
+}
+
+impl CellularNet {
+    /// New network.
+    pub fn new(cfg: CellConfig) -> Self {
+        CellularNet {
+            cfg,
+            endpoints: BTreeMap::new(),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Register an endpoint with the default asymmetric rates.
+    pub fn register(&mut self, node: ActorId) {
+        let up = self.cfg.default_up_bps;
+        let down = self.cfg.default_down_bps;
+        self.register_with_rates(node, up, down);
+    }
+
+    /// Register with explicit rates (the controller and the datacenter
+    /// frontend get fat pipes).
+    pub fn register_with_rates(&mut self, node: ActorId, up_bps: f64, down_bps: f64) {
+        self.endpoints.insert(
+            node,
+            Endpoint {
+                up: RateQueue::new(up_bps),
+                down: RateQueue::new(down_bps),
+                state: LinkState::Active,
+            },
+        );
+    }
+
+    /// Change an endpoint's reachability.
+    pub fn set_link_state(&mut self, node: ActorId, state: LinkState) {
+        if let Some(ep) = self.endpoints.get_mut(&node) {
+            ep.state = state;
+        }
+    }
+
+    /// Endpoint reachability (`Gone` if unregistered).
+    pub fn link_state(&self, node: ActorId) -> LinkState {
+        self.endpoints
+            .get(&node)
+            .map(|e| e.state)
+            .unwrap_or(LinkState::Gone)
+    }
+
+    /// Accounting.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    fn handle_send(&mut self, s: CellSend, ctx: &mut Ctx) {
+        let now = ctx.now();
+        let wire = s.bytes + self.cfg.overhead;
+        let Some(src_ep) = self.endpoints.get_mut(&s.src) else {
+            panic!("CellSend from unregistered endpoint {:?}", s.src);
+        };
+        if !src_ep.state.reachable() {
+            self.stats.drops += 1;
+            return;
+        }
+        let (_, up_end) = src_ep.up.reserve(now, wire);
+        let up_air = up_end - now;
+
+        let dst_state = self.link_state(s.dst);
+        if !dst_state.reachable() {
+            self.stats.failed_sends += 1;
+            self.stats
+                .record_send(s.class, s.bytes, wire, up_air);
+            if s.tag != 0 {
+                let when = (up_end - now).max(self.cfg.timeout);
+                ctx.send_in(when, s.src, TxFailed { tag: s.tag, dst: s.dst });
+            }
+            return;
+        }
+
+        let core_arrive = up_end + self.cfg.rtt / 2;
+        let dst_ep = self.endpoints.get_mut(&s.dst).expect("checked above");
+        let start_floor = core_arrive;
+        let (_, down_end) = {
+            // The downlink cannot start before the data reaches the core.
+            let start = start_floor.max(dst_ep.down.free_at());
+            let q = &mut dst_ep.down;
+            // Manually serialize from `start`.
+            let span = crate::link::tx_time(wire, q.rate_bps());
+            q.reserve_span(start, span, wire)
+        };
+        self.stats
+            .record_send(s.class, s.bytes, wire * 2, up_air + (down_end - core_arrive));
+        ctx.count("cell.sends", 1);
+
+        if let Some(p) = s.payload {
+            ctx.send_boxed_in(
+                down_end - now,
+                s.dst,
+                Box::new(CellRx {
+                    src: s.src,
+                    bytes: s.bytes,
+                    class: s.class,
+                    payload: p,
+                }),
+            );
+        }
+        if s.tag != 0 {
+            ctx.send_in(up_end - now, s.src, TxDone { tag: s.tag });
+        }
+    }
+}
+
+impl Actor for CellularNet {
+    fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
+        simkernel::match_event!(ev,
+            s: CellSend => { self.handle_send(s, ctx); },
+            l: CellSetLink => { self.set_link_state(l.node, l.state); },
+            @else other => {
+                panic!("CellularNet: unhandled event {}", (*other).type_name());
+            }
+        );
+    }
+
+    fn name(&self) -> String {
+        "cellular-net".into()
+    }
+
+    impl_actor_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkernel::{Sim, SimTime};
+
+    #[derive(Default)]
+    struct Sink {
+        rx: Vec<(SimTime, u64)>,
+        done: Vec<u64>,
+        failed: Vec<u64>,
+    }
+
+    impl Actor for Sink {
+        fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
+            simkernel::match_event!(ev,
+                r: CellRx => { self.rx.push((ctx.now(), r.bytes)); },
+                d: TxDone => { self.done.push(d.tag); },
+                f: TxFailed => { self.failed.push(f.tag); },
+                @else other => { panic!("unexpected {}", (*other).type_name()); }
+            );
+        }
+        impl_actor_any!();
+    }
+
+    fn setup() -> (Sim, ActorId, Vec<ActorId>) {
+        let mut sim = Sim::new(3);
+        let nodes: Vec<ActorId> = (0..3).map(|_| sim.add_actor(Box::<Sink>::default())).collect();
+        let mut net = CellularNet::new(CellConfig {
+            default_up_bps: 100_000.0,   // 12.5 KB/s
+            default_down_bps: 1_000_000.0,
+            rtt: SimDuration::from_millis(100),
+            overhead: 0,
+            timeout: SimDuration::from_secs(5),
+        });
+        for &n in &nodes {
+            net.register(n);
+        }
+        let id = sim.add_actor(Box::new(net));
+        (sim, id, nodes)
+    }
+
+    #[test]
+    fn transfer_time_is_uplink_plus_half_rtt_plus_downlink() {
+        let (mut sim, net, nodes) = setup();
+        sim.schedule_at(
+            SimTime::ZERO,
+            net,
+            CellSend {
+                src: nodes[0],
+                dst: nodes[1],
+                class: TrafficClass::Data,
+                bytes: 12_500, // 1 s up at 100 kbps, 0.1 s down at 1 Mbps
+                tag: 1,
+                payload: Some(crate::payload(())),
+            },
+        );
+        sim.run();
+        let rx = &sim.actor::<Sink>(nodes[1]).rx;
+        assert_eq!(rx.len(), 1);
+        let expect = 1.0 + 0.05 + 0.1;
+        assert!((rx[0].0.as_secs_f64() - expect).abs() < 1e-6, "{:?}", rx[0].0);
+        // TxDone when the uplink drained (sender can queue the next).
+        assert_eq!(sim.actor::<Sink>(nodes[0]).done, vec![1]);
+    }
+
+    #[test]
+    fn uplink_is_the_bottleneck_and_serializes() {
+        let (mut sim, net, nodes) = setup();
+        for tag in 1..=3u64 {
+            sim.schedule_at(
+                SimTime::ZERO,
+                net,
+                CellSend {
+                    src: nodes[0],
+                    dst: nodes[1],
+                    class: TrafficClass::Data,
+                    bytes: 12_500,
+                    tag,
+                    payload: Some(crate::payload(())),
+                },
+            );
+        }
+        sim.run();
+        let rx = &sim.actor::<Sink>(nodes[1]).rx;
+        assert_eq!(rx.len(), 3);
+        // Arrivals spaced by the uplink serialization (1 s each).
+        let t: Vec<f64> = rx.iter().map(|(at, _)| at.as_secs_f64()).collect();
+        assert!((t[1] - t[0] - 1.0).abs() < 1e-6, "{t:?}");
+        assert!((t[2] - t[1] - 1.0).abs() < 1e-6, "{t:?}");
+    }
+
+    #[test]
+    fn distinct_endpoints_have_independent_uplinks() {
+        let (mut sim, net, nodes) = setup();
+        for src in [nodes[0], nodes[1]] {
+            sim.schedule_at(
+                SimTime::ZERO,
+                net,
+                CellSend {
+                    src,
+                    dst: nodes[2],
+                    class: TrafficClass::Data,
+                    bytes: 12_500,
+                    tag: 0,
+                    payload: Some(crate::payload(())),
+                },
+            );
+        }
+        sim.run();
+        let rx = &sim.actor::<Sink>(nodes[2]).rx;
+        assert_eq!(rx.len(), 2);
+        // Both uplinks run in parallel; arrivals differ only by downlink
+        // serialization (0.1 s), not uplink (1 s).
+        let dt = rx[1].0.as_secs_f64() - rx[0].0.as_secs_f64();
+        assert!((dt - 0.1).abs() < 1e-6, "dt = {dt}");
+    }
+
+    #[test]
+    fn send_to_dead_endpoint_fails() {
+        let (mut sim, net, nodes) = setup();
+        sim.actor_mut::<CellularNet>(net).set_link_state(nodes[1], LinkState::Dead);
+        sim.schedule_at(
+            SimTime::ZERO,
+            net,
+            CellSend {
+                src: nodes[0],
+                dst: nodes[1],
+                class: TrafficClass::Control,
+                bytes: 100,
+                tag: 7,
+                payload: Some(crate::payload(())),
+            },
+        );
+        sim.run();
+        assert!(sim.actor::<Sink>(nodes[1]).rx.is_empty());
+        assert_eq!(sim.actor::<Sink>(nodes[0]).failed, vec![7]);
+        assert!(sim.now() >= SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn stats_account_bytes() {
+        let (mut sim, net, nodes) = setup();
+        sim.schedule_at(
+            SimTime::ZERO,
+            net,
+            CellSend {
+                src: nodes[0],
+                dst: nodes[1],
+                class: TrafficClass::Data,
+                bytes: 5000,
+                tag: 0,
+                payload: None,
+            },
+        );
+        sim.run();
+        let n = sim.actor::<CellularNet>(net);
+        assert_eq!(n.stats().payload_bytes(TrafficClass::Data), 5000);
+        assert_eq!(n.stats().messages(TrafficClass::Data), 1);
+    }
+}

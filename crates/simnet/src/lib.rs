@@ -1,0 +1,89 @@
+//! # simnet — the network substrate MobiStreams runs on
+//!
+//! Three transports, each an [`simkernel::Actor`]:
+//!
+//! * [`wifi::WifiMedium`] — one per region: a shared, half-duplex,
+//!   broadcast-capable, *lossy* channel (the phones' ad-hoc WiFi,
+//!   1–5 Mbps in the paper). Supports unreliable datagrams (UDP), a
+//!   retransmission-expanded reliable service (TCP), true broadcast
+//!   (one airtime slot reaches every member), and efficient datagram
+//!   *batches* used by the checkpoint broadcast protocol.
+//! * [`cellular::CellularNet`] — one global: per-endpoint asymmetric
+//!   uplink/downlink rate queues plus RTT (the 3G network: 0.016–0.32
+//!   Mbps up, 0.35–1.14 Mbps down in the paper). Reliable.
+//! * [`ethernet::EthernetNet`] — the datacenter switch used by the
+//!   server-based DSPS baseline of Table I. Fast, symmetric, reliable.
+//!
+//! All three deliver payloads as [`Payload`] (an `Arc<dyn Event>`), so a
+//! broadcast clones a pointer, not the tuple. Senders receive
+//! [`TxDone`]/[`TxFailed`] completions keyed by caller-chosen tags;
+//! failure of a reliable send to a dead or departed node is how the
+//! upper layers *detect* failures, exactly as in the paper (§III-D).
+
+pub mod bitmap;
+pub mod cellular;
+pub mod ethernet;
+pub mod link;
+pub mod stats;
+pub mod wifi;
+
+use simkernel::Event;
+use std::sync::Arc;
+
+/// Reference-counted, type-erased message payload. Cheap to fan out to
+/// many receivers (broadcast) without cloning the content.
+pub type Payload = Arc<dyn Event>;
+
+/// Wrap a concrete event into a [`Payload`].
+pub fn payload<T: Event>(ev: T) -> Payload {
+    Arc::new(ev)
+}
+
+/// Borrowing downcast of a [`Payload`]'s *content*.
+///
+/// Important: call this rather than `payload.as_any()` — the blanket
+/// `Event` impl also covers `Arc<dyn Event>` itself, so method syntax
+/// would downcast the Arc, never the content.
+pub fn payload_as<T: std::any::Any>(p: &Payload) -> Option<&T> {
+    (**p).as_any().downcast_ref::<T>()
+}
+
+/// Sender-side completion: the logical message tagged `tag` has fully
+/// left the sender (airtime reserved / uplink drained).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxDone {
+    /// Caller-chosen correlation tag (0 = caller did not ask).
+    pub tag: u64,
+}
+
+/// Sender-side failure: a *reliable* send could not be delivered
+/// (receiver dead, departed, or unknown). Delivered after the
+/// transport's failure-detection timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxFailed {
+    /// Caller-chosen correlation tag.
+    pub tag: u64,
+    /// The unreachable destination.
+    pub dst: simkernel::ActorId,
+}
+
+/// Liveness of a node as seen by a transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LinkState {
+    /// Sends and receives normally.
+    #[default]
+    Active,
+    /// Crashed: receives nothing; reliable sends to it fail after the
+    /// timeout.
+    Dead,
+    /// Departed the region: same observable behaviour as `Dead` on this
+    /// transport, but upper layers distinguish the cause.
+    Gone,
+}
+
+impl LinkState {
+    /// Can this node currently receive on the transport?
+    pub fn reachable(self) -> bool {
+        matches!(self, LinkState::Active)
+    }
+}

@@ -1,0 +1,845 @@
+//! The ad-hoc WiFi medium of one region.
+//!
+//! Model: a single shared, half-duplex channel. Every transmission —
+//! unicast or broadcast — occupies the channel for its airtime, so all
+//! traffic within a region serializes (no spatial reuse inside a
+//! ≤ 20 m region, matching §III of the paper). Three services:
+//!
+//! * **Datagram** (UDP): per-receiver iid frame loss; a multi-frame
+//!   message is lost for a receiver if *any* fragment is lost (the
+//!   paper's "a message will be dropped completely as long as a part of
+//!   the message has not been received").
+//! * **Reliable** (TCP): never lost to an `Active` receiver; costs extra
+//!   airtime — the byte stream is expanded by the expected
+//!   retransmission factor `1/(1-p)` plus per-frame ACK overhead. A
+//!   reliable send to a `Dead`/`Gone` node consumes one attempt's
+//!   airtime and reports [`TxFailed`] after the timeout — this is how
+//!   upstream neighbors detect failures.
+//! * **Datagram batch**: the checkpoint broadcast sends thousands of
+//!   1 KB blocks back-to-back; a batch collapses them into one event
+//!   while sampling per-block, per-receiver loss exactly as individual
+//!   sends would.
+
+use std::collections::BTreeMap;
+
+use simkernel::{impl_actor_any, Actor, ActorId, Ctx, Event, SimDuration};
+
+use crate::bitmap::Bitmap;
+use crate::link::{tx_time, RateQueue};
+use crate::stats::{NetStats, TrafficClass};
+use crate::{LinkState, Payload, TxDone, TxFailed};
+
+/// WiFi channel parameters. Defaults follow the paper's measured
+/// 1–5 Mbps ad-hoc band (midpoint 2.5 Mbps) and typical 802.11 framing.
+#[derive(Debug, Clone)]
+pub struct WifiConfig {
+    /// Channel bit rate in bits/s.
+    pub rate_bps: f64,
+    /// Per-frame, per-receiver loss probability.
+    pub loss: f64,
+    /// Per-frame MAC/PHY + IP/UDP header overhead in bytes.
+    pub frame_overhead: u64,
+    /// Maximum payload bytes per frame (fragmentation threshold).
+    pub mtu: u64,
+    /// ACK size charged per frame by the reliable service.
+    pub ack_bytes: u64,
+    /// How long a reliable sender retries before declaring the
+    /// destination unreachable.
+    pub reliable_timeout: SimDuration,
+    /// Congestion bound: sends arriving when the channel backlog
+    /// exceeds this are dropped (full send buffers — the bounded-queue
+    /// behaviour of real stacks under overload).
+    pub max_backlog: SimDuration,
+    /// Congestion signaling: when the backlog crosses above this, the
+    /// medium tells every member (sources then shed new frames at
+    /// admission — sensor buffers overflow rather than mid-pipeline
+    /// tuples vanishing).
+    pub high_water: SimDuration,
+    /// Backlog below this clears the congestion signal.
+    pub low_water: SimDuration,
+}
+
+impl Default for WifiConfig {
+    fn default() -> Self {
+        WifiConfig {
+            // Within the paper's measured 1-5 Mbps ad-hoc band, set so
+            // the driving applications load the channel to ~75-80 %
+            // under the base scheme (the regime where fault-tolerance
+            // traffic becomes visible, as in Fig 8).
+            rate_bps: 1_600_000.0,
+            loss: 0.05,
+            frame_overhead: 50,
+            mtu: 1500,
+            ack_bytes: 40,
+            reliable_timeout: SimDuration::from_secs(2),
+            max_backlog: SimDuration::from_secs(25),
+            high_water: SimDuration::from_secs(3),
+            low_water: SimDuration::from_millis(800),
+        }
+    }
+}
+
+impl WifiConfig {
+    /// Frames needed for a `bytes`-byte message.
+    pub fn frames(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.mtu).max(1)
+    }
+
+    /// Wire bytes for an unreliable send (payload + per-frame overhead).
+    pub fn datagram_wire_bytes(&self, bytes: u64) -> u64 {
+        bytes + self.frames(bytes) * self.frame_overhead
+    }
+
+    /// Wire bytes for a reliable send: datagram cost plus ACKs, expanded
+    /// by the expected retransmission count.
+    pub fn reliable_wire_bytes(&self, bytes: u64) -> u64 {
+        let base = self.datagram_wire_bytes(bytes) + self.frames(bytes) * self.ack_bytes;
+        let expansion = 1.0 / (1.0 - self.loss.min(0.99));
+        (base as f64 * expansion).ceil() as u64
+    }
+
+    /// Probability a whole datagram message survives to one receiver.
+    pub fn datagram_delivery_prob(&self, bytes: u64) -> f64 {
+        (1.0 - self.loss).powi(self.frames(bytes) as i32)
+    }
+}
+
+/// Addressing mode of a WiFi send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendMode {
+    /// To a single region member.
+    Unicast(ActorId),
+    /// To every active member except the sender (one airtime slot).
+    Broadcast,
+}
+
+/// Delivery service of a WiFi send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Service {
+    /// Lossy, unacknowledged (UDP).
+    Datagram,
+    /// Retransmission-expanded, loss-free to active receivers (TCP).
+    Reliable,
+}
+
+/// Request: transmit one logical message on the region's channel.
+#[derive(Debug)]
+pub struct WifiSend {
+    /// Transmitting member.
+    pub src: ActorId,
+    /// Unicast or broadcast.
+    pub mode: SendMode,
+    /// Datagram or reliable.
+    pub service: Service,
+    /// Accounting class.
+    pub class: TrafficClass,
+    /// Payload size in bytes (drives airtime).
+    pub bytes: u64,
+    /// Completion tag; 0 = no [`TxDone`]/[`TxFailed`] wanted.
+    pub tag: u64,
+    /// Message content forwarded to receivers.
+    pub payload: Option<Payload>,
+}
+
+/// Delivery of a [`WifiSend`] to one receiver.
+#[derive(Debug, Clone)]
+pub struct WifiRx {
+    /// Transmitting member.
+    pub src: ActorId,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Accounting class (receivers may re-account).
+    pub class: TrafficClass,
+    /// Message content.
+    pub payload: Payload,
+}
+
+/// Request: broadcast a batch of equal-size datagram blocks (the
+/// checkpoint broadcast's workhorse). Each listed block is one frame.
+#[derive(Debug)]
+pub struct WifiBatchSend {
+    /// Transmitting member.
+    pub src: ActorId,
+    /// Accounting class.
+    pub class: TrafficClass,
+    /// Sender-chosen stream id so receivers can correlate phases.
+    pub stream: u64,
+    /// Total blocks in the whole job (constant across phases; lets
+    /// receivers size their reply bitmaps like the paper's).
+    pub total_blocks: u32,
+    /// Identifiers of the blocks in this batch.
+    pub blocks: Vec<u32>,
+    /// Total payload bytes across the listed blocks (the caller knows
+    /// exact per-block sizes, including the smaller tail block).
+    pub payload_bytes: u64,
+    /// True on the last chunk of a phase: receivers send their bitmap
+    /// reply only then (the paper queries "after all messages have
+    /// been broadcast").
+    pub reply_expected: bool,
+    /// Completion tag; 0 = none.
+    pub tag: u64,
+}
+
+/// Delivery of a batch to one receiver: which of the listed blocks
+/// survived the channel for *this* receiver.
+#[derive(Debug, Clone)]
+pub struct WifiBatchRx {
+    /// Transmitting member.
+    pub src: ActorId,
+    /// Traffic class of the job (receivers class their bitmap replies
+    /// the same way, so Fig 10b accounting is complete).
+    pub class: TrafficClass,
+    /// Correlation id from the send.
+    pub stream: u64,
+    /// Total blocks in the whole job.
+    pub total_blocks: u32,
+    /// The block ids that were broadcast.
+    pub blocks: Vec<u32>,
+    /// `received.get(i)` ⇔ `blocks[i]` arrived here.
+    pub received: Bitmap,
+    /// Reply with a bitmap now?
+    pub reply_expected: bool,
+}
+
+/// Medium → members: channel congestion state changed. Source nodes
+/// shed new sensor frames while congested (admission control).
+#[derive(Debug, Clone, Copy)]
+pub struct WifiCongestion {
+    /// Congested?
+    pub on: bool,
+}
+
+/// Internal: re-check whether the backlog drained below the low water
+/// mark.
+#[derive(Debug, Clone, Copy)]
+struct DrainCheck;
+
+/// Control: change a member's link state (failure/departure/return).
+#[derive(Debug, Clone, Copy)]
+pub struct WifiSetLink {
+    /// The member whose state changes.
+    pub node: ActorId,
+    /// New state.
+    pub state: LinkState,
+}
+
+/// The shared channel of one region.
+pub struct WifiMedium {
+    cfg: WifiConfig,
+    members: BTreeMap<ActorId, LinkState>,
+    channel: RateQueue,
+    stats: NetStats,
+    congested: bool,
+}
+
+impl WifiMedium {
+    /// New medium with the given channel parameters.
+    pub fn new(cfg: WifiConfig) -> Self {
+        let channel = RateQueue::new(cfg.rate_bps);
+        WifiMedium {
+            cfg,
+            members: BTreeMap::new(),
+            channel,
+            stats: NetStats::default(),
+            congested: false,
+        }
+    }
+
+    /// Is the channel currently signaling congestion?
+    pub fn is_congested(&self) -> bool {
+        self.congested
+    }
+
+    /// After a reservation, raise/schedule congestion signaling.
+    fn after_reserve(&mut self, ctx: &mut Ctx) {
+        let backlog = self.channel.backlog(ctx.now());
+        if !self.congested && backlog > self.cfg.high_water {
+            self.congested = true;
+            let members: Vec<ActorId> = self.members.keys().copied().collect();
+            for m in members {
+                ctx.send(m, WifiCongestion { on: true });
+            }
+            let delay = backlog.saturating_sub(self.cfg.low_water);
+            let me = ctx.self_id();
+            ctx.send_in(delay, me, DrainCheck);
+        }
+    }
+
+    fn on_drain_check(&mut self, ctx: &mut Ctx) {
+        if !self.congested {
+            return;
+        }
+        let backlog = self.channel.backlog(ctx.now());
+        if backlog <= self.cfg.low_water {
+            self.congested = false;
+            let members: Vec<ActorId> = self.members.keys().copied().collect();
+            for m in members {
+                ctx.send(m, WifiCongestion { on: false });
+            }
+        } else {
+            let delay = backlog.saturating_sub(self.cfg.low_water);
+            let me = ctx.self_id();
+            ctx.send_in(delay, me, DrainCheck);
+        }
+    }
+
+    /// Add a member in `Active` state (setup-time wiring).
+    pub fn add_member(&mut self, node: ActorId) {
+        self.members.insert(node, LinkState::Active);
+    }
+
+    /// Set a member's link state directly (setup/fault-injection).
+    pub fn set_link_state(&mut self, node: ActorId, state: LinkState) {
+        self.members.insert(node, state);
+    }
+
+    /// Current link state (`Gone` if unknown).
+    pub fn link_state(&self, node: ActorId) -> LinkState {
+        self.members.get(&node).copied().unwrap_or(LinkState::Gone)
+    }
+
+    /// Members currently `Active`.
+    pub fn active_members(&self) -> Vec<ActorId> {
+        self.members
+            .iter()
+            .filter(|(_, s)| s.reachable())
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Accounting.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Channel parameters.
+    pub fn config(&self) -> &WifiConfig {
+        &self.cfg
+    }
+
+    fn handle_send(&mut self, s: WifiSend, ctx: &mut Ctx) {
+        if !self.link_state(s.src).reachable() {
+            // Dead phones transmit nothing.
+            self.stats.drops += 1;
+            return;
+        }
+        let droppable = matches!(s.class, TrafficClass::Data | TrafficClass::Replication);
+        if droppable && self.channel.backlog(ctx.now()) > self.cfg.max_backlog {
+            // Congestion collapse guard: transient tuple buffers are
+            // full; the message is lost (sender still sees a completion
+            // — no false failure detection). Bulk checkpoint/recovery
+            // transfers are persistent TCP streams: they queue instead,
+            // and their cost surfaces as airtime that sheds new frames
+            // at the sources.
+            self.stats.drops += 1;
+            if s.tag != 0 {
+                ctx.send_in(self.cfg.max_backlog, s.src, TxDone { tag: s.tag });
+            }
+            return;
+        }
+        let wire = match s.service {
+            Service::Datagram => self.cfg.datagram_wire_bytes(s.bytes),
+            Service::Reliable => self.cfg.reliable_wire_bytes(s.bytes),
+        };
+        let air = tx_time(wire, self.cfg.rate_bps);
+        let (_, end) = self.channel.reserve_span(ctx.now(), air, wire);
+        self.stats.record_send(s.class, s.bytes, wire, air);
+        self.after_reserve(ctx);
+        ctx.count("wifi.sends", 1);
+
+        let delay = end - ctx.now();
+        let deliver = |ctx: &mut Ctx, to: ActorId, payload: &Payload| {
+            ctx.send_boxed_in(
+                delay,
+                to,
+                Box::new(WifiRx {
+                    src: s.src,
+                    bytes: s.bytes,
+                    class: s.class,
+                    payload: payload.clone(),
+                }),
+            );
+        };
+
+        match s.mode {
+            SendMode::Unicast(dst) => {
+                let reachable = self.link_state(dst).reachable();
+                match (s.service, reachable) {
+                    (Service::Reliable, true) => {
+                        if let Some(p) = &s.payload {
+                            deliver(ctx, dst, p);
+                        }
+                        if s.tag != 0 {
+                            ctx.send_in(delay, s.src, TxDone { tag: s.tag });
+                        }
+                    }
+                    (Service::Reliable, false) => {
+                        self.stats.failed_sends += 1;
+                        let when = delay.max(self.cfg.reliable_timeout);
+                        if s.tag != 0 {
+                            ctx.send_in(when, s.src, TxFailed { tag: s.tag, dst });
+                        }
+                    }
+                    (Service::Datagram, true) => {
+                        let p_ok = self.cfg.datagram_delivery_prob(s.bytes);
+                        if ctx.rng().chance(p_ok) {
+                            if let Some(p) = &s.payload {
+                                deliver(ctx, dst, p);
+                            }
+                        } else {
+                            self.stats.drops += 1;
+                        }
+                        if s.tag != 0 {
+                            ctx.send_in(delay, s.src, TxDone { tag: s.tag });
+                        }
+                    }
+                    (Service::Datagram, false) => {
+                        self.stats.drops += 1;
+                        if s.tag != 0 {
+                            ctx.send_in(delay, s.src, TxDone { tag: s.tag });
+                        }
+                    }
+                }
+            }
+            SendMode::Broadcast => {
+                assert!(
+                    matches!(s.service, Service::Datagram),
+                    "broadcast is datagram-only; reliable fan-out goes through the TCP tree"
+                );
+                let p_ok = self.cfg.datagram_delivery_prob(s.bytes);
+                let receivers: Vec<ActorId> = self
+                    .members
+                    .iter()
+                    .filter(|(id, st)| **id != s.src && st.reachable())
+                    .map(|(id, _)| *id)
+                    .collect();
+                for dst in receivers {
+                    if ctx.rng().chance(p_ok) {
+                        if let Some(p) = &s.payload {
+                            deliver(ctx, dst, p);
+                        }
+                    } else {
+                        self.stats.drops += 1;
+                    }
+                }
+                if s.tag != 0 {
+                    ctx.send_in(delay, s.src, TxDone { tag: s.tag });
+                }
+            }
+        }
+    }
+
+    fn handle_batch(&mut self, b: WifiBatchSend, ctx: &mut Ctx) {
+        if !self.link_state(b.src).reachable() {
+            self.stats.drops += b.blocks.len() as u64;
+            return;
+        }
+        assert!(!b.blocks.is_empty(), "empty batch");
+        let n = b.blocks.len() as u64;
+        let payload = b.payload_bytes;
+        let wire = payload + n * self.cfg.frame_overhead;
+        let air = tx_time(wire, self.cfg.rate_bps);
+        let (_, end) = self.channel.reserve_span(ctx.now(), air, wire);
+        self.stats.record_send(b.class, payload, wire, air);
+        self.after_reserve(ctx);
+        ctx.count("wifi.batch_blocks", n);
+        let delay = end - ctx.now();
+
+        let receivers: Vec<ActorId> = self
+            .members
+            .iter()
+            .filter(|(id, st)| **id != b.src && st.reachable())
+            .map(|(id, _)| *id)
+            .collect();
+        let p_keep = 1.0 - self.cfg.loss;
+        for dst in receivers {
+            let mut received = Bitmap::zeros(b.blocks.len());
+            for i in 0..b.blocks.len() {
+                if ctx.rng().chance(p_keep) {
+                    received.set(i, true);
+                } else {
+                    self.stats.drops += 1;
+                }
+            }
+            ctx.send_in(
+                delay,
+                dst,
+                WifiBatchRx {
+                    src: b.src,
+                    class: b.class,
+                    stream: b.stream,
+                    total_blocks: b.total_blocks,
+                    blocks: b.blocks.clone(),
+                    received,
+                    reply_expected: b.reply_expected,
+                },
+            );
+        }
+        if b.tag != 0 {
+            ctx.send_in(delay, b.src, TxDone { tag: b.tag });
+        }
+    }
+}
+
+impl Actor for WifiMedium {
+    fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
+        simkernel::match_event!(ev,
+            s: WifiSend => { self.handle_send(s, ctx); },
+            b: WifiBatchSend => { self.handle_batch(b, ctx); },
+            l: WifiSetLink => { self.set_link_state(l.node, l.state); },
+            _d: DrainCheck => { self.on_drain_check(ctx); },
+            @else other => {
+                panic!("WifiMedium: unhandled event {}", (*other).type_name());
+            }
+        );
+    }
+
+    fn name(&self) -> String {
+        "wifi-medium".into()
+    }
+
+    impl_actor_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkernel::{Sim, SimTime};
+
+    /// Collects everything delivered to it.
+    #[derive(Default)]
+    struct Sink {
+        rx: Vec<(SimTime, u64)>,          // (when, bytes)
+        batch: Vec<(u64, usize)>,         // (stream, received count)
+        done: Vec<u64>,
+        failed: Vec<u64>,
+        congestion: Vec<bool>,
+    }
+
+    impl Actor for Sink {
+        fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
+            simkernel::match_event!(ev,
+                r: WifiRx => { self.rx.push((ctx.now(), r.bytes)); },
+                b: WifiBatchRx => { self.batch.push((b.stream, b.received.count_ones())); },
+                d: TxDone => { self.done.push(d.tag); },
+                f: TxFailed => { self.failed.push(f.tag); },
+                c: WifiCongestion => { self.congestion.push(c.on); },
+                @else other => { panic!("unexpected {}", (*other).type_name()); }
+            );
+        }
+        impl_actor_any!();
+    }
+
+    fn setup(loss: f64) -> (Sim, ActorId, Vec<ActorId>) {
+        let mut sim = Sim::new(7);
+        let nodes: Vec<ActorId> = (0..4)
+            .map(|_| sim.add_actor(Box::<Sink>::default()))
+            .collect();
+        let mut medium = WifiMedium::new(WifiConfig {
+            rate_bps: 1_000_000.0,
+            loss,
+            frame_overhead: 0,
+            mtu: 1500,
+            ack_bytes: 0,
+            reliable_timeout: SimDuration::from_secs(2),
+            max_backlog: SimDuration::from_secs(3600),
+            high_water: SimDuration::from_secs(3600),
+            low_water: SimDuration::from_secs(1800),
+        });
+        for &n in &nodes {
+            medium.add_member(n);
+        }
+        let m = sim.add_actor(Box::new(medium));
+        (sim, m, nodes)
+    }
+
+    #[test]
+    fn reliable_unicast_delivers_and_times_airtime() {
+        let (mut sim, m, nodes) = setup(0.0);
+        sim.schedule_at(
+            SimTime::ZERO,
+            m,
+            WifiSend {
+                src: nodes[0],
+                mode: SendMode::Unicast(nodes[1]),
+                service: Service::Reliable,
+                class: TrafficClass::Data,
+                bytes: 125_000, // 1 s at 1 Mbps
+                tag: 42,
+                payload: Some(crate::payload("hello")),
+            },
+        );
+        sim.run();
+        let rx = &sim.actor::<Sink>(nodes[1]).rx;
+        assert_eq!(rx.len(), 1);
+        assert_eq!(rx[0], (SimTime::from_secs(1), 125_000));
+        assert_eq!(sim.actor::<Sink>(nodes[0]).done, vec![42]);
+        // No one else heard it.
+        assert!(sim.actor::<Sink>(nodes[2]).rx.is_empty());
+    }
+
+    #[test]
+    fn broadcast_reaches_all_active_members_once() {
+        let (mut sim, m, nodes) = setup(0.0);
+        sim.schedule_at(
+            SimTime::ZERO,
+            m,
+            WifiSend {
+                src: nodes[0],
+                mode: SendMode::Broadcast,
+                service: Service::Datagram,
+                class: TrafficClass::Preservation,
+                bytes: 1000,
+                tag: 1,
+                payload: Some(crate::payload("img")),
+            },
+        );
+        sim.run();
+        for &n in &nodes[1..] {
+            assert_eq!(sim.actor::<Sink>(n).rx.len(), 1, "{n:?} missed broadcast");
+        }
+        assert!(sim.actor::<Sink>(nodes[0]).rx.is_empty(), "no self-delivery");
+        // One airtime slot for three receivers: medium busy exactly once.
+        let med = sim.actor::<WifiMedium>(m);
+        assert_eq!(med.stats().messages(TrafficClass::Preservation), 1);
+    }
+
+    #[test]
+    fn transmissions_serialize_on_the_channel() {
+        let (mut sim, m, nodes) = setup(0.0);
+        for tag in 1..=2 {
+            sim.schedule_at(
+                SimTime::ZERO,
+                m,
+                WifiSend {
+                    src: nodes[0],
+                    mode: SendMode::Unicast(nodes[1]),
+                    service: Service::Reliable,
+                    class: TrafficClass::Data,
+                    bytes: 125_000,
+                    tag,
+                    payload: Some(crate::payload(())),
+                },
+            );
+        }
+        sim.run();
+        let rx = &sim.actor::<Sink>(nodes[1]).rx;
+        assert_eq!(rx[0].0, SimTime::from_secs(1));
+        assert_eq!(rx[1].0, SimTime::from_secs(2), "second send queues behind first");
+    }
+
+    #[test]
+    fn reliable_to_dead_member_fails_after_timeout() {
+        let (mut sim, m, nodes) = setup(0.0);
+        sim.actor_mut::<WifiMedium>(m).set_link_state(nodes[1], LinkState::Dead);
+        sim.schedule_at(
+            SimTime::ZERO,
+            m,
+            WifiSend {
+                src: nodes[0],
+                mode: SendMode::Unicast(nodes[1]),
+                service: Service::Reliable,
+                class: TrafficClass::Data,
+                bytes: 100,
+                tag: 9,
+                payload: Some(crate::payload(())),
+            },
+        );
+        sim.run();
+        assert!(sim.actor::<Sink>(nodes[1]).rx.is_empty());
+        assert_eq!(sim.actor::<Sink>(nodes[0]).failed, vec![9]);
+        assert!(sim.now() >= SimTime::from_secs(2), "failure after timeout");
+    }
+
+    #[test]
+    fn dead_sender_transmits_nothing() {
+        let (mut sim, m, nodes) = setup(0.0);
+        sim.actor_mut::<WifiMedium>(m).set_link_state(nodes[0], LinkState::Dead);
+        sim.schedule_at(
+            SimTime::ZERO,
+            m,
+            WifiSend {
+                src: nodes[0],
+                mode: SendMode::Broadcast,
+                service: Service::Datagram,
+                class: TrafficClass::Data,
+                bytes: 100,
+                tag: 3,
+                payload: Some(crate::payload(())),
+            },
+        );
+        sim.run();
+        for &n in &nodes {
+            assert!(sim.actor::<Sink>(n).rx.is_empty());
+        }
+    }
+
+    #[test]
+    fn datagram_loss_statistics() {
+        let (mut sim, m, nodes) = setup(0.3);
+        let sends = 2000u64;
+        for _ in 0..sends {
+            sim.schedule_at(
+                SimTime::ZERO,
+                m,
+                WifiSend {
+                    src: nodes[0],
+                    mode: SendMode::Unicast(nodes[1]),
+                    service: Service::Datagram,
+                    class: TrafficClass::Data,
+                    bytes: 100,
+                    tag: 0,
+                    payload: Some(crate::payload(())),
+                },
+            );
+        }
+        sim.run();
+        let got = sim.actor::<Sink>(nodes[1]).rx.len() as f64;
+        let rate = got / sends as f64;
+        assert!((rate - 0.7).abs() < 0.05, "delivery rate {rate}");
+    }
+
+    #[test]
+    fn batch_samples_per_block_loss_and_reports_bitmap() {
+        let (mut sim, m, nodes) = setup(0.5);
+        sim.schedule_at(
+            SimTime::ZERO,
+            m,
+            WifiBatchSend {
+                src: nodes[0],
+                class: TrafficClass::Checkpoint,
+                stream: 77,
+                total_blocks: 1000,
+                blocks: (0..1000).collect(),
+                payload_bytes: 1000 * 1024,
+                reply_expected: true,
+                tag: 5,
+            },
+        );
+        sim.run();
+        for &n in &nodes[1..] {
+            let batch = &sim.actor::<Sink>(n).batch;
+            assert_eq!(batch.len(), 1);
+            assert_eq!(batch[0].0, 77);
+            let received = batch[0].1 as f64 / 1000.0;
+            assert!((received - 0.5).abs() < 0.08, "received fraction {received}");
+        }
+        assert_eq!(sim.actor::<Sink>(nodes[0]).done, vec![5]);
+        // Airtime charged once for the whole batch: 1000 * 1024 B at 1 Mbps ≈ 8.192 s.
+        assert!((sim.now().as_secs_f64() - 8.192).abs() < 0.01);
+    }
+
+    #[test]
+    fn reliable_costs_more_airtime_than_datagram() {
+        let cfg = WifiConfig {
+            loss: 0.2,
+            frame_overhead: 50,
+            ack_bytes: 40,
+            ..WifiConfig::default()
+        };
+        let dg = cfg.datagram_wire_bytes(10_000);
+        let rel = cfg.reliable_wire_bytes(10_000);
+        assert!(rel > dg, "reliable {rel} vs datagram {dg}");
+        // Expansion ≈ (10000 + 7*90) / 0.8
+        let expect = ((10_000.0_f64 + 7.0 * 90.0) / 0.8).ceil() as u64;
+        assert_eq!(rel, expect);
+    }
+
+    #[test]
+    fn delivery_prob_decays_with_fragments() {
+        let cfg = WifiConfig {
+            loss: 0.05,
+            mtu: 1500,
+            ..WifiConfig::default()
+        };
+        let small = cfg.datagram_delivery_prob(1000);
+        let big = cfg.datagram_delivery_prob(100_000);
+        assert!(small > 0.94);
+        assert!(big < 0.05, "67-fragment message almost surely lost, got {big}");
+    }
+
+    #[test]
+    fn congestion_signals_high_and_low_water() {
+        let mut sim = Sim::new(7);
+        let a = sim.add_actor(Box::<Sink>::default());
+        let b = sim.add_actor(Box::<Sink>::default());
+        let mut medium = WifiMedium::new(WifiConfig {
+            rate_bps: 1_000_000.0,
+            loss: 0.0,
+            frame_overhead: 0,
+            mtu: 1500,
+            ack_bytes: 0,
+            reliable_timeout: SimDuration::from_secs(2),
+            max_backlog: SimDuration::from_secs(60),
+            high_water: SimDuration::from_secs(2),
+            low_water: SimDuration::from_millis(500),
+        });
+        medium.add_member(a);
+        medium.add_member(b);
+        let m = sim.add_actor(Box::new(medium));
+        // 4 s of airtime: crosses the 2 s high-water mark.
+        for _ in 0..4 {
+            sim.schedule_at(
+                SimTime::ZERO,
+                m,
+                WifiSend {
+                    src: a,
+                    mode: SendMode::Unicast(b),
+                    service: Service::Reliable,
+                    class: TrafficClass::Data,
+                    bytes: 125_000,
+                    tag: 0,
+                    payload: Some(crate::payload(())),
+                },
+            );
+        }
+        sim.run();
+        assert!(!sim.actor::<WifiMedium>(m).is_congested(), "drained by end");
+        // Members saw an on-signal followed by an off-signal.
+        let sigs = &sim.actor::<Sink>(b).congestion;
+        assert_eq!(sigs.as_slice(), &[true, false], "{sigs:?}");
+    }
+
+    #[test]
+    fn backlog_cap_drops_only_transient_classes() {
+        let mut sim = Sim::new(7);
+        let a = sim.add_actor(Box::<Sink>::default());
+        let b = sim.add_actor(Box::<Sink>::default());
+        let mut medium = WifiMedium::new(WifiConfig {
+            rate_bps: 1_000_000.0,
+            loss: 0.0,
+            frame_overhead: 0,
+            mtu: 1500,
+            ack_bytes: 0,
+            reliable_timeout: SimDuration::from_secs(2),
+            max_backlog: SimDuration::from_millis(500),
+            high_water: SimDuration::from_secs(3600),
+            low_water: SimDuration::from_secs(1800),
+        });
+        medium.add_member(a);
+        medium.add_member(b);
+        let m = sim.add_actor(Box::new(medium));
+        for class in [TrafficClass::Data, TrafficClass::Data, TrafficClass::Checkpoint] {
+            sim.schedule_at(
+                SimTime::ZERO,
+                m,
+                WifiSend {
+                    src: a,
+                    mode: SendMode::Unicast(b),
+                    service: Service::Reliable,
+                    class,
+                    bytes: 125_000, // 1 s each; cap is 0.5 s backlog
+                    tag: 0,
+                    payload: Some(crate::payload(())),
+                },
+            );
+        }
+        sim.run();
+        // First Data send transmits; second Data send is dropped by the
+        // cap; the Checkpoint send queues despite the backlog.
+        assert_eq!(sim.actor::<Sink>(b).rx.len(), 2);
+        let med = sim.actor::<WifiMedium>(m);
+        assert_eq!(med.stats().messages(TrafficClass::Checkpoint), 1);
+        assert_eq!(med.stats().drops, 1);
+    }
+}

@@ -1,0 +1,314 @@
+//! Cross-crate integration tests: the paper's mechanism walk-throughs
+//! (Figs 5–7) exercised on full deployments.
+
+use experiments::faults::{inject_departure, inject_failure, inject_reboot};
+use experiments::{harvest, AppKind, Deployment, Platform, ScenarioConfig, Scheme};
+use mobistreams::MsController;
+use simkernel::{SimDuration, SimTime};
+
+fn small(app: AppKind, scheme: Scheme, seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        app,
+        scheme,
+        seed,
+        regions: 2,
+        ckpt_offset: SimDuration::from_secs(40),
+        ckpt_period: SimDuration::from_secs(120),
+        ..ScenarioConfig::default()
+    }
+}
+
+/// Fig 5: the token wave produces committed, region-wide checkpoints.
+#[test]
+fn token_checkpoint_commits() {
+    let mut dep = Deployment::build(small(AppKind::Bcp, Scheme::Ms, 3));
+    dep.start();
+    dep.run_until(SimTime::from_secs(300));
+    let ctl = dep.sim.actor::<MsController>(dep.controller.unwrap());
+    // Two checkpoint rounds per region should have committed.
+    assert!(
+        ctl.last_complete(0) >= 2,
+        "region 0 committed {} rounds",
+        ctl.last_complete(0)
+    );
+    assert!(ctl.last_complete(1) >= 2);
+    // Every node holds the committed version's data (broadcast-based
+    // replication reached everyone, incl. idle nodes).
+    let v = ctl.last_complete(0);
+    let mut holders = 0;
+    for &nid in &dep.regions[0].nodes {
+        let na = dep.sim.actor::<dsps::node::NodeActor>(nid);
+        if na.inner.store.version(v).map(|rec| rec.total_bytes() > 0) == Some(true) {
+            holders += 1;
+        }
+    }
+    assert!(
+        holders >= 7,
+        "checkpoint v{v} replicated to {holders}/8 nodes"
+    );
+}
+
+/// Fig 5 + §III-D: a failure rolls the region back to the MRC and
+/// catch-up replays preserved inputs with sink squelching.
+#[test]
+fn failure_recovery_restores_the_pipeline() {
+    let mut dep = Deployment::build(small(AppKind::Bcp, Scheme::Ms, 4));
+    dep.start();
+    // Kill the D/H node (slot 2) after the first checkpoint.
+    inject_failure(&mut dep, 0, 2, SimTime::from_secs(170));
+    dep.run_until(SimTime::from_secs(420));
+    let ctl = dep.sim.actor::<MsController>(dep.controller.unwrap());
+    assert!(!ctl.recoveries.is_empty(), "a recovery must have run");
+    let rec = ctl.recoveries[0];
+    assert!(rec.finished > rec.started);
+    assert!(
+        (rec.finished - rec.started) < SimDuration::from_secs(60),
+        "ms recovery is fast (got {})",
+        rec.finished - rec.started
+    );
+    // The sink produced output after the recovery finished.
+    let h = harvest(&dep, rec.finished, SimTime::from_secs(420));
+    assert!(
+        h.per_region[0].outputs > 0,
+        "region 0 resumed publishing after recovery"
+    );
+    // Catch-up discarded replayed results instead of re-publishing them.
+    let discards: u64 = h.per_region.iter().map(|r| r.catchup_discards).sum();
+    assert!(discards > 0, "sink squelched replayed tuples");
+}
+
+/// Fig 7: a departure switches to urgent mode, transfers state over
+/// cellular and replaces the phone — no rollback, no catch-up.
+#[test]
+fn departure_is_handled_without_rollback() {
+    let mut dep = Deployment::build(small(AppKind::Bcp, Scheme::Ms, 5));
+    dep.start();
+    // Depart the D/H node (small operator state → quick transfer over
+    // the slow cellular uplink).
+    inject_departure(&mut dep, 0, 2, SimTime::from_secs(170));
+    dep.run_until(SimTime::from_secs(380));
+    let ctl = dep.sim.actor::<MsController>(dep.controller.unwrap());
+    assert!(ctl.departures_handled >= 1, "departure replacement completed");
+    // The replacement (an idle slot) now hosts the moved operators.
+    let moved: usize = dep.regions[0]
+        .nodes
+        .iter()
+        .skip(6) // idle slots 6,7
+        .map(|&nid| dep.sim.actor::<dsps::node::NodeActor>(nid).inner.ops.len())
+        .sum();
+    assert!(moved >= 2, "D,H moved to a standby phone (got {moved})");
+    // State transfer used the cellular network.
+    let h = harvest(&dep, SimTime::ZERO, SimTime::from_secs(380));
+    assert!(
+        h.cell_bytes.recovery > 0,
+        "departing phone shipped its state over cellular"
+    );
+    // No failure recovery ran (departures are cheaper than failures).
+    assert!(ctl.recoveries.is_empty());
+}
+
+/// §III-B step 3: with every phone rebooting after a full-region crash,
+/// the region restarts from flash-resident checkpoint copies.
+#[test]
+fn full_region_crash_restarts_from_flash() {
+    let mut dep = Deployment::build(small(AppKind::Bcp, Scheme::Ms, 6));
+    dep.start();
+    for slot in 0..8 {
+        inject_failure(&mut dep, 0, slot, SimTime::from_secs(170));
+        inject_reboot(&mut dep, 0, slot, SimTime::from_secs(230));
+    }
+    dep.run_until(SimTime::from_secs(600));
+    let h = harvest(&dep, SimTime::from_secs(400), SimTime::from_secs(600));
+    assert!(
+        h.per_region[0].outputs > 0,
+        "region recovered from flash copies and publishes again"
+    );
+}
+
+/// Multi-region cascading: downstream regions receive the upstream
+/// region's predictions over cellular (Fig 4).
+#[test]
+fn regions_cascade_over_cellular() {
+    let mut dep = Deployment::build(small(AppKind::Bcp, Scheme::Base, 7));
+    dep.start();
+    dep.run_until(SimTime::from_secs(300));
+    // Region 1's S0 has no local bus feed; any processed S0 input came
+    // from region 0's sink over the cellular network.
+    let h = harvest(&dep, SimTime::ZERO, SimTime::from_secs(300));
+    assert!(h.per_region[1].outputs > 0);
+    assert!(h.cell_bytes.data > 0, "inter-region tuples crossed cellular");
+}
+
+/// The server-based platform (Table I) is bottlenecked by the 3G
+/// uplink: its throughput tracks the uplink rate, not the servers.
+#[test]
+fn server_platform_is_uplink_bound() {
+    let mut lo = Deployment::build(ScenarioConfig {
+        app: AppKind::Bcp,
+        scheme: Scheme::Base,
+        platform: Platform::Server { uplink_bps: 16_000.0 },
+        checkpoints_enabled: false,
+        regions: 2,
+        seed: 8,
+        ..ScenarioConfig::default()
+    });
+    lo.start();
+    lo.run_until(SimTime::from_secs(500));
+    let h_lo = harvest(&lo, SimTime::from_secs(100), SimTime::from_secs(500));
+
+    let mut hi = Deployment::build(ScenarioConfig {
+        app: AppKind::Bcp,
+        scheme: Scheme::Base,
+        platform: Platform::Server { uplink_bps: 320_000.0 },
+        checkpoints_enabled: false,
+        regions: 2,
+        seed: 8,
+        ..ScenarioConfig::default()
+    });
+    hi.start();
+    hi.run_until(SimTime::from_secs(500));
+    let h_hi = harvest(&hi, SimTime::from_secs(100), SimTime::from_secs(500));
+
+    assert!(
+        h_hi.mean_throughput > 5.0 * h_lo.mean_throughput,
+        "20x uplink must lift throughput by far more than 5x ({} vs {})",
+        h_hi.mean_throughput,
+        h_lo.mean_throughput
+    );
+    assert!(
+        h_lo.mean_latency_s > h_hi.mean_latency_s,
+        "slower uplink queues longer"
+    );
+}
+
+/// Determinism: identical configs and seeds produce identical runs.
+#[test]
+fn deployments_are_deterministic() {
+    let run = |seed| {
+        let mut dep = Deployment::build(small(AppKind::SignalGuru, Scheme::Ms, seed));
+        dep.start();
+        dep.run_until(SimTime::from_secs(260));
+        let h = harvest(&dep, SimTime::from_secs(60), SimTime::from_secs(260));
+        (
+            dep.sim.events_processed(),
+            h.per_region.iter().map(|r| r.outputs).collect::<Vec<_>>(),
+            h.wifi_bytes.total(),
+        )
+    };
+    assert_eq!(run(42), run(42));
+    assert_ne!(run(42).0, run(43).0, "different seeds diverge");
+}
+
+/// rep-2 takeover: a single failure flips the primary flow and output
+/// continues (active standby semantics).
+#[test]
+fn rep2_takeover_keeps_publishing() {
+    let mut dep = Deployment::build(small(AppKind::Bcp, Scheme::Rep2, 9));
+    dep.start();
+    // Slot 1 hosts flow-0 operators under the compressed placement.
+    inject_failure(&mut dep, 0, 1, SimTime::from_secs(170));
+    dep.run_until(SimTime::from_secs(400));
+    let co = dep
+        .sim
+        .actor::<baselines::BaselineCoordinator>(dep.coordinator.unwrap());
+    assert!(co.takeovers >= 1, "primary flipped to the standby flow");
+    assert_eq!(co.stops, 0, "one failure must not kill rep-2");
+    let h = harvest(&dep, SimTime::from_secs(200), SimTime::from_secs(400));
+    assert!(h.per_region[0].outputs > 0, "standby flow publishes");
+}
+
+/// dist-n: recovery fetches peer state copies and resumes; it tolerates
+/// n but not n+1 simultaneous failures.
+#[test]
+fn dist_n_tolerates_exactly_n() {
+    // n = 1, one failure: recovers.
+    let mut ok = Deployment::build(small(AppKind::Bcp, Scheme::Dist(1), 10));
+    ok.start();
+    inject_failure(&mut ok, 0, 2, SimTime::from_secs(170));
+    ok.run_until(SimTime::from_secs(420));
+    {
+        let co = ok
+            .sim
+            .actor::<baselines::BaselineCoordinator>(ok.coordinator.unwrap());
+        assert_eq!(co.stops, 0);
+        assert!(!co.recoveries.is_empty(), "dist-1 recovered one failure");
+    }
+    // n = 1, two simultaneous failures: unrecoverable (region stops).
+    let mut bad = Deployment::build(small(AppKind::Bcp, Scheme::Dist(1), 10));
+    bad.start();
+    inject_failure(&mut bad, 0, 2, SimTime::from_secs(170));
+    inject_failure(&mut bad, 0, 3, SimTime::from_secs(170));
+    bad.run_until(SimTime::from_secs(420));
+    let co = bad
+        .sim
+        .actor::<baselines::BaselineCoordinator>(bad.coordinator.unwrap());
+    assert!(co.stops >= 1, "dist-1 cannot survive a 2-node burst");
+}
+
+/// Fig 10 invariants on byte accounting: ms preserves far less than
+/// input preservation, and dist-n network cost grows with n.
+#[test]
+fn byte_accounting_shapes() {
+    let run = |scheme| {
+        let mut dep = Deployment::build(small(AppKind::Bcp, scheme, 11));
+        dep.start();
+        dep.run_until(SimTime::from_secs(400));
+        harvest(&dep, SimTime::ZERO, SimTime::from_secs(400))
+    };
+    let ms = run(Scheme::Ms);
+    let local = run(Scheme::Local);
+    let d1 = run(Scheme::Dist(1));
+    let d3 = run(Scheme::Dist(3));
+    assert!(
+        local.preserved_bytes > 2 * ms.preserved_bytes,
+        "input preservation ({}) ≫ source preservation ({})",
+        local.preserved_bytes,
+        ms.preserved_bytes
+    );
+    assert!(
+        d3.ckpt_repl_bytes > 2 * d1.ckpt_repl_bytes,
+        "dist-3 ships ~3x dist-1's checkpoint bytes"
+    );
+    assert_eq!(local.ckpt_repl_bytes, 0, "local checkpoints stay off the network");
+}
+
+/// Extension (related work, Hwang'05): upstream backup re-hosts a
+/// failed node's operators on its upstream neighbor and replays the
+/// retained outputs — one failure survivable, a second is fatal.
+#[test]
+fn upstream_backup_takes_over_once() {
+    let mut dep = Deployment::build(small(AppKind::Bcp, Scheme::Upstream, 12));
+    dep.start();
+    // Kill the counter node (slot 3): its upstream (D/H, slot 2) takes
+    // its operators over.
+    inject_failure(&mut dep, 0, 3, SimTime::from_secs(170));
+    dep.run_until(SimTime::from_secs(400));
+    {
+        let co = dep
+            .sim
+            .actor::<baselines::BaselineCoordinator>(dep.coordinator.unwrap());
+        assert_eq!(co.stops, 0, "one failure survivable");
+    }
+    let host = dep.sim.actor::<dsps::node::NodeActor>(dep.regions[0].nodes[2]);
+    assert!(
+        host.inner.ops.len() >= 4,
+        "upstream neighbor hosts its own + the failed ops (got {})",
+        host.inner.ops.len()
+    );
+    let h = harvest(&dep, SimTime::from_secs(250), SimTime::from_secs(400));
+    assert!(h.per_region[0].outputs > 0, "pipeline runs after takeover");
+
+    // Losing a node TOGETHER with the upstream neighbor that holds its
+    // retained outputs is fatal — the backup data is gone ("it only
+    // handles single node failure"). Kill the camera source (S1) and
+    // the D/H node simultaneously: D's only upstream is S1.
+    let mut dep2 = Deployment::build(small(AppKind::Bcp, Scheme::Upstream, 12));
+    dep2.start();
+    inject_failure(&mut dep2, 0, 0, SimTime::from_secs(170));
+    inject_failure(&mut dep2, 0, 2, SimTime::from_secs(170));
+    dep2.run_until(SimTime::from_secs(300));
+    let co2 = dep2
+        .sim
+        .actor::<baselines::BaselineCoordinator>(dep2.coordinator.unwrap());
+    assert!(co2.stops >= 1, "losing a node plus its backup stops the region");
+}
