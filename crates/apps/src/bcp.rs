@@ -734,7 +734,9 @@ pub fn build_bcp(cal: &Calibration, slots: u32, first_stop: bool) -> AppBundle {
     g.connect(p, k);
     g.validate().expect("BCP graph valid");
 
-    let mut placement = Placement::new(&g, slots);
+    // Author the paper's canonical 8-slot grouping, then squeeze it
+    // proportionally if the region has fewer phones than the testbed.
+    let mut placement = Placement::new(&g, slots.max(8));
     placement
         .assign(s1, 0)
         .assign(s0, 1)
@@ -752,6 +754,7 @@ pub fn build_bcp(cal: &Calibration, slots: u32, first_stop: bool) -> AppBundle {
         .assign(p, 5)
         .assign(k, 5);
     placement.validate(&g).expect("BCP placement valid");
+    let placement = crate::squeeze_placement(&placement, slots);
 
     // Feeds: the camera (every region) and, at the first stop only, the
     // depot's bus announcements.
@@ -866,7 +869,11 @@ mod tests {
         let mut j = mk("J");
         let mut p = mk("P");
 
-        let run = |op: &mut Box<dyn Operator>, v: dsps::tuple::TupleValue, bytes: u64, port: usize, rng: &mut SimRng| {
+        let run = |op: &mut Box<dyn Operator>,
+                   v: dsps::tuple::TupleValue,
+                   bytes: u64,
+                   port: usize,
+                   rng: &mut SimRng| {
             let t = Tuple::new(1, simkernel::SimTime::from_secs(10), bytes, v);
             let mut out = Outputs::default();
             op.process(&t, port, &mut out, rng);
@@ -874,7 +881,11 @@ mod tests {
         };
 
         // Bus side.
-        let bus = value(PrevStopMsg { bus_id: 7, onboard: 20, depart_s: 100.0 });
+        let bus = value(PrevStopMsg {
+            bus_id: 7,
+            onboard: 20,
+            depart_s: 100.0,
+        });
         let s0_out = run(&mut s0, bus, 200, 0, &mut rng);
         assert_eq!(s0_out.len(), 1);
         let n_out = run(&mut n, s0_out[0].1.clone(), 200, 0, &mut rng);
@@ -891,7 +902,13 @@ mod tests {
         };
         let frame = Arc::new(gen.faces_frame(&mut rng, 1));
         let truth = frame.truth_faces;
-        let h_out = run(&mut h, value(FrameMsg { frame }), cal.bcp_frame_bytes, 0, &mut rng);
+        let h_out = run(
+            &mut h,
+            value(FrameMsg { frame }),
+            cal.bcp_frame_bytes,
+            0,
+            &mut rng,
+        );
         assert_eq!(h_out.len(), 4, "H splits into quadrants");
         // Count all four crops (one counter instance suffices here).
         let mut waiting_msg = None;

@@ -84,7 +84,14 @@ pub struct Detection {
 
 /// Count faces inside the sub-rectangle `[x0, x1) × [y0, y1)` of the
 /// frame (a quadrant crop for the C0–C3 counters).
-pub fn count_faces_in(frame: &Frame, cascade: &Cascade, x0: usize, y0: usize, x1: usize, y1: usize) -> u32 {
+pub fn count_faces_in(
+    frame: &Frame,
+    cascade: &Cascade,
+    x0: usize,
+    y0: usize,
+    x1: usize,
+    y1: usize,
+) -> u32 {
     detect_in(frame, cascade, x0, y0, x1, y1).len() as u32
 }
 
@@ -144,7 +151,14 @@ pub fn detect_in(
 pub fn count_faces_quadrant(frame: &Frame, cascade: &Cascade, quadrant: usize) -> u32 {
     let (qw, qh) = (frame.w / 2, frame.h / 2);
     let (qx, qy) = (quadrant % 2, quadrant / 2);
-    count_faces_in(frame, cascade, qx * qw, qy * qh, (qx + 1) * qw, (qy + 1) * qh)
+    count_faces_in(
+        frame,
+        cascade,
+        qx * qw,
+        qy * qh,
+        (qx + 1) * qw,
+        (qy + 1) * qh,
+    )
 }
 
 #[cfg(test)]

@@ -121,7 +121,10 @@ impl ArrivalModel {
 /// Capacity combination (the P operator): passengers on the bus when
 /// it leaves this stop.
 pub fn combine_capacity(onboard: u32, alight: u32, board: u32, capacity: u32) -> u32 {
-    onboard.saturating_sub(alight).saturating_add(board).min(capacity)
+    onboard
+        .saturating_sub(alight)
+        .saturating_add(board)
+        .min(capacity)
 }
 
 #[cfg(test)]
@@ -169,7 +172,11 @@ mod tests {
     #[test]
     fn capacity_combination_clamps() {
         assert_eq!(combine_capacity(30, 10, 5, 50), 25);
-        assert_eq!(combine_capacity(5, 10, 0, 50), 0, "can't alight more than onboard");
+        assert_eq!(
+            combine_capacity(5, 10, 0, 50),
+            0,
+            "can't alight more than onboard"
+        );
         assert_eq!(combine_capacity(45, 0, 20, 50), 50, "capacity clamp");
     }
 }

@@ -426,7 +426,12 @@ pub fn build_signalguru(cal: &Calibration, slots: u32, first: bool) -> AppBundle
     });
     let s1 = g.add_op("S1", OpKind::Source, {
         let c = c.clone();
-        move || Box::new(CameraDispatch { cost: c.cost_src, next: 0 })
+        move || {
+            Box::new(CameraDispatch {
+                cost: c.cost_src,
+                next: 0,
+            })
+        }
     });
     let mut chain_heads = Vec::new();
     let mut chain_tails = Vec::new();
@@ -511,7 +516,9 @@ pub fn build_signalguru(cal: &Calibration, slots: u32, first: bool) -> AppBundle
     g.connect(p, k);
     g.validate().expect("SignalGuru graph valid");
 
-    let mut placement = Placement::new(&g, slots);
+    // Canonical 8-slot grouping, squeezed if the region is smaller
+    // than the paper's testbed.
+    let mut placement = Placement::new(&g, slots.max(8));
     placement.assign(s1, 0).assign(s0, 1);
     for (i, (&ci, &mi)) in chain_heads.iter().zip(&chain_tails).enumerate() {
         let slot = 2 + i as u32;
@@ -519,8 +526,13 @@ pub fn build_signalguru(cal: &Calibration, slots: u32, first: bool) -> AppBundle
         placement.assign(dsps::graph::OpId(ci.0 + 1), slot); // A_i
         placement.assign(mi, slot);
     }
-    placement.assign(v, 5).assign(grp, 5).assign(p, 5).assign(k, 5);
+    placement
+        .assign(v, 5)
+        .assign(grp, 5)
+        .assign(p, 5)
+        .assign(k, 5);
     placement.validate(&g).expect("SignalGuru placement valid");
+    let placement = crate::squeeze_placement(&placement, slots);
 
     // Camera feed: frames show the intersection's light, cycling
     // through its phases.
@@ -558,9 +570,8 @@ pub fn build_signalguru(cal: &Calibration, slots: u32, first: bool) -> AppBundle
                     } else {
                         LightColor::Green
                     };
-                    let (x0, y0) = *fixed_pos.get_or_insert_with(|| {
-                        (16 + rng.index(32), 8 + rng.index(12))
-                    });
+                    let (x0, y0) =
+                        *fixed_pos.get_or_insert_with(|| (16 + rng.index(32), 8 + rng.index(12)));
                     let jx = x0 + rng.index(3) - 1;
                     let jy = y0 + rng.index(3) - 1;
                     let frame = Arc::new(gen.light_frame_at(rng, seq, color, jx, jy));
@@ -678,9 +689,8 @@ mod tests {
         let mut gen = (bundle.feeds[0].make_gen)();
         let mut rng = SimRng::new(2);
         let mut colors = std::collections::BTreeSet::new();
-        let cycle_frames = (cal.sg_phase_s.iter().sum::<f64>()
-            / cal.sg_frame_period.as_secs_f64())
-        .ceil() as u64;
+        let cycle_frames =
+            (cal.sg_phase_s.iter().sum::<f64>() / cal.sg_frame_period.as_secs_f64()).ceil() as u64;
         for seq in 0..cycle_frames + 2 {
             let (v, _) = gen(&mut rng, seq);
             let f = (*v).as_any().downcast_ref::<SgFrameMsg>().unwrap();

@@ -134,7 +134,11 @@ impl PhasePredictor {
             (1.0 - self.alpha) * self.duration_ewma[ix] + self.alpha * duration_s;
         // Online SVM update: long cycle if the phase ran over its prior.
         let x = self.features(color, duration_s);
-        let y = if duration_s > self.duration_ewma[ix] { 1.0 } else { -1.0 };
+        let y = if duration_s > self.duration_ewma[ix] {
+            1.0
+        } else {
+            -1.0
+        };
         self.svm.step(&x, y);
     }
 

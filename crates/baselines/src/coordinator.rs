@@ -115,14 +115,23 @@ struct BRegion {
 
 impl BRegion {
     fn hosting_slots(&self) -> BTreeSet<u32> {
-        self.op_slot.iter().copied().filter(|&s| s != u32::MAX).collect()
+        self.op_slot
+            .iter()
+            .copied()
+            .filter(|&s| s != u32::MAX)
+            .collect()
     }
     fn active_slots(&self) -> Vec<u32> {
-        (0..self.alive.len() as u32).filter(|&s| self.alive[s as usize]).collect()
+        (0..self.alive.len() as u32)
+            .filter(|&s| self.alive[s as usize])
+            .collect()
     }
     fn idle_active_slots(&self) -> Vec<u32> {
         let hosting = self.hosting_slots();
-        self.active_slots().into_iter().filter(|s| !hosting.contains(s)).collect()
+        self.active_slots()
+            .into_iter()
+            .filter(|s| !hosting.contains(s))
+            .collect()
     }
     fn ops_on(&self, slot: u32) -> Vec<OpId> {
         self.op_slot
@@ -147,7 +156,14 @@ impl BRegion {
 impl BaselineCoordinator {
     /// Send a tagged state-ship request; a failed send retries with the
     /// next surviving holder.
-    fn send_ship(&mut self, region: usize, dst: ActorId, ship: ShipStateTo, holder: u32, ctx: &mut Ctx) {
+    fn send_ship(
+        &mut self,
+        region: usize,
+        dst: ActorId,
+        ship: ShipStateTo,
+        holder: u32,
+        ctx: &mut Ctx,
+    ) {
         let tag = self.next_tag;
         self.next_tag += 1;
         self.ship_tags.insert(tag, (region, ship, holder));

@@ -81,7 +81,8 @@ impl DistScheme {
         }
         node.store.mark_complete(version);
         node.store.gc_before(version.saturating_sub(1)); // keep v-1 and v
-        self.retention.trim_before(ctx.now() - self.retention_window);
+        self.retention
+            .trim_before(ctx.now() - self.retention_window);
         if total > 0 {
             // Ship the state to each peer as reliable unicast — n copies
             // on the wire (vs MobiStreams' single broadcast).
@@ -178,7 +179,13 @@ impl FtScheme for DistScheme {
         "dist-n"
     }
 
-    fn on_emit(&mut self, tuple: &Tuple, edge: EdgeId, node: &mut NodeInner, ctx: &mut Ctx) -> bool {
+    fn on_emit(
+        &mut self,
+        tuple: &Tuple,
+        edge: EdgeId,
+        node: &mut NodeInner,
+        ctx: &mut Ctx,
+    ) -> bool {
         let _ = node;
         if !tuple.replay {
             self.retention.retain(edge, ctx.now(), tuple.clone());

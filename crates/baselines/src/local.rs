@@ -37,7 +37,10 @@ pub struct RetentionBuffer {
 impl RetentionBuffer {
     /// Retain a copy of an emitted tuple.
     pub fn retain(&mut self, edge: EdgeId, at: SimTime, tuple: Tuple) {
-        self.per_edge.entry(edge).or_default().push_back((at, tuple));
+        self.per_edge
+            .entry(edge)
+            .or_default()
+            .push_back((at, tuple));
     }
 
     /// Drop tuples older than `horizon`.
@@ -111,7 +114,8 @@ impl LocalScheme {
         }
         node.store.mark_complete(version);
         node.store.gc_before(version);
-        self.retention.trim_before(ctx.now() - self.retention_window);
+        self.retention
+            .trim_before(ctx.now() - self.retention_window);
         // Serialization briefly occupies the core (the paper's local
         // overhead); skipped if a tuple is in service (async thread).
         if total > 0 && !node.busy {
@@ -129,7 +133,13 @@ impl FtScheme for LocalScheme {
         "local"
     }
 
-    fn on_emit(&mut self, tuple: &Tuple, edge: EdgeId, node: &mut NodeInner, ctx: &mut Ctx) -> bool {
+    fn on_emit(
+        &mut self,
+        tuple: &Tuple,
+        edge: EdgeId,
+        node: &mut NodeInner,
+        ctx: &mut Ctx,
+    ) -> bool {
         let _ = node;
         if !tuple.replay {
             self.retention.retain(edge, ctx.now(), tuple.clone());

@@ -54,10 +54,7 @@ pub fn duplicate_graph(g: &QueryGraph) -> (QueryGraph, Vec<u8>) {
     }
     for e in 0..g.edge_count() {
         let edge = g.edge(dsps::graph::EdgeId(e as u32));
-        out.connect(
-            OpId(edge.from.0 + n as u32),
-            OpId(edge.to.0 + n as u32),
-        );
+        out.connect(OpId(edge.from.0 + n as u32), OpId(edge.to.0 + n as u32));
     }
     (out, flow_of)
 }
@@ -90,7 +87,10 @@ pub struct Rep2Scheme {
 impl Rep2Scheme {
     /// New scheme; flow 0 starts primary.
     pub fn new(flow_of: Arc<Vec<u8>>) -> Self {
-        Rep2Scheme { flow_of, primary: 0 }
+        Rep2Scheme {
+            flow_of,
+            primary: 0,
+        }
     }
 }
 

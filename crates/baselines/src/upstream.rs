@@ -54,7 +54,13 @@ impl FtScheme for UpstreamScheme {
         "upstream-backup"
     }
 
-    fn on_emit(&mut self, tuple: &Tuple, edge: EdgeId, node: &mut NodeInner, ctx: &mut Ctx) -> bool {
+    fn on_emit(
+        &mut self,
+        tuple: &Tuple,
+        edge: EdgeId,
+        node: &mut NodeInner,
+        ctx: &mut Ctx,
+    ) -> bool {
         let _ = node;
         if !tuple.replay {
             self.retention.retain(edge, ctx.now(), tuple.clone());
@@ -62,7 +68,8 @@ impl FtScheme for UpstreamScheme {
             let now_s = ctx.now().as_secs_f64();
             if now_s - self.last_trim_s > self.retention_window.as_secs_f64() {
                 self.last_trim_s = now_s;
-                self.retention.trim_before(ctx.now() - self.retention_window);
+                self.retention
+                    .trim_before(ctx.now() - self.retention_window);
             }
         }
         true

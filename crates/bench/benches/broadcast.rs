@@ -14,7 +14,11 @@ use simnet::stats::TrafficClass;
 fn content() -> BlobContent {
     BlobContent::Checkpoint {
         version: 1,
-        states: vec![(OpId(0), std::sync::Arc::new(()) as dsps::operator::OpState, 0)],
+        states: vec![(
+            OpId(0),
+            std::sync::Arc::new(()) as dsps::operator::OpState,
+            0,
+        )],
     }
 }
 
@@ -77,7 +81,13 @@ fn bench_receiver(c: &mut Criterion) {
     c.bench_function("broadcast/receiver_fold_8192", |b| {
         b.iter(|| {
             let mut rx = ReceiverState::default();
-            let cum = rx.on_batch(ActorId::from_index(9), 1, 8192, black_box(&blocks), &received);
+            let cum = rx.on_batch(
+                ActorId::from_index(9),
+                1,
+                8192,
+                black_box(&blocks),
+                &received,
+            );
             cum.count_ones()
         })
     });

@@ -47,9 +47,16 @@ fn bench_vision(c: &mut Criterion) {
 fn bench_svm(c: &mut Criterion) {
     let mut rng = SimRng::new(3);
     let xs: Vec<Vec<f64>> = (0..256)
-        .map(|i| vec![rng.normal(if i % 2 == 0 { 2.0 } else { -2.0 }, 0.5), rng.f64()])
+        .map(|i| {
+            vec![
+                rng.normal(if i % 2 == 0 { 2.0 } else { -2.0 }, 0.5),
+                rng.f64(),
+            ]
+        })
         .collect();
-    let ys: Vec<f64> = (0..256).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let ys: Vec<f64> = (0..256)
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
     c.bench_function("svm/fit_epoch_256", |b| {
         b.iter(|| {
             let mut svm = LinearSvm::new(2, 0.01);

@@ -6,7 +6,9 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use experiments::run::measured_run;
-use experiments::{fig10, fig8, fig9, table1, AppKind, ExpOptions, Platform, ScenarioConfig, Scheme};
+use experiments::{
+    fig10, fig8, fig9, table1, AppKind, ExpOptions, Platform, ScenarioConfig, Scheme,
+};
 use simkernel::SimDuration;
 
 fn tiny_opts() -> ExpOptions {
@@ -48,7 +50,9 @@ fn bench_table1(c: &mut Criterion) {
             black_box(one_run(
                 AppKind::Bcp,
                 Scheme::Base,
-                Platform::Server { uplink_bps: 320_000.0 },
+                Platform::Server {
+                    uplink_bps: 320_000.0,
+                },
                 seed,
             ))
         })
@@ -78,7 +82,12 @@ fn bench_fig9(c: &mut Criterion) {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            black_box(one_run(AppKind::Bcp, Scheme::Dist(2), Platform::Phones, seed))
+            black_box(one_run(
+                AppKind::Bcp,
+                Scheme::Dist(2),
+                Platform::Phones,
+                seed,
+            ))
         })
     });
 }

@@ -47,7 +47,13 @@ pub trait FtScheme {
 
     /// The node is about to route `tuple` on out-edge `edge`.
     /// Return `false` to suppress the send.
-    fn on_emit(&mut self, tuple: &Tuple, edge: EdgeId, node: &mut NodeInner, ctx: &mut Ctx) -> bool {
+    fn on_emit(
+        &mut self,
+        tuple: &Tuple,
+        edge: EdgeId,
+        node: &mut NodeInner,
+        ctx: &mut Ctx,
+    ) -> bool {
         let _ = (tuple, edge, node, ctx);
         true
     }

@@ -72,7 +72,12 @@ impl NodeMetrics {
     }
 
     /// Latency percentile (0..=100) within a window.
-    pub fn latency_percentile_in(&self, from: SimTime, to: SimTime, pct: f64) -> Option<SimDuration> {
+    pub fn latency_percentile_in(
+        &self,
+        from: SimTime,
+        to: SimTime,
+        pct: f64,
+    ) -> Option<SimDuration> {
         let mut window: Vec<SimDuration> = self
             .sink_samples
             .iter()
@@ -116,7 +121,10 @@ mod tests {
         // Window [0, 10): 3 outputs over 10 s.
         let tput = m.throughput_in(SimTime::ZERO, SimTime::from_secs(10));
         assert!((tput - 0.3).abs() < 1e-12);
-        assert_eq!(m.outputs_in(SimTime::from_secs(10), SimTime::from_secs(20)), 1);
+        assert_eq!(
+            m.outputs_in(SimTime::from_secs(10), SimTime::from_secs(20)),
+            1
+        );
     }
 
     #[test]

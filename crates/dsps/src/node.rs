@@ -800,7 +800,10 @@ impl NodeActor {
             // In-flight delivery raced a reconfiguration; drop it.
             return;
         }
-        if self.scheme.on_item_arrival(&msg.item, msg.edge, &mut self.inner, ctx) {
+        if self
+            .scheme
+            .on_item_arrival(&msg.item, msg.edge, &mut self.inner, ctx)
+        {
             self.inner.push_item(msg.edge, msg.item);
         }
         self.pump(ctx);
@@ -871,12 +874,7 @@ impl NodeActor {
                 let states: Vec<(OpId, OpState)> = ins
                     .ops
                     .iter()
-                    .filter_map(|&op| {
-                        inner
-                            .store
-                            .state(*version, op)
-                            .map(|st| (op, st.clone()))
-                    })
+                    .filter_map(|&op| inner.store.state(*version, op).map(|st| (op, st.clone())))
                     .collect();
                 inner.restore_ops(&states);
             }
@@ -1284,7 +1282,11 @@ mod tests {
         let src = rig.sim.actor::<NodeActor>(rig.nodes[0]);
         // First tuple enters service immediately; of the remaining 29
         // queued, only 10 fit.
-        assert!(src.inner.metrics.source_drops >= 19, "drops = {}", src.inner.metrics.source_drops);
+        assert!(
+            src.inner.metrics.source_drops >= 19,
+            "drops = {}",
+            src.inner.metrics.source_drops
+        );
         let sink = rig.sim.actor::<NodeActor>(rig.nodes[2]);
         assert!(sink.inner.metrics.sink_samples.len() <= 11);
     }
@@ -1303,7 +1305,11 @@ mod tests {
         feed(&mut rig, 1, 100, 1000);
         rig.sim.run();
         let ctrl = rig.sim.actor::<ControllerStub>(rig.controller);
-        assert_eq!(ctrl.dead_reports, vec![(0, 1, 0)], "source reports slot 1 dead");
+        assert_eq!(
+            ctrl.dead_reports,
+            vec![(0, 1, 0)],
+            "source reports slot 1 dead"
+        );
         let sink = rig.sim.actor::<NodeActor>(rig.nodes[2]);
         assert!(sink.inner.metrics.sink_samples.is_empty());
     }
@@ -1351,7 +1357,11 @@ mod tests {
             },
         );
         rig.sim.run();
-        assert!(rig.sim.actor::<ControllerStub>(rig.controller).pongs.is_empty());
+        assert!(rig
+            .sim
+            .actor::<ControllerStub>(rig.controller)
+            .pongs
+            .is_empty());
     }
 
     #[test]
@@ -1400,9 +1410,7 @@ mod tests {
             let repl = rig.sim.actor::<NodeActor>(rig.nodes[3]);
             assert!(repl.inner.alive);
             assert!(repl.inner.hosts(OpId(1)));
-            let c = repl.inner.ops[&OpId(1)]
-                .as_ref()
-                .state_bytes();
+            let c = repl.inner.ops[&OpId(1)].as_ref().state_bytes();
             assert!(c >= 8);
         }
         // Traffic now flows through the replacement.

@@ -294,7 +294,10 @@ mod tests {
         let mut r = Relay::with_fanout(SimDuration::from_millis(1), 3);
         let outs = run(&mut r, &t(1, 5), 0);
         assert_eq!(outs.len(), 3);
-        assert_eq!(outs.iter().map(|(p, _, _)| *p).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            outs.iter().map(|(p, _, _)| *p).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]
@@ -566,7 +569,9 @@ mod more_ops_tests {
 
     #[test]
     fn window_agg_emits_stats() {
-        let mut w = WindowAgg::new(SimDuration::ZERO, 3, |t| t.value_as::<u64>().map(|&v| v as f64));
+        let mut w = WindowAgg::new(SimDuration::ZERO, 3, |t| {
+            t.value_as::<u64>().map(|&v| v as f64)
+        });
         assert!(run(&mut w, &t(1, 10), 0).is_empty());
         assert!(run(&mut w, &t(2, 20), 0).is_empty());
         let outs = run(&mut w, &t(3, 30), 0);
@@ -580,13 +585,19 @@ mod more_ops_tests {
 
     #[test]
     fn window_agg_snapshot_round_trip() {
-        let mut w = WindowAgg::new(SimDuration::ZERO, 10, |t| t.value_as::<u64>().map(|&v| v as f64));
+        let mut w = WindowAgg::new(SimDuration::ZERO, 10, |t| {
+            t.value_as::<u64>().map(|&v| v as f64)
+        });
         run(&mut w, &t(1, 5), 0);
         run(&mut w, &t(2, 7), 0);
         let snap = w.snapshot();
         run(&mut w, &t(3, 100), 0);
         w.restore(&snap);
-        let acc = (*w.snapshot()).as_any().downcast_ref::<WindowAccum>().cloned().unwrap();
+        let acc = (*w.snapshot())
+            .as_any()
+            .downcast_ref::<WindowAccum>()
+            .cloned()
+            .unwrap();
         assert_eq!(acc.count, 2);
         assert!((acc.sum - 12.0).abs() < 1e-12);
     }

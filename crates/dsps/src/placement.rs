@@ -40,7 +40,11 @@ impl Placement {
 
     /// Assign `op` to `slot`.
     pub fn assign(&mut self, op: OpId, slot: u32) -> &mut Self {
-        assert!(slot < self.slots, "slot {slot} out of range ({})", self.slots);
+        assert!(
+            slot < self.slots,
+            "slot {slot} out of range ({})",
+            self.slots
+        );
         self.op_slot[op.index()] = slot;
         self
     }

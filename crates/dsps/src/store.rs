@@ -119,7 +119,13 @@ impl CheckpointStore {
     /// epoch — used when a checkpoint token is emitted while inputs are
     /// still queued (they are post-token, so they belong to the new
     /// epoch's replay set).
-    pub fn retag_inputs(&mut self, old: u64, new: u64, op: crate::graph::OpId, ids: &std::collections::BTreeSet<u64>) {
+    pub fn retag_inputs(
+        &mut self,
+        old: u64,
+        new: u64,
+        op: crate::graph::OpId,
+        ids: &std::collections::BTreeSet<u64>,
+    ) {
         if old == new || ids.is_empty() {
             return;
         }

@@ -5,10 +5,31 @@ fn main() {
     for app in [AppKind::Bcp, AppKind::SignalGuru] {
         let mut base_t = 0.0;
         let mut base_l = 0.0;
-        for scheme in [Scheme::Base, Scheme::Rep2, Scheme::Local, Scheme::Dist(1), Scheme::Dist(2), Scheme::Dist(3), Scheme::Ms] {
-            let cfg = ScenarioConfig { app, scheme, seed: 7, ..Default::default() };
-            let h = measured_run(cfg, SimDuration::from_secs(150), SimDuration::from_secs(600), |_| {});
-            if matches!(scheme, Scheme::Base) { base_t = h.mean_throughput; base_l = h.mean_latency_s; }
+        for scheme in [
+            Scheme::Base,
+            Scheme::Rep2,
+            Scheme::Local,
+            Scheme::Dist(1),
+            Scheme::Dist(2),
+            Scheme::Dist(3),
+            Scheme::Ms,
+        ] {
+            let cfg = ScenarioConfig {
+                app,
+                scheme,
+                seed: 7,
+                ..Default::default()
+            };
+            let h = measured_run(
+                cfg,
+                SimDuration::from_secs(150),
+                SimDuration::from_secs(600),
+                |_| {},
+            );
+            if matches!(scheme, Scheme::Base) {
+                base_t = h.mean_throughput;
+                base_l = h.mean_latency_s;
+            }
             println!("{:4} {:8} tput={:.3}/s ({:3.0}%) lat={:.1}s ({:.2}x) drops={} ckpt_repl={:.1}MB pres_log={:.1}MB pres_net={:.1}MB",
                 app.label(), h.scheme, h.mean_throughput, 100.0*h.mean_throughput/base_t,
                 h.mean_latency_s, h.mean_latency_s/base_l,

@@ -1,5 +1,5 @@
-use experiments::*;
 use experiments::faults::*;
+use experiments::*;
 use simkernel::{SimDuration, SimTime};
 
 fn main() {
@@ -7,7 +7,12 @@ fn main() {
     let window = SimDuration::from_secs(300);
     // Fig 9 style: n failures at warmup+30, reboot +60.
     for n in [0u32, 1, 2, 4, 8] {
-        let cfg = ScenarioConfig { app: AppKind::Bcp, scheme: Scheme::Ms, seed: 7, ..Default::default() };
+        let cfg = ScenarioConfig {
+            app: AppKind::Bcp,
+            scheme: Scheme::Ms,
+            seed: 7,
+            ..Default::default()
+        };
         let h = measured_run(cfg, warmup, window, |dep| {
             let at = SimTime::ZERO + warmup + SimDuration::from_secs(30);
             for region in 0..dep.cfg.regions {
@@ -18,12 +23,23 @@ fn main() {
                 }
             }
         });
-        println!("ms fail n={n}: tput={:.3} lat={:.1}s recov={} mean_rec={:.1}s stops={} discards={}",
-            h.mean_throughput, h.mean_latency_s, h.recoveries, h.mean_recovery_s, h.stops,
-            h.per_region.iter().map(|r| r.catchup_discards).sum::<u64>());
+        println!(
+            "ms fail n={n}: tput={:.3} lat={:.1}s recov={} mean_rec={:.1}s stops={} discards={}",
+            h.mean_throughput,
+            h.mean_latency_s,
+            h.recoveries,
+            h.mean_recovery_s,
+            h.stops,
+            h.per_region.iter().map(|r| r.catchup_discards).sum::<u64>()
+        );
     }
     for n in [1u32, 2, 4] {
-        let cfg = ScenarioConfig { app: AppKind::Bcp, scheme: Scheme::Ms, seed: 7, ..Default::default() };
+        let cfg = ScenarioConfig {
+            app: AppKind::Bcp,
+            scheme: Scheme::Ms,
+            seed: 7,
+            ..Default::default()
+        };
         let h = measured_run(cfg, warmup, window, |dep| {
             let at = SimTime::ZERO + warmup + SimDuration::from_secs(30);
             for region in 0..dep.cfg.regions {
@@ -33,11 +49,22 @@ fn main() {
                 }
             }
         });
-        println!("ms depart n={n}: tput={:.3} lat={:.1}s departures_handled={} stops={}",
-            h.mean_throughput, h.mean_latency_s, h.recoveries, h.stops);
+        println!(
+            "ms depart n={n}: tput={:.3} lat={:.1}s departures_handled={} stops={}",
+            h.mean_throughput, h.mean_latency_s, h.recoveries, h.stops
+        );
     }
-    for (label, scheme, n) in [("rep2", Scheme::Rep2, 1u32), ("dist2", Scheme::Dist(2), 2), ("dist3", Scheme::Dist(3), 3)] {
-        let cfg = ScenarioConfig { app: AppKind::Bcp, scheme, seed: 7, ..Default::default() };
+    for (label, scheme, n) in [
+        ("rep2", Scheme::Rep2, 1u32),
+        ("dist2", Scheme::Dist(2), 2),
+        ("dist3", Scheme::Dist(3), 3),
+    ] {
+        let cfg = ScenarioConfig {
+            app: AppKind::Bcp,
+            scheme,
+            seed: 7,
+            ..Default::default()
+        };
         let h = measured_run(cfg, warmup, window, |dep| {
             let at = SimTime::ZERO + warmup + SimDuration::from_secs(30);
             for region in 0..dep.cfg.regions {
@@ -48,14 +75,27 @@ fn main() {
                 }
             }
         });
-        println!("{label} fail n={n}: tput={:.3} lat={:.1}s recov={} mean_rec={:.1}s stops={}",
-            h.mean_throughput, h.mean_latency_s, h.recoveries, h.mean_recovery_s, h.stops);
+        println!(
+            "{label} fail n={n}: tput={:.3} lat={:.1}s recov={} mean_rec={:.1}s stops={}",
+            h.mean_throughput, h.mean_latency_s, h.recoveries, h.mean_recovery_s, h.stops
+        );
     }
     // Table 1 server rows
     for up in [16_000.0, 320_000.0] {
-        let cfg = ScenarioConfig { app: AppKind::Bcp, scheme: Scheme::Base, checkpoints_enabled: false,
-            platform: Platform::Server { uplink_bps: up }, seed: 7, ..Default::default() };
+        let cfg = ScenarioConfig {
+            app: AppKind::Bcp,
+            scheme: Scheme::Base,
+            checkpoints_enabled: false,
+            platform: Platform::Server { uplink_bps: up },
+            seed: 7,
+            ..Default::default()
+        };
         let h = measured_run(cfg, warmup, SimDuration::from_secs(600), |_| {});
-        println!("server up={:.3}Mbps: tput={:.3} lat={:.1}s", up/1e6, h.mean_throughput, h.mean_latency_s);
+        println!(
+            "server up={:.3}Mbps: tput={:.3} lat={:.1}s",
+            up / 1e6,
+            h.mean_throughput,
+            h.mean_latency_s
+        );
     }
 }

@@ -92,8 +92,12 @@ pub fn failure_order(dep: &Deployment, region: usize) -> Vec<u32> {
         .iter()
         .map(|&op| handles.op_slot[op.index()])
         .collect();
-    let hosting: std::collections::BTreeSet<u32> =
-        handles.op_slot.iter().copied().filter(|&s| s != u32::MAX).collect();
+    let hosting: std::collections::BTreeSet<u32> = handles
+        .op_slot
+        .iter()
+        .copied()
+        .filter(|&s| s != u32::MAX)
+        .collect();
     let slots = handles.nodes.len() as u32;
     let mut order = Vec::new();
     // 1. hosting, non-source.

@@ -144,11 +144,15 @@ impl Fig10 {
             ta.row(
                 scheme.label(),
                 vec![
-                    b.as_ref().map(|p| Cell::Num(p.rel_preserved)).unwrap_or(Cell::Dash),
+                    b.as_ref()
+                        .map(|p| Cell::Num(p.rel_preserved))
+                        .unwrap_or(Cell::Dash),
                     b.as_ref()
                         .map(|p| Cell::Num(p.preserved_bytes / mb))
                         .unwrap_or(Cell::Dash),
-                    s.as_ref().map(|p| Cell::Num(p.rel_preserved)).unwrap_or(Cell::Dash),
+                    s.as_ref()
+                        .map(|p| Cell::Num(p.rel_preserved))
+                        .unwrap_or(Cell::Dash),
                     s.as_ref()
                         .map(|p| Cell::Num(p.preserved_bytes / mb))
                         .unwrap_or(Cell::Dash),
@@ -157,11 +161,15 @@ impl Fig10 {
             tb.row(
                 scheme.label(),
                 vec![
-                    b.as_ref().map(|p| Cell::Num(p.rel_ckpt_repl)).unwrap_or(Cell::Dash),
+                    b.as_ref()
+                        .map(|p| Cell::Num(p.rel_ckpt_repl))
+                        .unwrap_or(Cell::Dash),
                     b.as_ref()
                         .map(|p| Cell::Num(p.ckpt_repl_bytes / mb))
                         .unwrap_or(Cell::Dash),
-                    s.as_ref().map(|p| Cell::Num(p.rel_ckpt_repl)).unwrap_or(Cell::Dash),
+                    s.as_ref()
+                        .map(|p| Cell::Num(p.rel_ckpt_repl))
+                        .unwrap_or(Cell::Dash),
                     s.as_ref()
                         .map(|p| Cell::Num(p.ckpt_repl_bytes / mb))
                         .unwrap_or(Cell::Dash),

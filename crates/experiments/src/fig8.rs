@@ -93,7 +93,11 @@ pub fn run_fig8(opts: ExpOptions) -> Fig8 {
                 throughput: t,
                 latency_s: l,
                 rel_throughput: if base_t > 0.0 { t / base_t } else { 0.0 },
-                rel_latency: if base_l > 0.0 { l / base_l } else { f64::INFINITY },
+                rel_latency: if base_l > 0.0 {
+                    l / base_l
+                } else {
+                    f64::INFINITY
+                },
             });
         }
     }
@@ -135,19 +139,35 @@ impl Fig8 {
             t1.row(
                 scheme.label(),
                 vec![
-                    b.as_ref().map(|p| Cell::Pct(p.rel_throughput)).unwrap_or(Cell::Dash),
-                    b.as_ref().map(|p| Cell::Num(p.throughput)).unwrap_or(Cell::Dash),
-                    s.as_ref().map(|p| Cell::Pct(p.rel_throughput)).unwrap_or(Cell::Dash),
-                    s.as_ref().map(|p| Cell::Num(p.throughput)).unwrap_or(Cell::Dash),
+                    b.as_ref()
+                        .map(|p| Cell::Pct(p.rel_throughput))
+                        .unwrap_or(Cell::Dash),
+                    b.as_ref()
+                        .map(|p| Cell::Num(p.throughput))
+                        .unwrap_or(Cell::Dash),
+                    s.as_ref()
+                        .map(|p| Cell::Pct(p.rel_throughput))
+                        .unwrap_or(Cell::Dash),
+                    s.as_ref()
+                        .map(|p| Cell::Num(p.throughput))
+                        .unwrap_or(Cell::Dash),
                 ],
             );
             t2.row(
                 scheme.label(),
                 vec![
-                    b.as_ref().map(|p| Cell::Num(p.rel_latency)).unwrap_or(Cell::Dash),
-                    b.as_ref().map(|p| Cell::Num(p.latency_s)).unwrap_or(Cell::Dash),
-                    s.as_ref().map(|p| Cell::Num(p.rel_latency)).unwrap_or(Cell::Dash),
-                    s.as_ref().map(|p| Cell::Num(p.latency_s)).unwrap_or(Cell::Dash),
+                    b.as_ref()
+                        .map(|p| Cell::Num(p.rel_latency))
+                        .unwrap_or(Cell::Dash),
+                    b.as_ref()
+                        .map(|p| Cell::Num(p.latency_s))
+                        .unwrap_or(Cell::Dash),
+                    s.as_ref()
+                        .map(|p| Cell::Num(p.rel_latency))
+                        .unwrap_or(Cell::Dash),
+                    s.as_ref()
+                        .map(|p| Cell::Num(p.latency_s))
+                        .unwrap_or(Cell::Dash),
                 ],
             );
         }

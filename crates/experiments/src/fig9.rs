@@ -150,12 +150,7 @@ pub fn run_fig9(opts: ExpOptions, max_n: u32) -> Fig9 {
                                         }
                                         _ => {
                                             inject_failure(dep, region, slot, at);
-                                            inject_reboot(
-                                                dep,
-                                                region,
-                                                slot,
-                                                at + reboot_after,
-                                            );
+                                            inject_reboot(dep, region, slot, at + reboot_after);
                                         }
                                     }
                                 }
@@ -212,10 +207,7 @@ impl Fig9 {
     pub fn tables(&self, max_n: u32) -> Vec<Table> {
         let mut tables = Vec::new();
         for app in ["BCP", "SignalGuru"] {
-            for (metric, title) in [
-                ("tput", "relative throughput"),
-                ("lat", "relative latency"),
-            ] {
+            for (metric, title) in [("tput", "relative throughput"), ("lat", "relative latency")] {
                 let mut cols = vec!["curve".to_string()];
                 cols.extend((0..=max_n).map(|n| format!("n={n}")));
                 let mut t = Table::new(

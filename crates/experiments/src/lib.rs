@@ -68,25 +68,21 @@ impl ExpOptions {
 /// order. Each job builds its own simulation (sims are single-threaded
 /// and not `Send`; parallelism is across runs, per the workspace's
 /// determinism contract).
-pub fn run_jobs<T: Send>(
-    parallel: bool,
-    jobs: Vec<Box<dyn FnOnce() -> T + Send>>,
-) -> Vec<T> {
+pub fn run_jobs<T: Send>(parallel: bool, jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T> {
     if !parallel || jobs.len() <= 1 {
         return jobs.into_iter().map(|j| j()).collect();
     }
     let n = jobs.len();
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::new();
         for job in jobs {
-            handles.push(s.spawn(move |_| job()));
+            handles.push(s.spawn(move || job()));
         }
         for (i, h) in handles.into_iter().enumerate() {
             slots[i] = Some(h.join().expect("experiment job panicked"));
         }
-    })
-    .expect("scope");
+    });
     slots.into_iter().map(|s| s.expect("filled")).collect()
 }
 

@@ -89,7 +89,12 @@ impl Table {
         for (label, cells) in &rendered {
             let mut line = format!("{:>w$}", label, w = widths[0]);
             for (i, c) in cells.iter().enumerate() {
-                let _ = write!(line, "  {:>w$}", c, w = widths.get(i + 1).copied().unwrap_or(8));
+                let _ = write!(
+                    line,
+                    "  {:>w$}",
+                    c,
+                    w = widths.get(i + 1).copied().unwrap_or(8)
+                );
             }
             let _ = writeln!(out, "{line}");
         }
@@ -111,10 +116,7 @@ mod tests {
 
     #[test]
     fn render_aligns_and_formats() {
-        let mut t = Table::new(
-            "demo",
-            vec!["scheme".into(), "tput".into(), "lat".into()],
-        );
+        let mut t = Table::new("demo", vec!["scheme".into(), "tput".into(), "lat".into()]);
         t.row("base", vec![Cell::Num(0.54), Cell::Pct(1.0)]);
         t.row("ms-8", vec![Cell::Num(0.48), Cell::Dash]);
         let s = t.render();

@@ -96,7 +96,11 @@ impl ClassBytes {
 
     /// Everything.
     pub fn total(&self) -> u64 {
-        self.data + self.replication + self.checkpoint + self.preservation + self.control
+        self.data
+            + self.replication
+            + self.checkpoint
+            + self.preservation
+            + self.control
             + self.recovery
     }
 }
@@ -183,9 +187,7 @@ pub fn harvest(dep: &Deployment, from: SimTime, to: SimTime) -> Harvest {
         };
         (n, mean, c.stops)
     } else if let Some(co) = dep.coordinator {
-        let c = dep
-            .sim
-            .actor::<baselines::BaselineCoordinator>(co);
+        let c = dep.sim.actor::<baselines::BaselineCoordinator>(co);
         let n = c.recoveries.len();
         let mean = if n > 0 {
             c.recoveries

@@ -181,6 +181,7 @@ fn build_bundle(cfg: &ScenarioConfig, first: bool) -> AppBundle {
 /// gets half the phones and every phone carries roughly two of the
 /// paper's operator groups (this is where rep-2's 2× CPU cost bites).
 fn compress_placement(p: &Placement, k: u32) -> Vec<u32> {
+    assert!(k >= 1, "rep-2 needs at least 2 phones (one per flow)");
     p.op_slot
         .iter()
         .map(|&s| {
@@ -210,9 +211,7 @@ impl Deployment {
             Scheme::Rep2 => Box::new(Rep2Scheme::new(flow_of.expect("rep-2 flow map"))),
             Scheme::Local => Box::new(LocalScheme::new(cfg.ckpt_period)),
             Scheme::Dist(n) => Box::new(DistScheme::new(n, cfg.ckpt_period)),
-            Scheme::Upstream => {
-                Box::new(baselines::UpstreamScheme::new(cfg.ckpt_period))
-            }
+            Scheme::Upstream => Box::new(baselines::UpstreamScheme::new(cfg.ckpt_period)),
         }
     }
 
@@ -543,11 +542,7 @@ impl Deployment {
             }
             let driver_id = sim.add_actor(Box::new(WorkloadDriver::new(Vec::new())));
             // The sensor phone that uploads frames over 3G.
-            let s1_slot = op_slot[bundle
-                .feeds
-                .first()
-                .map(|f| f.op.index())
-                .unwrap_or(0)] as usize;
+            let s1_slot = op_slot[bundle.feeds.first().map(|f| f.op.index()).unwrap_or(0)] as usize;
             let uplink_id = sim.add_actor(Box::new(SensorUplink {
                 cell: cell_id,
                 dst: node_ids[s1_slot],

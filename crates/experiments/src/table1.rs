@@ -98,19 +98,21 @@ pub fn run_table1(opts: ExpOptions) -> Table1 {
                 jobs.push(Box::new(move || {
                     let (platform, scheme, checkpoints) = match row {
                         Row::ServerLo => (
-                            Platform::Server { uplink_bps: 16_000.0 },
+                            Platform::Server {
+                                uplink_bps: 16_000.0,
+                            },
                             Scheme::Base,
                             false,
                         ),
                         Row::ServerHi => (
-                            Platform::Server { uplink_bps: 320_000.0 },
+                            Platform::Server {
+                                uplink_bps: 320_000.0,
+                            },
                             Scheme::Base,
                             false,
                         ),
                         Row::MsFtOff => (Platform::Phones, Scheme::Base, false),
-                        Row::MsDeparture | Row::MsFailure => {
-                            (Platform::Phones, Scheme::Ms, true)
-                        }
+                        Row::MsDeparture | Row::MsFailure => (Platform::Phones, Scheme::Ms, true),
                     };
                     let cfg = ScenarioConfig {
                         app,
@@ -122,11 +124,20 @@ pub fn run_table1(opts: ExpOptions) -> Table1 {
                     };
                     let period = cfg.ckpt_period;
                     let h = measured_run(cfg, warmup, window, |dep| match row {
-                        Row::MsDeparture =>
-
-                            periodic_faults(dep, true, warmup + SimDuration::from_secs(30), warmup + window, period),
-                        Row::MsFailure =>
-                            periodic_faults(dep, false, warmup + SimDuration::from_secs(30), warmup + window, period),
+                        Row::MsDeparture => periodic_faults(
+                            dep,
+                            true,
+                            warmup + SimDuration::from_secs(30),
+                            warmup + window,
+                            period,
+                        ),
+                        Row::MsFailure => periodic_faults(
+                            dep,
+                            false,
+                            warmup + SimDuration::from_secs(30),
+                            warmup + window,
+                            period,
+                        ),
                         _ => {}
                     });
                     ((app, row_ix), h.mean_throughput, h.mean_latency_s)
@@ -258,10 +269,18 @@ impl Table1 {
                     band(&s, false)
                 ),
                 vec![
-                    b.as_ref().map(|c| Cell::Num(c.tput_lo)).unwrap_or(Cell::Dash),
-                    b.as_ref().map(|c| Cell::Num(c.lat_hi)).unwrap_or(Cell::Dash),
-                    s.as_ref().map(|c| Cell::Num(c.tput_lo)).unwrap_or(Cell::Dash),
-                    s.as_ref().map(|c| Cell::Num(c.lat_hi)).unwrap_or(Cell::Dash),
+                    b.as_ref()
+                        .map(|c| Cell::Num(c.tput_lo))
+                        .unwrap_or(Cell::Dash),
+                    b.as_ref()
+                        .map(|c| Cell::Num(c.lat_hi))
+                        .unwrap_or(Cell::Dash),
+                    s.as_ref()
+                        .map(|c| Cell::Num(c.tput_lo))
+                        .unwrap_or(Cell::Dash),
+                    s.as_ref()
+                        .map(|c| Cell::Num(c.lat_hi))
+                        .unwrap_or(Cell::Dash),
                 ],
             );
         }

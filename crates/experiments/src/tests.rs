@@ -57,7 +57,9 @@ mod unit {
     #[test]
     fn server_deployment_wires_uplink() {
         let dep = Deployment::build(ScenarioConfig {
-            platform: Platform::Server { uplink_bps: 64_000.0 },
+            platform: Platform::Server {
+                uplink_bps: 64_000.0,
+            },
             regions: 2,
             seed: 1,
             ..ScenarioConfig::default()
@@ -100,8 +102,9 @@ mod unit {
 
     #[test]
     fn run_jobs_preserves_order() {
-        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
-            (0..8usize).map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>).collect();
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
         let out = crate::run_jobs(true, jobs);
         assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]);
     }

@@ -291,7 +291,10 @@ impl SenderJob {
                 .map(|(&a, bm)| {
                     (
                         a,
-                        bm.zero_indices().into_iter().map(|i| i as u32).collect::<Vec<u32>>(),
+                        bm.zero_indices()
+                            .into_iter()
+                            .map(|i| i as u32)
+                            .collect::<Vec<u32>>(),
                     )
                 })
                 .filter(|(_, v)| !v.is_empty())
@@ -416,7 +419,11 @@ mod tests {
     fn ckpt_content() -> BlobContent {
         BlobContent::Checkpoint {
             version: 1,
-            states: vec![(OpId(0), std::sync::Arc::new(()) as dsps::operator::OpState, 0)],
+            states: vec![(
+                OpId(0),
+                std::sync::Arc::new(()) as dsps::operator::OpState,
+                0,
+            )],
         }
     }
 
@@ -595,6 +602,147 @@ mod tests {
         assert_eq!(find(0, 1).unwrap(), vec![5, 7, 9]);
         assert_eq!(find(1, 3).unwrap(), vec![7, 9]);
         assert!(find(0, 2).is_none(), "clean subtree gets no traffic");
+    }
+
+    /// §III-C termination: a phase whose cost exceeds its gain ends the
+    /// UDP loop, and the final reliable pass carries exactly each
+    /// receiver's missing blocks.
+    #[test]
+    fn cost_exceeding_gain_stops_rebroadcast_with_exact_residue() {
+        // 4 KB blob → 4 blocks, 2 receivers.
+        let mut job = mk_job(4, 2);
+        let blocks = job.begin();
+        assert_eq!(blocks.len(), 4);
+
+        // Phase 1: both receivers caught 3 of 4 blocks → gain (6 KB)
+        // well above cost (4 KB sent + 2 bitmaps) → rebroadcast the
+        // union of losses {2, 3}.
+        let r0 = bm(4, |i| i != 3); // missing 3
+        let r1 = bm(4, |i| i != 2); // missing 2
+        assert!(job.on_bitmap(actor(0), &r0).is_none());
+        let d1 = job.on_bitmap(actor(1), &r1).expect("phase 1 decision");
+        match d1 {
+            PhaseDecision::Resend(blocks) => assert_eq!(blocks, vec![2, 3]),
+            other => panic!("expected Resend, got {other:?}"),
+        }
+        assert_eq!(job.phase, 2);
+        assert!(!job.is_done());
+
+        // Phase 2: the rebroadcast reached nobody (same bitmaps). Gain
+        // is 0 < cost → stop rebroadcasting; the reliable pass lists
+        // exactly what each receiver still misses.
+        assert!(job.on_bitmap(actor(0), &r0).is_none());
+        let d2 = job.on_bitmap(actor(1), &r1).expect("phase 2 decision");
+        match d2 {
+            PhaseDecision::TcpResidue(residue) => {
+                assert_eq!(residue.len(), 2);
+                assert_eq!(residue[&actor(0)], vec![3]);
+                assert_eq!(residue[&actor(1)], vec![2]);
+            }
+            other => panic!("expected TcpResidue, got {other:?}"),
+        }
+        assert!(job.is_done(), "cost > gain terminates the job");
+        assert_eq!(job.stats.phases, 2, "no further UDP phases");
+    }
+
+    /// Full reception everywhere completes the job with no residue and
+    /// no further phases.
+    #[test]
+    fn complete_when_every_receiver_has_every_block() {
+        let mut job = mk_job(4, 3);
+        job.begin();
+        let full = bm(4, |_| true);
+        assert!(job.on_bitmap(actor(0), &full).is_none());
+        assert!(job.on_bitmap(actor(1), &full).is_none());
+        match job.on_bitmap(actor(2), &full).expect("decision") {
+            PhaseDecision::Complete => {}
+            other => panic!("expected Complete, got {other:?}"),
+        }
+        assert!(job.is_done());
+        assert_eq!(job.stats.phases, 1);
+        assert_eq!(job.stats.tcp_bytes, 0, "nothing left for the TCP pass");
+    }
+
+    /// The reliable (TCP-tree) pass covers the residue: every receiver's
+    /// missing blocks ride every edge on its root path.
+    #[test]
+    fn reliable_pass_tree_carries_each_receivers_residue() {
+        let receivers: Vec<ActorId> = (0..3).map(actor).collect();
+        let mut residue = BTreeMap::new();
+        residue.insert(receivers[1], vec![2u32, 5]);
+        residue.insert(receivers[2], vec![7u32]);
+        let edges = tcp_tree_edges(&residue, &receivers);
+        // Receiver 1 and 2 are children of root 0 in the binary tree:
+        // the edge into each must carry exactly its missing blocks.
+        let mut into: BTreeMap<usize, &Vec<u32>> = BTreeMap::new();
+        for (_, c, b) in &edges {
+            into.insert(*c, b);
+        }
+        assert!(into[&1].contains(&2) && into[&1].contains(&5));
+        assert!(into[&2].contains(&7));
+        // The root (receiver 0) needs nothing, so no edge carries
+        // blocks for it alone.
+        for (_, c, blocks) in &edges {
+            for b in blocks {
+                let needed_below = residue.iter().any(|(_, v)| v.contains(b));
+                assert!(needed_below, "edge into {c} carries stray block {b}");
+            }
+        }
+    }
+
+    /// The phase cap is a hard stop even while gain still beats cost:
+    /// with 8 receivers each phase halves the residue (high gain), yet
+    /// the job must fall to the reliable pass at the cap.
+    #[test]
+    fn max_phases_caps_the_udp_loop() {
+        let n_rx = 8;
+        let mut job = mk_job(8, n_rx).with_max_phases(3);
+        job.begin();
+        // Phase 1: everyone has the first half → gain 32 KB > cost
+        // ~8 KB → Resend([4..8]).
+        let mut have = 4usize;
+        for r in 0..n_rx - 1 {
+            assert!(job.on_bitmap(actor(r), &bm(8, |i| i < have)).is_none());
+        }
+        match job
+            .on_bitmap(actor(n_rx - 1), &bm(8, |i| i < have))
+            .unwrap()
+        {
+            PhaseDecision::Resend(blocks) => assert_eq!(blocks, vec![4, 5, 6, 7]),
+            other => panic!("expected Resend, got {other:?}"),
+        }
+        // Phase 2: everyone gains two more → still worth it.
+        have = 6;
+        for r in 0..n_rx - 1 {
+            assert!(job.on_bitmap(actor(r), &bm(8, |i| i < have)).is_none());
+        }
+        match job
+            .on_bitmap(actor(n_rx - 1), &bm(8, |i| i < have))
+            .unwrap()
+        {
+            PhaseDecision::Resend(blocks) => assert_eq!(blocks, vec![6, 7]),
+            other => panic!("expected Resend, got {other:?}"),
+        }
+        // Phase 3: gain (8 KB) still beats cost (~2 KB), but the cap
+        // forces the reliable pass; everyone still misses block 7.
+        have = 7;
+        for r in 0..n_rx - 1 {
+            assert!(job.on_bitmap(actor(r), &bm(8, |i| i < have)).is_none());
+        }
+        match job
+            .on_bitmap(actor(n_rx - 1), &bm(8, |i| i < have))
+            .unwrap()
+        {
+            PhaseDecision::TcpResidue(res) => {
+                assert_eq!(res.len(), n_rx);
+                for r in 0..n_rx {
+                    assert_eq!(res[&actor(r)], vec![7]);
+                }
+            }
+            other => panic!("expected TcpResidue at the cap, got {other:?}"),
+        }
+        assert!(job.is_done());
+        assert_eq!(job.stats.phases, 3);
     }
 
     #[test]

@@ -56,6 +56,12 @@ pub struct MsControllerConfig {
     pub ready_per_op: SimDuration,
     /// Give up waiting for recovery acks after this long.
     pub ack_deadline: SimDuration,
+    /// Declare a departure state transfer stalled (replacement dead)
+    /// if its ack hasn't arrived after this long. Generous: a real
+    /// transfer can legitimately take minutes over the slow cellular
+    /// uplink, and a false stall re-introduces the rollback recovery
+    /// departures are meant to avoid.
+    pub transfer_stall_deadline: SimDuration,
     /// Periodic checkpointing on/off (off = Table I "fault tolerance
     /// function turned off").
     pub checkpoints_enabled: bool,
@@ -73,6 +79,7 @@ impl Default for MsControllerConfig {
             ready_overhead: SimDuration::from_secs(1),
             ready_per_op: SimDuration::from_millis(200),
             ack_deadline: SimDuration::from_secs(60),
+            transfer_stall_deadline: SimDuration::from_secs(300),
             checkpoints_enabled: true,
         }
     }
@@ -121,6 +128,19 @@ pub struct RecoveryRecord {
     pub finished: SimTime,
 }
 
+/// One in-flight departure state transfer (§III-E, Fig 7).
+struct DepartingTransfer {
+    /// Slot receiving the departing phone's operators.
+    replacement: u32,
+    /// When the transfer started. Bounds how long failure reports
+    /// about the replacement are suppressed: past the ack deadline the
+    /// transfer counts as stalled and the replacement is reportable
+    /// again.
+    started: SimTime,
+    /// The edges this departure bridged over cellular (urgent mode).
+    edges: Vec<EdgeId>,
+}
+
 struct RegionRt {
     spec: RegionSpec,
     op_slot: Vec<u32>,
@@ -137,8 +157,15 @@ struct RegionRt {
     outstanding_acks: BTreeSet<u32>,
     last_recovery_end: SimTime,
     stopped: bool,
-    urgent_edges: BTreeSet<EdgeId>,
-    departing_transfers: BTreeMap<u32, u32>, // departing slot -> replacement slot
+    /// In-flight departure transfers, keyed by the departing slot.
+    /// Each carries the urgent edges it bridges; the union over the
+    /// map is the region's current urgent-mode edge set.
+    departing_transfers: BTreeMap<u32, DepartingTransfer>,
+    // Slots that recently finished loading an Install: while a
+    // replacement loads state it answers nothing, so peers may report
+    // it dead; such reports stay invalid for a short grace period
+    // after the ack too (they can already be in flight).
+    recent_installs: BTreeMap<u32, SimTime>,
 }
 
 impl RegionRt {
@@ -149,7 +176,11 @@ impl RegionRt {
     }
 
     fn hosting_slots(&self) -> BTreeSet<u32> {
-        self.op_slot.iter().copied().filter(|&s| s != u32::MAX).collect()
+        self.op_slot
+            .iter()
+            .copied()
+            .filter(|&s| s != u32::MAX)
+            .collect()
     }
 
     fn idle_active_slots(&self) -> Vec<u32> {
@@ -190,6 +221,10 @@ impl RegionRt {
             .collect()
     }
 }
+
+/// How long after a reconfiguration (recovery end, install ack) nodes
+/// may stay quiet before their silence counts as a failure again.
+const QUIET_GRACE: SimDuration = SimDuration::from_secs(20);
 
 /// Controller startup trigger (scheduled by the deployment builder).
 #[derive(Debug, Clone, Copy)]
@@ -239,8 +274,8 @@ impl MsController {
                     outstanding_acks: BTreeSet::new(),
                     last_recovery_end: SimTime::ZERO,
                     stopped: false,
-                    urgent_edges: BTreeSet::new(),
                     departing_transfers: BTreeMap::new(),
+                    recent_installs: BTreeMap::new(),
                     spec,
                 }
             })
@@ -472,7 +507,11 @@ impl MsController {
 
     fn on_ckpt_tick(&mut self, region: usize, ctx: &mut Ctx) {
         let me = ctx.self_id();
-        ctx.send_in(self.cfg.ckpt_period, me, CtlTimer::CheckpointTick { region });
+        ctx.send_in(
+            self.cfg.ckpt_period,
+            me,
+            CtlTimer::CheckpointTick { region },
+        );
         let rt = &mut self.regions[region];
         if rt.stopped || rt.recovering {
             return;
@@ -565,7 +604,7 @@ impl MsController {
         // like fresh failures.
         if rt.recovering
             || (rt.last_recovery_end != SimTime::ZERO
-                && ctx.now().since(rt.last_recovery_end) < SimDuration::from_secs(20))
+                && ctx.now().since(rt.last_recovery_end) < QUIET_GRACE)
         {
             return;
         }
@@ -574,6 +613,37 @@ impl MsController {
             // Departures have their own flow (§III-E); dead/gone slots
             // are already being handled.
             SlotState::Departing | SlotState::Dead | SlotState::Gone => return,
+        }
+        // A departure replacement is loading the transferred state: it
+        // answers nothing while installing, so peers legitimately
+        // report it silent. No rollback for departures (§III-E) — but
+        // only within the ack deadline: a transfer that never acks
+        // means the replacement itself died, and must become
+        // reportable again or its operators are lost for good.
+        let stalled_transfer = rt
+            .departing_transfers
+            .iter()
+            .find(|(_, t)| t.replacement == slot)
+            .map(|(&d, t)| (d, t.started));
+        let mut stalled_edges: Option<Vec<EdgeId>> = None;
+        if let Some((departing, started)) = stalled_transfer {
+            if ctx.now().since(started) < self.cfg.transfer_stall_deadline {
+                return;
+            }
+            // Stalled: drop the transfer so the recovery below can
+            // restore the moved operators from the MRC. The departing
+            // phone left long ago — it is gone, not failed. Its
+            // urgent (cellular) bridging only existed for the
+            // transfer, so it is released too (the recovery rebuilds
+            // the WiFi routing anyway).
+            let t = rt.departing_transfers.remove(&departing);
+            rt.slot_state[departing as usize] = SlotState::Gone;
+            stalled_edges = t.map(|t| t.edges);
+        }
+        if let Some(&done_at) = rt.recent_installs.get(&slot) {
+            if ctx.now().since(done_at) < QUIET_GRACE {
+                return;
+            }
         }
         rt.slot_state[slot as usize] = SlotState::Dead;
         rt.pending_failures.insert(slot);
@@ -585,6 +655,48 @@ impl MsController {
             }
             let me = ctx.self_id();
             ctx.send_in(self.cfg.gather_window, me, CtlTimer::RecoverNow { region });
+        }
+        if let Some(edges) = stalled_edges {
+            self.release_urgent_edges(region, &edges, ctx);
+        }
+    }
+
+    /// Tear down urgent (cellular) routing for the edges of one
+    /// finished or stalled departure transfer, keeping any edge some
+    /// other in-flight transfer still bridges.
+    fn release_urgent_edges(&mut self, region: usize, edges: &[EdgeId], ctx: &mut Ctx) {
+        let (off, targets) = {
+            let rt = &mut self.regions[region];
+            let still_needed: BTreeSet<EdgeId> = rt
+                .departing_transfers
+                .values()
+                .flat_map(|t| t.edges.iter().copied())
+                .collect();
+            let off: Vec<EdgeId> = edges
+                .iter()
+                .copied()
+                .filter(|e| !still_needed.contains(e))
+                .collect();
+            if off.is_empty() {
+                return;
+            }
+            let targets: Vec<ActorId> = rt
+                .active_slots()
+                .into_iter()
+                .map(|s| rt.spec.slot_actors[s as usize])
+                .collect();
+            (off, targets)
+        };
+        for dst in targets {
+            self.send_ctl(
+                ctx,
+                dst,
+                wire::CONTROL,
+                SetUrgentEdges {
+                    edges: off.clone(),
+                    on: false,
+                },
+            );
         }
     }
 
@@ -607,7 +719,9 @@ impl MsController {
                 rt.pending_failures.clear();
                 return;
             }
-            let failed: Vec<u32> = std::mem::take(&mut rt.pending_failures).into_iter().collect();
+            let failed: Vec<u32> = std::mem::take(&mut rt.pending_failures)
+                .into_iter()
+                .collect();
             if failed.is_empty() {
                 return;
             }
@@ -691,8 +805,7 @@ impl MsController {
                             states: states.clone(),
                             op_slot: rt.op_slot.clone(),
                             slot_actors: rt.spec.slot_actors.clone(),
-                            ready_in: self.cfg.ready_overhead
-                                + self.cfg.ready_per_op * (n as u64),
+                            ready_in: self.cfg.ready_overhead + self.cfg.ready_per_op * (n as u64),
                         },
                         n,
                         (region, r),
@@ -730,7 +843,13 @@ impl MsController {
             self.rewire_inter_region(up, ctx);
         }
         let me = ctx.self_id();
-        ctx.send_in(self.cfg.ack_deadline, me, CtlTimer::RecoverNow { region: region + 10_000 });
+        ctx.send_in(
+            self.cfg.ack_deadline,
+            me,
+            CtlTimer::RecoverNow {
+                region: region + 10_000,
+            },
+        );
         // region+10_000 encodes "ack deadline" — see on_timer.
     }
 
@@ -790,40 +909,22 @@ impl MsController {
             let departing: Option<u32> = rt
                 .departing_transfers
                 .iter()
-                .find(|(_, &r)| r == m.slot)
+                .find(|(_, t)| t.replacement == m.slot)
                 .map(|(&d, _)| d);
             if let Some(d) = departing {
-                rt.departing_transfers.remove(&d);
+                let t = rt.departing_transfers.remove(&d);
                 rt.slot_state[d as usize] = SlotState::Gone;
-                Some(d)
+                rt.recent_installs.insert(m.slot, ctx.now());
+                t.map(|t| t.edges)
             } else {
                 None
             }
         };
-        if done_departure.is_some() {
+        if let Some(edges) = done_departure {
             self.departures_handled += 1;
-            // Clear urgent mode and publish the new wiring.
-            let (edges, targets) = {
-                let rt = &mut self.regions[region];
-                let edges: Vec<EdgeId> = std::mem::take(&mut rt.urgent_edges).into_iter().collect();
-                let targets: Vec<ActorId> = rt
-                    .active_slots()
-                    .into_iter()
-                    .map(|s| rt.spec.slot_actors[s as usize])
-                    .collect();
-                (edges, targets)
-            };
-            for dst in &targets {
-                self.send_ctl(
-                    ctx,
-                    *dst,
-                    wire::CONTROL,
-                    SetUrgentEdges {
-                        edges: edges.clone(),
-                        on: false,
-                    },
-                );
-            }
+            // Clear this transfer's urgent mode and publish the new
+            // wiring.
+            self.release_urgent_edges(region, &edges, ctx);
             self.broadcast_routing(region, ctx);
             self.broadcast_membership(region, ctx);
             self.redirect_sensors(region, ctx);
@@ -844,7 +945,7 @@ impl MsController {
         let region = m.region;
         let slot = m.slot;
         let graph;
-        let replacement;
+        let replacement: Option<u32>;
         let departing_actor;
         let affected_edges: Vec<EdgeId>;
         {
@@ -854,6 +955,7 @@ impl MsController {
             }
             rt.slot_state[slot as usize] = SlotState::Departing;
             graph = Arc::clone(&rt.spec.graph);
+            departing_actor = rt.spec.slot_actors[slot as usize];
             let ops = rt.ops_on(slot);
             if ops.is_empty() {
                 // Idle node: just unregister.
@@ -878,29 +980,30 @@ impl MsController {
                 }
             }
             affected_edges = edges;
-            rt.urgent_edges.extend(affected_edges.iter().copied());
-            // Pick the replacement.
-            let idle = rt.idle_active_slots();
-            let Some(&r) = idle.first() else {
-                // No replacement available: run degraded in urgent mode;
-                // if below min_active, stop the region.
-                if (rt.active_slots().len() as u32) < rt.spec.min_active {
-                    self.stop_region(region, ctx);
-                }
-                return;
-            };
-            replacement = r;
-            rt.departing_transfers.insert(slot, r);
-            for s in rt.op_slot.iter_mut() {
-                if *s == slot {
-                    *s = r;
+            // Pick the replacement (idle nodes only; no replacement =
+            // degraded urgent mode until a phone rejoins).
+            replacement = rt.idle_active_slots().first().copied();
+            if let Some(r) = replacement {
+                rt.departing_transfers.insert(
+                    slot,
+                    DepartingTransfer {
+                        replacement: r,
+                        started: ctx.now(),
+                        edges: affected_edges.clone(),
+                    },
+                );
+                for s in rt.op_slot.iter_mut() {
+                    if *s == slot {
+                        *s = r;
+                    }
                 }
             }
-            departing_actor = rt.spec.slot_actors[slot as usize];
         }
         ctx.count("ctl.departures", 1);
         // Tell everyone (including the departing node) to route the
-        // affected edges over cellular for now.
+        // affected edges over cellular for now — whether or not a
+        // replacement exists: with none, the region runs degraded in
+        // urgent mode and the departed phone keeps computing remotely.
         let targets: Vec<ActorId> = {
             let rt = &self.regions[region];
             let mut t: Vec<ActorId> = rt
@@ -922,6 +1025,16 @@ impl MsController {
                 },
             );
         }
+        let Some(replacement) = replacement else {
+            // No replacement available: if the region dropped below its
+            // minimum it stops (bypass); otherwise it limps along over
+            // cellular until a reboot/rejoin provides a phone.
+            let rt = &self.regions[region];
+            if (rt.active_slots().len() as u32) < rt.spec.min_active {
+                self.stop_region(region, ctx);
+            }
+            return;
+        };
         // Ask the departing phone to transfer its state to the
         // replacement over cellular (Fig 7, time instant 3).
         let (install, repl_actor) = {
@@ -1123,8 +1236,7 @@ impl MsController {
                             states: states.clone(),
                             op_slot: rt.op_slot.clone(),
                             slot_actors: rt.spec.slot_actors.clone(),
-                            ready_in: self.cfg.ready_overhead
-                                + self.cfg.ready_per_op * (n as u64),
+                            ready_in: self.cfg.ready_overhead + self.cfg.ready_per_op * (n as u64),
                         },
                         n,
                         (region, s),

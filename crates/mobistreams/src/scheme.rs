@@ -25,10 +25,10 @@ use dsps::node::{InstallStates, NodeInner};
 use dsps::tuple::{Marker, StreamItem, Tuple};
 use simkernel::{ActorId, Ctx, Event};
 use simnet::bitmap::Bitmap;
+use simnet::cellular::CellRx;
 use simnet::stats::TrafficClass;
 use simnet::wifi::{SendMode, Service, WifiBatchRx, WifiBatchSend, WifiRx};
 use simnet::{payload, payload_as};
-use simnet::cellular::CellRx;
 
 use crate::broadcast::{BroadcastConfig, PhaseDecision, ReceiverState, SenderJob};
 use crate::msgs::*;
@@ -376,7 +376,12 @@ impl MsScheme {
             let ids: BTreeSet<u64> = node
                 .queues
                 .get(&EdgeId::source(op))
-                .map(|q| q.iter().filter_map(|i| i.as_tuple()).map(|t| t.id).collect())
+                .map(|q| {
+                    q.iter()
+                        .filter_map(|i| i.as_tuple())
+                        .map(|t| t.id)
+                        .collect()
+                })
                 .unwrap_or_default();
             node.store.retag_inputs(self.epoch, version, op, &ids);
         }
@@ -391,10 +396,7 @@ impl MsScheme {
                 }
             }
         }
-        let hosts_compute = node
-            .ops
-            .keys()
-            .any(|&o| graph.op(o).kind != OpKind::Source);
+        let hosts_compute = node.ops.keys().any(|&o| graph.op(o).kind != OpKind::Source);
         if hosts_compute {
             // Mixed node: if no remote in-edges feed the compute ops the
             // token wave can never trigger alignment here — checkpoint
@@ -460,7 +462,6 @@ impl MsScheme {
         node.send_controller(ctx, wire::CONTROL, ack);
     }
 
-
     /// Source-node emission: replace the unicast hop with one reliable
     /// broadcast job that (a) delivers the tuple to its downstream
     /// neighbor and (b) leaves a preservation copy on every node —
@@ -504,7 +505,13 @@ impl FtScheme for MsScheme {
         "mobistreams"
     }
 
-    fn on_emit(&mut self, tuple: &Tuple, edge: EdgeId, node: &mut NodeInner, ctx: &mut Ctx) -> bool {
+    fn on_emit(
+        &mut self,
+        tuple: &Tuple,
+        edge: EdgeId,
+        node: &mut NodeInner,
+        ctx: &mut Ctx,
+    ) -> bool {
         if !self.cfg.preserve_inputs || tuple.replay || edge.is_source() {
             return true;
         }
@@ -545,7 +552,6 @@ impl FtScheme for MsScheme {
         // emits (the broadcast then doubles as the data delivery).
         node.store.preserve_input(self.epoch, op, tuple.clone());
     }
-
 
     fn on_custom(&mut self, ev: Box<dyn Event>, node: &mut NodeInner, ctx: &mut Ctx) -> bool {
         // Dead nodes react to nothing (reboot is handled by the node
@@ -827,7 +833,12 @@ mod tests {
             }
             c.register_with_rates(ctl, 1e9, 1e9);
         }
-        Rig { sim, nodes, cell, ctl }
+        Rig {
+            sim,
+            nodes,
+            cell,
+            ctl,
+        }
     }
 
     fn feed(rig: &mut Rig, n: usize, every_ms: u64) {
@@ -875,7 +886,10 @@ mod tests {
             .filter(|&&(v, _)| v == 1)
             .map(|&(_, s)| s)
             .collect();
-        assert!(slots.contains(&0) && slots.contains(&1) && slots.contains(&2), "{slots:?}");
+        assert!(
+            slots.contains(&0) && slots.contains(&1) && slots.contains(&2),
+            "{slots:?}"
+        );
         // Every OTHER node (incl. the idle slot 3) received A's state
         // via the broadcast.
         for (i, &nid) in rig.nodes.iter().enumerate() {
@@ -914,7 +928,11 @@ mod tests {
         start_ckpt(&mut rig, 2000, 1);
         rig.sim.run_until(SimTime::from_secs(5));
         let src = rig.sim.actor::<NodeActor>(rig.nodes[0]);
-        let pre_epoch0 = src.inner.store.source_log(0, dsps::graph::OpId(0)).map(|l| l.tuples.len());
+        let pre_epoch0 = src
+            .inner
+            .store
+            .source_log(0, dsps::graph::OpId(0))
+            .map(|l| l.tuples.len());
         assert!(pre_epoch0.unwrap_or(0) > 0, "epoch-0 inputs logged");
         // Commit v1: epoch-0 data must be GC'd everywhere.
         for &nid in rig.nodes.clone().iter() {
@@ -935,7 +953,10 @@ mod tests {
         rig.sim.run_until(rig.sim.now() + SimDuration::from_secs(2));
         let src = rig.sim.actor::<NodeActor>(rig.nodes[0]);
         assert!(
-            src.inner.store.source_log(0, dsps::graph::OpId(0)).is_none(),
+            src.inner
+                .store
+                .source_log(0, dsps::graph::OpId(0))
+                .is_none(),
             "epoch 0 garbage-collected after commit"
         );
         assert_eq!(src.inner.store.latest_complete(), Some(1));
@@ -978,7 +999,13 @@ mod tests {
         rig.sim.run_until(SimTime::from_secs(10));
         feed(&mut rig, 3, 100); // epoch-1 inputs
         rig.sim.run_until(SimTime::from_secs(20));
-        let before = rig.sim.actor::<NodeActor>(rig.nodes[2]).inner.metrics.sink_samples.len();
+        let before = rig
+            .sim
+            .actor::<NodeActor>(rig.nodes[2])
+            .inner
+            .metrics
+            .sink_samples
+            .len();
         // Replay epoch 1 at the source.
         let ctl = rig.ctl;
         let s_node = rig.nodes[0];
@@ -994,7 +1021,8 @@ mod tests {
                 payload: Some(payload(ReplayInputs { epoch: 1 })),
             },
         );
-        rig.sim.run_until(rig.sim.now() + SimDuration::from_secs(10));
+        rig.sim
+            .run_until(rig.sim.now() + SimDuration::from_secs(10));
         let sink = rig.sim.actor::<NodeActor>(rig.nodes[2]);
         assert_eq!(
             sink.inner.metrics.sink_samples.len(),

@@ -306,9 +306,6 @@ mod tests {
             SimDuration::from_secs(1).saturating_sub(SimDuration::from_secs(2)),
             SimDuration::ZERO
         );
-        assert_eq!(
-            SimDuration::MAX.saturating_mul(2),
-            SimDuration::MAX
-        );
+        assert_eq!(SimDuration::MAX.saturating_mul(2), SimDuration::MAX);
     }
 }

@@ -128,8 +128,16 @@ mod tests {
     fn enabled_trace_collects_and_finds() {
         let mut t = Trace::new();
         t.set_enabled(true);
-        t.record(SimTime::from_secs(1), ActorId::from_index(2), "token sent".into());
-        t.record(SimTime::from_secs(2), ActorId::from_index(3), "ckpt done".into());
+        t.record(
+            SimTime::from_secs(1),
+            ActorId::from_index(2),
+            "token sent".into(),
+        );
+        t.record(
+            SimTime::from_secs(2),
+            ActorId::from_index(3),
+            "ckpt done".into(),
+        );
         assert_eq!(t.records().len(), 2);
         assert_eq!(t.find("token").len(), 1);
         assert!(format!("{}", t.records()[0]).contains("token sent"));

@@ -130,7 +130,13 @@ impl Bitmap {
 
 impl fmt::Debug for Bitmap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Bitmap[{}: {}/{} set", self.len, self.count_ones(), self.len)?;
+        write!(
+            f,
+            "Bitmap[{}: {}/{} set",
+            self.len,
+            self.count_ones(),
+            self.len
+        )?;
         if self.len <= 64 {
             write!(f, " ")?;
             for i in 0..self.len {
@@ -228,6 +234,83 @@ mod tests {
     #[test]
     fn and_all_empty_is_none() {
         assert!(Bitmap::and_all(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn union_accumulates_receptions_across_phases() {
+        // A receiver's cumulative bitmap is the union of per-phase
+        // receptions: losses only ever shrink.
+        let n = 12;
+        let mut cum = Bitmap::zeros(n);
+        let mut phase1 = Bitmap::zeros(n);
+        (0..n)
+            .filter(|i| i % 2 == 0)
+            .for_each(|i| phase1.set(i, true));
+        cum.or_assign(&phase1);
+        assert_eq!(cum.zero_indices(), vec![1, 3, 5, 7, 9, 11]);
+
+        // Phase 2 re-delivers some of the losses (and re-receives a few
+        // blocks already held — idempotent).
+        let mut phase2 = Bitmap::zeros(n);
+        for i in [0, 1, 5, 9] {
+            phase2.set(i, true);
+        }
+        cum.or_assign(&phase2);
+        assert_eq!(cum.zero_indices(), vec![3, 7, 11], "residue shrinks");
+
+        // Phase 3 delivers the rest.
+        let mut phase3 = Bitmap::zeros(n);
+        for i in [3, 7, 11] {
+            phase3.set(i, true);
+        }
+        cum.or_assign(&phase3);
+        assert!(cum.all_ones(), "no residue left");
+    }
+
+    #[test]
+    fn and_across_receivers_yields_rebroadcast_set() {
+        // The sender ANDs all receivers' bitmaps; the AND's zero
+        // indices are the union of everyone's losses — exactly the next
+        // phase's rebroadcast set (§III-C).
+        let n = 10;
+        let mut a = Bitmap::ones(n);
+        a.set(2, false); // A lost block 2
+        let mut b = Bitmap::ones(n);
+        b.set(7, false); // B lost block 7
+        let c = Bitmap::ones(n); // C lost nothing
+
+        let anded = Bitmap::and_all([&a, &b, &c].into_iter()).unwrap();
+        assert_eq!(anded.zero_indices(), vec![2, 7]);
+        assert_eq!(anded.count_ones(), n - 2);
+
+        // Per-receiver residue (what the final reliable pass must carry
+        // to each) stays individual: A needs 2, B needs 7, C nothing.
+        assert_eq!(a.zero_indices(), vec![2]);
+        assert_eq!(b.zero_indices(), vec![7]);
+        assert!(c.zero_indices().is_empty());
+    }
+
+    #[test]
+    fn and_assign_is_intersection_or_assign_is_union() {
+        let n = 9;
+        let mut x = Bitmap::zeros(n);
+        let mut y = Bitmap::zeros(n);
+        for i in 0..n {
+            x.set(i, i < 6); // 0..6
+            y.set(i, i >= 3); // 3..9
+        }
+        let mut and = x.clone();
+        and.and_assign(&y);
+        assert_eq!(and.one_indices(), vec![3, 4, 5]);
+        let mut or = x.clone();
+        or.or_assign(&y);
+        assert!(or.all_ones());
+        // De Morgan sanity: zeros(AND) = zeros(x) ∪ zeros(y).
+        let mut expect: Vec<usize> = x.zero_indices();
+        expect.extend(y.zero_indices());
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(and.zero_indices(), expect);
     }
 
     proptest! {

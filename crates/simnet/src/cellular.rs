@@ -35,7 +35,7 @@ pub struct CellConfig {
 impl Default for CellConfig {
     fn default() -> Self {
         CellConfig {
-            default_up_bps: 168_000.0,  // midpoint of 0.016–0.32 Mbps
+            default_up_bps: 168_000.0,   // midpoint of 0.016–0.32 Mbps
             default_down_bps: 745_000.0, // midpoint of 0.35–1.14 Mbps
             rtt: SimDuration::from_millis(150),
             overhead: 60,
@@ -162,11 +162,17 @@ impl CellularNet {
         let dst_state = self.link_state(s.dst);
         if !dst_state.reachable() {
             self.stats.failed_sends += 1;
-            self.stats
-                .record_send(s.class, s.bytes, wire, up_air);
+            self.stats.record_send(s.class, s.bytes, wire, up_air);
             if s.tag != 0 {
                 let when = (up_end - now).max(self.cfg.timeout);
-                ctx.send_in(when, s.src, TxFailed { tag: s.tag, dst: s.dst });
+                ctx.send_in(
+                    when,
+                    s.src,
+                    TxFailed {
+                        tag: s.tag,
+                        dst: s.dst,
+                    },
+                );
             }
             return;
         }
@@ -182,8 +188,12 @@ impl CellularNet {
             let span = crate::link::tx_time(wire, q.rate_bps());
             q.reserve_span(start, span, wire)
         };
-        self.stats
-            .record_send(s.class, s.bytes, wire * 2, up_air + (down_end - core_arrive));
+        self.stats.record_send(
+            s.class,
+            s.bytes,
+            wire * 2,
+            up_air + (down_end - core_arrive),
+        );
         ctx.count("cell.sends", 1);
 
         if let Some(p) = s.payload {
@@ -248,9 +258,11 @@ mod tests {
 
     fn setup() -> (Sim, ActorId, Vec<ActorId>) {
         let mut sim = Sim::new(3);
-        let nodes: Vec<ActorId> = (0..3).map(|_| sim.add_actor(Box::<Sink>::default())).collect();
+        let nodes: Vec<ActorId> = (0..3)
+            .map(|_| sim.add_actor(Box::<Sink>::default()))
+            .collect();
         let mut net = CellularNet::new(CellConfig {
-            default_up_bps: 100_000.0,   // 12.5 KB/s
+            default_up_bps: 100_000.0, // 12.5 KB/s
             default_down_bps: 1_000_000.0,
             rtt: SimDuration::from_millis(100),
             overhead: 0,
@@ -282,7 +294,11 @@ mod tests {
         let rx = &sim.actor::<Sink>(nodes[1]).rx;
         assert_eq!(rx.len(), 1);
         let expect = 1.0 + 0.05 + 0.1;
-        assert!((rx[0].0.as_secs_f64() - expect).abs() < 1e-6, "{:?}", rx[0].0);
+        assert!(
+            (rx[0].0.as_secs_f64() - expect).abs() < 1e-6,
+            "{:?}",
+            rx[0].0
+        );
         // TxDone when the uplink drained (sender can queue the next).
         assert_eq!(sim.actor::<Sink>(nodes[0]).done, vec![1]);
     }
@@ -342,7 +358,8 @@ mod tests {
     #[test]
     fn send_to_dead_endpoint_fails() {
         let (mut sim, net, nodes) = setup();
-        sim.actor_mut::<CellularNet>(net).set_link_state(nodes[1], LinkState::Dead);
+        sim.actor_mut::<CellularNet>(net)
+            .set_link_state(nodes[1], LinkState::Dead);
         sim.schedule_at(
             SimTime::ZERO,
             net,

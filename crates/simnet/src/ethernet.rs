@@ -221,7 +221,12 @@ mod tests {
             );
         }
         sim.run();
-        let times: Vec<f64> = sim.actor::<Sink>(c).rx.iter().map(|(t, _)| t.as_secs_f64()).collect();
+        let times: Vec<f64> = sim
+            .actor::<Sink>(c)
+            .rx
+            .iter()
+            .map(|(t, _)| t.as_secs_f64())
+            .collect();
         assert_eq!(times.len(), 3);
         // a's first and b's only send land at ~1 s; a's second at ~2 s.
         assert!((times[0] - 1.0).abs() < 1e-9);

@@ -62,7 +62,12 @@ impl RateQueue {
     /// Reserve a pre-computed duration (for callers that apply their own
     /// expansion factors, e.g. the reliable-service retransmission
     /// model). `bytes` is recorded for accounting only.
-    pub fn reserve_span(&mut self, now: SimTime, span: SimDuration, bytes: u64) -> (SimTime, SimTime) {
+    pub fn reserve_span(
+        &mut self,
+        now: SimTime,
+        span: SimDuration,
+        bytes: u64,
+    ) -> (SimTime, SimTime) {
         let start = now.max(self.busy_until);
         let end = start + span;
         self.busy_until = end;

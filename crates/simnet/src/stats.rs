@@ -111,7 +111,12 @@ mod tests {
         let mut s = NetStats::default();
         s.record_send(TrafficClass::Data, 100, 120, SimDuration::from_millis(1));
         s.record_send(TrafficClass::Data, 50, 60, SimDuration::from_millis(1));
-        s.record_send(TrafficClass::Checkpoint, 1000, 1100, SimDuration::from_millis(5));
+        s.record_send(
+            TrafficClass::Checkpoint,
+            1000,
+            1100,
+            SimDuration::from_millis(5),
+        );
         assert_eq!(s.payload_bytes(TrafficClass::Data), 150);
         assert_eq!(s.wire_bytes(TrafficClass::Data), 180);
         assert_eq!(s.messages(TrafficClass::Data), 2);

@@ -509,8 +509,8 @@ mod tests {
     /// Collects everything delivered to it.
     #[derive(Default)]
     struct Sink {
-        rx: Vec<(SimTime, u64)>,          // (when, bytes)
-        batch: Vec<(u64, usize)>,         // (stream, received count)
+        rx: Vec<(SimTime, u64)>,  // (when, bytes)
+        batch: Vec<(u64, usize)>, // (stream, received count)
         done: Vec<u64>,
         failed: Vec<u64>,
         congestion: Vec<bool>,
@@ -598,7 +598,10 @@ mod tests {
         for &n in &nodes[1..] {
             assert_eq!(sim.actor::<Sink>(n).rx.len(), 1, "{n:?} missed broadcast");
         }
-        assert!(sim.actor::<Sink>(nodes[0]).rx.is_empty(), "no self-delivery");
+        assert!(
+            sim.actor::<Sink>(nodes[0]).rx.is_empty(),
+            "no self-delivery"
+        );
         // One airtime slot for three receivers: medium busy exactly once.
         let med = sim.actor::<WifiMedium>(m);
         assert_eq!(med.stats().messages(TrafficClass::Preservation), 1);
@@ -625,13 +628,18 @@ mod tests {
         sim.run();
         let rx = &sim.actor::<Sink>(nodes[1]).rx;
         assert_eq!(rx[0].0, SimTime::from_secs(1));
-        assert_eq!(rx[1].0, SimTime::from_secs(2), "second send queues behind first");
+        assert_eq!(
+            rx[1].0,
+            SimTime::from_secs(2),
+            "second send queues behind first"
+        );
     }
 
     #[test]
     fn reliable_to_dead_member_fails_after_timeout() {
         let (mut sim, m, nodes) = setup(0.0);
-        sim.actor_mut::<WifiMedium>(m).set_link_state(nodes[1], LinkState::Dead);
+        sim.actor_mut::<WifiMedium>(m)
+            .set_link_state(nodes[1], LinkState::Dead);
         sim.schedule_at(
             SimTime::ZERO,
             m,
@@ -654,7 +662,8 @@ mod tests {
     #[test]
     fn dead_sender_transmits_nothing() {
         let (mut sim, m, nodes) = setup(0.0);
-        sim.actor_mut::<WifiMedium>(m).set_link_state(nodes[0], LinkState::Dead);
+        sim.actor_mut::<WifiMedium>(m)
+            .set_link_state(nodes[0], LinkState::Dead);
         sim.schedule_at(
             SimTime::ZERO,
             m,
@@ -722,7 +731,10 @@ mod tests {
             assert_eq!(batch.len(), 1);
             assert_eq!(batch[0].0, 77);
             let received = batch[0].1 as f64 / 1000.0;
-            assert!((received - 0.5).abs() < 0.08, "received fraction {received}");
+            assert!(
+                (received - 0.5).abs() < 0.08,
+                "received fraction {received}"
+            );
         }
         assert_eq!(sim.actor::<Sink>(nodes[0]).done, vec![5]);
         // Airtime charged once for the whole batch: 1000 * 1024 B at 1 Mbps ≈ 8.192 s.
@@ -755,7 +767,10 @@ mod tests {
         let small = cfg.datagram_delivery_prob(1000);
         let big = cfg.datagram_delivery_prob(100_000);
         assert!(small > 0.94);
-        assert!(big < 0.05, "67-fragment message almost surely lost, got {big}");
+        assert!(
+            big < 0.05,
+            "67-fragment message almost surely lost, got {big}"
+        );
     }
 
     #[test]
@@ -819,7 +834,11 @@ mod tests {
         medium.add_member(a);
         medium.add_member(b);
         let m = sim.add_actor(Box::new(medium));
-        for class in [TrafficClass::Data, TrafficClass::Data, TrafficClass::Checkpoint] {
+        for class in [
+            TrafficClass::Data,
+            TrafficClass::Data,
+            TrafficClass::Checkpoint,
+        ] {
             sim.schedule_at(
                 SimTime::ZERO,
                 m,

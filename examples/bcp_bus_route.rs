@@ -79,5 +79,9 @@ fn main() {
 
     // Type-check that the published values are real CapacityMsg records.
     let _: Option<&CapacityMsg> = None;
-    println!("\ndone: {:.0} simulated seconds, {} events", end.as_secs_f64(), dep.sim.events_processed());
+    println!(
+        "\ndone: {:.0} simulated seconds, {} events",
+        end.as_secs_f64(),
+        dep.sim.events_processed()
+    );
 }

@@ -33,7 +33,10 @@ fn main() {
     println!("fault order (compute → sink → source → idle): {order:?}\n");
 
     // Act 1: a 2-node burst failure, phones reboot a minute later.
-    println!("t=300s  BURST: killing slots {:?} simultaneously", &order[..2]);
+    println!(
+        "t=300s  BURST: killing slots {:?} simultaneously",
+        &order[..2]
+    );
     for &s in &order[..2] {
         inject_failure(&mut dep, 0, s, SimTime::from_secs(300));
         inject_reboot(&mut dep, 0, s, SimTime::from_secs(360));
@@ -67,7 +70,10 @@ fn main() {
         ("departure    ", 600, 780),
         ("after drill  ", 780, 900),
     ] {
-        println!("{label} [{a:>3}s,{b:>3}s): {:.3} tuples/s", window_tput(&dep, a, b));
+        println!(
+            "{label} [{a:>3}s,{b:>3}s): {:.3} tuples/s",
+            window_tput(&dep, a, b)
+        );
     }
 
     let h = harvest(&dep, SimTime::ZERO, SimTime::from_secs(900));

@@ -31,7 +31,10 @@ fn main() {
     g.connect(s, a);
     g.connect(a, k);
     g.validate().expect("valid DAG");
-    println!("built a {}-operator query network (validated)", g.op_count());
+    println!(
+        "built a {}-operator query network (validated)",
+        g.op_count()
+    );
     let _ = Arc::new(g); // yours to deploy with the dsps runtime
 
     // --- 2. The fastest way to a full system: a paper deployment ------

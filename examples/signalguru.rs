@@ -28,7 +28,10 @@ fn main() {
         "color filter: {:?} blob at ({:.1}, {:.1}), area {}",
         blob.color, blob.cx, blob.cy, blob.area
     );
-    println!("shape filter (circle test): {}", shape_filter(&frame, &blob));
+    println!(
+        "shape filter (circle test): {}",
+        shape_filter(&frame, &blob)
+    );
     let mut predictor = PhasePredictor::new([40.0, 4.0, 35.0], 0);
     for _ in 0..30 {
         predictor.observe(LightColor::Green, 35.0);

@@ -88,7 +88,10 @@ fn departure_is_handled_without_rollback() {
     inject_departure(&mut dep, 0, 2, SimTime::from_secs(170));
     dep.run_until(SimTime::from_secs(380));
     let ctl = dep.sim.actor::<MsController>(dep.controller.unwrap());
-    assert!(ctl.departures_handled >= 1, "departure replacement completed");
+    assert!(
+        ctl.departures_handled >= 1,
+        "departure replacement completed"
+    );
     // The replacement (an idle slot) now hosts the moved operators.
     let moved: usize = dep.regions[0]
         .nodes
@@ -136,7 +139,10 @@ fn regions_cascade_over_cellular() {
     // from region 0's sink over the cellular network.
     let h = harvest(&dep, SimTime::ZERO, SimTime::from_secs(300));
     assert!(h.per_region[1].outputs > 0);
-    assert!(h.cell_bytes.data > 0, "inter-region tuples crossed cellular");
+    assert!(
+        h.cell_bytes.data > 0,
+        "inter-region tuples crossed cellular"
+    );
 }
 
 /// The server-based platform (Table I) is bottlenecked by the 3G
@@ -146,7 +152,9 @@ fn server_platform_is_uplink_bound() {
     let mut lo = Deployment::build(ScenarioConfig {
         app: AppKind::Bcp,
         scheme: Scheme::Base,
-        platform: Platform::Server { uplink_bps: 16_000.0 },
+        platform: Platform::Server {
+            uplink_bps: 16_000.0,
+        },
         checkpoints_enabled: false,
         regions: 2,
         seed: 8,
@@ -159,7 +167,9 @@ fn server_platform_is_uplink_bound() {
     let mut hi = Deployment::build(ScenarioConfig {
         app: AppKind::Bcp,
         scheme: Scheme::Base,
-        platform: Platform::Server { uplink_bps: 320_000.0 },
+        platform: Platform::Server {
+            uplink_bps: 320_000.0,
+        },
         checkpoints_enabled: false,
         regions: 2,
         seed: 8,
@@ -269,7 +279,10 @@ fn byte_accounting_shapes() {
         d3.ckpt_repl_bytes > 2 * d1.ckpt_repl_bytes,
         "dist-3 ships ~3x dist-1's checkpoint bytes"
     );
-    assert_eq!(local.ckpt_repl_bytes, 0, "local checkpoints stay off the network");
+    assert_eq!(
+        local.ckpt_repl_bytes, 0,
+        "local checkpoints stay off the network"
+    );
 }
 
 /// Extension (related work, Hwang'05): upstream backup re-hosts a
@@ -289,7 +302,9 @@ fn upstream_backup_takes_over_once() {
             .actor::<baselines::BaselineCoordinator>(dep.coordinator.unwrap());
         assert_eq!(co.stops, 0, "one failure survivable");
     }
-    let host = dep.sim.actor::<dsps::node::NodeActor>(dep.regions[0].nodes[2]);
+    let host = dep
+        .sim
+        .actor::<dsps::node::NodeActor>(dep.regions[0].nodes[2]);
     assert!(
         host.inner.ops.len() >= 4,
         "upstream neighbor hosts its own + the failed ops (got {})",
@@ -310,5 +325,8 @@ fn upstream_backup_takes_over_once() {
     let co2 = dep2
         .sim
         .actor::<baselines::BaselineCoordinator>(dep2.coordinator.unwrap());
-    assert!(co2.stops >= 1, "losing a node plus its backup stops the region");
+    assert!(
+        co2.stops >= 1,
+        "losing a node plus its backup stops the region"
+    );
 }

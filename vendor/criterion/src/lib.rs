@@ -1,0 +1,116 @@
+//! Vendored shim of the slice of `criterion` this workspace uses.
+//!
+//! `cargo bench` runs each registered function `sample_size` times and
+//! prints mean wall-clock time per iteration — no warm-up, outlier
+//! rejection, or statistics like real criterion; enough to compare hot
+//! paths locally and to keep `cargo check --benches` meaningful.
+
+use std::time::Instant;
+
+/// Opaque value barrier, forwarding to the compiler intrinsic.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The bench driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Iterations per bench function.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Register and immediately run one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            elapsed_ns: 0,
+            timed_iters: 0,
+        };
+        f(&mut b);
+        if b.timed_iters > 0 {
+            let per_iter = b.elapsed_ns as f64 / b.timed_iters as f64;
+            println!(
+                "{name:<50} {:>12.1} ns/iter ({} iters)",
+                per_iter, b.timed_iters
+            );
+        } else {
+            println!("{name:<50} (no iterations measured)");
+        }
+        self
+    }
+}
+
+/// Times closures on behalf of [`Criterion::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+    timed_iters: u64,
+}
+
+impl Bencher {
+    /// Run the routine `sample_size` times, timing the whole batch.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.timed_iters += self.iters;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default().sample_size(7);
+        let mut runs = 0u64;
+        c.bench_function("t", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        assert_eq!(runs, 7);
+    }
+}

@@ -1,0 +1,301 @@
+//! Vendored shim of the slice of `proptest` this workspace uses.
+//!
+//! Supports the sugared `proptest! { #[test] fn f(x in strategy) {..} }`
+//! form with: integer-range strategies, `any::<T>()` for primitives,
+//! `prop::collection::vec(strategy, len_range)`, tuples of strategies,
+//! and `prop_assert!` / `prop_assert_eq!` (which panic, like plain
+//! asserts — no shrinking). Case generation is deterministic per test
+//! name so CI runs are reproducible; set `PROPTEST_CASES` to override
+//! the per-test case count (default 64).
+
+/// Deterministic generator driving the strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+pub mod strategy {
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// A value generator. The real proptest `Strategy` also carries
+    /// shrinking machinery; the shim only generates.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as u128 - self.start as u128) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + (self.end - self.start) * u
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $ix:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$ix.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+    /// Strategy returned by [`crate::any`].
+    pub struct AnyStrategy<T> {
+        pub(crate) _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A constant-value strategy (proptest's `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::TestRng;
+
+    /// Types with a canonical full-range generator.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() >> 63 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite values only: unit-interval scaled by a wide range.
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            (u - 0.5) * 2e6
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            char::from_u32((rng.below(0x7F - 0x20) + 0x20) as u32).unwrap_or('a')
+        }
+    }
+}
+
+/// Full-range strategy for a primitive type.
+pub fn any<T: arbitrary::Arbitrary>() -> strategy::AnyStrategy<T> {
+    strategy::AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            assert!(self.len.start < self.len.end, "empty vec length range");
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Module alias mirroring `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Number of cases per property (override with `PROPTEST_CASES`).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Drive one property: deterministic seeds derived from the test name.
+pub fn run_cases(name: &str, mut f: impl FnMut(&mut TestRng)) {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed = (seed ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    for case in 0..cases() {
+        let mut rng = TestRng::new(seed.wrapping_add(case.wrapping_mul(0x9E37_79B9)));
+        f(&mut rng);
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), __proptest_rng);)+
+                    $body
+                });
+            }
+        )+
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Range strategies stay in bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in 1usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((1..5).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_in_bounds(v in prop::collection::vec(any::<bool>(), 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+        }
+
+        #[test]
+        fn tuples_sample_elementwise(t in (0u64..4, 10u32..20, 0usize..2)) {
+            let (a, b, c) = t;
+            prop_assert!(a < 4);
+            prop_assert!((10..20).contains(&b));
+            prop_assert!(c < 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut first = Vec::new();
+        crate::run_cases("abc", |rng| first.push(rng.next_u64()));
+        let mut second = Vec::new();
+        crate::run_cases("abc", |rng| second.push(rng.next_u64()));
+        assert_eq!(first, second);
+        let mut other = Vec::new();
+        crate::run_cases("xyz", |rng| other.push(rng.next_u64()));
+        assert_ne!(first, other);
+    }
+}

@@ -1,0 +1,253 @@
+//! Vendored shim of the slice of `serde` this workspace uses: a
+//! [`Serialize`] trait that lowers values to a JSON [`json::Value`]
+//! tree, plus the `#[derive(Serialize)]` macro from `serde_derive`.
+//!
+//! The derive produces the same shapes as real serde's default JSON
+//! representation for the types in this workspace: structs become
+//! objects, unit enum variants become strings, and tuple variants are
+//! externally tagged (`{"Variant": ...}`).
+
+pub use serde_derive::Serialize;
+
+pub mod json {
+    use std::fmt::Write as _;
+
+    /// A JSON value tree.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    fn escape_into(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn write_num(out: &mut String, x: f64) {
+        if !x.is_finite() {
+            // JSON has no Infinity/NaN; serialize as null like
+            // serde_json's lossy formatters commonly surface.
+            out.push_str("null");
+        } else if x == x.trunc() && x.abs() < 1e15 {
+            let _ = write!(out, "{}", x as i64);
+        } else {
+            let _ = write!(out, "{x}");
+        }
+    }
+
+    impl Value {
+        /// Compact rendering.
+        pub fn render(&self) -> String {
+            let mut out = String::new();
+            self.render_into(&mut out, None, 0);
+            out
+        }
+
+        /// Pretty rendering with the given indent width.
+        pub fn render_pretty(&self, indent: usize) -> String {
+            let mut out = String::new();
+            self.render_into(&mut out, Some(indent), 0);
+            out
+        }
+
+        fn render_into(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+            let (nl, pad, pad_close, colon) = match indent {
+                Some(w) => (
+                    "\n",
+                    " ".repeat(w * (depth + 1)),
+                    " ".repeat(w * depth),
+                    ": ",
+                ),
+                None => ("", String::new(), String::new(), ":"),
+            };
+            match self {
+                Value::Null => out.push_str("null"),
+                Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Value::Num(x) => write_num(out, *x),
+                Value::Str(s) => escape_into(out, s),
+                Value::Arr(items) => {
+                    if items.is_empty() {
+                        out.push_str("[]");
+                        return;
+                    }
+                    out.push('[');
+                    for (i, v) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(nl);
+                        out.push_str(&pad);
+                        v.render_into(out, indent, depth + 1);
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_close);
+                    out.push(']');
+                }
+                Value::Obj(fields) => {
+                    if fields.is_empty() {
+                        out.push_str("{}");
+                        return;
+                    }
+                    out.push('{');
+                    for (i, (k, v)) in fields.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(nl);
+                        out.push_str(&pad);
+                        escape_into(out, k);
+                        out.push_str(colon);
+                        v.render_into(out, indent, depth + 1);
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_close);
+                    out.push('}');
+                }
+            }
+        }
+    }
+}
+
+/// Serialization to a [`json::Value`] tree.
+pub trait Serialize {
+    fn to_json_value(&self) -> json::Value;
+}
+
+macro_rules! impl_serialize_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::Num(*self as f64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> json::Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Arr(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Arr(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_json_value(&self) -> json::Value {
+        (**self).to_json_value()
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($($name:ident : $ix:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::Arr(vec![$(self.$ix.to_json_value()),+])
+            }
+        }
+    };
+}
+
+impl_serialize_tuple!(A: 0);
+impl_serialize_tuple!(A: 0, B: 1);
+impl_serialize_tuple!(A: 0, B: 1, C: 2);
+impl_serialize_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_rendering_shapes() {
+        let v = json::Value::Obj(vec![
+            ("title".into(), json::Value::Str("x".into())),
+            (
+                "rows".into(),
+                json::Value::Arr(vec![json::Value::Num(1.0), json::Value::Num(2.5)]),
+            ),
+        ]);
+        let s = v.render_pretty(2);
+        assert!(s.contains("\"title\": \"x\""));
+        assert!(s.contains("\"rows\": [\n"));
+        assert!(s.contains("2.5"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = json::Value::Str("a\"b\\c\nd".into());
+        assert_eq!(v.render(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn tuples_are_arrays() {
+        let v = ("r".to_string(), vec![1u32, 2]).to_json_value();
+        assert_eq!(v.render(), "[\"r\",[1,2]]");
+    }
+
+    #[test]
+    fn nonfinite_nums_are_null() {
+        assert_eq!(f64::INFINITY.to_json_value().render(), "null");
+    }
+}

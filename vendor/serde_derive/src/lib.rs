@@ -1,0 +1,229 @@
+//! Hand-rolled `#[derive(Serialize)]` for the vendored serde shim.
+//!
+//! Parses the derive input with a small token walk (no `syn`/`quote`
+//! available offline) and emits an `impl serde::Serialize` producing
+//! serde_json-compatible shapes:
+//!
+//! * named-field structs → JSON objects,
+//! * unit structs → `null`,
+//! * tuple structs → arrays (single-field newtypes unwrap),
+//! * enums → externally tagged: unit variants are strings, tuple
+//!   variants `{"Variant": value-or-array}`.
+//!
+//! Generic types are not supported — nothing in this workspace derives
+//! `Serialize` on a generic type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` etc.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize): expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize): expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize) shim does not support generic types (deriving on `{name}`)");
+    }
+
+    let body = match kind.as_str() {
+        "struct" => derive_struct(&name, &tokens[i..]),
+        "enum" => derive_enum(&name, &tokens[i..]),
+        other => panic!("derive(Serialize): unsupported item kind `{other}`"),
+    };
+
+    body.parse()
+        .expect("derive(Serialize): generated code must parse")
+}
+
+/// Split the top-level token list of a brace/paren group on commas.
+fn split_commas(group: &proc_macro::Group) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for t in group.stream() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(t),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Strip leading `#[...]` attributes and a `pub` visibility from a
+/// field/variant token run.
+fn strip_attrs_vis(mut toks: &[TokenTree]) -> &[TokenTree] {
+    loop {
+        match toks {
+            [TokenTree::Punct(p), TokenTree::Group(_), rest @ ..] if p.as_char() == '#' => {
+                toks = rest;
+            }
+            [TokenTree::Ident(id), rest @ ..] if id.to_string() == "pub" => {
+                toks = match rest {
+                    [TokenTree::Group(g), r @ ..] if g.delimiter() == Delimiter::Parenthesis => r,
+                    _ => rest,
+                };
+            }
+            _ => return toks,
+        }
+    }
+}
+
+fn derive_struct(name: &str, rest: &[TokenTree]) -> String {
+    // Find the definition body: a brace group (named fields), a paren
+    // group (tuple struct), or a bare `;` (unit struct).
+    for t in rest {
+        match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let mut pushes = String::new();
+                for field in split_commas(g) {
+                    let field = strip_attrs_vis(&field);
+                    let fname = match field.first() {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => panic!("derive(Serialize): bad field in `{name}`: {other:?}"),
+                    };
+                    pushes.push_str(&format!(
+                        "__fields.push((\"{fname}\".to_string(), \
+                         serde::Serialize::to_json_value(&self.{fname})));\n"
+                    ));
+                }
+                return format!(
+                    "impl serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> serde::json::Value {{\n\
+                     let mut __fields: Vec<(String, serde::json::Value)> = Vec::new();\n\
+                     {pushes}\
+                     serde::json::Value::Obj(__fields)\n\
+                     }}\n}}\n"
+                );
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = split_commas(g).len();
+                let body = match n {
+                    0 => "serde::json::Value::Arr(Vec::new())".to_string(),
+                    1 => "serde::Serialize::to_json_value(&self.0)".to_string(),
+                    _ => {
+                        let items: Vec<String> = (0..n)
+                            .map(|i| format!("serde::Serialize::to_json_value(&self.{i})"))
+                            .collect();
+                        format!("serde::json::Value::Arr(vec![{}])", items.join(", "))
+                    }
+                };
+                return format!(
+                    "impl serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> serde::json::Value {{ {body} }}\n}}\n"
+                );
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => {}
+        }
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> serde::json::Value {{ serde::json::Value::Null }}\n}}\n"
+    )
+}
+
+fn derive_enum(name: &str, rest: &[TokenTree]) -> String {
+    let body_group = rest
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("derive(Serialize): enum `{name}` has no body"));
+
+    let mut arms = String::new();
+    for variant in split_commas(body_group) {
+        let variant = strip_attrs_vis(&variant);
+        let vname = match variant.first() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("derive(Serialize): bad variant in `{name}`: {other:?}"),
+        };
+        match variant.get(1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = split_commas(g).len();
+                let binders: Vec<String> = (0..n).map(|i| format!("__f{i}")).collect();
+                let pat = binders.join(", ");
+                let inner = if n == 1 {
+                    "serde::Serialize::to_json_value(__f0)".to_string()
+                } else {
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("serde::Serialize::to_json_value({b})"))
+                        .collect();
+                    format!("serde::json::Value::Arr(vec![{}])", items.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vname}({pat}) => serde::json::Value::Obj(vec![\
+                     (\"{vname}\".to_string(), {inner})]),\n"
+                ));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields: Vec<String> = split_commas(g)
+                    .iter()
+                    .map(|f| match strip_attrs_vis(f).first() {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => {
+                            panic!("derive(Serialize): bad field in `{name}::{vname}`: {other:?}")
+                        }
+                    })
+                    .collect();
+                let pat = fields.join(", ");
+                let pushes: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_json_value({f}))"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {pat} }} => serde::json::Value::Obj(vec![\
+                     (\"{vname}\".to_string(), serde::json::Value::Obj(vec![{}]))]),\n",
+                    pushes.join(", ")
+                ));
+            }
+            _ => {
+                // Unit variant (possibly with a `= discr` we ignore).
+                arms.push_str(&format!(
+                    "{name}::{vname} => serde::json::Value::Str(\"{vname}\".to_string()),\n"
+                ));
+            }
+        }
+    }
+
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> serde::json::Value {{\n\
+         match self {{\n{arms}}}\n\
+         }}\n}}\n"
+    )
+}

@@ -1,0 +1,39 @@
+//! Vendored shim of the slice of `serde_json` this workspace uses.
+
+use std::fmt;
+
+pub use serde::json::Value;
+
+/// Serialization error. The shim serializer is infallible, so this is
+/// never produced; it exists to keep call-site signatures compatible.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().render())
+}
+
+/// Serialize to a pretty-printed JSON string (2-space indent, like
+/// upstream serde_json).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().render_pretty(2))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pretty_has_quoted_keys() {
+        let v = ("k".to_string(), 1u64);
+        let s = super::to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"k\""));
+    }
+}
