@@ -562,13 +562,13 @@ pub fn build_signalguru(cal: &Calibration, slots: u32, first: bool) -> AppBundle
                     let mut pos = t % cycle;
                     let color = if pos < phases[0] {
                         LightColor::Red
-                    } else if {
-                        pos -= phases[0];
-                        pos < phases[1]
-                    } {
-                        LightColor::Yellow
                     } else {
-                        LightColor::Green
+                        pos -= phases[0];
+                        if pos < phases[1] {
+                            LightColor::Yellow
+                        } else {
+                            LightColor::Green
+                        }
                     };
                     let (x0, y0) =
                         *fixed_pos.get_or_insert_with(|| (16 + rng.index(32), 8 + rng.index(12)));

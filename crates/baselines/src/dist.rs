@@ -179,6 +179,10 @@ impl FtScheme for DistScheme {
         "dist-n"
     }
 
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn on_emit(
         &mut self,
         tuple: &Tuple,

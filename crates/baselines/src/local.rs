@@ -133,6 +133,10 @@ impl FtScheme for LocalScheme {
         "local"
     }
 
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn on_emit(
         &mut self,
         tuple: &Tuple,

@@ -99,6 +99,10 @@ impl FtScheme for Rep2Scheme {
         "rep-2"
     }
 
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn allow_sink_publish(
         &mut self,
         tuple: &Tuple,

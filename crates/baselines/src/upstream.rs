@@ -54,6 +54,10 @@ impl FtScheme for UpstreamScheme {
         "upstream-backup"
     }
 
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn on_emit(
         &mut self,
         tuple: &Tuple,

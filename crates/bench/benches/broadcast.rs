@@ -81,13 +81,15 @@ fn bench_receiver(c: &mut Criterion) {
     c.bench_function("broadcast/receiver_fold_8192", |b| {
         b.iter(|| {
             let mut rx = ReceiverState::default();
-            let cum = rx.on_batch(
-                ActorId::from_index(9),
-                1,
-                8192,
-                black_box(&blocks),
-                &received,
-            );
+            let cum = rx
+                .on_batch(
+                    ActorId::from_index(9),
+                    1,
+                    8192,
+                    black_box(&blocks),
+                    &received,
+                )
+                .expect("well-formed batch");
             cum.count_ones()
         })
     });

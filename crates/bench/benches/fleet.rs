@@ -1,0 +1,88 @@
+//! Fleet-scale scenario engine throughput: simulated events per second
+//! of wall time at 100 and at 1000 phones.
+//!
+//! Each iteration builds a fleet deployment (churn schedule included)
+//! and runs a 60-second simulated window; the printed ns/iter divided
+//! into the per-iteration event count gives events/sec. The event
+//! counts themselves are deterministic (fixed seed), so this tracks
+//! pure engine speed across commits.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use experiments::fleet::{build_fleet, churn_schedule, ChurnProfile, FleetConfig, FleetRegion};
+use experiments::{AppKind, Scheme};
+use simkernel::{SimDuration, SimTime};
+
+/// A stadium-shaped fleet scaled to `regions × phones`, trimmed to a
+/// 60 s window so a bench iteration stays subsecond-ish.
+fn bench_cfg(regions: usize, phones: u32) -> FleetConfig {
+    let cal = apps::Calibration {
+        state_a: 16 * 1024,
+        state_l: 16 * 1024,
+        state_b: 64 * 1024,
+        state_j: 48 * 1024,
+        state_p: 16 * 1024,
+        state_h: 16 * 1024,
+        ..apps::Calibration::default()
+    };
+    FleetConfig {
+        name: format!("bench-{}x{}", regions, phones),
+        app: AppKind::Bcp,
+        scheme: Scheme::Ms,
+        regions: (0..regions).map(|_| FleetRegion::of(phones)).collect(),
+        churn: ChurnProfile {
+            fail_per_phone_hour: 2.0,
+            depart_per_phone_hour: 4.0,
+            move_fraction: 0.3,
+            mean_rejoin_s: 30.0,
+            quiet_start_s: 15.0,
+            ..ChurnProfile::default()
+        },
+        cal,
+        ckpt_period: SimDuration::from_secs(30),
+        ckpt_offset: SimDuration::from_secs(10),
+        duration: SimDuration::from_secs(60),
+        warmup: SimDuration::from_secs(10),
+        seed: 42,
+    }
+}
+
+fn run_once(cfg: &FleetConfig) -> u64 {
+    let (mut dep, _schedule) = build_fleet(cfg);
+    dep.run_until(SimTime::ZERO + cfg.duration);
+    dep.sim.events_processed()
+}
+
+fn bench_events_per_sec(c: &mut Criterion) {
+    // 100 phones: 4 regions × 25.
+    let cfg100 = bench_cfg(4, 25);
+    let ev = run_once(&cfg100);
+    println!("fleet_100_phones: {ev} events per 60 s window");
+    c.bench_function("fleet_events_100_phones_60s", |b| {
+        b.iter(|| black_box(run_once(&cfg100)))
+    });
+
+    // 1000 phones: 8 regions × 125.
+    let cfg1000 = bench_cfg(8, 125);
+    let ev = run_once(&cfg1000);
+    println!("fleet_1000_phones: {ev} events per 60 s window");
+    c.bench_function("fleet_events_1000_phones_60s", |b| {
+        b.iter(|| black_box(run_once(&cfg1000)))
+    });
+}
+
+fn bench_schedule_generation(c: &mut Criterion) {
+    // Schedule generation alone must stay cheap even at 10k phones.
+    let mut cfg = bench_cfg(8, 1250);
+    cfg.churn.depart_per_phone_hour = 30.0;
+    c.bench_function("churn_schedule_10k_phones", |b| {
+        b.iter(|| black_box(churn_schedule(&cfg).len()))
+    });
+}
+
+criterion_group!(
+    name = fleet;
+    config = Criterion::default().sample_size(5);
+    targets = bench_events_per_sec, bench_schedule_generation
+);
+criterion_main!(fleet);

@@ -96,6 +96,10 @@ pub trait FtScheme {
         let _ = node;
         0
     }
+
+    /// Downcast support so harvesters can read scheme-specific
+    /// statistics off a deployed node (fleet reports, probes).
+    fn as_any(&self) -> &dyn std::any::Any;
 }
 
 /// No fault tolerance at all — the paper's `base` configuration.
@@ -105,5 +109,9 @@ pub struct NullScheme;
 impl FtScheme for NullScheme {
     fn name(&self) -> &'static str {
         "base"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }

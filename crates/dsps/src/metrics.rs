@@ -30,6 +30,9 @@ pub struct NodeMetrics {
     pub source_inputs: u64,
     /// Sink outputs discarded during catch-up.
     pub catchup_discards: u64,
+    /// Items dropped because routing state was stale or malformed
+    /// (unassigned destination op, out-of-range slot, missing port).
+    pub routing_drops: u64,
     /// Accumulated CPU busy time.
     pub cpu_busy: SimDuration,
 }
@@ -99,6 +102,7 @@ impl NodeMetrics {
         self.source_drops += other.source_drops;
         self.source_inputs += other.source_inputs;
         self.catchup_discards += other.catchup_discards;
+        self.routing_drops += other.routing_drops;
         self.cpu_busy += other.cpu_busy;
     }
 }

@@ -376,7 +376,7 @@ impl NodeInner {
     /// the edges that carry tokens.
     pub fn remote_in_edges(&self) -> Vec<EdgeId> {
         let mut v = Vec::new();
-        for (&op, _) in &self.ops {
+        for &op in self.ops.keys() {
             for &e in &self.graph.op(op).in_edges {
                 let from = self.graph.edge(e).from;
                 if self.op_slot[from.index()] != self.cfg.slot {
@@ -390,7 +390,7 @@ impl NodeInner {
     /// Out-edges of hosted ops whose consumer lives on another slot.
     pub fn remote_out_edges(&self) -> Vec<EdgeId> {
         let mut v = Vec::new();
-        for (&op, _) in &self.ops {
+        for &op in self.ops.keys() {
             for &e in &self.graph.op(op).out_edges {
                 let to = self.graph.edge(e).to;
                 if self.op_slot[to.index()] != self.cfg.slot {
@@ -529,15 +529,24 @@ impl NodeInner {
     pub fn route_item(&mut self, ctx: &mut Ctx, edge: EdgeId, item: StreamItem) {
         let dst_op = self.graph.edge_target(edge);
         let dst_slot = self.op_slot[dst_op.index()];
-        assert!(
-            dst_slot != u32::MAX,
-            "routing on unassigned op {dst_op:?} (edge {edge})"
-        );
+        if dst_slot == u32::MAX {
+            // The destination op is unassigned — a routing update raced
+            // a recovery/stop. Drop the item (replay covers it) rather
+            // than kill the phone.
+            self.metrics.routing_drops += 1;
+            ctx.count("node.routing_drops", 1);
+            return;
+        }
         if dst_slot == self.cfg.slot {
             self.push_item(edge, item);
             return;
         }
-        let dst_actor = self.slot_actors[dst_slot as usize];
+        let Some(&dst_actor) = self.slot_actors.get(dst_slot as usize) else {
+            // Stale slot table (a malformed/old routing update): drop.
+            self.metrics.routing_drops += 1;
+            ctx.count("node.routing_drops", 1);
+            return;
+        };
         let bytes = item.bytes();
         let tag = self.alloc_tag();
         self.pending_sends.insert(tag, (dst_slot, edge));
@@ -564,7 +573,13 @@ impl NodeInner {
                 );
             }
             PrimaryTransport::Ethernet => {
-                let eth = self.eth.expect("ethernet transport not wired");
+                let Some(eth) = self.eth else {
+                    // Misconfigured node (Ethernet primary, no link):
+                    // drop rather than panic the deployment.
+                    self.metrics.routing_drops += 1;
+                    ctx.count("node.routing_drops", 1);
+                    return;
+                };
                 let src = ctx.self_id();
                 ctx.send(
                     eth,
@@ -722,7 +737,13 @@ impl NodeActor {
         let port = spec.in_port(edge).unwrap_or(0);
         let mut outs = Outputs::default();
         {
-            let inst = inner.ops.get_mut(&op).expect("hosted");
+            let Some(inst) = inner.ops.get_mut(&op) else {
+                // Un-hosted between the check above and here (cannot
+                // happen today, but a 1000-phone run must not die on
+                // it if reconfiguration logic ever changes).
+                self.pump(ctx);
+                return;
+            };
             inst.process(&tuple, port, &mut outs, ctx.rng());
         }
         inner.metrics.processed += 1;
@@ -773,9 +794,14 @@ impl NodeActor {
         } else {
             let out_edges = spec.out_edges.clone();
             for (port, value, bytes) in outs.drain() {
-                let out_edge = *out_edges
-                    .get(port)
-                    .unwrap_or_else(|| panic!("op '{}' emitted on missing port {port}", spec.name));
+                let Some(&out_edge) = out_edges.get(port) else {
+                    // Operator emitted on a port the graph never wired:
+                    // an operator bug, but one bad tuple must not kill
+                    // the phone — drop the output and count it.
+                    inner.metrics.routing_drops += 1;
+                    ctx.count("node.bad_port_emits", 1);
+                    continue;
+                };
                 let out_tuple = Tuple {
                     id: inner.alloc_tuple_id(),
                     entered: tuple.entered,

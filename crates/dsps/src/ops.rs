@@ -107,7 +107,7 @@ impl Counter {
 impl Operator for Counter {
     fn process(&mut self, _tuple: &Tuple, _port: usize, out: &mut Outputs, _rng: &mut SimRng) {
         self.count += 1;
-        if self.count % self.emit_every == 0 {
+        if self.count.is_multiple_of(self.emit_every) {
             out.emit(0, value(self.count), 8);
         }
     }
@@ -125,11 +125,11 @@ impl Operator for Counter {
     }
 
     fn restore(&mut self, state: &OpState) {
-        let st = state
-            .as_any()
-            .downcast_ref::<CounterState>()
-            .expect("CounterState snapshot");
-        self.count = st.0;
+        // Wrong-typed state (a malformed explicit install shipped over
+        // the network) is ignored rather than panicking the phone.
+        if let Some(st) = state.as_any().downcast_ref::<CounterState>() {
+            self.count = st.0;
+        }
     }
 }
 
@@ -225,8 +225,11 @@ impl Operator for KeyJoin {
         } else {
             (&mut self.right, &mut self.left)
         };
-        if let Some(pos) = theirs.iter().position(|(ok, _)| *ok == k) {
-            let (_, other) = theirs.remove(pos).expect("position valid");
+        if let Some((_, other)) = theirs
+            .iter()
+            .position(|(ok, _)| *ok == k)
+            .and_then(|pos| theirs.remove(pos))
+        {
             let (l, r) = if port == 0 {
                 (tuple, &other)
             } else {
@@ -264,12 +267,12 @@ impl Operator for KeyJoin {
     }
 
     fn restore(&mut self, state: &OpState) {
-        let st = state
-            .as_any()
-            .downcast_ref::<KeyJoinState>()
-            .expect("KeyJoinState snapshot");
-        self.left = st.left.iter().cloned().collect();
-        self.right = st.right.iter().cloned().collect();
+        // Wrong-typed state (a malformed explicit install shipped over
+        // the network) is ignored rather than panicking the phone.
+        if let Some(st) = state.as_any().downcast_ref::<KeyJoinState>() {
+            self.left = st.left.iter().cloned().collect();
+            self.right = st.right.iter().cloned().collect();
+        }
     }
 }
 
@@ -419,7 +422,7 @@ impl Sampler {
 impl Operator for Sampler {
     fn process(&mut self, tuple: &Tuple, _port: usize, out: &mut Outputs, _rng: &mut SimRng) {
         self.seen += 1;
-        if self.seen % self.k == 0 {
+        if self.seen.is_multiple_of(self.k) {
             out.emit(0, tuple.value.clone(), tuple.bytes);
         }
     }
@@ -441,6 +444,7 @@ impl Operator for Sampler {
 
 /// Tumbling-window aggregate over `f64`-convertible values: emits
 /// `(count, sum, min, max)` every `window` inputs. Stateful.
+#[allow(clippy::type_complexity)]
 pub struct WindowAgg {
     window: u64,
     cost: SimDuration,

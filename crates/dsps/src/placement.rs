@@ -139,6 +139,39 @@ impl Placement {
     }
 }
 
+/// Proportionally remap a placement authored for `p.slots` phones onto
+/// `k` phones (`k < p.slots`): canonical slot `s` hosts on
+/// `s * k / p.slots`. Keeps the paper's grouping order, so pipeline
+/// stages stay contiguous and any leftover high slots stay idle
+/// (checkpoint replicas / standby), just denser — used for regions
+/// smaller than the paper's 8-phone testbed, and for fitting rep-2's
+/// two flows onto half a region each.
+pub fn squeeze_placement(p: &Placement, k: u32) -> Placement {
+    assert!(k >= 1, "a region needs at least one phone");
+    // Identity whenever the canonical assignment already fits: every
+    // assigned slot exists among the k phones (6- and 7-phone regions
+    // keep one stage group per phone; only the idle tail shrinks).
+    let fits = p.op_slot.iter().all(|&s| s == u32::MAX || s < k);
+    if fits {
+        return Placement {
+            op_slot: p.op_slot.clone(),
+            slots: k,
+        };
+    }
+    let op_slot = p
+        .op_slot
+        .iter()
+        .map(|&s| {
+            if s == u32::MAX {
+                u32::MAX
+            } else {
+                s * k / p.slots
+            }
+        })
+        .collect();
+    Placement { op_slot, slots: k }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,5 +243,72 @@ mod tests {
         let (g, [s, ..]) = chain();
         let mut p = Placement::new(&g, 2);
         p.assign(s, 5);
+    }
+}
+
+#[cfg(test)]
+mod squeeze_tests {
+    use super::*;
+
+    fn canonical() -> Placement {
+        // Shape of the paper's BCP grouping: ops on slots 0..=5 of 8.
+        Placement {
+            op_slot: vec![0, 1, 1, 2, 3, 3, 4, 5, 5],
+            slots: 8,
+        }
+    }
+
+    #[test]
+    fn squeeze_keeps_every_op_assigned_in_range() {
+        for k in 1..8 {
+            let sq = squeeze_placement(&canonical(), k);
+            assert_eq!(sq.slots, k);
+            for &s in &sq.op_slot {
+                assert!(s < k, "slot {s} out of range for {k} phones");
+            }
+        }
+    }
+
+    #[test]
+    fn squeeze_preserves_stage_order() {
+        let sq = squeeze_placement(&canonical(), 3);
+        // Monotone: a later canonical slot never maps before an earlier
+        // one, so upstream stages stay upstream.
+        for w in sq.op_slot.windows(2) {
+            if w[0] != u32::MAX && w[1] != u32::MAX {
+                assert!(w[0] <= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn squeeze_is_identity_when_room_enough() {
+        let sq = squeeze_placement(&canonical(), 8);
+        assert_eq!(sq.op_slot, canonical().op_slot);
+        let sq = squeeze_placement(&canonical(), 12);
+        assert_eq!(sq.op_slot, canonical().op_slot);
+        assert_eq!(sq.slots, 12);
+    }
+
+    #[test]
+    fn squeeze_keeps_one_group_per_phone_at_six_and_seven() {
+        // Canonical assignment uses slots 0..=5: a 6- or 7-phone region
+        // already fits one stage group per phone and must not be
+        // compacted (only the idle tail shrinks).
+        for k in [6, 7] {
+            let sq = squeeze_placement(&canonical(), k);
+            assert_eq!(sq.op_slot, canonical().op_slot, "k={k}");
+            assert_eq!(sq.slots, k);
+        }
+    }
+
+    #[test]
+    fn squeeze_keeps_unassigned_ops_unassigned() {
+        let p = Placement {
+            op_slot: vec![0, u32::MAX, 7],
+            slots: 8,
+        };
+        let sq = squeeze_placement(&p, 4);
+        assert_eq!(sq.op_slot, vec![0, u32::MAX, 3]);
     }
 }

@@ -116,7 +116,6 @@ pub fn run_ablation(opts: ExpOptions) -> Ablation {
         opts,
     )));
     jobs.push(Box::new({
-        let opts = opts;
         move || {
             let cfg = ScenarioConfig {
                 app: AppKind::Bcp,

@@ -47,7 +47,7 @@ pub struct Fig10 {
 /// Run Fig 10 (fault-free steady state, same setup as Fig 8).
 pub fn run_fig10(opts: ExpOptions) -> Fig10 {
     type Key = (AppKind, String);
-    let mut jobs: Vec<Box<dyn FnOnce() -> (Key, f64, f64, f64) + Send>> = Vec::new();
+    let mut jobs: Vec<crate::Job<(Key, f64, f64, f64)>> = Vec::new();
     for app in [AppKind::Bcp, AppKind::SignalGuru] {
         for scheme in schemes() {
             for seed in 0..opts.seeds {

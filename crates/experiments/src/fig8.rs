@@ -49,7 +49,7 @@ pub struct Fig8 {
 
 /// Run Fig 8.
 pub fn run_fig8(opts: ExpOptions) -> Fig8 {
-    let mut jobs: Vec<Box<dyn FnOnce() -> (AppKind, Scheme, f64, f64) + Send>> = Vec::new();
+    let mut jobs: Vec<crate::Job<(AppKind, Scheme, f64, f64)>> = Vec::new();
     for app in [AppKind::Bcp, AppKind::SignalGuru] {
         for scheme in schemes() {
             for seed in 0..opts.seeds {

@@ -104,7 +104,7 @@ pub fn run_fig9(opts: ExpOptions, max_n: u32) -> Fig9 {
     let reboot_after = SimDuration::from_secs(60);
 
     type Key = (AppKind, String, u32);
-    let mut jobs: Vec<Box<dyn FnOnce() -> (Key, f64, f64) + Send>> = Vec::new();
+    let mut jobs: Vec<crate::Job<(Key, f64, f64)>> = Vec::new();
 
     // Base fault-free reference per app/seed.
     for app in [AppKind::Bcp, AppKind::SignalGuru] {

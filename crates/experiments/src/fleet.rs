@@ -1,0 +1,826 @@
+//! Fleet-scale scenario engine: N regions × M phones under seeded,
+//! parameterized churn.
+//!
+//! The paper validates MobiStreams on an 8-phone, 4-region testbed;
+//! this module opens the scale and scenario-diversity axes. A
+//! [`FleetConfig`] describes a deployment (per-region phone counts,
+//! per-region WiFi loss profiles) plus a *churn model* (fail-stop
+//! crashes, departures, inter-region mobility, rejoins). From the
+//! config's seed a deterministic [`ChurnEvent`] schedule is generated
+//! and injected into the simulation before it starts, so a fleet run
+//! is exactly as reproducible as the paper scenarios: same seed, same
+//! report.
+//!
+//! A small library of named profiles covers the scenarios the ROADMAP
+//! asks for:
+//!
+//! * `stadium` — 8 regions × 128 phones (1024 total): huge idle
+//!   capacity, light churn; stresses broadcast fan-out, membership
+//!   updates and the controller's many-region bookkeeping.
+//! * `commute` — 8 regions × 16 phones with heavy inter-region
+//!   mobility: phones continuously depart one region and re-appear in
+//!   the next, exercising the §III-E departure protocol and urgent
+//!   cellular routing under churn.
+//! * `flash-crowd` — regions start half-empty; the crowd arrives in
+//!   one burst, then drains away; stresses join/registration and
+//!   late-capacity recovery.
+//! * `lossy-wifi` — per-region loss profiles ramp from 5 % up to 30 %
+//!   and back, at staggered times per region; stresses the multi-phase
+//!   broadcast's cost/gain logic and the TCP residue path.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use serde::Serialize;
+use simkernel::{SimDuration, SimRng, SimTime};
+use simnet::wifi::{WifiConfig, WifiSetLoss};
+
+use crate::faults::{inject_departure, inject_failure, inject_reboot};
+use crate::run::harvest;
+use crate::scenario::{AppKind, Deployment, RegionOverride, ScenarioConfig, Scheme};
+
+/// Churn model: rates are per phone-hour, so the same profile scales
+/// from 10 phones to 10 000.
+#[derive(Debug, Clone)]
+pub struct ChurnProfile {
+    /// Mean fail-stop crashes per phone-hour.
+    pub fail_per_phone_hour: f64,
+    /// Mean departures (GPS-out mobility exits) per phone-hour.
+    pub depart_per_phone_hour: f64,
+    /// Fraction of departures that are inter-region *moves*: the
+    /// leaving phone re-appears in the next region `travel_s` later by
+    /// re-activating an absent slot there (falls back to a plain
+    /// departure when the destination is full).
+    pub move_fraction: f64,
+    /// Mean absence before a failed/departed phone rejoins its region.
+    pub mean_rejoin_s: f64,
+    /// Travel time of an inter-region move.
+    pub travel_s: f64,
+    /// No churn before this time (deployment boot window).
+    pub quiet_start_s: f64,
+    /// Fraction of each region's phones absent at t = 0 (taken from
+    /// the highest slots — idle standby capacity).
+    pub initial_absent_fraction: f64,
+    /// Window `(from_s, to_s)` in which the initially-absent phones
+    /// arrive (uniformly, seeded). `None` = they never arrive.
+    pub arrival_burst: Option<(f64, f64)>,
+}
+
+impl Default for ChurnProfile {
+    fn default() -> Self {
+        ChurnProfile {
+            fail_per_phone_hour: 0.0,
+            depart_per_phone_hour: 0.0,
+            move_fraction: 0.0,
+            mean_rejoin_s: 60.0,
+            travel_s: 20.0,
+            quiet_start_s: 30.0,
+            initial_absent_fraction: 0.0,
+            arrival_burst: None,
+        }
+    }
+}
+
+/// Time-varying WiFi loss for one region: `(at_s, loss)` steps applied
+/// to the region's medium while the simulation runs.
+#[derive(Debug, Clone, Default)]
+pub struct LossProfile {
+    /// Scheduled loss changes.
+    pub steps: Vec<(f64, f64)>,
+}
+
+/// One region of the fleet.
+#[derive(Debug, Clone)]
+pub struct FleetRegion {
+    /// Phones deployed here.
+    pub phones: u32,
+    /// Base WiFi channel parameters.
+    pub wifi: WifiConfig,
+    /// Scheduled loss changes (empty = constant `wifi.loss`).
+    pub loss: LossProfile,
+}
+
+impl FleetRegion {
+    /// A region with `phones` phones on the default channel.
+    pub fn of(phones: u32) -> Self {
+        FleetRegion {
+            phones,
+            wifi: WifiConfig::default(),
+            loss: LossProfile::default(),
+        }
+    }
+}
+
+/// A full fleet scenario: deployment shape + churn + run windows.
+#[derive(Clone)]
+pub struct FleetConfig {
+    /// Profile name (report label).
+    pub name: String,
+    /// Application.
+    pub app: AppKind,
+    /// FT scheme.
+    pub scheme: Scheme,
+    /// The regions, cascaded in a line as in the paper.
+    pub regions: Vec<FleetRegion>,
+    /// Churn model.
+    pub churn: ChurnProfile,
+    /// Application calibration (fleet profiles shrink operator states
+    /// so checkpoint rounds fit their shorter periods).
+    pub cal: apps::Calibration,
+    /// Checkpoint period.
+    pub ckpt_period: SimDuration,
+    /// First checkpoint offset.
+    pub ckpt_offset: SimDuration,
+    /// Total simulated span.
+    pub duration: SimDuration,
+    /// Measurement starts here (boot/warm-up excluded).
+    pub warmup: SimDuration,
+    /// Seed driving the whole run (workload, channel AND churn).
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// Phones across the fleet.
+    pub fn total_phones(&self) -> u32 {
+        self.regions.iter().map(|r| r.phones).sum()
+    }
+
+    /// The underlying deployment parameters.
+    pub fn scenario(&self) -> ScenarioConfig {
+        ScenarioConfig {
+            app: self.app,
+            scheme: self.scheme,
+            regions: self.regions.len(),
+            phones: self.regions.iter().map(|r| r.phones).max().unwrap_or(8),
+            cal: self.cal.clone(),
+            ckpt_period: self.ckpt_period,
+            ckpt_offset: self.ckpt_offset,
+            seed: self.seed,
+            overrides: self
+                .regions
+                .iter()
+                .map(|r| RegionOverride {
+                    phones: Some(r.phones),
+                    wifi: Some(r.wifi.clone()),
+                })
+                .collect(),
+            ..ScenarioConfig::default()
+        }
+    }
+}
+
+/// What happens to one phone at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// Fail-stop crash (links die; controller detects emergently).
+    Fail,
+    /// Mobility exit (§III-E: phone reports itself, urgent mode).
+    Depart,
+    /// A phone (re)joins the region (reboot/arrival registration).
+    Rejoin,
+}
+
+/// One scheduled churn injection.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnEvent {
+    /// When.
+    pub at: SimTime,
+    /// Region hit.
+    pub region: usize,
+    /// Slot hit.
+    pub slot: u32,
+    /// What happens.
+    pub kind: ChurnKind,
+}
+
+/// Per-slot presence bookkeeping used by the schedule generator.
+/// `Present` also covers "absent but already scheduled to return":
+/// such a slot is reserved and can't be claimed by a move, and the
+/// heap pops in time order so its next leave candidate always lands
+/// after the scheduled return.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Presence {
+    Present,
+    /// Absent and available as an arrival target for a move.
+    AbsentFree,
+}
+
+/// Generate the deterministic churn schedule for `cfg`. Pure function
+/// of the config (notably its seed): two calls yield identical events.
+pub fn churn_schedule(cfg: &FleetConfig) -> Vec<ChurnEvent> {
+    let mut rng = SimRng::new(cfg.seed ^ 0xF1EE_7CA5_7A60_0D5E);
+    let churn = &cfg.churn;
+    let horizon = cfg.duration.as_secs_f64();
+    let leave_rate = (churn.fail_per_phone_hour + churn.depart_per_phone_hour) / 3600.0;
+    let p_fail = if leave_rate > 0.0 {
+        churn.fail_per_phone_hour / (churn.fail_per_phone_hour + churn.depart_per_phone_hour)
+    } else {
+        0.0
+    };
+
+    let mut events: Vec<ChurnEvent> = Vec::new();
+    let mut presence: Vec<Vec<Presence>> = cfg
+        .regions
+        .iter()
+        .map(|r| vec![Presence::Present; r.phones as usize])
+        .collect();
+    // Slots whose first leave candidate is already scheduled (arrival-
+    // burst phones): the general seeding loop below must not give them
+    // a second, independent candidate — it could fire before the phone
+    // even arrives.
+    let mut seeded: Vec<Vec<bool>> = cfg
+        .regions
+        .iter()
+        .map(|r| vec![false; r.phones as usize])
+        .collect();
+    // Min-heap of candidate leave times per present phone; fully
+    // deterministic (ties break on (region, slot)).
+    let mut heap: BinaryHeap<Reverse<(u64, usize, u32)>> = BinaryHeap::new();
+
+    // Initially-absent phones: the highest slots of each region (idle
+    // standby capacity) start out of range, optionally arriving in the
+    // configured burst window. An arriving phone becomes churn-eligible
+    // after its arrival; slots with no scheduled arrival are the free
+    // capacity inter-region moves claim.
+    for (r, region) in cfg.regions.iter().enumerate() {
+        let absent = (region.phones as f64 * churn.initial_absent_fraction).floor() as u32;
+        for s in (region.phones - absent)..region.phones {
+            // A failure at t=0 models "was never there": links dead
+            // before the first ping round.
+            events.push(ChurnEvent {
+                at: SimTime::ZERO,
+                region: r,
+                slot: s,
+                kind: ChurnKind::Fail,
+            });
+            let arrival = churn
+                .arrival_burst
+                .map(|(from, to)| rng.uniform(from, to.max(from)))
+                .filter(|&at| at < horizon);
+            if let Some(at) = arrival {
+                events.push(ChurnEvent {
+                    at: SimTime::from_nanos((at * 1e9) as u64),
+                    region: r,
+                    slot: s,
+                    kind: ChurnKind::Rejoin,
+                });
+                // Reserved: returns at `at`, churn-eligible afterwards.
+                seeded[r][s as usize] = true;
+                if leave_rate > 0.0 {
+                    let next = at.max(churn.quiet_start_s) + rng.exponential(1.0 / leave_rate);
+                    if next < horizon {
+                        heap.push(Reverse(((next * 1e9) as u64, r, s)));
+                    }
+                }
+            } else {
+                presence[r][s as usize] = Presence::AbsentFree;
+            }
+        }
+    }
+
+    if leave_rate > 0.0 {
+        for (r, region) in cfg.regions.iter().enumerate() {
+            for s in 0..region.phones {
+                if presence[r][s as usize] != Presence::Present || seeded[r][s as usize] {
+                    continue;
+                }
+                let at = churn.quiet_start_s + rng.exponential(1.0 / leave_rate);
+                if at < horizon {
+                    heap.push(Reverse(((at * 1e9) as u64, r, s)));
+                }
+            }
+        }
+    }
+    while let Some(Reverse((at_ns, r, s))) = heap.pop() {
+        if presence[r][s as usize] != Presence::Present {
+            continue; // stale candidate (slot was consumed by a move)
+        }
+        let at = SimTime::from_nanos(at_ns);
+        let is_fail = rng.chance(p_fail);
+        let kind = if is_fail {
+            ChurnKind::Fail
+        } else {
+            ChurnKind::Depart
+        };
+        events.push(ChurnEvent {
+            at,
+            region: r,
+            slot: s,
+            kind,
+        });
+        presence[r][s as usize] = Presence::AbsentFree;
+
+        // Inter-region move: the phone re-appears in the next region,
+        // claiming a free absent slot there.
+        let moved = !is_fail
+            && rng.chance(cfg.churn.move_fraction)
+            && cfg.regions.len() > 1
+            && arrive_next_region(
+                cfg,
+                &mut presence,
+                &mut events,
+                &mut heap,
+                &mut rng,
+                r,
+                at_ns,
+                horizon,
+                leave_rate,
+            );
+        if !moved {
+            // Plain absence: rejoin the same region later.
+            let back_s = at_ns as f64 / 1e9 + rng.exponential(churn.mean_rejoin_s.max(1.0));
+            if back_s < horizon {
+                let back_ns = (back_s * 1e9) as u64;
+                events.push(ChurnEvent {
+                    at: SimTime::from_nanos(back_ns),
+                    region: r,
+                    slot: s,
+                    kind: ChurnKind::Rejoin,
+                });
+                presence[r][s as usize] = Presence::Present;
+                // Next leave after the rejoin.
+                let next = back_s + rng.exponential(1.0 / leave_rate.max(1e-12));
+                if next < horizon {
+                    heap.push(Reverse(((next * 1e9) as u64, r, s)));
+                }
+            } else {
+                presence[r][s as usize] = Presence::AbsentFree;
+            }
+        }
+    }
+
+    events.sort_by_key(|e| (e.at, e.region, e.slot, e.kind as u8));
+    events
+}
+
+/// Claim an absent slot in the region after `from` for an arriving
+/// phone; returns false when no capacity is free there.
+#[allow(clippy::too_many_arguments)]
+fn arrive_next_region(
+    cfg: &FleetConfig,
+    presence: &mut [Vec<Presence>],
+    events: &mut Vec<ChurnEvent>,
+    heap: &mut BinaryHeap<Reverse<(u64, usize, u32)>>,
+    rng: &mut SimRng,
+    from: usize,
+    at_ns: u64,
+    horizon: f64,
+    leave_rate: f64,
+) -> bool {
+    let dest = (from + 1) % cfg.regions.len();
+    let Some(free) = presence[dest]
+        .iter()
+        .position(|&p| p == Presence::AbsentFree)
+    else {
+        return false;
+    };
+    let arrive_s = at_ns as f64 / 1e9 + cfg.churn.travel_s.max(0.1);
+    if arrive_s >= horizon {
+        return false;
+    }
+    let slot = free as u32;
+    events.push(ChurnEvent {
+        at: SimTime::from_nanos((arrive_s * 1e9) as u64),
+        region: dest,
+        slot,
+        kind: ChurnKind::Rejoin,
+    });
+    presence[dest][free] = Presence::Present;
+    let next = arrive_s + rng.exponential(1.0 / leave_rate.max(1e-12));
+    if next < horizon {
+        heap.push(Reverse(((next * 1e9) as u64, dest, slot)));
+    }
+    true
+}
+
+/// Build the deployment and inject the churn + loss schedules.
+/// Returns the deployment (started, not yet run) and the applied
+/// schedule for reporting.
+pub fn build_fleet(cfg: &FleetConfig) -> (Deployment, Vec<ChurnEvent>) {
+    let schedule = churn_schedule(cfg);
+    let mut dep = Deployment::build(cfg.scenario());
+    dep.start();
+    for ev in &schedule {
+        match ev.kind {
+            ChurnKind::Fail => inject_failure(&mut dep, ev.region, ev.slot, ev.at),
+            ChurnKind::Depart => inject_departure(&mut dep, ev.region, ev.slot, ev.at),
+            ChurnKind::Rejoin => inject_reboot(&mut dep, ev.region, ev.slot, ev.at),
+        }
+    }
+    for (r, region) in cfg.regions.iter().enumerate() {
+        let wifi = dep.regions[r].wifi;
+        for &(at_s, loss) in &region.loss.steps {
+            dep.sim.schedule_at(
+                SimTime::from_nanos((at_s * 1e9) as u64),
+                wifi,
+                WifiSetLoss { loss },
+            );
+        }
+    }
+    (dep, schedule)
+}
+
+/// Machine-readable result of one fleet run. Everything except the
+/// wall-clock fields is a pure function of the config — the
+/// [`FleetReport::digest`] over those fields is the determinism
+/// contract (same seed ⇒ same digest).
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetReport {
+    /// Profile name.
+    pub profile: String,
+    /// Seed used.
+    pub seed: u64,
+    /// Regions deployed.
+    pub regions: usize,
+    /// Phones deployed.
+    pub phones: u32,
+    /// Simulated span (seconds).
+    pub sim_secs: f64,
+    /// Events the kernel dispatched.
+    pub events_processed: u64,
+    /// Wall-clock run time (seconds; excluded from the digest).
+    pub wall_secs: f64,
+    /// Simulation throughput (events/s of wall time; excluded from the
+    /// digest).
+    pub events_per_sec: f64,
+    /// Scheduled fail-stop crashes.
+    pub churn_failures: u64,
+    /// Scheduled departures.
+    pub churn_departures: u64,
+    /// Scheduled rejoins/arrivals.
+    pub churn_rejoins: u64,
+    /// Sink outputs inside the measurement window, per region.
+    pub per_region_outputs: Vec<u64>,
+    /// Sink outputs inside the measurement window, total.
+    pub outputs: u64,
+    /// Mean per-region throughput (tuples/s).
+    pub mean_throughput: f64,
+    /// Mean latency over regions with output (seconds; -1 = no output).
+    pub mean_latency_s: f64,
+    /// Source inputs shed at full queues / congestion.
+    pub source_drops: u64,
+    /// Recoveries the controller completed.
+    pub recoveries: u64,
+    /// Mean recovery duration (seconds).
+    pub mean_recovery_s: f64,
+    /// Departure transfers completed.
+    pub departures_handled: u64,
+    /// Regions stopped (bypass) at least once.
+    pub region_stops: u64,
+    /// Checkpoint versions committed across regions.
+    pub checkpoint_commits: u64,
+    /// WiFi payload bytes, all classes and regions.
+    pub wifi_total_bytes: u64,
+    /// Cellular payload bytes, all classes.
+    pub cell_total_bytes: u64,
+    /// FNV-1a digest of the deterministic fields above.
+    pub digest: u64,
+}
+
+impl FleetReport {
+    /// FNV-1a over the deterministic fields (wall-clock excluded).
+    fn compute_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(self.seed);
+        mix(self.regions as u64);
+        mix(self.phones as u64);
+        mix(self.events_processed);
+        mix(self.churn_failures);
+        mix(self.churn_departures);
+        mix(self.churn_rejoins);
+        for &o in &self.per_region_outputs {
+            mix(o);
+        }
+        mix(self.outputs);
+        mix(self.mean_throughput.to_bits());
+        mix(self.mean_latency_s.to_bits());
+        mix(self.source_drops);
+        mix(self.recoveries);
+        mix(self.mean_recovery_s.to_bits());
+        mix(self.departures_handled);
+        mix(self.region_stops);
+        mix(self.checkpoint_commits);
+        mix(self.wifi_total_bytes);
+        mix(self.cell_total_bytes);
+        h
+    }
+
+    /// Write the report as pretty JSON under `dir`.
+    pub fn save_json(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}_seed{}.json", self.profile, self.seed));
+        let json = serde_json::to_string_pretty(self).expect("serialize fleet report");
+        std::fs::write(&path, json)?;
+        Ok(path)
+    }
+}
+
+/// Build, run and harvest one fleet scenario.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    let wall = std::time::Instant::now();
+    let (mut dep, schedule) = build_fleet(cfg);
+    let to = SimTime::ZERO + cfg.duration;
+    dep.run_until(to);
+    let h = harvest(&dep, SimTime::ZERO + cfg.warmup, to);
+
+    let (churn_failures, churn_departures, churn_rejoins) =
+        schedule
+            .iter()
+            .fold((0u64, 0u64, 0u64), |acc, e| match e.kind {
+                ChurnKind::Fail => (acc.0 + 1, acc.1, acc.2),
+                ChurnKind::Depart => (acc.0, acc.1 + 1, acc.2),
+                ChurnKind::Rejoin => (acc.0, acc.1, acc.2 + 1),
+            });
+
+    let (departures_handled, checkpoint_commits) = dep
+        .controller
+        .map(|ctl| {
+            let c = dep.sim.actor::<mobistreams::MsController>(ctl);
+            (c.departures_handled, c.commits.len() as u64)
+        })
+        .unwrap_or((0, 0));
+
+    let per_region_outputs: Vec<u64> = h.per_region.iter().map(|r| r.outputs as u64).collect();
+    let wall_secs = wall.elapsed().as_secs_f64();
+    let events_processed = dep.sim.events_processed();
+    let mut report = FleetReport {
+        profile: cfg.name.clone(),
+        seed: cfg.seed,
+        regions: cfg.regions.len(),
+        phones: cfg.total_phones(),
+        sim_secs: cfg.duration.as_secs_f64(),
+        events_processed,
+        wall_secs,
+        events_per_sec: events_processed as f64 / wall_secs.max(1e-9),
+        churn_failures,
+        churn_departures,
+        churn_rejoins,
+        outputs: per_region_outputs.iter().sum(),
+        per_region_outputs,
+        mean_throughput: h.mean_throughput,
+        mean_latency_s: if h.mean_latency_s.is_finite() {
+            h.mean_latency_s
+        } else {
+            -1.0
+        },
+        source_drops: h.per_region.iter().map(|r| r.source_drops).sum(),
+        recoveries: h.recoveries as u64,
+        mean_recovery_s: h.mean_recovery_s,
+        departures_handled,
+        region_stops: h.stops,
+        checkpoint_commits,
+        wifi_total_bytes: h.wifi_bytes.total(),
+        cell_total_bytes: h.cell_bytes.total(),
+        digest: 0,
+    };
+    report.digest = report.compute_digest();
+    report
+}
+
+// ---------------------------------------------------------------------
+// Named profile library.
+
+/// Names of the built-in profiles.
+pub const PROFILE_NAMES: &[&str] = &["stadium", "commute", "flash-crowd", "lossy-wifi"];
+
+/// Operator states shrunk so a checkpoint round (snapshot + broadcast
+/// replication) fits the profiles' shortened checkpoint periods even
+/// on a lossy channel — fleet profiles stress protocol scale, not raw
+/// checkpoint mass.
+fn fleet_cal() -> apps::Calibration {
+    apps::Calibration {
+        state_a: 16 * 1024,
+        state_l: 16 * 1024,
+        state_b: 64 * 1024,
+        state_j: 48 * 1024,
+        state_p: 16 * 1024,
+        state_h: 16 * 1024,
+        state_v: 16 * 1024,
+        state_g: 16 * 1024,
+        state_svm: 64 * 1024,
+        state_m: 16 * 1024,
+        ..apps::Calibration::default()
+    }
+}
+
+fn base_profile(name: &str, seed: u64, regions: Vec<FleetRegion>) -> FleetConfig {
+    FleetConfig {
+        name: name.to_string(),
+        app: AppKind::Bcp,
+        scheme: Scheme::Ms,
+        regions,
+        churn: ChurnProfile::default(),
+        cal: fleet_cal(),
+        ckpt_period: SimDuration::from_secs(120),
+        ckpt_offset: SimDuration::from_secs(45),
+        duration: SimDuration::from_secs(420),
+        warmup: SimDuration::from_secs(60),
+        seed,
+    }
+}
+
+/// Look up a named profile. `None` for unknown names.
+pub fn profile(name: &str, seed: u64) -> Option<FleetConfig> {
+    match name {
+        "stadium" => {
+            // 8 regions × 128 phones = 1024: a packed venue. Huge idle
+            // standby capacity, light churn.
+            let regions = (0..8).map(|_| FleetRegion::of(128)).collect();
+            let mut cfg = base_profile(name, seed, regions);
+            cfg.churn = ChurnProfile {
+                fail_per_phone_hour: 0.5,
+                depart_per_phone_hour: 1.0,
+                move_fraction: 0.2,
+                mean_rejoin_s: 90.0,
+                ..ChurnProfile::default()
+            };
+            Some(cfg)
+        }
+        "commute" => {
+            // Heavy inter-region mobility: phones stream from region to
+            // region like cars along a road.
+            let regions = (0..8).map(|_| FleetRegion::of(16)).collect();
+            let mut cfg = base_profile(name, seed, regions);
+            cfg.duration = SimDuration::from_secs(600);
+            cfg.churn = ChurnProfile {
+                fail_per_phone_hour: 1.0,
+                depart_per_phone_hour: 24.0,
+                move_fraction: 0.8,
+                mean_rejoin_s: 45.0,
+                travel_s: 20.0,
+                ..ChurnProfile::default()
+            };
+            Some(cfg)
+        }
+        "flash-crowd" => {
+            // Regions boot half-empty; the crowd arrives in one burst
+            // after a minute, then churns away.
+            let regions = (0..4).map(|_| FleetRegion::of(64)).collect();
+            let mut cfg = base_profile(name, seed, regions);
+            cfg.churn = ChurnProfile {
+                fail_per_phone_hour: 1.0,
+                depart_per_phone_hour: 12.0,
+                move_fraction: 0.1,
+                mean_rejoin_s: 60.0,
+                quiet_start_s: 150.0,
+                initial_absent_fraction: 0.5,
+                arrival_burst: Some((60.0, 120.0)),
+                ..ChurnProfile::default()
+            };
+            Some(cfg)
+        }
+        "lossy-wifi" => {
+            // Staggered interference ramps per region: 5 % → 25 % → 10 %.
+            let regions = (0..4)
+                .map(|r| {
+                    let mut region = FleetRegion::of(8);
+                    let t0 = 90.0 + 60.0 * r as f64;
+                    region.loss.steps = vec![(t0, 0.25), (t0 + 120.0, 0.10)];
+                    region
+                })
+                .collect();
+            let mut cfg = base_profile(name, seed, regions);
+            cfg.duration = SimDuration::from_secs(600);
+            cfg.churn = ChurnProfile {
+                fail_per_phone_hour: 1.0,
+                depart_per_phone_hour: 2.0,
+                ..ChurnProfile::default()
+            };
+            Some(cfg)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini(seed: u64) -> FleetConfig {
+        let mut cfg = base_profile("mini", seed, (0..3).map(|_| FleetRegion::of(6)).collect());
+        cfg.duration = SimDuration::from_secs(240);
+        cfg.warmup = SimDuration::from_secs(40);
+        cfg.ckpt_period = SimDuration::from_secs(60);
+        cfg.ckpt_offset = SimDuration::from_secs(20);
+        cfg.churn = ChurnProfile {
+            fail_per_phone_hour: 6.0,
+            depart_per_phone_hour: 12.0,
+            move_fraction: 0.5,
+            mean_rejoin_s: 30.0,
+            travel_s: 10.0,
+            quiet_start_s: 25.0,
+            ..ChurnProfile::default()
+        };
+        cfg
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_seed_sensitive() {
+        let a = churn_schedule(&mini(7));
+        let b = churn_schedule(&mini(7));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                (x.at, x.region, x.slot, x.kind),
+                (y.at, y.region, y.slot, y.kind)
+            );
+        }
+        assert!(!a.is_empty(), "churny profile produced no events");
+        let c = churn_schedule(&mini(8));
+        let same = a.len() == c.len()
+            && a.iter()
+                .zip(&c)
+                .all(|(x, y)| (x.at, x.region, x.slot) == (y.at, y.region, y.slot));
+        assert!(!same, "different seeds produced identical schedules");
+    }
+
+    fn assert_presence_consistent(evs: &[ChurnEvent], regions: usize, phones: usize) {
+        let mut present = vec![vec![true; phones]; regions];
+        for e in evs {
+            let p = &mut present[e.region][e.slot as usize];
+            match e.kind {
+                ChurnKind::Fail | ChurnKind::Depart => {
+                    assert!(*p, "leave event for absent phone: {e:?}");
+                    *p = false;
+                }
+                ChurnKind::Rejoin => {
+                    assert!(!*p, "rejoin for present phone: {e:?}");
+                    *p = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_never_hits_absent_phone_or_doubles_up() {
+        assert_presence_consistent(&churn_schedule(&mini(3)), 3, 6);
+    }
+
+    /// Regression: an arrival-burst phone used to receive a second,
+    /// independent leave candidate from the general seeding loop —
+    /// with churn allowed before the burst window it could "leave"
+    /// before it ever arrived.
+    #[test]
+    fn arrival_burst_phones_get_exactly_one_leave_stream() {
+        let mut cfg = mini(9);
+        cfg.churn.quiet_start_s = 10.0;
+        cfg.churn.initial_absent_fraction = 0.5;
+        cfg.churn.arrival_burst = Some((60.0, 120.0));
+        assert_presence_consistent(&churn_schedule(&cfg), 3, 6);
+    }
+
+    #[test]
+    fn fleet_run_is_deterministic_under_churn() {
+        let r1 = run_fleet(&mini(21));
+        let r2 = run_fleet(&mini(21));
+        assert_eq!(r1.digest, r2.digest, "same seed must reproduce the report");
+        assert_eq!(r1.events_processed, r2.events_processed);
+        assert!(r1.outputs > 0, "fleet produced no sink output");
+        assert!(
+            r1.churn_failures + r1.churn_departures > 0,
+            "no churn was injected"
+        );
+    }
+
+    #[test]
+    fn profiles_resolve_and_stadium_is_fleet_scale() {
+        for name in PROFILE_NAMES {
+            let cfg = profile(name, 1).expect("known profile");
+            assert!(cfg.total_phones() > 0);
+        }
+        let stadium = profile("stadium", 1).unwrap();
+        assert!(
+            stadium.total_phones() >= 1000,
+            "stadium must be 1000+ phones"
+        );
+        assert!(stadium.regions.len() >= 8, "stadium must span 8+ regions");
+        assert!(profile("nope", 1).is_none());
+    }
+
+    #[test]
+    fn flash_crowd_arrivals_follow_initial_absence() {
+        let cfg = profile("flash-crowd", 5).unwrap();
+        let evs = churn_schedule(&cfg);
+        let t0_fails = evs
+            .iter()
+            .filter(|e| e.at == SimTime::ZERO && e.kind == ChurnKind::Fail)
+            .count();
+        // Half of each 64-phone region starts absent.
+        assert_eq!(t0_fails, 4 * 32);
+        let arrivals = evs
+            .iter()
+            .filter(|e| {
+                e.kind == ChurnKind::Rejoin
+                    && e.at >= SimTime::from_secs(60)
+                    && e.at <= SimTime::from_secs(120)
+            })
+            .count();
+        assert_eq!(arrivals, 4 * 32, "burst brings the whole crowd in");
+    }
+}

@@ -14,6 +14,7 @@ pub mod faults;
 pub mod fig10;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet;
 pub mod report;
 pub mod run;
 pub mod scenario;
@@ -21,8 +22,9 @@ pub mod table1;
 #[cfg(test)]
 mod tests;
 
+pub use fleet::{run_fleet, FleetConfig, FleetReport};
 pub use run::{harvest, measured_run, Harvest};
-pub use scenario::{AppKind, Deployment, Platform, ScenarioConfig, Scheme};
+pub use scenario::{AppKind, Deployment, Platform, RegionOverride, ScenarioConfig, Scheme};
 
 use simkernel::SimDuration;
 
@@ -64,11 +66,14 @@ impl ExpOptions {
     }
 }
 
+/// One boxed experiment run for [`run_jobs`].
+pub type Job<T> = Box<dyn FnOnce() -> T + Send>;
+
 /// Run a batch of independent jobs, optionally in parallel, preserving
 /// order. Each job builds its own simulation (sims are single-threaded
 /// and not `Send`; parallelism is across runs, per the workspace's
 /// determinism contract).
-pub fn run_jobs<T: Send>(parallel: bool, jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T> {
+pub fn run_jobs<T: Send>(parallel: bool, jobs: Vec<Job<T>>) -> Vec<T> {
     if !parallel || jobs.len() <= 1 {
         return jobs.into_iter().map(|j| j()).collect();
     }
@@ -77,7 +82,7 @@ pub fn run_jobs<T: Send>(parallel: bool, jobs: Vec<Box<dyn FnOnce() -> T + Send>
     std::thread::scope(|s| {
         let mut handles = Vec::new();
         for job in jobs {
-            handles.push(s.spawn(move || job()));
+            handles.push(s.spawn(job));
         }
         for (i, h) in handles.into_iter().enumerate() {
             slots[i] = Some(h.join().expect("experiment job panicked"));

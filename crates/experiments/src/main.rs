@@ -1,4 +1,5 @@
-//! `msx` — regenerate the paper's tables and figures.
+//! `msx` — regenerate the paper's tables and figures, and run
+//! fleet-scale scenarios.
 //!
 //! ```text
 //! msx table1 [--quick] [--seeds N]
@@ -6,13 +7,17 @@
 //! msx fig9   [--quick] [--seeds N] [--max-n N]
 //! msx fig10  [--quick] [--seeds N]
 //! msx all    [--quick] [--seeds N]
+//! msx scenarios list
+//! msx scenarios run --profile <stadium|commute|flash-crowd|lossy-wifi> [--seed N]
 //! ```
 //!
-//! Text tables print to stdout; JSON copies land in `./results/`.
+//! Text tables print to stdout; JSON copies land in `./results/`
+//! (fleet reports under `./results/scenarios/`).
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-use experiments::{ablate, fig10, fig8, fig9, table1, ExpOptions};
+use experiments::report::{Cell, Table};
+use experiments::{ablate, fig10, fig8, fig9, fleet, table1, ExpOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +53,7 @@ fn main() {
         "fig9" => fig9_cmd(opts, max_n, &out),
         "fig10" => fig10_cmd(opts, &out),
         "ablate" => ablate_cmd(opts, &out),
+        "scenarios" => scenarios_cmd(&args, &out),
         "all" => {
             table1_cmd(opts, &out);
             fig8_cmd(opts, &out);
@@ -56,14 +62,124 @@ fn main() {
             ablate_cmd(opts, &out);
         }
         other => {
-            eprintln!("unknown command '{other}'; use table1|fig8|fig9|fig10|ablate|all");
+            eprintln!("unknown command '{other}'; use table1|fig8|fig9|fig10|ablate|scenarios|all");
             std::process::exit(2);
         }
     }
     eprintln!("[msx] done in {:.1}s", started.elapsed().as_secs_f64());
 }
 
-fn table1_cmd(opts: ExpOptions, out: &PathBuf) {
+fn scenarios_cmd(args: &[String], out: &Path) {
+    let sub = args.get(1).map(String::as_str).unwrap_or("list");
+    match sub {
+        "list" => {
+            println!("available scenario profiles:");
+            for name in fleet::PROFILE_NAMES {
+                let cfg = fleet::profile(name, 1).expect("built-in profile");
+                println!(
+                    "  {name:<12} {} regions × {} phones = {} total, {:.0}s sim",
+                    cfg.regions.len(),
+                    cfg.regions.first().map(|r| r.phones).unwrap_or(0),
+                    cfg.total_phones(),
+                    cfg.duration.as_secs_f64(),
+                );
+            }
+        }
+        "run" => {
+            let name = args
+                .iter()
+                .position(|a| a == "--profile")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str)
+                .unwrap_or("stadium");
+            let seed = args
+                .iter()
+                .position(|a| a == "--seed")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(1);
+            let Some(cfg) = fleet::profile(name, seed) else {
+                eprintln!(
+                    "unknown profile '{name}'; available: {}",
+                    fleet::PROFILE_NAMES.join(", ")
+                );
+                std::process::exit(2);
+            };
+            eprintln!(
+                "[msx] scenario '{name}' seed {seed}: {} regions × ~{} phones ({} total), {:.0}s sim...",
+                cfg.regions.len(),
+                cfg.regions.first().map(|r| r.phones).unwrap_or(0),
+                cfg.total_phones(),
+                cfg.duration.as_secs_f64(),
+            );
+            let r = fleet::run_fleet(&cfg);
+            println!("{}", fleet_table(&r).render());
+            let dir = out.join("scenarios");
+            match r.save_json(&dir) {
+                Ok(path) => eprintln!(
+                    "[msx] report: {} (digest {:#018x})",
+                    path.display(),
+                    r.digest
+                ),
+                Err(e) => eprintln!("[msx] failed to write report: {e}"),
+            }
+        }
+        other => {
+            eprintln!("unknown scenarios subcommand '{other}'; use list|run");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn fleet_table(r: &fleet::FleetReport) -> Table {
+    let mut t = Table::new(
+        format!("scenario '{}' (seed {})", r.profile, r.seed),
+        vec!["metric".into(), "value".into()],
+    );
+    t.row("regions", vec![Cell::Num(r.regions as f64)]);
+    t.row("phones", vec![Cell::Num(r.phones as f64)]);
+    t.row("sim seconds", vec![Cell::Num(r.sim_secs)]);
+    t.row(
+        "events processed",
+        vec![Cell::Num(r.events_processed as f64)],
+    );
+    t.row("events/sec (wall)", vec![Cell::Num(r.events_per_sec)]);
+    t.row("churn: failures", vec![Cell::Num(r.churn_failures as f64)]);
+    t.row(
+        "churn: departures",
+        vec![Cell::Num(r.churn_departures as f64)],
+    );
+    t.row("churn: rejoins", vec![Cell::Num(r.churn_rejoins as f64)]);
+    t.row("sink outputs", vec![Cell::Num(r.outputs as f64)]);
+    t.row("mean tput (tuple/s)", vec![Cell::Num(r.mean_throughput)]);
+    t.row(
+        "mean latency (s)",
+        vec![if r.mean_latency_s >= 0.0 {
+            Cell::Num(r.mean_latency_s)
+        } else {
+            Cell::Dash
+        }],
+    );
+    t.row("recoveries", vec![Cell::Num(r.recoveries as f64)]);
+    t.row("mean recovery (s)", vec![Cell::Num(r.mean_recovery_s)]);
+    t.row(
+        "departures handled",
+        vec![Cell::Num(r.departures_handled as f64)],
+    );
+    t.row("region stops", vec![Cell::Num(r.region_stops as f64)]);
+    t.row(
+        "checkpoint commits",
+        vec![Cell::Num(r.checkpoint_commits as f64)],
+    );
+    t.row("wifi MB", vec![Cell::Num(r.wifi_total_bytes as f64 / 1e6)]);
+    t.row(
+        "cellular MB",
+        vec![Cell::Num(r.cell_total_bytes as f64 / 1e6)],
+    );
+    t
+}
+
+fn table1_cmd(opts: ExpOptions, out: &Path) {
     eprintln!("[msx] Table I ({} seed(s))...", opts.seeds);
     let r = table1::run_table1(opts);
     let t = r.table();
@@ -71,7 +187,7 @@ fn table1_cmd(opts: ExpOptions, out: &PathBuf) {
     let _ = t.save_json(out, "table1");
 }
 
-fn fig8_cmd(opts: ExpOptions, out: &PathBuf) {
+fn fig8_cmd(opts: ExpOptions, out: &Path) {
     eprintln!("[msx] Fig 8 ({} seed(s))...", opts.seeds);
     let r = fig8::run_fig8(opts);
     for (i, t) in r.tables().iter().enumerate() {
@@ -80,7 +196,7 @@ fn fig8_cmd(opts: ExpOptions, out: &PathBuf) {
     }
 }
 
-fn fig9_cmd(opts: ExpOptions, max_n: u32, out: &PathBuf) {
+fn fig9_cmd(opts: ExpOptions, max_n: u32, out: &Path) {
     eprintln!("[msx] Fig 9 (n = 0..={max_n}, {} seed(s))...", opts.seeds);
     let r = fig9::run_fig9(opts, max_n);
     for (i, t) in r.tables(max_n).iter().enumerate() {
@@ -89,7 +205,7 @@ fn fig9_cmd(opts: ExpOptions, max_n: u32, out: &PathBuf) {
     }
 }
 
-fn ablate_cmd(opts: ExpOptions, out: &PathBuf) {
+fn ablate_cmd(opts: ExpOptions, out: &Path) {
     eprintln!("[msx] ablations...");
     let r = ablate::run_ablation(opts);
     let t = r.table();
@@ -97,7 +213,7 @@ fn ablate_cmd(opts: ExpOptions, out: &PathBuf) {
     let _ = t.save_json(out, "ablations");
 }
 
-fn fig10_cmd(opts: ExpOptions, out: &PathBuf) {
+fn fig10_cmd(opts: ExpOptions, out: &Path) {
     eprintln!("[msx] Fig 10 ({} seed(s))...", opts.seeds);
     let r = fig10::run_fig10(opts);
     for (i, t) in r.tables().iter().enumerate() {

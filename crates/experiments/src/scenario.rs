@@ -15,7 +15,7 @@ use baselines::{BaselineKind, DistScheme, LocalScheme};
 use dsps::ft::{FtScheme, NullScheme};
 use dsps::graph::{OpId, QueryGraph};
 use dsps::node::{InterRegionLink, NodeActor, NodeConfig, NodeInner, PrimaryTransport};
-use dsps::placement::Placement;
+use dsps::placement::{squeeze_placement, Placement};
 use dsps::workload::{Feed, StartFeeds, WorkloadDriver};
 use mobistreams::{MsController, MsControllerConfig, MsScheme, MsSchemeConfig, RegionSpec};
 use simkernel::{ActorId, Sim, SimDuration, SimTime};
@@ -87,6 +87,18 @@ pub enum Platform {
     },
 }
 
+/// Per-region overrides for heterogeneous, fleet-scale deployments
+/// (phones platform only; the server baseline ignores them). Entry `r`
+/// overrides region `r`; missing entries fall back to the scenario's
+/// homogeneous `phones`/`wifi`.
+#[derive(Clone, Default)]
+pub struct RegionOverride {
+    /// Phones in this region.
+    pub phones: Option<u32>,
+    /// This region's WiFi channel parameters (loss profile, rate).
+    pub wifi: Option<WifiConfig>,
+}
+
 /// Full deployment parameters.
 #[derive(Clone)]
 pub struct ScenarioConfig {
@@ -114,6 +126,8 @@ pub struct ScenarioConfig {
     pub checkpoints_enabled: bool,
     /// RNG seed.
     pub seed: u64,
+    /// Per-region overrides (fleet-scale heterogeneous deployments).
+    pub overrides: Vec<RegionOverride>,
 }
 
 impl Default for ScenarioConfig {
@@ -131,7 +145,31 @@ impl Default for ScenarioConfig {
             ckpt_offset: SimDuration::from_secs(60),
             checkpoints_enabled: true,
             seed: 1,
+            overrides: Vec::new(),
         }
+    }
+}
+
+impl ScenarioConfig {
+    /// Phones deployed in region `r`.
+    pub fn phones_in(&self, r: usize) -> u32 {
+        self.overrides
+            .get(r)
+            .and_then(|o| o.phones)
+            .unwrap_or(self.phones)
+    }
+
+    /// WiFi channel parameters of region `r`.
+    pub fn wifi_in(&self, r: usize) -> WifiConfig {
+        self.overrides
+            .get(r)
+            .and_then(|o| o.wifi.clone())
+            .unwrap_or_else(|| self.wifi.clone())
+    }
+
+    /// Phones across the whole deployment.
+    pub fn total_phones(&self) -> u32 {
+        (0..self.regions).map(|r| self.phones_in(r)).sum()
     }
 }
 
@@ -169,27 +207,11 @@ pub struct Deployment {
     pub eth: Option<ActorId>,
 }
 
-fn build_bundle(cfg: &ScenarioConfig, first: bool) -> AppBundle {
+fn build_bundle(cfg: &ScenarioConfig, phones: u32, first: bool) -> AppBundle {
     match cfg.app {
-        AppKind::Bcp => apps::build_bcp(&cfg.cal, cfg.phones, first),
-        AppKind::SignalGuru => apps::build_signalguru(&cfg.cal, cfg.phones, first),
+        AppKind::Bcp => apps::build_bcp(&cfg.cal, phones, first),
+        AppKind::SignalGuru => apps::build_signalguru(&cfg.cal, phones, first),
     }
-}
-
-/// Compress a ≤`2k`-slot placement onto `k` slots (`slot → (slot+1)/2`)
-/// — rep-2 must fit two flows onto one 8-phone region, so each flow
-/// gets half the phones and every phone carries roughly two of the
-/// paper's operator groups (this is where rep-2's 2× CPU cost bites).
-fn compress_placement(p: &Placement, k: u32) -> Vec<u32> {
-    assert!(k >= 1, "rep-2 needs at least 2 phones (one per flow)");
-    p.op_slot
-        .iter()
-        .map(|&s| {
-            assert!(s != u32::MAX);
-            let ns = ((s + 1) / 2).min(k - 1);
-            ns
-        })
-        .collect()
 }
 
 impl Deployment {
@@ -231,16 +253,29 @@ impl Deployment {
 
         let mut plans = Vec::new();
         for r in 0..cfg.regions {
-            let bundle = build_bundle(&cfg, r == 0);
+            let bundle = build_bundle(&cfg, cfg.phones_in(r), r == 0);
             let (graph, op_slot, flow_of) = if cfg.scheme == Scheme::Rep2 {
                 let (g2, flows) = duplicate_graph(&bundle.graph);
                 let n = bundle.graph.op_count();
-                let compressed = compress_placement(&bundle.placement, cfg.phones / 2);
+                // rep-2 must fit two flows onto one region, so each
+                // flow is squeezed onto half the phones and every phone
+                // carries roughly two of the paper's operator groups
+                // (this is where rep-2's 2× CPU cost bites). This uses
+                // the shared proportional compaction (`s * k / slots`),
+                // intentionally replacing the old ad-hoc `(s + 1) / 2`
+                // mapping — group pairings shift slightly, but flows
+                // stay disjoint and stage order is preserved.
+                let half = cfg.phones_in(r) / 2;
+                assert!(half >= 1, "rep-2 needs at least 2 phones (one per flow)");
+                let compressed = squeeze_placement(&bundle.placement, half);
                 // flow 0 on slots 0..k, flow 1 on slots k..2k.
                 let mut op_slot = vec![u32::MAX; 2 * n];
-                for (op, &s) in compressed.iter().enumerate() {
+                for (op, &s) in compressed.op_slot.iter().enumerate() {
+                    if s == u32::MAX {
+                        continue;
+                    }
                     op_slot[op] = s;
-                    op_slot[op + n] = s + cfg.phones / 2;
+                    op_slot[op + n] = s + half;
                 }
                 (Arc::new(g2), op_slot, Some(Arc::new(flows)))
             } else {
@@ -272,15 +307,18 @@ impl Deployment {
         // with controller = a reserved id computed up front.
         // Actor ids are assigned densely: we know exactly how many
         // actors precede the controller.
-        let slots = cfg.phones as usize;
-        let per_region_actors = 1 /*wifi*/ + slots + 1 /*driver*/;
-        let controller_id = ActorId::from_index(1 + cfg.regions * per_region_actors);
+        let actors_before_controller: usize = (0..cfg.regions)
+            .map(
+                |r| 1 /*wifi*/ + cfg.phones_in(r) as usize + 1, /*driver*/
+            )
+            .sum();
+        let controller_id = ActorId::from_index(1 + actors_before_controller);
 
         let mut regions = Vec::new();
-        for plan in plans.iter() {
-            let wifi_id = sim.add_actor(Box::new(WifiMedium::new(cfg.wifi.clone())));
+        for (r, plan) in plans.iter().enumerate() {
+            let wifi_id = sim.add_actor(Box::new(WifiMedium::new(cfg.wifi_in(r))));
             let mut node_ids = Vec::new();
-            for slot in 0..cfg.phones {
+            for slot in 0..cfg.phones_in(r) {
                 let ncfg = NodeConfig {
                     region: regions.len(),
                     slot,
@@ -397,7 +435,7 @@ impl Deployment {
             Scheme::Ms => {
                 let specs: Vec<RegionSpec> = (0..cfg.regions)
                     .map(|r| {
-                        let mut placement = Placement::new(&plans[r].graph, cfg.phones);
+                        let mut placement = Placement::new(&plans[r].graph, cfg.phones_in(r));
                         placement.op_slot = plans[r].op_slot.clone();
                         RegionSpec {
                             graph: Arc::clone(&plans[r].graph),
@@ -508,7 +546,7 @@ impl Deployment {
 
         let mut plans = Vec::new();
         for r in 0..cfg.regions {
-            plans.push(build_bundle(&cfg, r == 0));
+            plans.push(build_bundle(&cfg, cfg.phones, r == 0));
         }
 
         let mut regions = Vec::new();

@@ -89,7 +89,7 @@ pub fn run_table1(opts: ExpOptions) -> Table1 {
     ];
 
     type Key = (AppKind, usize);
-    let mut jobs: Vec<Box<dyn FnOnce() -> (Key, f64, f64) + Send>> = Vec::new();
+    let mut jobs: Vec<crate::Job<(Key, f64, f64)>> = Vec::new();
     for app in [AppKind::Bcp, AppKind::SignalGuru] {
         for (row_ix, &row) in rows.iter().enumerate() {
             for seed in 0..opts.seeds {

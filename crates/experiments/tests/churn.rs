@@ -1,0 +1,182 @@
+//! Churn edge cases around the departure protocol (§III-E) and
+//! recovery (§III-D): timings chosen to land inside protocol windows
+//! that fleet-scale churn hits constantly —
+//!
+//! * a departure while a checkpoint broadcast phase is still in
+//!   flight,
+//! * two simultaneous departures in one region,
+//! * a phone rejoining while the region's recovery is still running.
+//!
+//! Each test asserts the deployment keeps making progress (no panic,
+//! sink output continues, protocol counters move).
+
+use experiments::faults::{inject_departure, inject_failure, inject_reboot};
+use experiments::{harvest, AppKind, Deployment, ScenarioConfig, Scheme};
+use mobistreams::MsController;
+use simkernel::{SimDuration, SimTime};
+
+/// A small-but-real MS deployment: 2 regions × 5 phones, shortened
+/// checkpoint period, shrunk states (same trick as the smoke test so
+/// a checkpoint round fits the channel budget).
+fn cfg(seed: u64) -> ScenarioConfig {
+    let cal = apps::Calibration {
+        state_a: 16 * 1024,
+        state_l: 16 * 1024,
+        state_b: 64 * 1024,
+        state_j: 48 * 1024,
+        state_p: 16 * 1024,
+        state_h: 16 * 1024,
+        ..apps::Calibration::default()
+    };
+    ScenarioConfig {
+        app: AppKind::Bcp,
+        scheme: Scheme::Ms,
+        seed,
+        regions: 2,
+        phones: 5,
+        cal,
+        ckpt_offset: SimDuration::from_secs(20),
+        ckpt_period: SimDuration::from_secs(60),
+        ..ScenarioConfig::default()
+    }
+}
+
+#[test]
+fn departure_during_inflight_broadcast_phase() {
+    let mut dep = Deployment::build(cfg(11));
+    dep.start();
+    // The first checkpoint token fires at t = 20 s; state snapshots
+    // then broadcast over several seconds of airtime. Injecting the
+    // departure at t = 21 s lands inside an in-flight broadcast phase:
+    // the sender must time the departed receiver out (bitmap never
+    // arrives over the broken WiFi link), drop it from the job, and
+    // still complete the checkpoint with the survivors.
+    inject_departure(&mut dep, 0, 1, SimTime::from_secs(21));
+    dep.run_until(SimTime::from_secs(180));
+
+    let ctl = dep.sim.actor::<MsController>(dep.controller.unwrap());
+    assert!(
+        ctl.last_complete(0) >= 1,
+        "checkpoint never committed after mid-broadcast departure (got v{})",
+        ctl.last_complete(0)
+    );
+    assert_eq!(ctl.departures_handled, 1, "departure transfer completed");
+    let h = harvest(&dep, SimTime::from_secs(40), SimTime::from_secs(180));
+    assert!(
+        h.per_region[0].outputs > 0,
+        "region 0 stalled after departure"
+    );
+    assert!(h.per_region[1].outputs > 0, "cascade broke after departure");
+    assert_eq!(h.stops, 0, "region must not stop over one departure");
+}
+
+#[test]
+fn two_simultaneous_departures_in_one_region() {
+    // 8 phones → two idle slots, so BOTH departures get replacements:
+    // two state transfers run concurrently through the controller's
+    // transfer map, and their urgent-edge sets overlap (edges 8/9
+    // cross both phones' hosting).
+    let mut dep = Deployment::build(ScenarioConfig {
+        phones: 8,
+        ..cfg(13)
+    });
+    dep.start();
+    inject_departure(&mut dep, 0, 1, SimTime::from_secs(40));
+    inject_departure(&mut dep, 0, 2, SimTime::from_secs(40));
+    dep.run_until(SimTime::from_secs(200));
+
+    let ctl = dep.sim.actor::<MsController>(dep.controller.unwrap());
+    assert_eq!(
+        ctl.departures_handled, 2,
+        "both concurrent transfers must finish"
+    );
+    let h = harvest(&dep, SimTime::from_secs(60), SimTime::from_secs(200));
+    assert!(
+        h.per_region[0].outputs > 0,
+        "region 0 produced nothing after the double departure"
+    );
+    assert_eq!(h.stops, 0, "two departures must not stop an 8-phone region");
+    // Later checkpoints still commit with the replacements in place.
+    assert!(
+        ctl.last_complete(0) >= 2,
+        "checkpointing stalled after the double departure (v{})",
+        ctl.last_complete(0)
+    );
+}
+
+#[test]
+fn degraded_departure_without_replacement_keeps_urgent_bridging() {
+    // 5 phones → a single idle slot. Two simultaneous departures: the
+    // first transfer claims the spare; the second phone computes on
+    // remotely over cellular (degraded urgent mode). Regression: the
+    // first transfer's ack used to release the urgent edges the
+    // degraded departure still needed, cutting the region in half.
+    let mut dep = Deployment::build(cfg(13));
+    dep.start();
+    inject_departure(&mut dep, 0, 1, SimTime::from_secs(40));
+    inject_departure(&mut dep, 0, 2, SimTime::from_secs(40));
+    dep.run_until(SimTime::from_secs(200));
+
+    let ctl = dep.sim.actor::<MsController>(dep.controller.unwrap());
+    assert_eq!(ctl.departures_handled, 1, "one transfer, one degraded");
+    assert_eq!(ctl.stops, 0, "region must limp along, not stop");
+    // The degraded phone's urgent edges survive the other transfer's
+    // release: its in-edges still route over cellular, so the crop
+    // stream keeps reaching it (well beyond the single inter-region
+    // hop's worth of bytes).
+    let h = harvest(&dep, SimTime::from_secs(40), SimTime::from_secs(200));
+    assert!(
+        h.cell_bytes.data > 100_000,
+        "urgent bridging moved only {} data bytes over cellular",
+        h.cell_bytes.data
+    );
+}
+
+#[test]
+fn phone_rejoins_mid_recovery() {
+    let mut dep = Deployment::build(cfg(17));
+    dep.start();
+    // Kill a hosting phone at t = 50 s. Failure detection (missed
+    // pings / dead reports), burst gathering and the install round all
+    // take seconds — rebooting the same phone at t = 56 s lands inside
+    // the recovery window, exercising the deferred-reinstall path
+    // (RegisterNode while `recovering`).
+    inject_failure(&mut dep, 0, 2, SimTime::from_secs(50));
+    inject_reboot(&mut dep, 0, 2, SimTime::from_secs(56));
+    dep.run_until(SimTime::from_secs(240));
+
+    let ctl = dep.sim.actor::<MsController>(dep.controller.unwrap());
+    assert!(!ctl.is_stopped(0), "region wrongly stopped");
+    let h = harvest(&dep, SimTime::from_secs(80), SimTime::from_secs(240));
+    assert!(
+        h.per_region[0].outputs > 0,
+        "region 0 never resumed after rejoin-mid-recovery"
+    );
+    assert!(
+        h.recoveries >= 1,
+        "the failure must have driven at least one recovery"
+    );
+}
+
+/// Determinism holds under all three edge cases at once: the same
+/// seed with the same injections yields byte-identical metrics.
+#[test]
+fn churn_edge_cases_stay_deterministic() {
+    let run = || {
+        let mut dep = Deployment::build(cfg(23));
+        dep.start();
+        inject_departure(&mut dep, 0, 1, SimTime::from_secs(21));
+        inject_failure(&mut dep, 1, 2, SimTime::from_secs(50));
+        inject_reboot(&mut dep, 1, 2, SimTime::from_secs(56));
+        dep.run_until(SimTime::from_secs(150));
+        let h = harvest(&dep, SimTime::from_secs(30), SimTime::from_secs(150));
+        (
+            dep.sim.events_processed(),
+            h.per_region[0].outputs,
+            h.per_region[1].outputs,
+            h.wifi_bytes.total(),
+            h.cell_bytes.total(),
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -12,13 +12,15 @@ fn tiny(app: AppKind, scheme: Scheme) -> ScenarioConfig {
     // Shrink the operator states so a full checkpoint round (snapshot +
     // broadcast replication) fits comfortably inside the shortened
     // checkpoint period on a 3-phone region's WiFi budget.
-    let mut cal = apps::Calibration::default();
-    cal.state_a = 16 * 1024;
-    cal.state_l = 16 * 1024;
-    cal.state_b = 64 * 1024;
-    cal.state_j = 48 * 1024;
-    cal.state_p = 16 * 1024;
-    cal.state_h = 16 * 1024;
+    let cal = apps::Calibration {
+        state_a: 16 * 1024,
+        state_l: 16 * 1024,
+        state_b: 64 * 1024,
+        state_j: 48 * 1024,
+        state_p: 16 * 1024,
+        state_h: 16 * 1024,
+        ..apps::Calibration::default()
+    };
     ScenarioConfig {
         app,
         scheme,

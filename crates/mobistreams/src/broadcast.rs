@@ -59,6 +59,58 @@ impl Default for BroadcastConfig {
     }
 }
 
+/// A malformed broadcast-protocol message. At fleet scale these MUST
+/// surface instead of being silently ignored: a dropped checkpoint
+/// block would otherwise go unnoticed until a rollback restores a
+/// corrupt (incomplete) state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BroadcastError {
+    /// A batch listed a block id beyond the job's total block count.
+    BlockOutOfRange {
+        /// Job id.
+        stream: u64,
+        /// Offending block id.
+        block: u32,
+        /// Total blocks the receiver sized the job at.
+        total: u32,
+    },
+    /// A batch declared a different total block count than the one the
+    /// receiver first saw for this job.
+    TotalBlocksMismatch {
+        /// Job id.
+        stream: u64,
+        /// Newly declared total.
+        declared: u32,
+        /// Total the receiver's cumulative bitmap was sized for.
+        expected: u32,
+    },
+}
+
+impl std::fmt::Display for BroadcastError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BroadcastError::BlockOutOfRange {
+                stream,
+                block,
+                total,
+            } => write!(
+                f,
+                "broadcast stream {stream}: block {block} out of range (job has {total} blocks)"
+            ),
+            BroadcastError::TotalBlocksMismatch {
+                stream,
+                declared,
+                expected,
+            } => write!(
+                f,
+                "broadcast stream {stream}: batch declares {declared} total blocks, job was sized at {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BroadcastError {}
+
 /// What the sender must do next after a phase concludes.
 #[derive(Debug)]
 pub enum PhaseDecision {
@@ -278,7 +330,12 @@ impl SenderJob {
             self.sent_bytes_this_phase + self.replies_this_phase as u64 * self.bitmap_wire_bytes();
         self.prev_recv_bytes = cur;
 
-        let anded = Bitmap::and_all(self.per_rx.values()).expect("non-empty");
+        let Some(anded) = Bitmap::and_all(self.per_rx.values()) else {
+            // Defensive: per_rx emptied concurrently (checked above,
+            // but a malformed message must never panic a phone).
+            self.done = true;
+            return PhaseDecision::Complete;
+        };
         if anded.all_ones() {
             self.done = true;
             return PhaseDecision::Complete;
@@ -374,6 +431,14 @@ pub struct ReceiverState {
 impl ReceiverState {
     /// Fold one batch's reception report in; returns the cumulative
     /// bitmap to send back to the sender.
+    ///
+    /// A block id beyond the job's size, or a `total_blocks` that
+    /// disagrees with the first batch of the stream, is a protocol
+    /// error: silently skipping such blocks (as an earlier version did)
+    /// would let the sender believe a checkpoint block was replicated
+    /// when it never landed anywhere. The batch is rejected whole —
+    /// the cumulative state is left untouched, so a retransmission of
+    /// a well-formed batch still works.
     pub fn on_batch(
         &mut self,
         src: ActorId,
@@ -381,17 +446,33 @@ impl ReceiverState {
         total_blocks: u32,
         blocks: &[u32],
         received: &Bitmap,
-    ) -> Bitmap {
+    ) -> Result<Bitmap, BroadcastError> {
+        if let Some(existing) = self.jobs.get(&(src, stream)) {
+            if existing.len() != total_blocks as usize {
+                return Err(BroadcastError::TotalBlocksMismatch {
+                    stream,
+                    declared: total_blocks,
+                    expected: existing.len() as u32,
+                });
+            }
+        }
+        if let Some(&bad) = blocks.iter().find(|&&b| b >= total_blocks) {
+            return Err(BroadcastError::BlockOutOfRange {
+                stream,
+                block: bad,
+                total: total_blocks,
+            });
+        }
         let cum = self
             .jobs
             .entry((src, stream))
             .or_insert_with(|| Bitmap::zeros(total_blocks as usize));
         for (i, &b) in blocks.iter().enumerate() {
-            if received.get(i) && (b as usize) < cum.len() {
+            if received.get(i) {
                 cum.set(b as usize, true);
             }
         }
-        cum.clone()
+        Ok(cum.clone())
     }
 
     /// Drop a finished job's state.
@@ -751,14 +832,68 @@ mod tests {
         let src = actor(9);
         // Phase 1: blocks 0..4 broadcast, we catch 0 and 2.
         let got = bm(4, |i| i == 0 || i == 2);
-        let cum = rx.on_batch(src, 1, 8, &[0, 1, 2, 3], &got);
+        let cum = rx.on_batch(src, 1, 8, &[0, 1, 2, 3], &got).unwrap();
         assert_eq!(cum.count_ones(), 2);
         // Phase 2: blocks 4..8, we catch all.
-        let cum = rx.on_batch(src, 1, 8, &[4, 5, 6, 7], &bm(4, |_| true));
+        let cum = rx
+            .on_batch(src, 1, 8, &[4, 5, 6, 7], &bm(4, |_| true))
+            .unwrap();
         assert_eq!(cum.count_ones(), 6);
         assert_eq!(rx.in_flight(), 1);
         rx.finish(src, 1);
         assert_eq!(rx.in_flight(), 0);
+    }
+
+    /// Regression: a batch listing a block id beyond the job's size
+    /// used to be silently skipped — the sender then believed the
+    /// block was replicated even though it landed nowhere. It must be
+    /// rejected as a protocol error, leaving the cumulative state
+    /// untouched.
+    #[test]
+    fn receiver_state_rejects_out_of_range_block() {
+        let mut rx = ReceiverState::default();
+        let src = actor(9);
+        let cum = rx.on_batch(src, 1, 8, &[0, 1], &bm(2, |_| true)).unwrap();
+        assert_eq!(cum.count_ones(), 2);
+        // Block 8 of an 8-block job does not exist.
+        let err = rx
+            .on_batch(src, 1, 8, &[7, 8], &bm(2, |_| true))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BroadcastError::BlockOutOfRange {
+                stream: 1,
+                block: 8,
+                total: 8,
+            }
+        );
+        // The malformed batch left the cumulative bitmap untouched
+        // (block 7 from the bad batch must NOT have been applied).
+        let cum = rx.on_batch(src, 1, 8, &[2], &bm(1, |_| true)).unwrap();
+        assert_eq!(cum.count_ones(), 3);
+        assert!(!cum.get(7), "partial application of a rejected batch");
+    }
+
+    /// Regression: a batch re-declaring a different job size must not
+    /// silently drop the out-of-bounds tail of its blocks.
+    #[test]
+    fn receiver_state_rejects_total_blocks_mismatch() {
+        let mut rx = ReceiverState::default();
+        let src = actor(3);
+        rx.on_batch(src, 5, 16, &[0], &bm(1, |_| true)).unwrap();
+        let err = rx.on_batch(src, 5, 8, &[1], &bm(1, |_| true)).unwrap_err();
+        assert_eq!(
+            err,
+            BroadcastError::TotalBlocksMismatch {
+                stream: 5,
+                declared: 8,
+                expected: 16,
+            }
+        );
+        assert!(err.to_string().contains("sized at 16"));
+        // A fresh stream id is a fresh job and works fine.
+        rx.on_batch(src, 6, 8, &[1], &bm(1, |_| true)).unwrap();
+        assert_eq!(rx.in_flight(), 2);
     }
 
     proptest! {
@@ -802,8 +937,8 @@ mod tests {
                     }
                 }
                 // Replies.
-                for r in 0..n_rx {
-                    if let Some(decision) = job.on_bitmap(actor(r), &cum[r]) {
+                for (r, c) in cum.iter().enumerate() {
+                    if let Some(decision) = job.on_bitmap(actor(r), c) {
                         match decision {
                             PhaseDecision::Resend(blocks) => {
                                 pending = blocks;
@@ -823,8 +958,8 @@ mod tests {
             }
             let residue = residue_map.unwrap();
             // Coverage: every receiver's cum ∪ residue = all blocks.
-            for r in 0..n_rx {
-                let missing: Vec<u32> = cum[r]
+            for (r, c) in cum.iter().enumerate() {
+                let missing: Vec<u32> = c
                     .zero_indices()
                     .into_iter()
                     .map(|i| i as u32)

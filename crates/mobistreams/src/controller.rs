@@ -161,6 +161,12 @@ struct RegionRt {
     /// Each carries the urgent edges it bridges; the union over the
     /// map is the region's current urgent-mode edge set.
     departing_transfers: BTreeMap<u32, DepartingTransfer>,
+    /// Urgent edges bridged by *degraded* departures (no replacement
+    /// was available; the departed phone keeps computing over
+    /// cellular). These must survive other transfers' releases and
+    /// are torn down only when the slot rejoins or its operators are
+    /// recovered onto a healthy phone.
+    degraded_urgent: BTreeMap<u32, Vec<EdgeId>>,
     // Slots that recently finished loading an Install: while a
     // replacement loads state it answers nothing, so peers may report
     // it dead; such reports stay invalid for a short grace period
@@ -275,6 +281,7 @@ impl MsController {
                     last_recovery_end: SimTime::ZERO,
                     stopped: false,
                     departing_transfers: BTreeMap::new(),
+                    degraded_urgent: BTreeMap::new(),
                     recent_installs: BTreeMap::new(),
                     spec,
                 }
@@ -294,6 +301,21 @@ impl MsController {
             stops: 0,
             pending_reinstalls: Vec::new(),
         }
+    }
+
+    /// Validate a `(region, slot)` pair arriving in a remote message.
+    /// A fleet-scale deployment must shrug off a malformed or stale
+    /// message rather than panic the controller (and with it every
+    /// region at once).
+    fn valid_slot(&self, region: usize, slot: u32, ctx: &mut Ctx) -> bool {
+        let ok = self
+            .regions
+            .get(region)
+            .is_some_and(|rt| (slot as usize) < rt.slot_state.len());
+        if !ok {
+            ctx.count("ctl.malformed_msgs", 1);
+        }
+        ok
     }
 
     /// Latest committed checkpoint version of a region.
@@ -533,6 +555,9 @@ impl MsController {
     }
 
     fn on_node_checkpointed(&mut self, m: NodeCheckpointed, ctx: &mut Ctx) {
+        if !self.valid_slot(m.region, m.slot, ctx) {
+            return;
+        }
         let region = m.region;
         let rt = &mut self.regions[region];
         if m.version != rt.version || rt.recovering {
@@ -595,6 +620,9 @@ impl MsController {
     }
 
     fn note_failure(&mut self, region: usize, slot: u32, ctx: &mut Ctx) {
+        if !self.valid_slot(region, slot, ctx) {
+            return;
+        }
         let rt = &mut self.regions[region];
         if rt.stopped {
             return;
@@ -671,6 +699,7 @@ impl MsController {
                 .departing_transfers
                 .values()
                 .flat_map(|t| t.edges.iter().copied())
+                .chain(rt.degraded_urgent.values().flatten().copied())
                 .collect();
             let off: Vec<EdgeId> = edges
                 .iter()
@@ -827,6 +856,37 @@ impl MsController {
             (installs, rollbacks, acks)
         };
 
+        // Slots whose operators were just reassigned: end any degraded
+        // cellular bridging they held, and tear down phones that are
+        // still computing remotely — a departed phone stays reachable
+        // over cellular and must stop once its operators moved, or the
+        // region processes every tuple twice.
+        let (released, teardowns) = {
+            let rt = &mut self.regions[region];
+            let mut released: Vec<EdgeId> = Vec::new();
+            let mut teardowns = Vec::new();
+            for &(f, _) in &replacements {
+                if let Some(edges) = rt.degraded_urgent.remove(&f) {
+                    released.extend(edges);
+                }
+                teardowns.push(rt.spec.slot_actors[f as usize]);
+            }
+            (released, teardowns)
+        };
+        let routing = {
+            let rt = &self.regions[region];
+            UpdateRouting {
+                op_slot: Some(rt.op_slot.clone()),
+                slot_actors: Some(rt.spec.slot_actors.clone()),
+            }
+        };
+        for dst in teardowns {
+            self.send_ctl(ctx, dst, wire::MEMBERSHIP, routing.clone());
+        }
+        if !released.is_empty() {
+            self.release_urgent_edges(region, &released, ctx);
+        }
+
         self.broadcast_routing(region, ctx);
         self.broadcast_membership(region, ctx);
         self.redirect_sensors(region, ctx);
@@ -843,14 +903,7 @@ impl MsController {
             self.rewire_inter_region(up, ctx);
         }
         let me = ctx.self_id();
-        ctx.send_in(
-            self.cfg.ack_deadline,
-            me,
-            CtlTimer::RecoverNow {
-                region: region + 10_000,
-            },
-        );
-        // region+10_000 encodes "ack deadline" — see on_timer.
+        ctx.send_in(self.cfg.ack_deadline, me, CtlTimer::AckDeadline { region });
     }
 
     /// All acks in (or deadline): restart the region's dataflow.
@@ -902,6 +955,9 @@ impl MsController {
     }
 
     fn on_recovered_ack(&mut self, m: RecoveredAck, ctx: &mut Ctx) {
+        if !self.valid_slot(m.region, m.slot, ctx) {
+            return;
+        }
         let region = m.region;
         // Departure transfer ack?
         let done_departure = {
@@ -915,13 +971,34 @@ impl MsController {
                 let t = rt.departing_transfers.remove(&d);
                 rt.slot_state[d as usize] = SlotState::Gone;
                 rt.recent_installs.insert(m.slot, ctx.now());
-                t.map(|t| t.edges)
+                t.map(|t| (d, t.edges))
             } else {
                 None
             }
         };
-        if let Some(edges) = done_departure {
+        if let Some((departed, edges)) = done_departure {
             self.departures_handled += 1;
+            // Tear the departed phone down: it kept computing remotely
+            // (urgent mode) until the hand-off completed; now that the
+            // replacement owns its operators it must stop, or the
+            // region would process every tuple twice.
+            let (departed_actor, op_slot, slot_actors) = {
+                let rt = &self.regions[region];
+                (
+                    rt.spec.slot_actors[departed as usize],
+                    rt.op_slot.clone(),
+                    rt.spec.slot_actors.clone(),
+                )
+            };
+            self.send_ctl(
+                ctx,
+                departed_actor,
+                wire::MEMBERSHIP,
+                UpdateRouting {
+                    op_slot: Some(op_slot),
+                    slot_actors: Some(slot_actors),
+                },
+            );
             // Clear this transfer's urgent mode and publish the new
             // wiring.
             self.release_urgent_edges(region, &edges, ctx);
@@ -942,6 +1019,9 @@ impl MsController {
     }
 
     fn on_departure(&mut self, m: DepartureNotice, ctx: &mut Ctx) {
+        if !self.valid_slot(m.region, m.slot, ctx) {
+            return;
+        }
         let region = m.region;
         let slot = m.slot;
         let graph;
@@ -1028,8 +1108,11 @@ impl MsController {
         let Some(replacement) = replacement else {
             // No replacement available: if the region dropped below its
             // minimum it stops (bypass); otherwise it limps along over
-            // cellular until a reboot/rejoin provides a phone.
-            let rt = &self.regions[region];
+            // cellular until a reboot/rejoin provides a phone. The
+            // urgent edges must outlive other transfers' releases for
+            // as long as the degraded phone computes remotely.
+            let rt = &mut self.regions[region];
+            rt.degraded_urgent.insert(slot, affected_edges.clone());
             if (rt.active_slots().len() as u32) < rt.spec.min_active {
                 self.stop_region(region, ctx);
             }
@@ -1064,12 +1147,24 @@ impl MsController {
     }
 
     fn on_register(&mut self, m: RegisterNode, ctx: &mut Ctx) {
+        if !self.valid_slot(m.region, m.slot, ctx) {
+            return;
+        }
         let region = m.region;
-        let owns_ops = {
+        let (owns_ops, degraded_edges) = {
             let rt = &mut self.regions[region];
             rt.slot_state[m.slot as usize] = SlotState::Active;
-            !rt.ops_on(m.slot).is_empty()
+            (
+                !rt.ops_on(m.slot).is_empty(),
+                rt.degraded_urgent.remove(&m.slot),
+            )
         };
+        // A degraded departure's phone is back in WiFi range: its
+        // cellular bridging ends (the reinstall below restores normal
+        // routing).
+        if let Some(edges) = degraded_edges {
+            self.release_urgent_edges(region, &edges, ctx);
+        }
         // A rebooted phone whose ops were never reassigned (it crashed
         // and came back before/without recovery) returns empty-handed:
         // reinstall its operators from its own flash copy and roll the
@@ -1192,23 +1287,21 @@ impl MsController {
         }
         self.regions[region].outstanding_acks = acks;
         let me = ctx.self_id();
-        ctx.send_in(
-            self.cfg.ack_deadline,
-            me,
-            CtlTimer::RecoverNow {
-                region: region + 10_000,
-            },
-        );
+        ctx.send_in(self.cfg.ack_deadline, me, CtlTimer::AckDeadline { region });
     }
 
     fn restart_region(&mut self, region: usize, ctx: &mut Ctx) {
         let (installs, version) = {
             let rt = &mut self.regions[region];
-            rt.stopped = false;
             // Re-place every op onto active slots, preferring current
             // assignment when that slot is active.
             let active = rt.active_slots();
-            assert!(!active.is_empty());
+            if active.is_empty() {
+                // Raced a failure between the restart check and now:
+                // stay stopped rather than panic.
+                return;
+            }
+            rt.stopped = false;
             let mut rr = 0usize;
             let graph = Arc::clone(&rt.spec.graph);
             for op in graph.op_ids() {
@@ -1264,14 +1357,8 @@ impl MsController {
             CtlTimer::CheckpointTick { region } => self.on_ckpt_tick(region, ctx),
             CtlTimer::PingTick => self.on_ping_tick(ctx),
             CtlTimer::PingDeadline { round } => self.on_ping_deadline(round, ctx),
-            CtlTimer::RecoverNow { region } => {
-                if region >= 10_000 {
-                    // Ack-deadline encoding (see on_recover_now).
-                    self.finish_recovery(region - 10_000, ctx);
-                } else {
-                    self.on_recover_now(region, ctx);
-                }
-            }
+            CtlTimer::RecoverNow { region } => self.on_recover_now(region, ctx),
+            CtlTimer::AckDeadline { region } => self.finish_recovery(region, ctx),
         }
     }
 }

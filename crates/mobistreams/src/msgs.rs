@@ -175,6 +175,9 @@ pub(crate) enum CtlTimer {
     PingDeadline { round: u64 },
     /// Burst-gather window closed; run recovery for the region.
     RecoverNow { region: usize },
+    /// Recovery-ack deadline passed; finish the region's recovery with
+    /// whatever acks arrived.
+    AckDeadline { region: usize },
 }
 
 /// Wire sizes for control messages (bytes).

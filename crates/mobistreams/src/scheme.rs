@@ -78,6 +78,8 @@ pub struct SchemeStats {
     pub rollbacks: u64,
     /// Source tuples replayed.
     pub replayed: u64,
+    /// Malformed broadcast-protocol messages rejected.
+    pub protocol_errors: u64,
 }
 
 /// The MobiStreams fault-tolerance scheme.
@@ -86,6 +88,15 @@ pub struct MsScheme {
     /// Current preservation epoch (version of the last started ckpt).
     pub epoch: u64,
     align: BTreeMap<u64, AlignState>,
+    /// Highest version this node has already checkpointed. A token for
+    /// a version at or below this is a duplicate (e.g. a mixed
+    /// source+compute node used to emit twice per edge) — consuming it
+    /// again would re-pause the edge with no wave left to resume it,
+    /// freezing the region's dataflow and every later checkpoint.
+    last_aligned: u64,
+    /// Out-edges already given a token per in-flight version (sender-
+    /// side dedup for mixed source+compute nodes).
+    tokens_emitted: BTreeMap<u64, BTreeSet<EdgeId>>,
     /// Active slots per the controller's last membership update.
     pub active_slots: Vec<u32>,
     jobs: BTreeMap<u64, SenderJob>,
@@ -110,6 +121,8 @@ impl MsScheme {
             cfg,
             epoch: 0,
             align: BTreeMap::new(),
+            last_aligned: 0,
+            tokens_emitted: BTreeMap::new(),
             active_slots: Vec::new(),
             jobs: BTreeMap::new(),
             rx: ReceiverState::default(),
@@ -125,6 +138,15 @@ impl MsScheme {
     /// Paper-default scheme.
     pub fn paper() -> Self {
         MsScheme::new(MsSchemeConfig::paper())
+    }
+
+    /// Alignment waves still waiting for tokens: `(version, edges
+    /// heard so far)`. Introspection for probes and tests.
+    pub fn pending_alignments(&self) -> Vec<(u64, Vec<EdgeId>)> {
+        self.align
+            .iter()
+            .map(|(&v, st)| (v, st.got.iter().copied().collect()))
+            .collect()
     }
 
     /// Active peers (actors) excluding this node.
@@ -176,7 +198,9 @@ impl MsScheme {
     /// The bitmap timeout is armed only once the last chunk has left
     /// the channel (a multi-MB phase takes many seconds of airtime).
     fn send_phase(&mut self, node: &mut NodeInner, ctx: &mut Ctx, stream: u64, blocks: Vec<u32>) {
-        let job = self.jobs.get(&stream).expect("job exists");
+        let Some(job) = self.jobs.get(&stream) else {
+            return; // job torn down by a rollback/reinstall mid-flight
+        };
         let mut chunks: std::collections::VecDeque<Vec<u32>> = std::collections::VecDeque::new();
         let mut cur: Vec<u32> = Vec::new();
         let mut cur_bytes = 0u64;
@@ -250,7 +274,9 @@ impl MsScheme {
                 self.send_phase(node, ctx, stream, blocks);
             }
             PhaseDecision::TcpResidue(residue) => {
-                let job = self.jobs.get_mut(&stream).expect("job exists");
+                let Some(job) = self.jobs.get_mut(&stream) else {
+                    return; // job torn down by a rollback/reinstall mid-flight
+                };
                 let receivers = job.receivers();
                 let edges = crate::broadcast::tcp_tree_edges(&residue, &receivers);
                 if edges.is_empty() {
@@ -322,9 +348,21 @@ impl MsScheme {
         }
     }
 
+    /// Send the token for `version` on `edge` unless this node already
+    /// did (a mixed source+compute node reaches edges both via
+    /// [`Self::on_start_checkpoint`] and [`Self::do_checkpoint`];
+    /// exactly one token per (version, edge) may leave a node).
+    fn emit_token(&mut self, version: u64, edge: EdgeId, node: &mut NodeInner, ctx: &mut Ctx) {
+        if !self.tokens_emitted.entry(version).or_default().insert(edge) {
+            return;
+        }
+        node.route_item(ctx, edge, StreamItem::Marker(Marker::token(version)));
+    }
+
     /// Snapshot + token-forward + resume + ship (the "node checkpoint"
     /// of Fig 5).
     fn do_checkpoint(&mut self, version: u64, node: &mut NodeInner, ctx: &mut Ctx) {
+        self.last_aligned = self.last_aligned.max(version);
         let snaps = node.snapshot_ops();
         let mut total = 0u64;
         for (op, st, bytes) in &snaps {
@@ -334,12 +372,26 @@ impl MsScheme {
         // Forward the token downstream first — checkpoint shipping is
         // asynchronous and must not delay the token wave.
         for e in node.remote_out_edges() {
-            node.route_item(ctx, e, StreamItem::Marker(Marker::token(version)));
+            self.emit_token(version, e, node, ctx);
         }
-        // Resume edges paused by alignment.
-        if let Some(st) = self.align.remove(&version) {
-            for e in st.got {
-                node.paused.remove(&e);
+        // The wave for this version is fully forwarded; GC dedup state
+        // for versions this node is done with.
+        self.tokens_emitted.retain(|&v, _| v >= version);
+        // Resume edges paused by alignment — for this version AND any
+        // older incomplete wave: a round superseded by a completed
+        // newer one can never commit region-wide, and keeping its
+        // edges paused would deadlock the node across versions.
+        let done: Vec<u64> = self
+            .align
+            .keys()
+            .copied()
+            .filter(|&u| u <= version)
+            .collect();
+        for u in done {
+            if let Some(st) = self.align.remove(&u) {
+                for e in st.got {
+                    node.paused.remove(&e);
+                }
             }
         }
         ctx.count("ms.checkpoints", 1);
@@ -392,7 +444,7 @@ impl MsScheme {
             for &e in &graph.op(op).out_edges {
                 let to = graph.edge(e).to;
                 if node.op_slot[to.index()] != node.cfg.slot {
-                    node.route_item(ctx, e, StreamItem::Marker(Marker::token(version)));
+                    self.emit_token(version, e, node, ctx);
                 }
             }
         }
@@ -447,6 +499,7 @@ impl MsScheme {
         node.clear_queues();
         self.align.clear();
         self.jobs.clear();
+        self.tokens_emitted.clear();
         let ops: Vec<OpId> = node.ops.keys().copied().collect();
         let states: Vec<(OpId, dsps::operator::OpState)> = ops
             .iter()
@@ -505,6 +558,10 @@ impl FtScheme for MsScheme {
         "mobistreams"
     }
 
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn on_emit(
         &mut self,
         tuple: &Tuple,
@@ -535,6 +592,26 @@ impl FtScheme for MsScheme {
         }
         self.stats.tokens_seen += 1;
         let v = marker.version;
+        // A duplicate or stale token (this node already checkpointed
+        // that version): pausing the edge again would freeze it
+        // forever — there is no wave left to resume it.
+        if v <= self.last_aligned {
+            return;
+        }
+        // A token for a newer version abandons any incomplete older
+        // wave: a straggler (e.g. a departed phone draining its
+        // backlog over slow cellular) can deliver its tokens so late
+        // that the next round starts first — the old round can no
+        // longer commit region-wide, and keeping its edges paused
+        // would deadlock this node across versions.
+        let superseded: Vec<u64> = self.align.keys().copied().filter(|&u| u < v).collect();
+        for u in superseded {
+            if let Some(st) = self.align.remove(&u) {
+                for e in st.got {
+                    node.paused.remove(&e);
+                }
+            }
+        }
         // Pause this edge: tuples succeeding the token must not corrupt
         // the pre-checkpoint state (Fig 5, node E).
         node.paused.insert(edge);
@@ -562,19 +639,32 @@ impl FtScheme for MsScheme {
         simkernel::match_event!(ev,
             // --- receiver side of the broadcast protocol ---
             b: WifiBatchRx => {
-                let cum = self.rx.on_batch(b.src, b.stream, b.total_blocks, &b.blocks, &b.received);
-                if b.reply_expected {
-                    let reply = BitmapReply { stream: b.stream, received: cum };
-                    let bytes = reply.received.wire_bytes();
-                    node.send_wifi(
-                        ctx,
-                        SendMode::Unicast(b.src),
-                        Service::Reliable,
-                        b.class,
-                        bytes,
-                        0,
-                        Some(payload(reply)),
-                    );
+                match self.rx.on_batch(b.src, b.stream, b.total_blocks, &b.blocks, &b.received) {
+                    Ok(cum) => {
+                        if b.reply_expected {
+                            let reply = BitmapReply { stream: b.stream, received: cum };
+                            let bytes = reply.received.wire_bytes();
+                            node.send_wifi(
+                                ctx,
+                                SendMode::Unicast(b.src),
+                                Service::Reliable,
+                                b.class,
+                                bytes,
+                                0,
+                                Some(payload(reply)),
+                            );
+                        }
+                    }
+                    Err(err) => {
+                        // Malformed batch: reject it whole and send no
+                        // bitmap — the sender's phase timeout treats us
+                        // as a straggler and the residue still reaches
+                        // us over the reliable pass. Never panic a
+                        // phone over one bad message.
+                        self.stats.protocol_errors += 1;
+                        ctx.count("ms.batch_protocol_errors", 1);
+                        ctx.trace(format!("rejected batch: {err}"));
+                    }
                 }
             },
             // --- sender side: bitmap replies arrive over WiFi ---
@@ -716,6 +806,7 @@ impl FtScheme for MsScheme {
     fn on_install(&mut self, node: &mut NodeInner, ctx: &mut Ctx) {
         self.align.clear();
         self.jobs.clear();
+        self.tokens_emitted.clear();
         let ack = RecoveredAck {
             region: node.cfg.region,
             slot: node.cfg.slot,

@@ -135,6 +135,7 @@ mod tests {
     #[test]
     fn match_event_dispatch() {
         let ev: Box<dyn Event> = Box::new(Pong);
+        #[allow(unused_assignments)]
         let mut hit = "";
         match_event!(ev,
             _p: Ping => { hit = "ping"; },
@@ -149,6 +150,7 @@ mod tests {
         #[derive(Debug)]
         struct Mystery;
         let ev: Box<dyn Event> = Box::new(Mystery);
+        #[allow(unused_assignments)]
         let mut hit = "";
         match_event!(ev,
             _p: Ping => { hit = "ping"; },
