@@ -33,6 +33,9 @@ pub struct NodeMetrics {
     /// Items dropped because routing state was stale or malformed
     /// (unassigned destination op, out-of-range slot, missing port).
     pub routing_drops: u64,
+    /// Tuple sends shed by a congested (full) transport queue — the
+    /// peer was alive, the pipe was saturated (cellular collapse).
+    pub tx_queue_drops: u64,
     /// Accumulated CPU busy time.
     pub cpu_busy: SimDuration,
 }
@@ -103,6 +106,7 @@ impl NodeMetrics {
         self.source_inputs += other.source_inputs;
         self.catchup_discards += other.catchup_discards;
         self.routing_drops += other.routing_drops;
+        self.tx_queue_drops += other.tx_queue_drops;
         self.cpu_busy += other.cpu_busy;
     }
 }

@@ -1084,6 +1084,17 @@ impl Actor for NodeActor {
                 }
                 self.pump(ctx);
             },
+            d: simnet::TxDropped => {
+                // Congestion loss, not death: the tuple is gone (replay
+                // covers it) but the peer is alive — no dead report.
+                if self.inner.take_pending(d.tag).is_some() {
+                    self.inner.metrics.tx_queue_drops += 1;
+                    ctx.count("node.tx_queue_drops", 1);
+                } else {
+                    self.scheme.on_custom(Box::new(d), &mut self.inner, ctx);
+                }
+                self.pump(ctx);
+            },
             @else other => {
                 let consumed = self.scheme.on_custom(other, &mut self.inner, ctx);
                 let _ = consumed;

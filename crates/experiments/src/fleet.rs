@@ -473,6 +473,15 @@ pub struct FleetReport {
     pub wifi_total_bytes: u64,
     /// Cellular payload bytes, all classes.
     pub cell_total_bytes: u64,
+    /// Cellular messages tail-dropped at full bounded link queues,
+    /// network-wide (the cellular-collapse signal).
+    pub cell_drops: u64,
+    /// Deepest cellular link backlog observed network-wide (bytes).
+    pub cell_max_queue_depth: u64,
+    /// Cellular tail-drops at each region's phones.
+    pub per_region_cell_drops: Vec<u64>,
+    /// Deepest cellular link backlog at each region's phones (bytes).
+    pub per_region_cell_max_queue_depth: Vec<u64>,
     /// FNV-1a digest of the deterministic fields above.
     pub digest: u64,
 }
@@ -508,6 +517,14 @@ impl FleetReport {
         mix(self.checkpoint_commits);
         mix(self.wifi_total_bytes);
         mix(self.cell_total_bytes);
+        mix(self.cell_drops);
+        mix(self.cell_max_queue_depth);
+        for &d in &self.per_region_cell_drops {
+            mix(d);
+        }
+        for &d in &self.per_region_cell_max_queue_depth {
+            mix(d);
+        }
         h
     }
 
@@ -577,6 +594,14 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
         checkpoint_commits,
         wifi_total_bytes: h.wifi_bytes.total(),
         cell_total_bytes: h.cell_bytes.total(),
+        cell_drops: h.cell_drops,
+        cell_max_queue_depth: h.cell_max_queue_depth,
+        per_region_cell_drops: h.per_region.iter().map(|r| r.cell_drops).collect(),
+        per_region_cell_max_queue_depth: h
+            .per_region
+            .iter()
+            .map(|r| r.cell_max_queue_depth)
+            .collect(),
         digest: 0,
     };
     report.digest = report.compute_digest();

@@ -176,6 +176,22 @@ fn fleet_table(r: &fleet::FleetReport) -> Table {
         "cellular MB",
         vec![Cell::Num(r.cell_total_bytes as f64 / 1e6)],
     );
+    t.row("cellular drops", vec![Cell::Num(r.cell_drops as f64)]);
+    t.row(
+        "cellular max queue KB",
+        vec![Cell::Num(r.cell_max_queue_depth as f64 / 1024.0)],
+    );
+    for (i, (&d, &q)) in r
+        .per_region_cell_drops
+        .iter()
+        .zip(&r.per_region_cell_max_queue_depth)
+        .enumerate()
+    {
+        t.row(
+            format!("  region {i} drops / maxq KB"),
+            vec![Cell::Num(d as f64), Cell::Num(q as f64 / 1024.0)],
+        );
+    }
     t
 }
 

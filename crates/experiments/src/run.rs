@@ -25,6 +25,12 @@ pub struct RegionStats {
     pub source_drops: u64,
     /// Catch-up discards at sinks.
     pub catchup_discards: u64,
+    /// Cellular messages tail-dropped at this region's phones' full
+    /// link queues (uplink + downlink).
+    pub cell_drops: u64,
+    /// Deepest cellular link backlog observed on any of this region's
+    /// phones (bytes).
+    pub cell_max_queue_depth: u64,
 }
 
 /// Whole-deployment harvest.
@@ -54,6 +60,11 @@ pub struct Harvest {
     pub mean_recovery_s: f64,
     /// Regions stopped (unrecoverable).
     pub stops: u64,
+    /// Cellular messages tail-dropped network-wide (bounded link
+    /// queues; cellular-collapse signal).
+    pub cell_drops: u64,
+    /// Deepest cellular link backlog observed network-wide (bytes).
+    pub cell_max_queue_depth: u64,
 }
 
 /// Payload bytes per traffic class.
@@ -113,6 +124,7 @@ pub fn harvest(dep: &Deployment, from: SimTime, to: SimTime) -> Harvest {
     let mut preserved_max = 0u64;
     let mut active_per_region = Vec::new();
 
+    let cellnet = dep.sim.actor::<CellularNet>(dep.cell);
     for handles in &dep.regions {
         let mut outputs = 0usize;
         let mut lat_sum = 0.0f64;
@@ -120,6 +132,14 @@ pub fn harvest(dep: &Deployment, from: SimTime, to: SimTime) -> Harvest {
         let mut drops = 0u64;
         let mut discards = 0u64;
         let mut active = 0usize;
+        let mut cell_drops = 0u64;
+        let mut cell_depth = 0u64;
+        for &nid in &handles.nodes {
+            if let Some(ep) = cellnet.endpoint_stats(nid) {
+                cell_drops += ep.queue_drops;
+                cell_depth = cell_depth.max(ep.max_queue_bytes());
+            }
+        }
         for &nid in &handles.nodes {
             let na = dep.sim.actor::<NodeActor>(nid);
             let m = &na.inner.metrics;
@@ -155,15 +175,16 @@ pub fn harvest(dep: &Deployment, from: SimTime, to: SimTime) -> Harvest {
             p95_latency_s: p95,
             source_drops: drops,
             catchup_discards: discards,
+            cell_drops,
+            cell_max_queue_depth: cell_depth,
         });
         let med = dep.sim.actor::<WifiMedium>(handles.wifi);
         wifi_bytes.add(&ClassBytes::from_stats(med.stats()));
     }
 
-    let cell_bytes = {
-        let cn = dep.sim.actor::<CellularNet>(dep.cell);
-        ClassBytes::from_stats(cn.stats())
-    };
+    let cell_bytes = ClassBytes::from_stats(cellnet.stats());
+    let cell_drops = cellnet.stats().queue_drops;
+    let cell_max_queue_depth = cellnet.stats().max_queue_depth;
 
     // Logical preserved bytes: ms replicates the same log onto every
     // node (take the max = one logical copy); local/dist retain
@@ -228,6 +249,8 @@ pub fn harvest(dep: &Deployment, from: SimTime, to: SimTime) -> Harvest {
         recoveries,
         mean_recovery_s,
         stops,
+        cell_drops,
+        cell_max_queue_depth,
     }
 }
 

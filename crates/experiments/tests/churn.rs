@@ -180,3 +180,166 @@ fn churn_edge_cases_stay_deterministic() {
     };
     assert_eq!(run(), run());
 }
+
+/// Pull the MsScheme out of a node for protocol introspection.
+fn ms_scheme(dep: &Deployment, region: usize, slot: u32) -> &mobistreams::MsScheme {
+    let nid = dep.regions[region].nodes[slot as usize];
+    let na = dep.sim.actor::<dsps::node::NodeActor>(nid);
+    na.scheme
+        .as_any()
+        .downcast_ref::<mobistreams::MsScheme>()
+        .expect("ms scheme")
+}
+
+/// Tentpole regression: a region whose degraded departure (no
+/// replacement available) keeps computing over cellular must KEEP
+/// COMMITTING checkpoints — the degraded phone ships each snapshot to
+/// an in-region proxy over cellular, the proxy relays it onto WiFi and
+/// reports on its behalf, and `ckpt_expected` stays satisfiable.
+/// Before this fix the region's commit version froze until a phone
+/// happened to rejoin.
+#[test]
+fn degraded_region_keeps_committing_checkpoints_over_cellular() {
+    let mut dep = Deployment::build(cfg(13));
+    dep.start();
+    // Slot 4 is the region's only idle slot: its departure removes the
+    // spare, so slot 3's departure at t = 50 s finds no replacement and
+    // goes degraded with ~131 KB of operator state (B, J, P, K).
+    inject_departure(&mut dep, 0, 4, SimTime::from_secs(40));
+    inject_departure(&mut dep, 0, 3, SimTime::from_secs(50));
+    dep.run_until(SimTime::from_secs(340));
+
+    let ctl = dep.sim.actor::<MsController>(dep.controller.unwrap());
+    assert!(!ctl.is_stopped(0), "region wrongly stopped");
+    // Ticks land at 20, 80, ..., 320 s; every round from v2 on runs
+    // with the degraded slot in `ckpt_expected`. The commit version
+    // must STRICTLY ADVANCE while degraded, not freeze at v1.
+    assert!(
+        ctl.last_complete(0) >= 5,
+        "degraded region stopped committing (stuck at v{})",
+        ctl.last_complete(0)
+    );
+    let degraded_commits = ctl
+        .commits
+        .iter()
+        .filter(|&&(r, v, _)| r == 0 && v >= 2)
+        .count();
+    assert!(
+        degraded_commits >= 4,
+        "only {degraded_commits} commits while degraded"
+    );
+    // The snapshots really travelled the cellular path...
+    let ms = ms_scheme(&dep, 0, 3);
+    assert!(
+        ms.degraded_proxy.is_some(),
+        "degraded phone never told about its proxy"
+    );
+    assert!(
+        ms.stats.cell_snapshots >= 4,
+        "only {} snapshots shipped over cellular",
+        ms.stats.cell_snapshots
+    );
+    // ...at their full byte size (≥ 4 rounds × ~131 KB), and the relay
+    // ran on the proxy (lowest active slot).
+    let h = harvest(&dep, SimTime::from_secs(50), SimTime::from_secs(340));
+    assert!(
+        h.cell_bytes.checkpoint > 300_000,
+        "cellular checkpoint traffic too small: {} B",
+        h.cell_bytes.checkpoint
+    );
+    assert!(ms_scheme(&dep, 0, 0).stats.proxied_snapshots >= 4);
+    assert!(h.per_region[0].outputs > 0, "region 0 dataflow stalled");
+    // Commit notices reach the degraded phone over cellular too, so
+    // its store keeps GCing instead of growing a state copy per round.
+    let nid = dep.regions[0].nodes[3];
+    let store = &dep.sim.actor::<dsps::node::NodeActor>(nid).inner.store;
+    assert!(
+        store.latest_complete() >= Some(4),
+        "degraded phone never saw a commit notice: {:?}",
+        store.latest_complete()
+    );
+}
+
+/// Satellite regression: a degraded phone rejoining while its snapshot
+/// is still crawling over cellular (a) immediately removes its slot
+/// from `ckpt_expected` and re-runs the commit check — so a round that
+/// is otherwise complete commits NOW instead of stalling until the
+/// proxy relay lands an epoch later — and (b) the relay's late report
+/// for the already-committed round must NOT double-commit it.
+#[test]
+fn rejoin_mid_cellular_snapshot_commits_once_without_stalling() {
+    let mut c = cfg(13);
+    // Fatten B's state so the degraded snapshot of round v2 (token at
+    // t ≈ 83 s) occupies the 168 kbps uplink until t ≈ 99 s — a wide,
+    // deterministic window to land the rejoin in.
+    c.cal.state_b = 256 * 1024;
+    let mut dep = Deployment::build(c);
+    dep.start();
+    inject_departure(&mut dep, 0, 4, SimTime::from_secs(40));
+    inject_departure(&mut dep, 0, 3, SimTime::from_secs(50));
+    // All survivors have reported v2 by t ≈ 97.7 s; the degraded
+    // snapshot is still in flight. The rejoin at t = 98 s lands in
+    // between: without the expected-set removal the round would wait
+    // for the proxy relay (t ≈ 102 s).
+    inject_reboot(&mut dep, 0, 3, SimTime::from_secs(98));
+    dep.run_until(SimTime::from_secs(300));
+
+    let ctl = dep.sim.actor::<MsController>(dep.controller.unwrap());
+    assert!(!ctl.is_stopped(0), "region wrongly stopped");
+    // (a) The round was neither dropped nor stalled: v2 committed, and
+    // it committed BEFORE the cellular snapshot even finished arriving
+    // (uplink drains ≈ 99.3 s) — i.e. the rejoin triggered the check.
+    let v2 = ctl
+        .commits
+        .iter()
+        .find(|&&(r, v, _)| r == 0 && v == 2)
+        .unwrap_or_else(|| panic!("round v2 dropped: {:?}", ctl.commits));
+    assert!(
+        v2.2 < SimTime::from_secs(100),
+        "v2 waited for the proxy relay instead of committing at the rejoin ({})",
+        v2.2
+    );
+    // (b) The proxy relay still completed afterwards and reported the
+    // rejoined slot — without double-committing the round.
+    assert!(ms_scheme(&dep, 0, 0).stats.proxied_snapshots >= 1);
+    let mut seen = std::collections::BTreeSet::new();
+    for &(r, v, _) in &ctl.commits {
+        assert!(seen.insert((r, v)), "round (r{r}, v{v}) committed twice");
+    }
+    // Checkpointing continues normally after the rejoin.
+    assert!(
+        ctl.last_complete(0) >= 4,
+        "commits stalled after rejoin (v{})",
+        ctl.last_complete(0)
+    );
+}
+
+/// The fleet report must expose the cellular-collapse signals: under
+/// the flash-crowd profile (departure churn funnels 32 KB crops
+/// through 168 kbps uplinks in urgent mode) the bounded link queues
+/// tail-drop data and the per-region report fields show it.
+#[test]
+fn flash_crowd_reports_cellular_queue_pressure() {
+    let cfg = experiments::fleet::profile("flash-crowd", 1).expect("built-in profile");
+    let r = experiments::run_fleet(&cfg);
+    assert_eq!(r.per_region_cell_drops.len(), r.regions);
+    assert_eq!(r.per_region_cell_max_queue_depth.len(), r.regions);
+    assert!(
+        r.cell_drops > 0,
+        "no cellular queue drops under flash-crowd churn"
+    );
+    assert_eq!(
+        r.per_region_cell_drops.iter().sum::<u64>(),
+        r.cell_drops,
+        "per-region drops must add up to the fleet total"
+    );
+    assert!(
+        r.per_region_cell_max_queue_depth.iter().all(|&d| d > 0),
+        "every region queues on cellular: {:?}",
+        r.per_region_cell_max_queue_depth
+    );
+    // The fields are part of the determinism contract (digest input).
+    let json = serde_json::to_string(&r).expect("serialize");
+    assert!(json.contains("per_region_cell_drops"));
+    assert!(json.contains("per_region_cell_max_queue_depth"));
+}

@@ -527,6 +527,17 @@ impl MsController {
         ctx.send_in(self.cfg.ping_period, me, CtlTimer::PingTick);
     }
 
+    /// The in-region phone that relays a degraded slot's cellular
+    /// snapshots onto WiFi: any active phone (lowest slot for
+    /// determinism).
+    fn pick_proxy(&self, region: usize, degraded: u32) -> Option<ActorId> {
+        let rt = &self.regions[region];
+        rt.active_slots()
+            .into_iter()
+            .find(|&s| s != degraded)
+            .map(|s| rt.spec.slot_actors[s as usize])
+    }
+
     fn on_ckpt_tick(&mut self, region: usize, ctx: &mut Ctx) {
         let me = ctx.self_id();
         ctx.send_in(
@@ -534,20 +545,46 @@ impl MsController {
             me,
             CtlTimer::CheckpointTick { region },
         );
-        let rt = &mut self.regions[region];
-        if rt.stopped || rt.recovering {
-            return;
+        {
+            let rt = &mut self.regions[region];
+            if rt.stopped || rt.recovering {
+                return;
+            }
+            rt.version += 1;
+            rt.ckpt_expected = rt.hosting_slots();
+            rt.ckpt_got = BTreeSet::new();
         }
-        rt.version += 1;
-        let version = rt.version;
-        rt.ckpt_expected = rt.hosting_slots();
-        rt.ckpt_got = BTreeSet::new();
-        let targets: Vec<ActorId> = rt
-            .source_slots()
-            .into_iter()
-            .filter(|&s| rt.slot_state[s as usize] == SlotState::Active)
-            .map(|s| rt.spec.slot_actors[s as usize])
-            .collect();
+        let (version, targets, degraded) = {
+            let rt = &self.regions[region];
+            // Degraded slots (departed, no replacement) keep computing
+            // over cellular and stay in `ckpt_expected` — a degraded
+            // *source* must still receive the round trigger, which
+            // reaches it over its live cellular link.
+            let targets: Vec<ActorId> = rt
+                .source_slots()
+                .into_iter()
+                .filter(|&s| {
+                    rt.slot_state[s as usize] == SlotState::Active
+                        || rt.degraded_urgent.contains_key(&s)
+                })
+                .map(|s| rt.spec.slot_actors[s as usize])
+                .collect();
+            let degraded: Vec<u32> = rt.degraded_urgent.keys().copied().collect();
+            (rt.version, targets, degraded)
+        };
+        // Refresh each degraded slot's snapshot proxy once per round so
+        // proxy churn (the relay failing or departing) self-heals.
+        // Sent BEFORE StartCheckpoint: both ride the same FIFO cellular
+        // path, and a degraded mixed source+compute node snapshots the
+        // moment the trigger arrives — with the old ordering it would
+        // ship this round's snapshot to the previous round's (possibly
+        // departed) proxy and lose the round.
+        for slot in degraded {
+            if let Some(proxy) = self.pick_proxy(region, slot) {
+                let dst = self.regions[region].spec.slot_actors[slot as usize];
+                self.send_ctl(ctx, dst, wire::CONTROL, DegradedCheckpointVia { proxy });
+            }
+        }
         for dst in targets {
             self.send_ctl(ctx, dst, wire::CONTROL, StartCheckpoint { version });
         }
@@ -560,24 +597,54 @@ impl MsController {
         }
         let region = m.region;
         let rt = &mut self.regions[region];
-        if m.version != rt.version || rt.recovering {
+        if m.version != rt.version {
             return;
         }
+        // Record the snapshot even while a recovery is reconfiguring
+        // the region — the commit itself waits for the recovery to end
+        // (see `finish_recovery`), but dropping the report would stall
+        // an otherwise complete round a whole extra epoch.
         rt.ckpt_got.insert(m.slot);
-        if rt.ckpt_got.is_superset(&rt.ckpt_expected) {
-            rt.last_complete = m.version;
-            let version = m.version;
-            self.commits.push((region, version, ctx.now()));
-            let targets: Vec<ActorId> = {
-                let rt = &self.regions[region];
-                rt.active_slots()
-                    .into_iter()
-                    .map(|s| rt.spec.slot_actors[s as usize])
-                    .collect()
-            };
-            for dst in targets {
-                self.send_ctl(ctx, dst, wire::CONTROL, CheckpointComplete { version });
-            }
+        self.try_commit_round(region, ctx);
+    }
+
+    /// Commit the in-flight checkpoint round if every expected slot has
+    /// reported. Called whenever `ckpt_got` grows — and whenever a slot
+    /// *leaves* `ckpt_expected` (degraded rejoin/replacement) or a
+    /// recovery ends, or an already-complete round would stall an
+    /// extra epoch.
+    fn try_commit_round(&mut self, region: usize, ctx: &mut Ctx) {
+        let rt = &mut self.regions[region];
+        if rt.recovering || rt.stopped {
+            return;
+        }
+        // `last_complete >= version` also guards double commits: a
+        // duplicate report (e.g. a proxy relay racing a rejoin) must
+        // not commit the same round twice.
+        if rt.version == 0 || rt.last_complete >= rt.version {
+            return;
+        }
+        if rt.ckpt_expected.is_empty() || !rt.ckpt_got.is_superset(&rt.ckpt_expected) {
+            return;
+        }
+        let version = rt.version;
+        rt.last_complete = version;
+        self.commits.push((region, version, ctx.now()));
+        let targets: Vec<ActorId> = {
+            let rt = &self.regions[region];
+            // Degraded slots are not "active" but participate in every
+            // round over cellular — without the commit notice their
+            // stores never GC and grow by a full state copy plus an
+            // epoch's preserved inputs per tick, unbounded for the
+            // life of the degradation.
+            rt.active_slots()
+                .into_iter()
+                .chain(rt.degraded_urgent.keys().copied())
+                .map(|s| rt.spec.slot_actors[s as usize])
+                .collect()
+        };
+        for dst in targets {
+            self.send_ctl(ctx, dst, wire::CONTROL, CheckpointComplete { version });
         }
     }
 
@@ -868,6 +935,12 @@ impl MsController {
             for &(f, _) in &replacements {
                 if let Some(edges) = rt.degraded_urgent.remove(&f) {
                     released.extend(edges);
+                    // The replacement install hands this slot's ops
+                    // back to the WiFi path mid-round: stop expecting
+                    // the degraded phone's cellular snapshot, or the
+                    // round stalls an extra epoch. The completion
+                    // re-check runs when this recovery finishes.
+                    rt.ckpt_expected.remove(&f);
                 }
                 teardowns.push(rt.spec.slot_actors[f as usize]);
             }
@@ -939,6 +1012,10 @@ impl MsController {
             finished: ctx.now(),
         });
         ctx.count("ctl.recoveries", 1);
+        // Snapshot reports accepted while the recovery ran may have
+        // completed the in-flight round — commit it now rather than
+        // stalling it until the next report (which may never come).
+        self.try_commit_round(region, ctx);
         // Serve a deferred reboot-rejoin, if any still applies.
         if let Some(ix) = self
             .pending_reinstalls
@@ -1115,7 +1192,25 @@ impl MsController {
             rt.degraded_urgent.insert(slot, affected_edges.clone());
             if (rt.active_slots().len() as u32) < rt.spec.min_active {
                 self.stop_region(region, ctx);
+                return;
             }
+            // The degraded phone can no longer broadcast snapshots on
+            // WiFi; route them through an in-region proxy so the
+            // region's checkpoint rounds stay satisfiable (§III).
+            if let Some(proxy) = self.pick_proxy(region, slot) {
+                self.send_ctl(
+                    ctx,
+                    departing_actor,
+                    wire::CONTROL,
+                    DegradedCheckpointVia { proxy },
+                );
+            }
+            // Drop the departed phone from everyone's broadcast
+            // receiver set: it is off WiFi indefinitely, and leaving it
+            // in `active_slots` would cost every region broadcast a
+            // full straggler-bitmap timeout per phase for as long as
+            // the degradation lasts.
+            self.broadcast_membership(region, ctx);
             return;
         };
         // Ask the departing phone to transfer its state to the
@@ -1161,9 +1256,23 @@ impl MsController {
         };
         // A degraded departure's phone is back in WiFi range: its
         // cellular bridging ends (the reinstall below restores normal
-        // routing).
+        // routing), and its slot leaves the in-flight round's
+        // `ckpt_expected` — the reinstall supersedes any snapshot still
+        // crawling over cellular, so waiting for it would stall an
+        // already-complete round one extra epoch. Re-check completion
+        // now (before the reinstall flips `recovering` on); a late
+        // proxy relay for this slot cannot double-commit (the commit
+        // guard is on `last_complete`). Known tradeoff: a round
+        // committed this way lacks the rejoined slot's states in the
+        // region-wide MRC until the in-flight relay lands seconds
+        // later (the relay still replicates them); in that window the
+        // states live only in the rejoined phone's own store, and a
+        // crash there would make a reassignment restore those ops
+        // fresh (the pre-existing missing-state fallback).
         if let Some(edges) = degraded_edges {
             self.release_urgent_edges(region, &edges, ctx);
+            self.regions[region].ckpt_expected.remove(&m.slot);
+            self.try_commit_round(region, ctx);
         }
         // A rebooted phone whose ops were never reassigned (it crashed
         // and came back before/without recovery) returns empty-handed:

@@ -82,6 +82,18 @@ pub enum BlobContent {
         /// Operator states with their sizes.
         states: Vec<(OpId, OpState, u64)>,
     },
+    /// Checkpoint states re-broadcast by a proxy on behalf of a
+    /// *degraded* departed phone (out of WiFi range, snapshot arrived
+    /// over cellular). When the job finishes, the proxy reports
+    /// [`NodeCheckpointed`] for `origin_slot`, not itself.
+    ProxyCheckpoint {
+        /// The degraded slot whose states these are.
+        origin_slot: u32,
+        /// Version being replicated.
+        version: u64,
+        /// Operator states with their sizes.
+        states: Vec<(OpId, OpState, u64)>,
+    },
     /// One preserved source input. The broadcast doubles as the data
     /// delivery: the receiver hosting `deliver_edge`'s target enqueues
     /// the tuple as stream input, so the frame crosses the channel
@@ -160,6 +172,33 @@ pub struct TransferStateTo {
     /// Install package the replacement must apply (states filled in by
     /// the departing node).
     pub install: dsps::node::Install,
+}
+
+/// Controller → degraded departed node: you are out of WiFi range with
+/// no replacement; ship each checkpoint snapshot over cellular to
+/// `proxy` (an in-region phone), which re-broadcasts it on WiFi and
+/// reports completion on your behalf. Re-sent every checkpoint round so
+/// proxy churn self-heals.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradedCheckpointVia {
+    /// In-region phone acting as the snapshot relay.
+    pub proxy: ActorId,
+}
+
+/// Degraded node → proxy (over cellular): one operator-state snapshot
+/// for `version`. Charged at the states' full byte size on the slow
+/// cellular path — this is the 32 KB-through-168 kbps funnel the
+/// bounded link queues make honest.
+#[derive(Debug, Clone)]
+pub struct DegradedSnapshot {
+    /// Region of the degraded slot.
+    pub region: usize,
+    /// The degraded slot the snapshot belongs to.
+    pub origin_slot: u32,
+    /// Checkpoint version snapshotted.
+    pub version: u64,
+    /// Operator states with their sizes.
+    pub states: Vec<(OpId, OpState, u64)>,
 }
 
 pub use dsps::node::{Reboot, RegisterNode};

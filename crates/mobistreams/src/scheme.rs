@@ -80,6 +80,11 @@ pub struct SchemeStats {
     pub replayed: u64,
     /// Malformed broadcast-protocol messages rejected.
     pub protocol_errors: u64,
+    /// Snapshots shipped over cellular while degraded (§III-E, no
+    /// replacement; WiFi unreachable).
+    pub cell_snapshots: u64,
+    /// Degraded snapshots relayed onto WiFi as this node's proxy duty.
+    pub proxied_snapshots: u64,
 }
 
 /// The MobiStreams fault-tolerance scheme.
@@ -110,6 +115,10 @@ pub struct MsScheme {
     batch_tags: BTreeMap<u64, u64>,
     /// Last time each slot was reported silent (rate limiting).
     reported_silent: BTreeMap<u32, simkernel::SimTime>,
+    /// While degraded (departed, no replacement): the in-region phone
+    /// snapshots must be shipped to over cellular instead of the WiFi
+    /// broadcast. `None` = normal WiFi path.
+    pub degraded_proxy: Option<ActorId>,
     /// Protocol statistics.
     pub stats: SchemeStats,
 }
@@ -131,6 +140,7 @@ impl MsScheme {
             chunk_queues: BTreeMap::new(),
             batch_tags: BTreeMap::new(),
             reported_silent: BTreeMap::new(),
+            degraded_proxy: None,
             stats: SchemeStats::default(),
         }
     }
@@ -337,14 +347,32 @@ impl MsScheme {
 
     /// Local bookkeeping when a blob is fully replicated.
     fn finish_content(&mut self, content: &BlobContent, node: &mut NodeInner, ctx: &mut Ctx) {
-        if let BlobContent::Checkpoint { version, .. } = content {
-            self.stats.checkpoints += 1;
-            let msg = NodeCheckpointed {
-                version: *version,
-                region: node.cfg.region,
-                slot: node.cfg.slot,
-            };
-            node.send_controller(ctx, wire::CONTROL, msg);
+        match content {
+            BlobContent::Checkpoint { version, .. } => {
+                self.stats.checkpoints += 1;
+                let msg = NodeCheckpointed {
+                    version: *version,
+                    region: node.cfg.region,
+                    slot: node.cfg.slot,
+                };
+                node.send_controller(ctx, wire::CONTROL, msg);
+            }
+            BlobContent::ProxyCheckpoint {
+                origin_slot,
+                version,
+                ..
+            } => {
+                // Relayed on behalf of a degraded departed phone: the
+                // report carries ITS slot so the controller can fold it
+                // into `ckpt_got` and the round stays satisfiable.
+                let msg = NodeCheckpointed {
+                    version: *version,
+                    region: node.cfg.region,
+                    slot: *origin_slot,
+                };
+                node.send_controller(ctx, wire::CONTROL, msg);
+            }
+            BlobContent::Preserve { .. } => {}
         }
     }
 
@@ -396,7 +424,8 @@ impl MsScheme {
         }
         ctx.count("ms.checkpoints", 1);
         if total == 0 {
-            // Stateless node: report done immediately.
+            // Stateless node: report done immediately (a tiny control
+            // message — works over cellular for degraded nodes too).
             self.finish_content(
                 &BlobContent::Checkpoint {
                     version,
@@ -404,6 +433,27 @@ impl MsScheme {
                 },
                 node,
                 ctx,
+            );
+        } else if let Some(proxy) = self.degraded_proxy {
+            // Degraded (departed, no replacement): WiFi broadcast can
+            // reach nobody, so ship the snapshot to the in-region proxy
+            // over cellular at its full byte size. The proxy relays it
+            // onto WiFi and reports to the controller on our behalf.
+            self.stats.cell_snapshots += 1;
+            ctx.count("ms.cell_snapshots", 1);
+            let snap = DegradedSnapshot {
+                region: node.cfg.region,
+                origin_slot: node.cfg.slot,
+                version,
+                states: snaps,
+            };
+            node.send_cell(
+                ctx,
+                proxy,
+                TrafficClass::Checkpoint,
+                total,
+                0,
+                Some(payload(snap)),
             );
         } else {
             self.start_job(
@@ -472,7 +522,10 @@ impl MsScheme {
     fn on_blob(&mut self, blob: BlobDeliver, node: &mut NodeInner, _ctx: &mut Ctx) {
         self.rx.finish(blob.from_actor, blob.stream);
         match blob.content {
-            BlobContent::Checkpoint { version, states } => {
+            BlobContent::Checkpoint { version, states }
+            | BlobContent::ProxyCheckpoint {
+                version, states, ..
+            } => {
                 for (op, st, bytes) in states {
                     node.store.put_state(version, op, st, bytes);
                 }
@@ -766,6 +819,34 @@ impl FtScheme for MsScheme {
                 } else if let Some(m) = payload_as::<MembershipUpdate>(&rx.payload) {
                     node.slot_actors = m.slot_actors.clone();
                     self.active_slots = m.active_slots.clone();
+                } else if let Some(d) = payload_as::<DegradedCheckpointVia>(&rx.payload) {
+                    self.degraded_proxy = Some(d.proxy);
+                } else if let Some(s) = payload_as::<DegradedSnapshot>(&rx.payload) {
+                    // Proxy duty: a degraded departed phone shipped its
+                    // snapshot here over cellular. Keep a local MRC
+                    // copy, then relay it to the whole region on WiFi;
+                    // the finished job reports the DEGRADED slot to the
+                    // controller so the round can still commit.
+                    if s.region != node.cfg.region {
+                        // A stale/misrouted snapshot from another region
+                        // must not be relayed into this region's round.
+                        self.stats.protocol_errors += 1;
+                        ctx.count("ms.cross_region_snapshots_rejected", 1);
+                        return true;
+                    }
+                    self.stats.proxied_snapshots += 1;
+                    ctx.count("ms.proxied_snapshots", 1);
+                    let mut total = 0u64;
+                    for (op, st, bytes) in &s.states {
+                        node.store.put_state(s.version, *op, st.clone(), *bytes);
+                        total += bytes;
+                    }
+                    let content = BlobContent::ProxyCheckpoint {
+                        origin_slot: s.origin_slot,
+                        version: s.version,
+                        states: s.states.clone(),
+                    };
+                    self.start_job(node, ctx, content, total, TrafficClass::Checkpoint);
                 } else if let Some(t) = payload_as::<TransferStateTo>(&rx.payload) {
                     // Departing node: package states and ship the install
                     // over cellular (we are out of WiFi range).
@@ -807,6 +888,9 @@ impl FtScheme for MsScheme {
         self.align.clear();
         self.jobs.clear();
         self.tokens_emitted.clear();
+        // A reinstall means the phone is back on the WiFi path (rejoin
+        // or replacement): end the degraded cellular snapshot mode.
+        self.degraded_proxy = None;
         let ack = RecoveredAck {
             region: node.cfg.region,
             slot: node.cfg.slot,

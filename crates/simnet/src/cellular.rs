@@ -7,7 +7,17 @@
 //! uplink, crosses the core with half-RTT latency, then serializes on
 //! the destination's downlink. The cellular network is managed and
 //! reliable; failures surface only when the *destination endpoint* is
-//! dead or departed, after a timeout.
+//! dead or departed, after a timeout — and a dead destination never
+//! consumes uplink time, so it cannot head-of-line-block live traffic.
+//!
+//! Link queues are *bounded*: each direction buffers at most
+//! [`CellConfig::max_queue_bytes`] of backlog. Droppable traffic (see
+//! [`TrafficClass::droppable`]) arriving at a full queue is
+//! tail-dropped and counted (per endpoint and in [`NetStats`]);
+//! priority classes (control, checkpoint, recovery) are never shed, so
+//! saturation degrades the data plane without breaking protocol
+//! liveness. Tagged droppable sends receive a [`TxDropped`] so senders
+//! can distinguish congestion from death.
 
 use std::collections::BTreeMap;
 
@@ -15,7 +25,7 @@ use simkernel::{impl_actor_any, Actor, ActorId, Ctx, Event, SimDuration};
 
 use crate::link::RateQueue;
 use crate::stats::{NetStats, TrafficClass};
-use crate::{LinkState, Payload, TxDone, TxFailed};
+use crate::{LinkState, Payload, TxDone, TxDropped, TxFailed};
 
 /// Cellular network parameters (paper's measured 3G band midpoints).
 #[derive(Debug, Clone)]
@@ -30,6 +40,12 @@ pub struct CellConfig {
     pub overhead: u64,
     /// Unreachable-destination report delay.
     pub timeout: SimDuration,
+    /// Per-direction link buffer: droppable traffic arriving while this
+    /// much backlog is already queued is tail-dropped. The bound is on
+    /// *waiting* bytes, so a single transfer larger than the buffer
+    /// still goes out once it reaches the queue head. ~6 s of uplink
+    /// backlog at the default rates.
+    pub max_queue_bytes: u64,
 }
 
 impl Default for CellConfig {
@@ -40,6 +56,7 @@ impl Default for CellConfig {
             rtt: SimDuration::from_millis(150),
             overhead: 60,
             timeout: SimDuration::from_secs(5),
+            max_queue_bytes: 128 * 1024,
         }
     }
 }
@@ -87,6 +104,27 @@ struct Endpoint {
     up: RateQueue,
     down: RateQueue,
     state: LinkState,
+    /// Messages tail-dropped at this endpoint's full queues (uplink
+    /// drops charged to the sender, downlink drops to the receiver).
+    queue_drops: u64,
+}
+
+/// Per-endpoint congestion accounting (harvested by experiments).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CellEndpointStats {
+    /// Messages tail-dropped at this endpoint's full queues.
+    pub queue_drops: u64,
+    /// Deepest uplink backlog observed (bytes).
+    pub max_up_queue_bytes: u64,
+    /// Deepest downlink backlog observed (bytes).
+    pub max_down_queue_bytes: u64,
+}
+
+impl CellEndpointStats {
+    /// Deeper of the two directions.
+    pub fn max_queue_bytes(&self) -> u64 {
+        self.max_up_queue_bytes.max(self.max_down_queue_bytes)
+    }
 }
 
 /// The global cellular network actor.
@@ -122,6 +160,7 @@ impl CellularNet {
                 up: RateQueue::new(up_bps),
                 down: RateQueue::new(down_bps),
                 state: LinkState::Active,
+                queue_drops: 0,
             },
         );
     }
@@ -146,27 +185,35 @@ impl CellularNet {
         &self.stats
     }
 
+    /// Per-endpoint congestion accounting (`None` if unregistered).
+    pub fn endpoint_stats(&self, node: ActorId) -> Option<CellEndpointStats> {
+        self.endpoints.get(&node).map(|ep| CellEndpointStats {
+            queue_drops: ep.queue_drops,
+            max_up_queue_bytes: ep.up.max_depth_bytes(),
+            max_down_queue_bytes: ep.down.max_depth_bytes(),
+        })
+    }
+
     fn handle_send(&mut self, s: CellSend, ctx: &mut Ctx) {
         let now = ctx.now();
         let wire = s.bytes + self.cfg.overhead;
-        let Some(src_ep) = self.endpoints.get_mut(&s.src) else {
+        let cap = self.cfg.max_queue_bytes;
+        let Some(src_ep) = self.endpoints.get(&s.src) else {
             panic!("CellSend from unregistered endpoint {:?}", s.src);
         };
         if !src_ep.state.reachable() {
             self.stats.drops += 1;
             return;
         }
-        let (_, up_end) = src_ep.up.reserve(now, wire);
-        let up_air = up_end - now;
 
-        let dst_state = self.link_state(s.dst);
-        if !dst_state.reachable() {
+        // Dead destination: report unreachable after the timeout
+        // WITHOUT occupying the uplink — a dead peer must not
+        // head-of-line-block live urgent traffic behind its payload.
+        if !self.link_state(s.dst).reachable() {
             self.stats.failed_sends += 1;
-            self.stats.record_send(s.class, s.bytes, wire, up_air);
             if s.tag != 0 {
-                let when = (up_end - now).max(self.cfg.timeout);
                 ctx.send_in(
-                    when,
+                    self.cfg.timeout,
                     s.src,
                     TxFailed {
                         tag: s.tag,
@@ -177,17 +224,67 @@ impl CellularNet {
             return;
         }
 
+        // Bounded uplink: shed droppable traffic when the sender's
+        // radio buffer is already full.
+        let src_ep = self.endpoints.get_mut(&s.src).expect("checked above");
+        if s.class.droppable() && src_ep.up.depth_bytes(now) >= cap {
+            src_ep.queue_drops += 1;
+            self.stats.queue_drops += 1;
+            ctx.count("cell.queue_drops", 1);
+            if s.tag != 0 {
+                ctx.send(
+                    s.src,
+                    TxDropped {
+                        tag: s.tag,
+                        dst: s.dst,
+                    },
+                );
+            }
+            return;
+        }
+        let (_, up_end) = src_ep.up.reserve(now, wire);
+        let up_air = up_end - now;
+        let up_depth = src_ep.up.max_depth_bytes();
+        self.stats.note_queue_depth(up_depth);
+
         let core_arrive = up_end + self.cfg.rtt / 2;
         let dst_ep = self.endpoints.get_mut(&s.dst).expect("checked above");
-        let start_floor = core_arrive;
+
+        // Bounded downlink buffer at the core: the bytes crossed the
+        // uplink but are shed before the receiver's pipe. Depth is
+        // assessed on the send-event clock (`now`), which is monotone —
+        // `core_arrive` includes the sender's uplink backlog, so
+        // successive arrivals are NOT ordered and a stale, un-decayed
+        // depth reading would phantom-drop traffic bound for an
+        // actually-empty downlink.
+        if s.class.droppable() && dst_ep.down.depth_bytes(now) >= cap {
+            dst_ep.queue_drops += 1;
+            self.stats.queue_drops += 1;
+            ctx.count("cell.queue_drops", 1);
+            self.stats.record_send(s.class, s.bytes, wire, up_air);
+            if s.tag != 0 {
+                ctx.send_in(
+                    up_air,
+                    s.src,
+                    TxDropped {
+                        tag: s.tag,
+                        dst: s.dst,
+                    },
+                );
+            }
+            return;
+        }
+
         let (_, down_end) = {
-            // The downlink cannot start before the data reaches the core.
-            let start = start_floor.max(dst_ep.down.free_at());
+            // The downlink cannot start before the data reaches the
+            // core; depth bookkeeping stays on the monotone send-event
+            // clock (see the cap check above).
             let q = &mut dst_ep.down;
-            // Manually serialize from `start`.
             let span = crate::link::tx_time(wire, q.rate_bps());
-            q.reserve_span(start, span, wire)
+            q.reserve_span_at(now, core_arrive, span, wire)
         };
+        let down_depth = dst_ep.down.max_depth_bytes();
+        self.stats.note_queue_depth(down_depth);
         self.stats.record_send(
             s.class,
             s.bytes,
@@ -242,6 +339,7 @@ mod tests {
         rx: Vec<(SimTime, u64)>,
         done: Vec<u64>,
         failed: Vec<u64>,
+        dropped: Vec<u64>,
     }
 
     impl Actor for Sink {
@@ -250,6 +348,7 @@ mod tests {
                 r: CellRx => { self.rx.push((ctx.now(), r.bytes)); },
                 d: TxDone => { self.done.push(d.tag); },
                 f: TxFailed => { self.failed.push(f.tag); },
+                d: TxDropped => { self.dropped.push(d.tag); },
                 @else other => { panic!("unexpected {}", (*other).type_name()); }
             );
         }
@@ -267,6 +366,7 @@ mod tests {
             rtt: SimDuration::from_millis(100),
             overhead: 0,
             timeout: SimDuration::from_secs(5),
+            max_queue_bytes: 128 * 1024,
         });
         for &n in &nodes {
             net.register(n);
@@ -376,6 +476,171 @@ mod tests {
         assert!(sim.actor::<Sink>(nodes[1]).rx.is_empty());
         assert_eq!(sim.actor::<Sink>(nodes[0]).failed, vec![7]);
         assert!(sim.now() >= SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn dead_destination_does_not_occupy_the_uplink() {
+        let (mut sim, net, nodes) = setup();
+        sim.actor_mut::<CellularNet>(net)
+            .set_link_state(nodes[1], LinkState::Gone);
+        // A huge payload to the departed endpoint (10 s of uplink if it
+        // were serialized), then a small urgent message to a live peer.
+        sim.schedule_at(
+            SimTime::ZERO,
+            net,
+            CellSend {
+                src: nodes[0],
+                dst: nodes[1],
+                class: TrafficClass::Data,
+                bytes: 125_000,
+                tag: 9,
+                payload: Some(crate::payload(())),
+            },
+        );
+        sim.schedule_at(
+            SimTime::ZERO,
+            net,
+            CellSend {
+                src: nodes[0],
+                dst: nodes[2],
+                class: TrafficClass::Control,
+                bytes: 1_000,
+                tag: 10,
+                payload: Some(crate::payload(())),
+            },
+        );
+        sim.run();
+        // The live message was not head-of-line-blocked: 0.08 s uplink
+        // + 0.05 s half-RTT + 0.008 s downlink, far below 10 s.
+        let rx = &sim.actor::<Sink>(nodes[2]).rx;
+        assert_eq!(rx.len(), 1);
+        assert!(
+            rx[0].0 < SimTime::from_secs(1),
+            "HOL-blocked: {:?}",
+            rx[0].0
+        );
+        // The dead send still failed after the timeout.
+        assert_eq!(sim.actor::<Sink>(nodes[0]).failed, vec![9]);
+        // And no uplink/wire accounting happened for it.
+        let n = sim.actor::<CellularNet>(net);
+        assert_eq!(n.stats().payload_bytes(TrafficClass::Data), 0);
+        assert_eq!(n.stats().failed_sends, 1);
+    }
+
+    #[test]
+    fn full_uplink_tail_drops_data_but_not_control() {
+        let (mut sim, net, nodes) = setup();
+        // 12.5 KB/s uplink, 128 KiB buffer: ~11 × 12.5 KB fills it.
+        for tag in 1..=20u64 {
+            sim.schedule_at(
+                SimTime::ZERO,
+                net,
+                CellSend {
+                    src: nodes[0],
+                    dst: nodes[1],
+                    class: TrafficClass::Data,
+                    bytes: 12_500,
+                    tag,
+                    payload: Some(crate::payload(())),
+                },
+            );
+        }
+        // A control RPC behind the saturated queue is never shed.
+        sim.schedule_at(
+            SimTime::ZERO,
+            net,
+            CellSend {
+                src: nodes[0],
+                dst: nodes[1],
+                class: TrafficClass::Control,
+                bytes: 64,
+                tag: 99,
+                payload: Some(crate::payload(())),
+            },
+        );
+        sim.run();
+        let src = sim.actor::<Sink>(nodes[0]);
+        assert!(!src.dropped.is_empty(), "no tail drops at a full buffer");
+        assert!(
+            !src.dropped.contains(&99),
+            "control traffic must never be shed"
+        );
+        assert!(src.done.contains(&99), "control RPC was delivered");
+        let n = sim.actor::<CellularNet>(net);
+        assert_eq!(n.stats().queue_drops, src.dropped.len() as u64);
+        let ep = n.endpoint_stats(nodes[0]).unwrap();
+        assert_eq!(ep.queue_drops, src.dropped.len() as u64);
+        assert!(ep.max_up_queue_bytes >= 128 * 1024);
+        assert!(n.stats().max_queue_depth >= ep.max_up_queue_bytes);
+        // Accepted + dropped = offered.
+        let delivered = sim.actor::<Sink>(nodes[1]).rx.len();
+        assert_eq!(delivered + src.dropped.len(), 21);
+    }
+
+    #[test]
+    fn slow_sender_reservation_does_not_phantom_drop_later_arrivals() {
+        // Regression: a large transfer from a *backlogged* sender
+        // reserves the destination downlink for a window far in the
+        // future (core arrival ≈ its uplink drain time). A later send
+        // from a fresh sender to the same destination must not be
+        // tail-dropped against those bytes — at its send time they are
+        // still on the other phone's uplink, not in the downlink
+        // buffer.
+        let (mut sim, net, nodes) = setup();
+        // 128 KiB from node0: ~10.5 s of uplink at 12.5 KB/s, so the
+        // downlink window is reserved ~10.5 s ahead.
+        sim.schedule_at(
+            SimTime::ZERO,
+            net,
+            CellSend {
+                src: nodes[0],
+                dst: nodes[1],
+                class: TrafficClass::Data,
+                bytes: 128 * 1024,
+                tag: 1,
+                payload: Some(crate::payload(())),
+            },
+        );
+        sim.schedule_at(
+            SimTime::from_secs(1),
+            net,
+            CellSend {
+                src: nodes[2],
+                dst: nodes[1],
+                class: TrafficClass::Data,
+                bytes: 1_000,
+                tag: 2,
+                payload: Some(crate::payload(())),
+            },
+        );
+        sim.run();
+        assert!(
+            sim.actor::<Sink>(nodes[2]).dropped.is_empty(),
+            "later send phantom-dropped against a future reservation"
+        );
+        assert_eq!(sim.actor::<Sink>(nodes[1]).rx.len(), 2);
+    }
+
+    #[test]
+    fn oversized_single_message_still_passes_an_empty_queue() {
+        let (mut sim, net, nodes) = setup();
+        // One 200 KiB transfer > 128 KiB buffer: the bound is on
+        // *waiting* bytes, so it serializes rather than livelocking.
+        sim.schedule_at(
+            SimTime::ZERO,
+            net,
+            CellSend {
+                src: nodes[0],
+                dst: nodes[1],
+                class: TrafficClass::Data,
+                bytes: 200 * 1024,
+                tag: 5,
+                payload: Some(crate::payload(())),
+            },
+        );
+        sim.run();
+        assert_eq!(sim.actor::<Sink>(nodes[1]).rx.len(), 1);
+        assert!(sim.actor::<Sink>(nodes[0]).dropped.is_empty());
     }
 
     #[test]

@@ -67,6 +67,19 @@ pub struct TxFailed {
     pub dst: simkernel::ActorId,
 }
 
+/// Sender-side congestion loss: a bounded link queue was full, so the
+/// message was tail-dropped *before* consuming link time. Unlike
+/// [`TxFailed`] this says nothing about the destination's liveness —
+/// the peer is alive, the pipe is just saturated — so receivers of
+/// this event must not raise failure reports over it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxDropped {
+    /// Caller-chosen correlation tag.
+    pub tag: u64,
+    /// The destination the message was headed for.
+    pub dst: simkernel::ActorId,
+}
+
 /// Liveness of a node as seen by a transport.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum LinkState {

@@ -20,6 +20,16 @@ pub struct RateQueue {
     busy_until: SimTime,
     /// Total bytes ever reserved (for utilization accounting).
     bytes_reserved: u64,
+    /// Deepest backlog (in bytes, including the reservation that
+    /// created it) ever observed at reservation time.
+    max_depth_bytes: u64,
+    /// Accounting view of waiting bytes, decayed at the drain rate.
+    /// Kept separately from `busy_until` because reservations may start
+    /// in the future (e.g. a downlink window floored at core arrival):
+    /// the idle gap before such a window is not queued data.
+    queued_bytes: f64,
+    /// When `queued_bytes` was last brought current.
+    last_obs: SimTime,
 }
 
 impl RateQueue {
@@ -30,6 +40,9 @@ impl RateQueue {
             rate_bps,
             busy_until: SimTime::ZERO,
             bytes_reserved: 0,
+            max_depth_bytes: 0,
+            queued_bytes: 0.0,
+            last_obs: SimTime::ZERO,
         }
     }
 
@@ -52,6 +65,7 @@ impl RateQueue {
     /// Reserve the queue for `bytes` starting no earlier than `now`.
     /// Returns the `(start, end)` of the transmission window.
     pub fn reserve(&mut self, now: SimTime, bytes: u64) -> (SimTime, SimTime) {
+        self.note_depth(now, bytes);
         let start = now.max(self.busy_until);
         let end = start + tx_time(bytes, self.rate_bps);
         self.busy_until = end;
@@ -68,7 +82,27 @@ impl RateQueue {
         span: SimDuration,
         bytes: u64,
     ) -> (SimTime, SimTime) {
-        let start = now.max(self.busy_until);
+        self.reserve_span_at(now, now, span, bytes)
+    }
+
+    /// As [`Self::reserve_span`], but with the depth bookkeeping
+    /// decoupled from the window floor: `obs` is the observation time
+    /// (must be monotone across calls for the decay to be meaningful),
+    /// `start_floor` the earliest the window may start. Needed when a
+    /// reservation is made ahead of time for a window in the future —
+    /// the cellular downlink reserves at send time for a post-uplink
+    /// arrival whose timestamp depends on the *sender's* backlog, so
+    /// successive arrival times are not ordered and must not drive the
+    /// decay clock.
+    pub fn reserve_span_at(
+        &mut self,
+        obs: SimTime,
+        start_floor: SimTime,
+        span: SimDuration,
+        bytes: u64,
+    ) -> (SimTime, SimTime) {
+        self.note_depth(obs, bytes);
+        let start = start_floor.max(self.busy_until);
         let end = start + span;
         self.busy_until = end;
         self.bytes_reserved += bytes;
@@ -78,6 +112,24 @@ impl RateQueue {
     /// Queueing delay a reservation made `now` would suffer.
     pub fn backlog(&self, now: SimTime) -> SimDuration {
         self.busy_until.since(now)
+    }
+
+    /// Bytes still waiting (not yet serialized) at `now`: the enqueued
+    /// total decayed at the drain rate since the last observation.
+    pub fn depth_bytes(&self, now: SimTime) -> u64 {
+        let drained = now.since(self.last_obs).as_secs_f64() * self.rate_bps / 8.0;
+        (self.queued_bytes - drained).max(0.0) as u64
+    }
+
+    /// Deepest backlog observed at any reservation (bytes).
+    pub fn max_depth_bytes(&self) -> u64 {
+        self.max_depth_bytes
+    }
+
+    fn note_depth(&mut self, now: SimTime, incoming: u64) {
+        self.queued_bytes = self.depth_bytes(now) as f64 + incoming as f64;
+        self.last_obs = self.last_obs.max(now);
+        self.max_depth_bytes = self.max_depth_bytes.max(self.queued_bytes as u64);
     }
 
     /// Total bytes reserved over the queue's lifetime.
@@ -137,5 +189,22 @@ mod tests {
     #[should_panic(expected = "rate must be positive")]
     fn zero_rate_rejected() {
         let _ = RateQueue::new(0.0);
+    }
+
+    #[test]
+    fn depth_tracks_backlog_in_bytes() {
+        let mut q = RateQueue::new(1_000_000.0); // 125 000 B/s
+        assert_eq!(q.depth_bytes(SimTime::ZERO), 0);
+        q.reserve(SimTime::ZERO, 125_000); // 1 s of serialization
+                                           // Everything is still queued at t=0, half at t=0.5.
+        assert_eq!(q.depth_bytes(SimTime::ZERO), 125_000);
+        assert_eq!(q.depth_bytes(SimTime::from_millis(500)), 62_500);
+        assert_eq!(q.depth_bytes(SimTime::from_secs(2)), 0);
+        // Max depth includes the reservation that created it.
+        q.reserve(SimTime::ZERO, 125_000);
+        assert_eq!(q.max_depth_bytes(), 250_000);
+        // Draining never lowers the recorded maximum.
+        q.reserve(SimTime::from_secs(10), 100);
+        assert_eq!(q.max_depth_bytes(), 250_000);
     }
 }

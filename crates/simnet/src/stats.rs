@@ -46,6 +46,17 @@ impl TrafficClass {
             TrafficClass::Recovery => 5,
         }
     }
+
+    /// May a bounded transport shed this class under congestion? Bulk
+    /// stream data yields; protocol state machines (control RPCs,
+    /// checkpoint shipping, recovery transfers) are carried at priority
+    /// so a saturated link degrades the *data plane*, not liveness.
+    pub fn droppable(self) -> bool {
+        matches!(
+            self,
+            TrafficClass::Data | TrafficClass::Replication | TrafficClass::Preservation
+        )
+    }
 }
 
 /// Per-transport accounting.
@@ -64,6 +75,10 @@ pub struct NetStats {
     pub drops: u64,
     /// Reliable sends that failed (dead destination).
     pub failed_sends: u64,
+    /// Messages tail-dropped because a bounded link queue was full.
+    pub queue_drops: u64,
+    /// Deepest per-link queue backlog observed anywhere (bytes).
+    pub max_queue_depth: u64,
 }
 
 impl NetStats {
@@ -74,6 +89,11 @@ impl NetStats {
         self.wire_bytes[i] += wire;
         self.messages[i] += 1;
         self.busy_time += air;
+    }
+
+    /// Record a queue-depth observation (keeps the running maximum).
+    pub fn note_queue_depth(&mut self, depth_bytes: u64) {
+        self.max_queue_depth = self.max_queue_depth.max(depth_bytes);
     }
 
     /// Payload bytes offered for a class.
