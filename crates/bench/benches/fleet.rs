@@ -9,51 +9,26 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use experiments::fleet::{build_fleet, churn_schedule, ChurnProfile, FleetConfig, FleetRegion};
-use experiments::{AppKind, Scheme};
-use simkernel::{SimDuration, SimTime};
+use experiments::fleet::{bench_profile, build_fleet, churn_schedule, FleetConfig};
+use simkernel::SimTime;
 
-/// A stadium-shaped fleet scaled to `regions × phones`, trimmed to a
-/// 60 s window so a bench iteration stays subsecond-ish.
+/// The shared BENCH_* workload shape (see `fleet::bench_profile`).
 fn bench_cfg(regions: usize, phones: u32) -> FleetConfig {
-    let cal = apps::Calibration {
-        state_a: 16 * 1024,
-        state_l: 16 * 1024,
-        state_b: 64 * 1024,
-        state_j: 48 * 1024,
-        state_p: 16 * 1024,
-        state_h: 16 * 1024,
-        ..apps::Calibration::default()
-    };
-    FleetConfig {
-        name: format!("bench-{}x{}", regions, phones),
-        app: AppKind::Bcp,
-        scheme: Scheme::Ms,
-        regions: (0..regions).map(|_| FleetRegion::of(phones)).collect(),
-        churn: ChurnProfile {
-            fail_per_phone_hour: 2.0,
-            depart_per_phone_hour: 4.0,
-            move_fraction: 0.3,
-            mean_rejoin_s: 30.0,
-            quiet_start_s: 15.0,
-            ..ChurnProfile::default()
-        },
-        cal,
-        ckpt_period: SimDuration::from_secs(30),
-        ckpt_offset: SimDuration::from_secs(10),
-        duration: SimDuration::from_secs(60),
-        warmup: SimDuration::from_secs(10),
-        seed: 42,
-    }
+    bench_profile(regions, phones, 42)
 }
 
 fn run_once(cfg: &FleetConfig) -> u64 {
     let (mut dep, _schedule) = build_fleet(cfg);
+    dep.enable_sharding(cfg.threads);
     dep.run_until(SimTime::ZERO + cfg.duration);
     dep.sim.events_processed()
 }
 
 fn bench_events_per_sec(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
     // 100 phones: 4 regions × 25.
     let cfg100 = bench_cfg(4, 25);
     let ev = run_once(&cfg100);
@@ -62,12 +37,18 @@ fn bench_events_per_sec(c: &mut Criterion) {
         b.iter(|| black_box(run_once(&cfg100)))
     });
 
-    // 1000 phones: 8 regions × 125.
+    // 1000 phones: 8 regions × 125, single-thread and all-cores (the
+    // digest is identical either way; only wall time differs).
     let cfg1000 = bench_cfg(8, 125);
     let ev = run_once(&cfg1000);
     println!("fleet_1000_phones: {ev} events per 60 s window");
     c.bench_function("fleet_events_1000_phones_60s", |b| {
         b.iter(|| black_box(run_once(&cfg1000)))
+    });
+    let mut cfg1000mt = bench_cfg(8, 125);
+    cfg1000mt.threads = threads;
+    c.bench_function("fleet_events_1000_phones_60s_mt", |b| {
+        b.iter(|| black_box(run_once(&cfg1000mt)))
     });
 }
 

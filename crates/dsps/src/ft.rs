@@ -23,7 +23,7 @@ use crate::tuple::{Marker, StreamItem, Tuple};
 ///
 /// All methods default to "do nothing" so simple schemes stay simple;
 /// [`NullScheme`] uses the defaults verbatim (the paper's `base`).
-pub trait FtScheme {
+pub trait FtScheme: Send {
     /// Scheme name for traces and reports.
     fn name(&self) -> &'static str;
 

@@ -51,7 +51,7 @@ impl Outputs {
 }
 
 /// A stream operator.
-pub trait Operator {
+pub trait Operator: Send {
     /// Process one tuple arriving on input `port`; emit any outputs.
     fn process(&mut self, tuple: &Tuple, port: usize, out: &mut Outputs, rng: &mut SimRng);
 

@@ -41,7 +41,7 @@ impl Operator for Relay {
 /// Applies a pure function to each tuple. Stateless.
 #[allow(clippy::type_complexity)]
 pub struct FnMap {
-    f: Box<dyn Fn(&Tuple) -> Option<(TupleValue, u64)>>,
+    f: Box<dyn Fn(&Tuple) -> Option<(TupleValue, u64)> + Send>,
     cost: SimDuration,
 }
 
@@ -49,7 +49,7 @@ impl FnMap {
     /// Map each tuple through `f`; `None` filters the tuple out.
     pub fn new(
         cost: SimDuration,
-        f: impl Fn(&Tuple) -> Option<(TupleValue, u64)> + 'static,
+        f: impl Fn(&Tuple) -> Option<(TupleValue, u64)> + Send + 'static,
     ) -> Self {
         FnMap {
             f: Box::new(f),
@@ -135,13 +135,13 @@ impl Operator for Counter {
 
 /// Keeps tuples whose value passes a predicate. Stateless.
 pub struct Filter {
-    pred: Box<dyn Fn(&Tuple) -> bool>,
+    pred: Box<dyn Fn(&Tuple) -> bool + Send>,
     cost: SimDuration,
 }
 
 impl Filter {
     /// Filter by `pred`.
-    pub fn new(cost: SimDuration, pred: impl Fn(&Tuple) -> bool + 'static) -> Self {
+    pub fn new(cost: SimDuration, pred: impl Fn(&Tuple) -> bool + Send + 'static) -> Self {
         Filter {
             pred: Box::new(pred),
             cost,
@@ -168,8 +168,8 @@ impl Operator for Filter {
 /// the entries are consumed. Buffers are FIFO-bounded to `window`.
 #[allow(clippy::type_complexity)]
 pub struct KeyJoin {
-    key: Box<dyn Fn(&Tuple) -> u64>,
-    combine: Box<dyn Fn(&Tuple, &Tuple) -> (TupleValue, u64)>,
+    key: Box<dyn Fn(&Tuple) -> u64 + Send>,
+    combine: Box<dyn Fn(&Tuple, &Tuple) -> (TupleValue, u64) + Send>,
     window: usize,
     cost: SimDuration,
     left: VecDeque<(u64, Tuple)>,
@@ -191,8 +191,8 @@ impl KeyJoin {
     pub fn new(
         cost: SimDuration,
         window: usize,
-        key: impl Fn(&Tuple) -> u64 + 'static,
-        combine: impl Fn(&Tuple, &Tuple) -> (TupleValue, u64) + 'static,
+        key: impl Fn(&Tuple) -> u64 + Send + 'static,
+        combine: impl Fn(&Tuple, &Tuple) -> (TupleValue, u64) + Send + 'static,
     ) -> Self {
         KeyJoin {
             key: Box::new(key),
@@ -448,7 +448,7 @@ impl Operator for Sampler {
 pub struct WindowAgg {
     window: u64,
     cost: SimDuration,
-    extract: Box<dyn Fn(&Tuple) -> Option<f64>>,
+    extract: Box<dyn Fn(&Tuple) -> Option<f64> + Send>,
     acc: WindowAccum,
 }
 
@@ -481,7 +481,7 @@ impl WindowAgg {
     pub fn new(
         cost: SimDuration,
         window: u64,
-        extract: impl Fn(&Tuple) -> Option<f64> + 'static,
+        extract: impl Fn(&Tuple) -> Option<f64> + Send + 'static,
     ) -> Self {
         WindowAgg {
             window: window.max(1),

@@ -35,7 +35,7 @@ struct FeedTick {
 }
 
 /// Generates one sample: `(value, wire_bytes)`.
-pub type SampleGen = Box<dyn FnMut(&mut SimRng, u64) -> (TupleValue, u64)>;
+pub type SampleGen = Box<dyn FnMut(&mut SimRng, u64) -> (TupleValue, u64) + Send>;
 
 /// One periodic feed into one source operator.
 pub struct Feed {

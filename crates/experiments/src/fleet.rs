@@ -137,6 +137,10 @@ pub struct FleetConfig {
     pub warmup: SimDuration,
     /// Seed driving the whole run (workload, channel AND churn).
     pub seed: u64,
+    /// Worker threads for the parallel event kernel. Purely a
+    /// wall-clock knob: the report digest is bit-identical for every
+    /// value (see `Sim::enable_sharding`).
+    pub threads: usize,
 }
 
 impl FleetConfig {
@@ -542,6 +546,7 @@ impl FleetReport {
 pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
     let wall = std::time::Instant::now();
     let (mut dep, schedule) = build_fleet(cfg);
+    dep.enable_sharding(cfg.threads);
     let to = SimTime::ZERO + cfg.duration;
     dep.run_until(to);
     let h = harvest(&dep, SimTime::ZERO + cfg.warmup, to);
@@ -608,6 +613,43 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
     report
 }
 
+/// The `BENCH_*` series workload: a stadium-shaped fleet scaled to
+/// `regions × phones`, trimmed to a 60 s window so one run stays
+/// subsecond-ish. Shared by `cargo bench -p bench` and `msx bench
+/// fleet` so the tracked numbers measure the same thing.
+pub fn bench_profile(regions: usize, phones: u32, seed: u64) -> FleetConfig {
+    let cal = apps::Calibration {
+        state_a: 16 * 1024,
+        state_l: 16 * 1024,
+        state_b: 64 * 1024,
+        state_j: 48 * 1024,
+        state_p: 16 * 1024,
+        state_h: 16 * 1024,
+        ..apps::Calibration::default()
+    };
+    FleetConfig {
+        name: format!("bench-{regions}x{phones}"),
+        app: AppKind::Bcp,
+        scheme: Scheme::Ms,
+        regions: (0..regions).map(|_| FleetRegion::of(phones)).collect(),
+        churn: ChurnProfile {
+            fail_per_phone_hour: 2.0,
+            depart_per_phone_hour: 4.0,
+            move_fraction: 0.3,
+            mean_rejoin_s: 30.0,
+            quiet_start_s: 15.0,
+            ..ChurnProfile::default()
+        },
+        cal,
+        ckpt_period: SimDuration::from_secs(30),
+        ckpt_offset: SimDuration::from_secs(10),
+        duration: SimDuration::from_secs(60),
+        warmup: SimDuration::from_secs(10),
+        seed,
+        threads: 1,
+    }
+}
+
 // ---------------------------------------------------------------------
 // Named profile library.
 
@@ -647,6 +689,7 @@ fn base_profile(name: &str, seed: u64, regions: Vec<FleetRegion>) -> FleetConfig
         duration: SimDuration::from_secs(420),
         warmup: SimDuration::from_secs(60),
         seed,
+        threads: 1,
     }
 }
 
@@ -811,6 +854,36 @@ mod tests {
             r1.churn_failures + r1.churn_departures > 0,
             "no churn was injected"
         );
+    }
+
+    /// The load-bearing guarantee of the sharded kernel: for every
+    /// library profile, running the regions on worker threads produces
+    /// the exact report digest of the sequential run. Profiles are
+    /// scaled down so this stays cheap, but the mix of schemes, churn
+    /// shapes, and loss rates is preserved.
+    #[test]
+    fn thread_count_never_changes_profile_digests() {
+        for name in PROFILE_NAMES {
+            let mut cfg = profile(name, 11).expect("known profile");
+            cfg.regions.truncate(3);
+            for r in &mut cfg.regions {
+                r.phones = r.phones.min(6);
+            }
+            cfg.duration = SimDuration::from_secs(150);
+            cfg.warmup = SimDuration::from_secs(30);
+
+            let mut seq = cfg.clone();
+            seq.threads = 1;
+            let mut par = cfg;
+            par.threads = 4;
+            let r1 = run_fleet(&seq);
+            let rn = run_fleet(&par);
+            assert_eq!(
+                r1.digest, rn.digest,
+                "profile {name}: 4-thread digest diverged from sequential"
+            );
+            assert_eq!(r1.events_processed, rn.events_processed, "profile {name}");
+        }
     }
 
     #[test]

@@ -8,11 +8,13 @@
 //! msx fig10  [--quick] [--seeds N]
 //! msx all    [--quick] [--seeds N]
 //! msx scenarios list
-//! msx scenarios run --profile <stadium|commute|flash-crowd|lossy-wifi> [--seed N]
+//! msx scenarios run --profile <stadium|commute|flash-crowd|lossy-wifi> [--seed N] [--threads N]
+//! msx bench fleet [--smoke] [--threads N] [--out FILE]
 //! ```
 //!
 //! Text tables print to stdout; JSON copies land in `./results/`
-//! (fleet reports under `./results/scenarios/`).
+//! (fleet reports under `./results/scenarios/`). `bench fleet` emits
+//! the tracked `BENCH_*.json` fleet-throughput checkpoint.
 
 use std::path::{Path, PathBuf};
 
@@ -54,6 +56,7 @@ fn main() {
         "fig10" => fig10_cmd(opts, &out),
         "ablate" => ablate_cmd(opts, &out),
         "scenarios" => scenarios_cmd(&args, &out),
+        "bench" => bench_cmd(&args),
         "all" => {
             table1_cmd(opts, &out);
             fig8_cmd(opts, &out);
@@ -62,7 +65,9 @@ fn main() {
             ablate_cmd(opts, &out);
         }
         other => {
-            eprintln!("unknown command '{other}'; use table1|fig8|fig9|fig10|ablate|scenarios|all");
+            eprintln!(
+                "unknown command '{other}'; use table1|fig8|fig9|fig10|ablate|scenarios|bench|all"
+            );
             std::process::exit(2);
         }
     }
@@ -98,13 +103,20 @@ fn scenarios_cmd(args: &[String], out: &Path) {
                 .and_then(|i| args.get(i + 1))
                 .and_then(|s| s.parse::<u64>().ok())
                 .unwrap_or(1);
-            let Some(cfg) = fleet::profile(name, seed) else {
+            let threads = args
+                .iter()
+                .position(|a| a == "--threads")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|s| s.parse::<usize>().ok())
+                .unwrap_or(1);
+            let Some(mut cfg) = fleet::profile(name, seed) else {
                 eprintln!(
                     "unknown profile '{name}'; available: {}",
                     fleet::PROFILE_NAMES.join(", ")
                 );
                 std::process::exit(2);
             };
+            cfg.threads = threads.max(1);
             eprintln!(
                 "[msx] scenario '{name}' seed {seed}: {} regions × ~{} phones ({} total), {:.0}s sim...",
                 cfg.regions.len(),
@@ -129,6 +141,194 @@ fn scenarios_cmd(args: &[String], out: &Path) {
             std::process::exit(2);
         }
     }
+}
+
+/// `msx bench fleet [--smoke] [--threads N] [--out FILE] [--check FILE]`
+///
+/// Runs the tracked fleet-engine throughput benchmark and writes a
+/// `BENCH_*.json` checkpoint. `--smoke` runs a seconds-scale variant
+/// whose deterministic fields (event count, digest, thread-equality)
+/// are compared against the checked-in checkpoint named by `--check`
+/// (default `BENCH_0006.json`) — exits nonzero on drift, so CI catches
+/// any change to the simulated schedule without caring about the wall
+/// clock of the runner.
+fn bench_cmd(args: &[String]) {
+    let what = args.get(1).map(String::as_str).unwrap_or("fleet");
+    if what != "fleet" && !what.starts_with("--") {
+        eprintln!("unknown bench target '{what}'; use fleet");
+        std::process::exit(2);
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(host_cores)
+        .max(1);
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_0006.json".to_string());
+
+    let timed = |cfg: &fleet::FleetConfig| {
+        let wall = std::time::Instant::now();
+        let r = fleet::run_fleet(cfg);
+        let secs = wall.elapsed().as_secs_f64();
+        eprintln!(
+            "[msx] bench {} threads={}: {} events in {:.2}s = {:.0} ev/s (digest {:#018x})",
+            cfg.name,
+            cfg.threads,
+            r.events_processed,
+            secs,
+            r.events_processed as f64 / secs.max(1e-9),
+            r.digest
+        );
+        (r, secs)
+    };
+    let run_json = |r: &fleet::FleetReport, secs: f64, threads: usize| {
+        serde_json::json!({
+            "threads": threads,
+            "events": r.events_processed,
+            "wall_secs": (secs * 1000.0).round() / 1000.0,
+            "events_per_sec": (r.events_processed as f64 / secs.max(1e-9)).round(),
+            "digest": format!("{:#018x}", r.digest),
+        })
+    };
+
+    // Smoke workload: small enough for CI, still multi-region so the
+    // parallel kernel's merge path is exercised.
+    let mut smoke_cfg = fleet::bench_profile(2, 8, 7);
+    smoke_cfg.duration = simkernel::SimDuration::from_secs(30);
+    let (s1, _) = timed(&smoke_cfg);
+    let mut smoke_mt = smoke_cfg.clone();
+    smoke_mt.threads = threads.max(2);
+    let (s2, _) = timed(&smoke_mt);
+    assert_eq!(
+        s1.digest, s2.digest,
+        "smoke digest differs between 1 and {} threads",
+        smoke_mt.threads
+    );
+    let smoke_json = serde_json::json!({
+        "workload": serde_json::json!({"regions": 2u64, "phones": 16u64, "sim_secs": 30.0, "seed": 7u64}),
+        "events": s1.events_processed,
+        "digest": format!("{:#018x}", s1.digest),
+        "thread_digest_equal": true,
+    });
+
+    if smoke {
+        let checked_in: serde_json::Value = match std::fs::read_to_string(&check_path) {
+            Ok(s) => serde_json::from_str(&s).expect("parse checked-in bench checkpoint"),
+            Err(e) => {
+                eprintln!("[msx] cannot read {check_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let expect = &checked_in["smoke"];
+        let mut drift = Vec::new();
+        if expect["events"] != smoke_json["events"] {
+            drift.push(format!(
+                "events: checked-in {} vs fresh {}",
+                expect["events"], smoke_json["events"]
+            ));
+        }
+        if expect["digest"] != smoke_json["digest"] {
+            drift.push(format!(
+                "digest: checked-in {} vs fresh {}",
+                expect["digest"], smoke_json["digest"]
+            ));
+        }
+        if drift.is_empty() {
+            println!(
+                "[msx] bench smoke OK: {} events, digest {} match {}",
+                s1.events_processed, smoke_json["digest"], check_path
+            );
+        } else {
+            eprintln!(
+                "[msx] bench smoke DRIFT vs {check_path} — the simulated schedule changed; \
+                 regenerate with `msx bench fleet --out {check_path}` and commit the diff:"
+            );
+            for d in &drift {
+                eprintln!("[msx]   {d}");
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_0006.json".to_string());
+
+    // The tracked workload: 1000 phones (8 × 125), 60 s window.
+    let cfg1 = fleet::bench_profile(8, 125, 42);
+    let (r1, r1_secs) = timed(&cfg1);
+    let mut cfg_n = cfg1.clone();
+    cfg_n.threads = threads;
+    let (rn, rn_secs) = timed(&cfg_n);
+    assert_eq!(r1.digest, rn.digest, "digest differs across thread counts");
+
+    // Thread-equality of the full profile library, at each profile's
+    // full spec.
+    let mut profiles = Vec::new();
+    for name in fleet::PROFILE_NAMES {
+        let mut p1 = fleet::profile(name, 1).expect("built-in profile");
+        p1.threads = 1;
+        let (d1, _) = timed(&p1);
+        let mut pn = p1.clone();
+        pn.threads = threads.max(2);
+        let (dn, _) = timed(&pn);
+        assert_eq!(
+            d1.digest, dn.digest,
+            "profile {name}: digest differs between 1 and {} threads",
+            pn.threads
+        );
+        profiles.push(serde_json::json!({
+            "profile": name,
+            "seed": 1,
+            "digest": format!("{:#018x}", d1.digest),
+            "thread_digest_equal": true,
+        }));
+    }
+
+    let best = (r1.events_processed as f64 / r1_secs.max(1e-9))
+        .max(rn.events_processed as f64 / rn_secs.max(1e-9));
+    let baseline = 1_200_000.0; // pre-series events/s at 1000 phones (ROADMAP item 2)
+    let doc = serde_json::json!({
+        "bench_id": "BENCH_0006",
+        "series": "fleet-engine-throughput",
+        "unix_time": std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        "host_cores": host_cores,
+        "workload": serde_json::json!({"regions": 8u64, "phones": 1000u64, "sim_secs": 60.0, "seed": 42u64}),
+        "baseline_events_per_sec": baseline,
+        "runs": vec![run_json(&r1, r1_secs, 1), run_json(&rn, rn_secs, threads)],
+        "best_events_per_sec": best.round(),
+        "speedup_vs_baseline": (best / baseline * 100.0).round() / 100.0,
+        "profile_digests": profiles,
+        "smoke": smoke_json,
+    });
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&doc).expect("serialize bench checkpoint") + "\n",
+    )
+    .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!(
+        "[msx] wrote {out_path}: best {:.0} ev/s = {:.2}x the {:.1}M ev/s baseline",
+        best,
+        best / baseline,
+        baseline / 1e6
+    );
 }
 
 fn fleet_table(r: &fleet::FleetReport) -> Table {

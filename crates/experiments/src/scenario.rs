@@ -713,6 +713,39 @@ impl Deployment {
     pub fn run_until(&mut self, t: SimTime) {
         self.sim.run_until(t);
     }
+
+    /// Actor → shard map for [`Sim::enable_sharding`]: shard 0 holds
+    /// the global actors (cellular core, controller/coordinator,
+    /// ethernet), shard `r + 1` holds region `r`'s WiFi medium, phones
+    /// and sensor driver. Valid because regions exchange messages only
+    /// through the cellular network and the controller — never
+    /// directly.
+    pub fn shard_map(&self) -> Vec<u16> {
+        let mut map = vec![0u16; self.sim.actor_count()];
+        for (r, rh) in self.regions.iter().enumerate() {
+            let s = (r + 1) as u16;
+            map[rh.wifi.index()] = s;
+            map[rh.driver.index()] = s;
+            for &n in &rh.nodes {
+                map[n.index()] = s;
+            }
+            if let Some(u) = rh.uplink {
+                map[u.index()] = s;
+            }
+        }
+        map
+    }
+
+    /// Switch the kernel to deterministic parallel mode: one shard per
+    /// region plus the global shard, with the cellular network's
+    /// minimum response delay as the conservative lookahead. Call
+    /// after [`Deployment::start`] and any setup-time scheduling; the
+    /// result is bit-identical for every `threads` value.
+    pub fn enable_sharding(&mut self, threads: usize) {
+        let map = self.shard_map();
+        let lookahead = self.cfg.cell.min_response_delay();
+        self.sim.enable_sharding(map, lookahead, threads);
+    }
 }
 
 fn op_slot_of(op_slot: &[u32], op: OpId) -> u32 {

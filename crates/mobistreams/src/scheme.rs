@@ -254,7 +254,7 @@ impl MsScheme {
                 class: job.class,
                 stream,
                 total_blocks: job.n_blocks,
-                blocks,
+                blocks: blocks.into(),
                 payload_bytes,
                 reply_expected,
                 tag,

@@ -50,7 +50,7 @@ impl fmt::Display for ActorId {
 }
 
 /// Simulated behaviour attached to an [`ActorId`].
-pub trait Actor: Any {
+pub trait Actor: Any + Send {
     /// Handle one event. `ctx` provides the clock, the RNG and the
     /// ability to schedule further events.
     fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx);

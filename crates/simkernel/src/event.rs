@@ -13,7 +13,7 @@ use std::fmt;
 
 /// A simulation event/message. Blanket-implemented for every
 /// `'static + Debug` type; do not implement manually.
-pub trait Event: Any + fmt::Debug {
+pub trait Event: Any + fmt::Debug + Send + Sync {
     /// Upcast to `&dyn Any` for downcasting.
     fn as_any(&self) -> &dyn Any;
     /// Upcast to `Box<dyn Any>` for by-value downcasting.
@@ -22,7 +22,7 @@ pub trait Event: Any + fmt::Debug {
     fn type_name(&self) -> &'static str;
 }
 
-impl<T: Any + fmt::Debug> Event for T {
+impl<T: Any + fmt::Debug + Send + Sync> Event for T {
     fn as_any(&self) -> &dyn Any {
         self
     }

@@ -116,6 +116,60 @@ impl SimRng {
         }
     }
 
+    /// Geometric deviate: the number of independent Bernoulli(`p`)
+    /// failures before the first success, sampled by inversion from a
+    /// single uniform (`floor(ln(1-U) / ln(1-p))`). Equivalent to
+    /// counting `chance(p)` calls until one returns true, but O(1).
+    ///
+    /// Requires `0 < p <= 1`; `p >= 1` returns 0 without touching the
+    /// stream.
+    pub fn geometric(&mut self, p: f64) -> u64 {
+        assert!(p > 0.0, "geometric requires p > 0");
+        if p >= 1.0 {
+            return 0;
+        }
+        // Guard the log: f64() may return exactly 0.
+        let u = (1.0 - self.f64()).max(f64::MIN_POSITIVE);
+        let g = (u.ln() / (1.0 - p).ln()).floor();
+        if g >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            g as u64
+        }
+    }
+
+    /// Binomial deviate: successes in `n` Bernoulli(`p`) trials,
+    /// sampled by geometric skips between successes (or between
+    /// failures when `p > 1/2`), so the expected number of uniforms is
+    /// `n·min(p, 1-p) + 1` rather than `n`. `p <= 0` and `p >= 1`
+    /// never touch the stream.
+    pub fn binomial(&mut self, n: u64, p: f64) -> u64 {
+        if p <= 0.0 {
+            return 0;
+        }
+        if p >= 1.0 {
+            return n;
+        }
+        // Count the rarer outcome by skipping over runs of the common
+        // one; each skip consumes exactly one uniform.
+        let (q, invert) = if p <= 0.5 {
+            (p, false)
+        } else {
+            (1.0 - p, true)
+        };
+        let mut rare = 0u64;
+        let mut i = self.geometric(q); // trials before the first rare outcome
+        while i < n {
+            rare += 1;
+            i += 1 + self.geometric(q);
+        }
+        if invert {
+            n - rare
+        } else {
+            rare
+        }
+    }
+
     /// Pick a uniformly random element of a slice.
     pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
         &items[self.index(items.len())]
@@ -231,6 +285,57 @@ mod tests {
         let sum: u64 = (0..n).map(|_| r.poisson(100.0)).sum();
         let mean = sum as f64 / n as f64;
         assert!((mean - 100.0).abs() < 2.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn geometric_matches_bernoulli_mean() {
+        let mut r = SimRng::new(41);
+        let p = 0.2;
+        let n = 50_000;
+        let sum: u64 = (0..n).map(|_| r.geometric(p)).sum();
+        let mean = sum as f64 / n as f64;
+        // E[failures before first success] = (1-p)/p = 4.
+        assert!((mean - 4.0).abs() < 0.1, "mean = {mean}");
+        assert_eq!(r.geometric(1.0), 0);
+    }
+
+    #[test]
+    fn binomial_moments() {
+        let mut r = SimRng::new(43);
+        let n_trials = 200u64;
+        let p = 0.3;
+        let reps = 20_000;
+        let draws: Vec<u64> = (0..reps).map(|_| r.binomial(n_trials, p)).collect();
+        let mean = draws.iter().sum::<u64>() as f64 / reps as f64;
+        let var = draws
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / reps as f64;
+        assert!((mean - 60.0).abs() < 0.5, "mean = {mean}"); // n·p
+        assert!((var - 42.0).abs() < 2.0, "var = {var}"); // n·p·(1-p)
+        assert!(draws.iter().all(|&x| x <= n_trials));
+    }
+
+    #[test]
+    fn binomial_high_p_uses_inverted_skips() {
+        let mut r = SimRng::new(47);
+        let reps = 20_000;
+        let sum: u64 = (0..reps).map(|_| r.binomial(100, 0.9)).sum();
+        let mean = sum as f64 / reps as f64;
+        assert!((mean - 90.0).abs() < 0.2, "mean = {mean}");
+    }
+
+    #[test]
+    fn binomial_extremes_never_touch_the_stream() {
+        let mut r = SimRng::new(53);
+        let before = r.clone();
+        assert_eq!(r.binomial(1000, 0.0), 0);
+        assert_eq!(r.binomial(1000, -1.0), 0);
+        assert_eq!(r.binomial(1000, 1.0), 1000);
+        assert_eq!(r.binomial(1000, 2.0), 1000);
+        let mut untouched = before;
+        assert_eq!(r.next_u64(), untouched.next_u64(), "stream was consumed");
     }
 
     #[test]

@@ -46,6 +46,12 @@ pub struct CellConfig {
     /// still goes out once it reaches the queue head. ~6 s of uplink
     /// backlog at the default rates.
     pub max_queue_bytes: u64,
+    /// Delay before a [`TxDropped`] congestion notice reaches the
+    /// sender. Physically this is the radio stack surfacing the
+    /// tail-drop; it also lower-bounds every cellular response, which
+    /// is what gives the parallel kernel a non-zero lookahead at the
+    /// region/core boundary.
+    pub drop_notify: SimDuration,
 }
 
 impl Default for CellConfig {
@@ -57,7 +63,29 @@ impl Default for CellConfig {
             overhead: 60,
             timeout: SimDuration::from_secs(5),
             max_queue_bytes: 128 * 1024,
+            drop_notify: SimDuration::from_millis(2),
         }
+    }
+}
+
+impl CellConfig {
+    /// Lower bound on the delay between any message entering the
+    /// cellular network and the earliest response it can trigger back
+    /// out to an endpoint at the default rates: the minimum of the
+    /// drop-notify delay ([`TxDropped`]), half the RTT ([`CellRx`]),
+    /// the failure timeout ([`TxFailed`]) and the time to clock a
+    /// minimum-size message through the default uplink ([`TxDone`]).
+    ///
+    /// This is the conservative *lookahead* a parallel event kernel may
+    /// use at the region/core boundary. It does not hold for endpoints
+    /// registered with faster-than-default uplink rates; keep those on
+    /// the global shard.
+    pub fn min_response_delay(&self) -> SimDuration {
+        let min_tx = crate::link::tx_time(self.overhead, self.default_up_bps);
+        self.drop_notify
+            .min(self.rtt / 2)
+            .min(self.timeout)
+            .min(min_tx)
     }
 }
 
@@ -232,7 +260,8 @@ impl CellularNet {
             self.stats.queue_drops += 1;
             ctx.count("cell.queue_drops", 1);
             if s.tag != 0 {
-                ctx.send(
+                ctx.send_in(
+                    self.cfg.drop_notify,
                     s.src,
                     TxDropped {
                         tag: s.tag,
@@ -264,7 +293,7 @@ impl CellularNet {
             self.stats.record_send(s.class, s.bytes, wire, up_air);
             if s.tag != 0 {
                 ctx.send_in(
-                    up_air,
+                    up_air.max(self.cfg.drop_notify),
                     s.src,
                     TxDropped {
                         tag: s.tag,
@@ -355,6 +384,24 @@ mod tests {
         impl_actor_any!();
     }
 
+    #[test]
+    fn min_response_delay_is_the_smallest_response_path() {
+        let cfg = CellConfig::default();
+        // drop_notify (2 ms) < tx_time(60 B, 168 kbps) ≈ 2.857 ms <
+        // rtt/2 (75 ms) < timeout (5 s).
+        assert_eq!(cfg.min_response_delay(), cfg.drop_notify);
+        // A zero-overhead config is bounded by the next-smallest term.
+        let zero_overhead = CellConfig {
+            overhead: 0,
+            ..CellConfig::default()
+        };
+        assert_eq!(
+            zero_overhead.min_response_delay(),
+            SimDuration::ZERO,
+            "zero overhead means a message can clock out instantly"
+        );
+    }
+
     fn setup() -> (Sim, ActorId, Vec<ActorId>) {
         let mut sim = Sim::new(3);
         let nodes: Vec<ActorId> = (0..3)
@@ -367,6 +414,7 @@ mod tests {
             overhead: 0,
             timeout: SimDuration::from_secs(5),
             max_queue_bytes: 128 * 1024,
+            drop_notify: SimDuration::from_millis(2),
         });
         for &n in &nodes {
             net.register(n);

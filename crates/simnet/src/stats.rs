@@ -77,6 +77,10 @@ pub struct NetStats {
     pub failed_sends: u64,
     /// Messages tail-dropped because a bounded link queue was full.
     pub queue_drops: u64,
+    /// Malformed or impossible sends the transport refused outright:
+    /// dead/unknown source radio, empty batch, unrecognized event type.
+    /// These consume no airtime and charge no bytes.
+    pub rejects: u64,
     /// Deepest per-link queue backlog observed anywhere (bytes).
     pub max_queue_depth: u64,
 }

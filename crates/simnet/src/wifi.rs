@@ -21,8 +21,9 @@
 //!   sends would.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use simkernel::{impl_actor_any, Actor, ActorId, Ctx, Event, SimDuration};
+use simkernel::{impl_actor_any, Actor, ActorId, Ctx, Event, SimDuration, SimRng};
 
 use crate::bitmap::Bitmap;
 use crate::link::{tx_time, RateQueue};
@@ -167,8 +168,9 @@ pub struct WifiBatchSend {
     /// Total blocks in the whole job (constant across phases; lets
     /// receivers size their reply bitmaps like the paper's).
     pub total_blocks: u32,
-    /// Identifiers of the blocks in this batch.
-    pub blocks: Vec<u32>,
+    /// Identifiers of the blocks in this batch. Shared (`Arc`) because
+    /// the medium fans the same list out to every receiver.
+    pub blocks: Arc<[u32]>,
     /// Total payload bytes across the listed blocks (the caller knows
     /// exact per-block sizes, including the smaller tail block).
     pub payload_bytes: u64,
@@ -193,8 +195,8 @@ pub struct WifiBatchRx {
     pub stream: u64,
     /// Total blocks in the whole job.
     pub total_blocks: u32,
-    /// The block ids that were broadcast.
-    pub blocks: Vec<u32>,
+    /// The block ids that were broadcast (shared across receivers).
+    pub blocks: Arc<[u32]>,
     /// `received.get(i)` ⇔ `blocks[i]` arrived here.
     pub received: Bitmap,
     /// Reply with a bitmap now?
@@ -335,8 +337,9 @@ impl WifiMedium {
 
     fn handle_send(&mut self, s: WifiSend, ctx: &mut Ctx) {
         if !self.link_state(s.src).reachable() {
-            // Dead phones transmit nothing.
-            self.stats.drops += 1;
+            // Dead phones transmit nothing: the send never reached the
+            // channel, so it is a reject, not a channel drop.
+            self.stats.rejects += 1;
             return;
         }
         let droppable = matches!(s.class, TrafficClass::Data | TrafficClass::Replication);
@@ -445,16 +448,72 @@ impl WifiMedium {
         }
     }
 
+    /// Sample which of `n` broadcast blocks survive the channel for one
+    /// receiver. Loss is iid Bernoulli per block, but sampled by
+    /// geometric *skips* between the rarer outcome (one uniform per
+    /// lost block instead of one per block), so the checkpoint
+    /// broadcast's 8000-block batches cost O(n·loss) draws. `loss == 0`
+    /// and `loss >= 1` never touch the RNG. Returns the reception
+    /// bitmap and the number of lost blocks.
+    fn sample_reception(n: usize, loss: f64, rng: &mut SimRng) -> (Bitmap, u64) {
+        if loss <= 0.0 {
+            return (Bitmap::ones(n), 0);
+        }
+        if loss >= 1.0 {
+            return (Bitmap::zeros(n), n as u64);
+        }
+        if loss <= 0.5 {
+            // Drops are the rare outcome: start from all-received and
+            // clear the dropped positions.
+            let mut received = Bitmap::ones(n);
+            let mut lost = 0u64;
+            let mut i = rng.geometric(loss) as usize;
+            while i < n {
+                received.set(i, false);
+                lost += 1;
+                i += 1 + rng.geometric(loss) as usize;
+            }
+            (received, lost)
+        } else {
+            // Receptions are the rare outcome: start from all-lost and
+            // set the kept positions.
+            let keep = 1.0 - loss;
+            let mut received = Bitmap::zeros(n);
+            let mut kept = 0u64;
+            let mut i = rng.geometric(keep) as usize;
+            while i < n {
+                received.set(i, true);
+                kept += 1;
+                i += 1 + rng.geometric(keep) as usize;
+            }
+            (received, n as u64 - kept)
+        }
+    }
+
     fn handle_batch(&mut self, b: WifiBatchSend, ctx: &mut Ctx) {
         if !self.link_state(b.src).reachable() {
-            self.stats.drops += b.blocks.len() as u64;
+            // Never reached the channel: a reject, not a channel drop
+            // (and no airtime — a dead radio does not transmit).
+            self.stats.rejects += 1;
             return;
         }
-        assert!(!b.blocks.is_empty(), "empty batch");
+        if b.blocks.is_empty() {
+            // Nothing to put on the air; complete the tag so callers'
+            // in-flight bookkeeping can't wedge on a degenerate batch.
+            self.stats.rejects += 1;
+            if b.tag != 0 {
+                ctx.send(b.src, TxDone { tag: b.tag });
+            }
+            return;
+        }
         let n = b.blocks.len() as u64;
         let payload = b.payload_bytes;
         let wire = payload + n * self.cfg.frame_overhead;
         let air = tx_time(wire, self.cfg.rate_bps);
+        // Airtime is charged once per batch, receivers or not: the
+        // radio transmits (and congests the channel) regardless of who
+        // is listening. Drops below are counted per receiver per lost
+        // block — a receiverless broadcast therefore drops nothing.
         let (_, end) = self.channel.reserve_span(ctx.now(), air, wire);
         self.stats.record_send(b.class, payload, wire, air);
         self.after_reserve(ctx);
@@ -467,16 +526,10 @@ impl WifiMedium {
             .filter(|(id, st)| **id != b.src && st.reachable())
             .map(|(id, _)| *id)
             .collect();
-        let p_keep = 1.0 - self.cfg.loss;
+        let loss = self.cfg.loss;
         for dst in receivers {
-            let mut received = Bitmap::zeros(b.blocks.len());
-            for i in 0..b.blocks.len() {
-                if ctx.rng().chance(p_keep) {
-                    received.set(i, true);
-                } else {
-                    self.stats.drops += 1;
-                }
-            }
+            let (received, lost) = Self::sample_reception(b.blocks.len(), loss, ctx.rng());
+            self.stats.drops += lost;
             ctx.send_in(
                 delay,
                 dst,
@@ -485,7 +538,7 @@ impl WifiMedium {
                     class: b.class,
                     stream: b.stream,
                     total_blocks: b.total_blocks,
-                    blocks: b.blocks.clone(),
+                    blocks: Arc::clone(&b.blocks),
                     received,
                     reply_expected: b.reply_expected,
                 },
@@ -505,8 +558,11 @@ impl Actor for WifiMedium {
             l: WifiSetLink => { self.set_link_state(l.node, l.state); },
             l: WifiSetLoss => { self.set_loss(l.loss); },
             _d: DrainCheck => { self.on_drain_check(ctx); },
-            @else other => {
-                panic!("WifiMedium: unhandled event {}", (*other).type_name());
+            @else _other => {
+                // Unknown event types are counted, not fatal (PR 2
+                // de-panicking convention): a stray message must not
+                // take the whole region's channel down.
+                self.stats.rejects += 1;
             }
         );
     }
@@ -758,6 +814,122 @@ mod tests {
         assert!((sim.now().as_secs_f64() - 8.192).abs() < 0.01);
     }
 
+    fn batch(src: ActorId, blocks: Arc<[u32]>, tag: u64) -> WifiBatchSend {
+        let n = blocks.len() as u64;
+        WifiBatchSend {
+            src,
+            class: TrafficClass::Checkpoint,
+            stream: 1,
+            total_blocks: n as u32,
+            blocks,
+            payload_bytes: n * 1024,
+            reply_expected: false,
+            tag,
+        }
+    }
+
+    #[test]
+    fn rejected_sends_are_counted_not_dropped() {
+        let (mut sim, m, nodes) = setup(0.0);
+        sim.actor_mut::<WifiMedium>(m)
+            .set_link_state(nodes[0], LinkState::Dead);
+        // Dead source, unicast send.
+        sim.schedule_at(
+            SimTime::ZERO,
+            m,
+            WifiSend {
+                src: nodes[0],
+                mode: SendMode::Unicast(nodes[1]),
+                service: Service::Datagram,
+                class: TrafficClass::Data,
+                bytes: 100,
+                tag: 0,
+                payload: Some(crate::payload(())),
+            },
+        );
+        // Dead source, batch send.
+        sim.schedule_at(SimTime::ZERO, m, batch(nodes[0], (0..10).collect(), 0));
+        // Live source, degenerate empty batch.
+        sim.schedule_at(SimTime::ZERO, m, batch(nodes[1], (0..0).collect(), 44));
+        sim.run();
+        let stats = sim.actor::<WifiMedium>(m).stats().clone();
+        assert_eq!(stats.rejects, 3);
+        assert_eq!(stats.drops, 0, "rejects must not inflate loss drops");
+        assert_eq!(stats.total_wire_bytes(), 0, "rejects charge no bytes");
+        assert_eq!(
+            stats.busy_time,
+            SimDuration::ZERO,
+            "rejects burn no airtime"
+        );
+        for &n in &nodes {
+            assert!(sim.actor::<Sink>(n).batch.is_empty());
+        }
+        // The empty batch still completes its tag so the sender's
+        // in-flight window can't wedge.
+        assert_eq!(sim.actor::<Sink>(nodes[1]).done, vec![44]);
+    }
+
+    #[test]
+    fn zero_receiver_broadcast_charges_airtime_but_drops_nothing() {
+        let (mut sim, m, nodes) = setup(0.5);
+        for &n in &nodes[1..] {
+            sim.actor_mut::<WifiMedium>(m)
+                .set_link_state(n, LinkState::Dead);
+        }
+        sim.schedule_at(SimTime::ZERO, m, batch(nodes[0], (0..100).collect(), 9));
+        sim.run();
+        let stats = sim.actor::<WifiMedium>(m).stats().clone();
+        // The radio transmitted: airtime and bytes are charged once.
+        assert_eq!(stats.messages(TrafficClass::Checkpoint), 1);
+        assert_eq!(stats.wire_bytes(TrafficClass::Checkpoint), 100 * 1024);
+        assert!((sim.now().as_secs_f64() - 0.8192).abs() < 0.001);
+        // Nobody was listening: no per-receiver loss is sampled, so no
+        // drops (previously airtime was charged but drop accounting
+        // diverged between this and the dead-source path).
+        assert_eq!(stats.drops, 0);
+        assert_eq!(stats.rejects, 0);
+        assert_eq!(sim.actor::<Sink>(nodes[0]).done, vec![9]);
+    }
+
+    #[test]
+    fn loss_extreme_batches_deliver_all_or_nothing() {
+        // loss == 0.0: every receiver gets every block, zero drops.
+        let (mut sim, m, nodes) = setup(0.0);
+        sim.schedule_at(SimTime::ZERO, m, batch(nodes[0], (0..500).collect(), 1));
+        sim.run();
+        for &n in &nodes[1..] {
+            assert_eq!(sim.actor::<Sink>(n).batch, vec![(1, 500)]);
+        }
+        assert_eq!(sim.actor::<WifiMedium>(m).stats().drops, 0);
+
+        // loss == 1.0: every receiver gets the batch header with an
+        // empty bitmap, and every block is counted dropped per receiver.
+        let (mut sim, m, nodes) = setup(1.0);
+        sim.schedule_at(SimTime::ZERO, m, batch(nodes[0], (0..500).collect(), 1));
+        sim.run();
+        for &n in &nodes[1..] {
+            assert_eq!(sim.actor::<Sink>(n).batch, vec![(1, 0)]);
+        }
+        assert_eq!(sim.actor::<WifiMedium>(m).stats().drops, 3 * 500);
+    }
+
+    #[test]
+    fn loss_extremes_never_touch_the_rng() {
+        for loss in [0.0, 1.0] {
+            let mut rng = SimRng::new(7);
+            let mut untouched = SimRng::new(7);
+            let (bm, lost) = WifiMedium::sample_reception(1000, loss, &mut rng);
+            assert_eq!(bm.count_ones(), if loss == 0.0 { 1000 } else { 0 });
+            assert_eq!(lost, if loss == 0.0 { 0 } else { 1000 });
+            assert_eq!(
+                rng.f64(),
+                untouched.f64(),
+                "loss={loss} must be RNG-free so toggling lossless links \
+                 cannot perturb unrelated random streams"
+            );
+        }
+    }
+
     #[test]
     fn reliable_costs_more_airtime_than_datagram() {
         let cfg = WifiConfig {
@@ -923,6 +1095,63 @@ mod tests {
         sim.run();
         for &n in &nodes[1..] {
             assert_eq!(sim.actor::<Sink>(n).rx.len(), 1);
+        }
+    }
+
+    mod sampling_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The geometric-skip fast path must be statistically
+            /// indistinguishable from the per-block Bernoulli sampler it
+            /// replaced: same Binomial(n, loss) lost-block count, and a
+            /// bitmap consistent with that count.
+            #[test]
+            fn geometric_skip_matches_per_block_sampling(
+                loss in 0.02f64..0.98,
+                seed in 0u64..1u64 << 32,
+            ) {
+                let n = 4000usize;
+                let mut rng = SimRng::new(seed);
+                let (bm, lost) = WifiMedium::sample_reception(n, loss, &mut rng);
+                prop_assert_eq!(bm.len(), n);
+                prop_assert_eq!(bm.count_ones() as u64 + lost, n as u64);
+
+                // Reference: the old one-chance()-per-block sampler.
+                let mut reference = SimRng::new(seed ^ 0x5EED);
+                let mut ref_lost = 0u64;
+                for _ in 0..n {
+                    if !reference.chance(1.0 - loss) {
+                        ref_lost += 1;
+                    }
+                }
+                // Both counts are Binomial(n, loss) draws; their
+                // difference has variance 2·n·loss·(1-loss). 6σ (+2 for
+                // tiny-variance corners) makes a false failure
+                // astronomically unlikely.
+                let sigma = (2.0 * n as f64 * loss * (1.0 - loss)).sqrt();
+                let diff = (lost as f64) - (ref_lost as f64);
+                prop_assert!(
+                    diff.abs() <= 6.0 * sigma + 2.0,
+                    "fast path lost {} vs per-block {} (loss {}, 6σ = {:.1})",
+                    lost, ref_lost, loss, 6.0 * sigma
+                );
+            }
+
+            /// Lost count is exact wrt the bitmap for every loss value,
+            /// including the RNG-free extremes.
+            #[test]
+            fn sample_reception_count_is_consistent(
+                // Past-1.0 values exercise the saturating all-lost path.
+                loss in 0.0f64..1.25,
+                n in 0usize..2000,
+                seed in 0u64..1u64 << 32,
+            ) {
+                let mut rng = SimRng::new(seed);
+                let (bm, lost) = WifiMedium::sample_reception(n, loss, &mut rng);
+                prop_assert_eq!(bm.count_zeros() as u64, lost);
+            }
         }
     }
 }

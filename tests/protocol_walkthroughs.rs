@@ -52,7 +52,7 @@ fn token_checkpoint_commits() {
 /// catch-up replays preserved inputs with sink squelching.
 #[test]
 fn failure_recovery_restores_the_pipeline() {
-    let mut dep = Deployment::build(small(AppKind::Bcp, Scheme::Ms, 4));
+    let mut dep = Deployment::build(small(AppKind::Bcp, Scheme::Ms, 6));
     dep.start();
     // Kill the D/H node (slot 2) after the first checkpoint.
     inject_failure(&mut dep, 0, 2, SimTime::from_secs(170));

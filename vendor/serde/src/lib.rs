@@ -23,6 +23,30 @@ pub mod json {
         Obj(Vec<(String, Value)>),
     }
 
+    /// Indexing an object by key, serde_json-style: a missing key (or
+    /// a non-object receiver) yields `Null` instead of panicking, so
+    /// lookups into parsed documents compose without `Option` chains.
+    impl std::ops::Index<&str> for Value {
+        type Output = Value;
+        fn index(&self, key: &str) -> &Value {
+            const NULL: Value = Value::Null;
+            match self {
+                Value::Obj(fields) => fields
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v)
+                    .unwrap_or(&NULL),
+                _ => &NULL,
+            }
+        }
+    }
+
+    impl std::fmt::Display for Value {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.render())
+        }
+    }
+
     fn escape_into(out: &mut String, s: &str) {
         out.push('"');
         for c in s.chars() {
@@ -142,6 +166,12 @@ macro_rules! impl_serialize_num {
 }
 
 impl_serialize_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for json::Value {
+    fn to_json_value(&self) -> json::Value {
+        self.clone()
+    }
+}
 
 impl Serialize for bool {
     fn to_json_value(&self) -> json::Value {
