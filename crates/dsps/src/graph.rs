@@ -146,6 +146,7 @@ impl QueryGraph {
         kind: OpKind,
         factory: impl Fn() -> Box<dyn Operator> + Send + Sync + 'static,
     ) -> OpId {
+        // simlint::allow(P001): graph construction happens before the sim starts, never on the event path; a >4B-op graph is a programming error
         let id = OpId(u32::try_from(self.ops.len()).expect("too many ops"));
         self.ops.push(OpSpec {
             name: name.into(),
@@ -165,6 +166,7 @@ impl QueryGraph {
         kind: OpKind,
         factory: Box<dyn Fn() -> Box<dyn Operator> + Send + Sync>,
     ) -> OpId {
+        // simlint::allow(P001): graph construction happens before the sim starts, never on the event path; a >4B-op graph is a programming error
         let id = OpId(u32::try_from(self.ops.len()).expect("too many ops"));
         self.ops.push(OpSpec {
             name: name.into(),
@@ -185,6 +187,7 @@ impl QueryGraph {
     pub fn connect(&mut self, from: OpId, to: OpId) -> EdgeId {
         assert!(from.index() < self.ops.len(), "unknown op {from:?}");
         assert!(to.index() < self.ops.len(), "unknown op {to:?}");
+        // simlint::allow(P001): graph construction happens before the sim starts, never on the event path; a >4B-edge graph is a programming error
         let id = EdgeId(u32::try_from(self.edges.len()).expect("too many edges"));
         self.edges.push(Edge { from, to });
         self.ops[from.index()].out_edges.push(id);

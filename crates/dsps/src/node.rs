@@ -670,20 +670,17 @@ impl NodeActor {
                 let Some(q) = inner.queues.get_mut(&e) else {
                     continue;
                 };
-                match q.front() {
+                // Pop-and-match instead of peek-then-pop: both arms
+                // consume the front item, so popping first needs no
+                // unreachable!() fallback for the re-matched front.
+                match q.pop_front() {
                     None => continue,
-                    Some(StreamItem::Marker(_)) => {
-                        let Some(StreamItem::Marker(m)) = q.pop_front() else {
-                            unreachable!()
-                        };
+                    Some(StreamItem::Marker(m)) => {
                         self.scheme.on_marker(m, e, inner, ctx);
                         marker_handled = true;
                         break; // rescan: pause set may have changed
                     }
-                    Some(StreamItem::Tuple(_)) => {
-                        let Some(StreamItem::Tuple(t)) = q.pop_front() else {
-                            unreachable!()
-                        };
+                    Some(StreamItem::Tuple(t)) => {
                         inner.rr = (inner.rr + off + 1) % n;
                         picked = Some((e, t));
                         break;

@@ -141,6 +141,11 @@ pub struct FleetConfig {
     /// wall-clock knob: the report digest is bit-identical for every
     /// value (see `Sim::enable_sharding`).
     pub threads: usize,
+    /// Force the kernel's causality sanitizer on (it is already on by
+    /// default in debug builds). Observation-only: the simulated
+    /// schedule and the report digest are unchanged; the report's
+    /// `sanitizer_*` fields carry the per-window ledger.
+    pub sanitize: bool,
 }
 
 impl FleetConfig {
@@ -486,6 +491,13 @@ pub struct FleetReport {
     pub per_region_cell_drops: Vec<u64>,
     /// Deepest cellular link backlog at each region's phones (bytes).
     pub per_region_cell_max_queue_depth: Vec<u64>,
+    /// Barrier windows the causality sanitizer folded (0 when it was
+    /// off). Excluded from the digest: digests must agree between
+    /// sanitized and unsanitized runs of the same config.
+    pub sanitizer_windows: u64,
+    /// The sanitizer's per-window RNG/event ledger (0 when off;
+    /// excluded from the digest for the same reason).
+    pub sanitizer_ledger: u64,
     /// FNV-1a digest of the deterministic fields above.
     pub digest: u64,
 }
@@ -547,8 +559,12 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
     let wall = std::time::Instant::now();
     let (mut dep, schedule) = build_fleet(cfg);
     dep.enable_sharding(cfg.threads);
+    if cfg.sanitize {
+        dep.sim.enable_sanitizer();
+    }
     let to = SimTime::ZERO + cfg.duration;
     dep.run_until(to);
+    let san = dep.sim.causality_report();
     let h = harvest(&dep, SimTime::ZERO + cfg.warmup, to);
 
     let (churn_failures, churn_departures, churn_rejoins) =
@@ -607,6 +623,8 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
             .iter()
             .map(|r| r.cell_max_queue_depth)
             .collect(),
+        sanitizer_windows: san.map(|r| r.windows).unwrap_or(0),
+        sanitizer_ledger: san.map(|r| r.ledger).unwrap_or(0),
         digest: 0,
     };
     report.digest = report.compute_digest();
@@ -647,6 +665,7 @@ pub fn bench_profile(regions: usize, phones: u32, seed: u64) -> FleetConfig {
         warmup: SimDuration::from_secs(10),
         seed,
         threads: 1,
+        sanitize: false,
     }
 }
 
@@ -690,6 +709,7 @@ fn base_profile(name: &str, seed: u64, regions: Vec<FleetRegion>) -> FleetConfig
         warmup: SimDuration::from_secs(60),
         seed,
         threads: 1,
+        sanitize: false,
     }
 }
 
@@ -899,6 +919,58 @@ mod tests {
         );
         assert!(stadium.regions.len() >= 8, "stadium must span 8+ regions");
         assert!(profile("nope", 1).is_none());
+    }
+
+    /// D002's allowlist lets `run_fleet` read the wall clock, but the
+    /// reading must never feed the determinism digest: rewriting every
+    /// wall-clock-derived (and sanitizer) field leaves it unchanged.
+    #[test]
+    fn wall_clock_and_sanitizer_fields_never_feed_the_digest() {
+        let mut r = run_fleet(&mini(13));
+        let before = r.digest;
+        r.wall_secs = 1e9;
+        r.events_per_sec = -7.5;
+        r.sanitizer_windows = u64::MAX;
+        r.sanitizer_ledger = u64::MAX;
+        assert_eq!(
+            r.compute_digest(),
+            before,
+            "digest must be a pure function of the simulated schedule"
+        );
+    }
+
+    /// The sanitizer is observation-only: forcing it on cannot change
+    /// the report digest, and a clean run folds a non-trivial ledger.
+    #[test]
+    fn sanitize_flag_never_changes_the_digest() {
+        let plain = run_fleet(&mini(17));
+        let mut cfg = mini(17);
+        cfg.sanitize = true;
+        let sanitized = run_fleet(&cfg);
+        assert_eq!(plain.digest, sanitized.digest);
+        assert_eq!(plain.events_processed, sanitized.events_processed);
+        assert!(sanitized.sanitizer_windows > 0, "no windows folded");
+        assert_ne!(sanitized.sanitizer_ledger, 0, "empty ledger");
+    }
+
+    /// The per-window ledger (RNG draw counts + events per shard at
+    /// every barrier) is itself thread-count invariant: a stronger
+    /// check than final-digest equality, because it pins the replayed
+    /// schedule window by window.
+    #[test]
+    fn sanitizer_ledger_matches_across_thread_counts() {
+        let mut seq = mini(23);
+        seq.sanitize = true;
+        let mut par = seq.clone();
+        par.threads = 4;
+        let r1 = run_fleet(&seq);
+        let rn = run_fleet(&par);
+        assert_eq!(r1.digest, rn.digest);
+        assert_eq!(r1.sanitizer_windows, rn.sanitizer_windows);
+        assert_eq!(
+            r1.sanitizer_ledger, rn.sanitizer_ledger,
+            "per-window RNG/event ledger diverged across thread counts"
+        );
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! msx fig10  [--quick] [--seeds N]
 //! msx all    [--quick] [--seeds N]
 //! msx scenarios list
-//! msx scenarios run --profile <stadium|commute|flash-crowd|lossy-wifi> [--seed N] [--threads N]
+//! msx scenarios run --profile <stadium|commute|flash-crowd|lossy-wifi> [--seed N] [--threads N] [--sanitize]
 //! msx bench fleet [--smoke] [--threads N] [--out FILE]
+//! msx lint [--rules] [--root DIR]
 //! ```
 //!
 //! Text tables print to stdout; JSON copies land in `./results/`
@@ -57,6 +58,7 @@ fn main() {
         "ablate" => ablate_cmd(opts, &out),
         "scenarios" => scenarios_cmd(&args, &out),
         "bench" => bench_cmd(&args),
+        "lint" => lint_cmd(&args),
         "all" => {
             table1_cmd(opts, &out);
             fig8_cmd(opts, &out);
@@ -66,12 +68,55 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command '{other}'; use table1|fig8|fig9|fig10|ablate|scenarios|bench|all"
+                "unknown command '{other}'; use table1|fig8|fig9|fig10|ablate|scenarios|bench|lint|all"
             );
             std::process::exit(2);
         }
     }
     eprintln!("[msx] done in {:.1}s", started.elapsed().as_secs_f64());
+}
+
+/// `msx lint [--rules] [--root DIR]` — run the determinism lint pass
+/// over every `crates/*/src` file. Exits 1 on any finding, 2 if the
+/// workspace cannot be read. See `crates/simlint` and the README's
+/// "Determinism rules" section for the rule catalogue.
+fn lint_cmd(args: &[String]) {
+    if args.iter().any(|a| a == "--rules") {
+        println!("simlint rules:");
+        for r in simlint::RULES {
+            println!("  {}  {}", r.id, r.summary);
+            println!("        {}", r.rationale);
+        }
+        println!("  L100  an allow directive that suppressed nothing");
+        println!("  L101  a malformed allow directive");
+        println!("\nsuppress with a comment: simlint::allow(RULE): reason");
+        return;
+    }
+    let root = args
+        .iter()
+        .position(|a| a == "--root")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    match simlint::lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("[msx] lint clean: no determinism findings");
+        }
+        Ok(findings) => {
+            for f in &findings {
+                eprintln!("{f}");
+            }
+            eprintln!("[msx] lint: {} finding(s)", findings.len());
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!(
+                "[msx] lint: cannot read workspace at {}: {e}",
+                root.display()
+            );
+            std::process::exit(2);
+        }
+    }
 }
 
 fn scenarios_cmd(args: &[String], out: &Path) {
@@ -117,6 +162,7 @@ fn scenarios_cmd(args: &[String], out: &Path) {
                 std::process::exit(2);
             };
             cfg.threads = threads.max(1);
+            cfg.sanitize = args.iter().any(|a| a == "--sanitize");
             eprintln!(
                 "[msx] scenario '{name}' seed {seed}: {} regions × ~{} phones ({} total), {:.0}s sim...",
                 cfg.regions.len(),
@@ -125,6 +171,12 @@ fn scenarios_cmd(args: &[String], out: &Path) {
                 cfg.duration.as_secs_f64(),
             );
             let r = fleet::run_fleet(&cfg);
+            if cfg.sanitize {
+                eprintln!(
+                    "[msx] causality sanitizer: {} windows clean, ledger {:#018x}",
+                    r.sanitizer_windows, r.sanitizer_ledger
+                );
+            }
             println!("{}", fleet_table(&r).render());
             let dir = out.join("scenarios");
             match r.save_json(&dir) {

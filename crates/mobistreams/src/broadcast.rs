@@ -183,6 +183,7 @@ impl SenderJob {
     ) -> Self {
         assert!(total_bytes > 0, "empty blob");
         assert!(block_bytes > 0);
+        // simlint::allow(P001): job construction bound — blob sizes are config-bounded megabytes, >4T bytes is a programming error, and this runs before the job enters the event path
         let n_blocks = u32::try_from(total_bytes.div_ceil(block_bytes)).expect("blob too large");
         let tail = total_bytes - (n_blocks as u64 - 1) * block_bytes;
         let per_rx = expected

@@ -29,6 +29,7 @@ impl ActorId {
     /// Construct from a raw index. Only for tests and side-table decode;
     /// normal code receives ids from [`crate::Sim::add_actor`].
     pub fn from_index(ix: usize) -> Self {
+        // simlint::allow(P001): registration-time bound — more than 4B actors is a programming error, and ids are minted before the sim runs
         ActorId(u32::try_from(ix).expect("actor index exceeds u32"))
     }
 }

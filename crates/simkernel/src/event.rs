@@ -34,6 +34,29 @@ impl<T: Any + fmt::Debug + Send + Sync> Event for T {
     }
 }
 
+/// A typed downcast failure: the event that arrived is not the type the
+/// handler expected. Carries both type names so a mis-routed event is
+/// immediately diagnosable instead of a bare `expect` panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MisroutedEvent {
+    /// The type the handler asked for.
+    pub expected: &'static str,
+    /// The type that actually arrived.
+    pub actual: &'static str,
+}
+
+impl fmt::Display for MisroutedEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mis-routed event: handler expected {}, got {}",
+            self.expected, self.actual
+        )
+    }
+}
+
+impl std::error::Error for MisroutedEvent {}
+
 impl dyn Event {
     /// True if the boxed event is a `T`.
     pub fn is<T: Any>(&self) -> bool {
@@ -49,10 +72,23 @@ impl dyn Event {
     /// caller can try the next candidate type.
     pub fn downcast<T: Any>(self: Box<dyn Event>) -> Result<Box<T>, Box<dyn Event>> {
         if self.is::<T>() {
+            // simlint::allow(P001): guarded by the is::<T> check one line up — this downcast cannot fail
             Ok(self.into_any().downcast::<T>().expect("checked by is::<T>"))
         } else {
             Err(self)
         }
+    }
+
+    /// Consuming downcast for handlers that accept exactly one type:
+    /// on mismatch, returns a [`MisroutedEvent`] naming both the
+    /// expected and the actual type, so dispatch errors carry enough
+    /// context to find the bad sender.
+    pub fn downcast_expected<T: Any>(self: Box<dyn Event>) -> Result<Box<T>, MisroutedEvent> {
+        let actual = (*self).type_name();
+        self.downcast::<T>().map_err(|_| MisroutedEvent {
+            expected: std::any::type_name::<T>(),
+            actual,
+        })
     }
 }
 
@@ -130,6 +166,23 @@ mod tests {
         // Note: call through the deref — `Box<dyn Event>` itself satisfies
         // the blanket impl, so `ev.type_name()` would name the Box.
         assert!((*ev).type_name().ends_with("Pong"));
+    }
+
+    #[test]
+    fn downcast_expected_names_both_types() {
+        let ev: Box<dyn Event> = Box::new(Ping(4));
+        let err = ev.downcast_expected::<Pong>().unwrap_err();
+        assert!(
+            err.expected.ends_with("Pong"),
+            "expected = {}",
+            err.expected
+        );
+        assert!(err.actual.ends_with("Ping"), "actual = {}", err.actual);
+        let msg = err.to_string();
+        assert!(msg.contains("mis-routed"), "message = {msg}");
+
+        let ev: Box<dyn Event> = Box::new(Ping(4));
+        assert_eq!(*ev.downcast_expected::<Ping>().unwrap(), Ping(4));
     }
 
     #[test]

@@ -48,8 +48,8 @@ pub mod time;
 pub mod trace;
 
 pub use actor::{Actor, ActorId};
-pub use event::Event;
+pub use event::{Event, MisroutedEvent};
 pub use rng::SimRng;
-pub use sim::{Ctx, Sim};
+pub use sim::{CausalityReport, Ctx, Sim};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceRecord};

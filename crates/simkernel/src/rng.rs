@@ -14,6 +14,11 @@ pub struct SimRng {
     inner: SmallRng,
     /// Cached second normal deviate from Box–Muller.
     spare_normal: Option<f64>,
+    /// Primitive draws taken from the underlying stream so far. The
+    /// causality sanitizer folds this into its per-window ledger: two
+    /// runs of the same seed must consume every shard's stream at the
+    /// same rate, or their schedules have already diverged.
+    draws: u64,
 }
 
 impl SimRng {
@@ -22,30 +27,41 @@ impl SimRng {
         SimRng {
             inner: SmallRng::seed_from_u64(seed),
             spare_normal: None,
+            draws: 0,
         }
+    }
+
+    /// Primitive draws consumed from the stream since creation.
+    /// Deterministic: a pure function of the call sequence.
+    pub fn draw_count(&self) -> u64 {
+        self.draws
     }
 
     /// Derive an independent child generator (e.g. one per experiment
     /// run) so parallel runs never share a stream.
     pub fn fork(&mut self, salt: u64) -> SimRng {
+        self.draws += 1;
         let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::new(s)
     }
 
     /// Uniform in `[0, 1)`.
     pub fn f64(&mut self) -> f64 {
+        self.draws += 1;
         self.inner.gen::<f64>()
     }
 
     /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.draws += 1;
         self.inner.gen_range(lo..hi)
     }
 
     /// Uniform usize in `[0, n)`. Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index() over empty collection");
+        self.draws += 1;
         self.inner.gen_range(0..n)
     }
 
@@ -56,6 +72,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
+            self.draws += 1;
             self.inner.gen::<f64>() < p
         }
     }
@@ -186,15 +203,19 @@ impl SimRng {
 
 impl RngCore for SimRng {
     fn next_u32(&mut self) -> u32 {
+        self.draws += 1;
         self.inner.next_u32()
     }
     fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
         self.inner.next_u64()
     }
     fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.draws += 1;
         self.inner.fill_bytes(dest)
     }
     fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.draws += 1;
         self.inner.try_fill_bytes(dest)
     }
 }
@@ -346,6 +367,27 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn draw_count_tracks_stream_consumption() {
+        let mut a = SimRng::new(7);
+        assert_eq!(a.draw_count(), 0);
+        a.f64();
+        a.range_u64(0, 10);
+        a.chance(0.5);
+        assert_eq!(a.draw_count(), 3);
+        // Shortcut paths never touch the stream, so they never count.
+        a.chance(0.0);
+        a.chance(1.0);
+        assert_eq!(a.binomial(100, 0.0), 0);
+        assert_eq!(a.draw_count(), 3);
+        // Identical call sequences consume identically.
+        let mut b = SimRng::new(99);
+        b.f64();
+        b.range_u64(0, 10);
+        b.chance(0.5);
+        assert_eq!(a.draw_count(), b.draw_count());
     }
 
     #[test]

@@ -29,6 +29,21 @@
 //! **bit-for-bit identical regardless of worker thread count**, and the
 //! thread count only decides how the per-window work is scheduled onto
 //! OS threads.
+//!
+//! # Causality sanitizer
+//!
+//! The sharding contract is the caller's promise, and a silently broken
+//! promise surfaces as a wrong digest hours later. The **causality
+//! sanitizer** ([`Sim::enable_sanitizer`], on by default in debug
+//! builds) turns violations into immediate, diagnosable panics at the
+//! barrier: direct region-to-region sends, deliveries below a shard's
+//! safe horizon, and non-monotone merge keys are all caught with the
+//! offending event's type, actors and times in the message. It also
+//! folds every shard's RNG draw count and event count into a rolling
+//! per-window ledger ([`Sim::causality_report`]) so two runs of the
+//! same seed can be checked for identical per-window stream
+//! consumption — the earliest observable symptom of a schedule
+//! divergence.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -190,6 +205,43 @@ impl Ctx<'_> {
     }
 }
 
+/// Rolling state of the runtime causality sanitizer (see the module
+/// docs and [`Sim::enable_sanitizer`]).
+struct Sanitizer {
+    /// Barrier windows folded into the ledger so far.
+    windows: u64,
+    /// FNV-1a over `(window, shard, rng draws, events processed)`
+    /// tuples, one per shard per barrier window.
+    ledger: u64,
+}
+
+impl Sanitizer {
+    fn new() -> Self {
+        Sanitizer {
+            windows: 0,
+            ledger: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    fn fold(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.ledger ^= b as u64;
+            self.ledger = self.ledger.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Snapshot of the causality sanitizer's ledger, for cross-run
+/// comparison: two runs of the same seed and topology must produce
+/// identical reports, or their per-window RNG/event schedules diverged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CausalityReport {
+    /// Barrier windows observed.
+    pub windows: u64,
+    /// Rolling digest of per-window, per-shard `(rng draws, events)`.
+    pub ledger: u64,
+}
+
 /// A discrete-event simulation: actor table + event heap(s) + clock(s).
 pub struct Sim {
     cores: Vec<Core>,
@@ -204,6 +256,9 @@ pub struct Sim {
     threads: usize,
     /// Minimum cross-boundary delay the topology guarantees.
     lookahead: SimDuration,
+    /// Runtime causality checks; `Some` = enabled (default in debug
+    /// builds), `None` = disabled.
+    sanitizer: Option<Sanitizer>,
 }
 
 impl Sim {
@@ -227,7 +282,49 @@ impl Sim {
             shard_of: Arc::from([]),
             threads: 1,
             lookahead: SimDuration::ZERO,
+            sanitizer: if cfg!(debug_assertions) {
+                Some(Sanitizer::new())
+            } else {
+                None
+            },
         }
+    }
+
+    /// Turn on the runtime causality sanitizer (already on by default
+    /// in debug builds). Every cross-shard delivery is checked against
+    /// the destination shard's safe horizon, barrier merge keys must be
+    /// strictly increasing, direct region-to-region sends panic with
+    /// the offending event named, and per-shard RNG draw counts are
+    /// folded into a per-window ledger ([`Sim::causality_report`]).
+    /// Adds no events and no RNG draws, so the simulated schedule — and
+    /// every report digest — is identical with the sanitizer on or off.
+    pub fn enable_sanitizer(&mut self) {
+        if self.sanitizer.is_none() {
+            self.sanitizer = Some(Sanitizer::new());
+        }
+    }
+
+    /// Turn the causality sanitizer off (e.g. for release-mode
+    /// benchmarking of the bare kernel). Discards the ledger.
+    pub fn disable_sanitizer(&mut self) {
+        self.sanitizer = None;
+    }
+
+    /// Whether the causality sanitizer is active.
+    pub fn sanitizer_enabled(&self) -> bool {
+        self.sanitizer.is_some()
+    }
+
+    /// The sanitizer's rolling window/ledger snapshot, `None` when the
+    /// sanitizer is disabled. Two runs of the same seed and topology
+    /// must agree on this report — compare it across runs (or across
+    /// thread counts) to catch schedule divergence at the first window
+    /// where per-shard RNG or event consumption differs.
+    pub fn causality_report(&self) -> Option<CausalityReport> {
+        self.sanitizer.as_ref().map(|s| CausalityReport {
+            windows: s.windows,
+            ledger: s.ledger,
+        })
     }
 
     /// Register an actor; returns its id. Ids are assigned densely in
@@ -435,7 +532,9 @@ impl Sim {
                     break;
                 }
             }
-            let entry = core.heap.pop().expect("peeked above");
+            let Some(entry) = core.heap.pop() else {
+                break;
+            };
             debug_assert!(entry.at >= core.now, "time went backwards");
             core.now = entry.at;
             core.events_processed += 1;
@@ -447,8 +546,10 @@ impl Sim {
             let ix = local_ix[entry.to.index()] as usize;
             let mut actor = actors
                 .get_mut(ix)
+                // simlint::allow(P001): kernel-integrity invariant — an event addressed past the actor table means the shard map is corrupt; fail fast
                 .unwrap_or_else(|| panic!("event for unknown {:?}", entry.to))
                 .take()
+                // simlint::allow(P001): the slot is always restored after dispatch; a vacant slot here is kernel corruption, not an input error
                 .unwrap_or_else(|| panic!("re-entrant dispatch to {:?}", entry.to));
             {
                 let mut ctx = Ctx {
@@ -467,25 +568,58 @@ impl Sim {
     /// sort, independent of which worker thread ran which shard.
     fn merge_outboxes(&mut self) {
         let n = self.cores.len();
+        let sanitize = self.sanitizer.is_some();
+        let lookahead = self.lookahead;
         let mut inbound: Vec<Vec<OutEntry>> = (0..n).map(|_| Vec::new()).collect();
         for (src, core) in self.cores.iter_mut().enumerate() {
             for mut e in core.outbox.drain(..) {
+                let d = e.dest as usize;
+                if sanitize && src > 0 && d > 0 && d != src {
+                    // simlint::allow(P001): causality sanitizer — the sharding contract forbids region shards messaging each other directly
+                    panic!(
+                        "causality sanitizer: direct region-to-region send \
+                         shard {src} -> shard {d} ({} for {:?} at {:?}); regions \
+                         may only communicate through the global shard 0",
+                        (*e.ev).type_name(),
+                        e.to,
+                        e.at,
+                    );
+                }
                 // Reuse `dest` to carry the source shard through the
                 // sort; the vec index already names the destination.
-                let d = e.dest as usize;
                 e.dest = src as u16;
                 inbound[d].push(e);
             }
         }
         for (d, mut entries) in inbound.into_iter().enumerate() {
             entries.sort_by_key(|a| (a.at, a.dest, a.src_seq));
+            if sanitize {
+                for w in entries.windows(2) {
+                    let a = (w[0].at, w[0].dest, w[0].src_seq);
+                    let b = (w[1].at, w[1].dest, w[1].src_seq);
+                    assert!(
+                        a < b,
+                        "causality sanitizer: merge keys into shard {d} are not \
+                         strictly increasing ({a:?} then {b:?}): duplicate \
+                         (source shard, source seq) pairs make the merge order \
+                         ambiguous"
+                    );
+                }
+            }
             let core = &mut self.cores[d];
             for e in entries {
                 assert!(
                     e.at >= core.now,
-                    "cross-shard message into shard {d} at {:?} violates lookahead (now {:?})",
+                    "cross-shard message into shard {d} is below the shard's \
+                     safe horizon: {} from shard {} for {:?} at {:?}, but the \
+                     shard already ran to {:?} — the configured lookahead \
+                     ({lookahead:?}) exceeds the actual minimum cross-shard \
+                     delay of this event chain",
+                    (*e.ev).type_name(),
+                    e.dest,
+                    e.to,
                     e.at,
-                    core.now
+                    core.now,
                 );
                 let seq = core.seq;
                 core.seq += 1;
@@ -554,34 +688,52 @@ impl Sim {
                 (Some(_), None) => true,
                 _ => false,
             };
-            if global_first {
-                // Shard 0 runs alone while it holds the earliest event.
-                // Anything a non-global shard will send it arrives at
-                // `>= t_r`, so `<= t_r` is safe to process now.
-                let bound = match (t_r, until) {
-                    (Some(a), Some(b)) => Some(a.min(b)),
-                    (a, b) => a.or(b),
-                };
-                Self::run_window(
-                    &mut self.cores[0],
-                    &mut self.shard_actors[0],
-                    &self.local_ix,
-                    None,
-                    bound,
-                    None,
-                );
-            } else {
-                // Nothing can newly arrive inside a region before
-                // min(t_g, t_r + lookahead): resident global events all
-                // sit at >= t_g, and chains seeded by this window's own
-                // sends re-enter regions only after >= lookahead of
-                // cellular delay.
-                let t_r = t_r.expect("global_first is false");
-                let w = match t_g {
-                    Some(g) => g.min(t_r + self.lookahead),
-                    None => t_r + self.lookahead,
-                };
-                self.run_region_windows(w, until);
+            match t_r {
+                Some(t_r) if !global_first => {
+                    // Nothing can newly arrive inside a region before
+                    // min(t_g, t_r + lookahead): resident global events
+                    // all sit at >= t_g, and chains seeded by this
+                    // window's own sends re-enter regions only after
+                    // >= lookahead of cellular delay.
+                    let w = match t_g {
+                        Some(g) => g.min(t_r + self.lookahead),
+                        None => t_r + self.lookahead,
+                    };
+                    self.run_region_windows(w, until);
+                }
+                _ => {
+                    // Shard 0 runs alone while it holds the earliest
+                    // event. Anything a non-global shard will send it
+                    // arrives at `>= t_r`, so `<= t_r` is safe to
+                    // process now.
+                    let bound = match (t_r, until) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    };
+                    Self::run_window(
+                        &mut self.cores[0],
+                        &mut self.shard_actors[0],
+                        &self.local_ix,
+                        None,
+                        bound,
+                        None,
+                    );
+                }
+            }
+            if let Some(s) = &mut self.sanitizer {
+                // Fold every shard's cumulative RNG draw count and event
+                // count into the per-window ledger: two runs of the same
+                // seed must agree on this at every single window, so a
+                // diverging schedule is pinned to the first window where
+                // stream consumption differs.
+                let window = s.windows;
+                s.windows += 1;
+                s.fold(window);
+                for (i, c) in self.cores.iter().enumerate() {
+                    s.fold(i as u64);
+                    s.fold(c.rng.draw_count());
+                    s.fold(c.events_processed);
+                }
             }
         }
         if let Some(u) = until {
@@ -612,13 +764,16 @@ impl Sim {
 
     /// Borrow an actor, downcast to its concrete type (post-run harvest).
     ///
-    /// Panics if the id is unknown or the type does not match.
+    /// Panics if the id is unknown or the type does not match; use
+    /// [`Sim::try_actor`] for the fallible variant.
     pub fn actor<T: Actor>(&self, id: ActorId) -> &T {
         self.shard_actors[self.owner_of(id)][self.local_ix[id.index()] as usize]
             .as_ref()
+            // simlint::allow(P001): documented harvest-time API, never on the event path; try_actor is the fallible variant
             .unwrap_or_else(|| panic!("{id:?} is mid-dispatch"))
             .as_any()
             .downcast_ref::<T>()
+            // simlint::allow(P001): documented harvest-time API, never on the event path; try_actor is the fallible variant
             .unwrap_or_else(|| panic!("{id:?} is not a {}", std::any::type_name::<T>()))
     }
 
@@ -627,9 +782,11 @@ impl Sim {
         let shard = self.owner_of(id);
         self.shard_actors[shard][self.local_ix[id.index()] as usize]
             .as_mut()
+            // simlint::allow(P001): documented harvest-time API, never on the event path; try_actor is the fallible variant
             .unwrap_or_else(|| panic!("{id:?} is mid-dispatch"))
             .as_any_mut()
             .downcast_mut::<T>()
+            // simlint::allow(P001): documented harvest-time API, never on the event path; try_actor is the fallible variant
             .unwrap_or_else(|| panic!("{id:?} is not a {}", std::any::type_name::<T>()))
     }
 
@@ -682,7 +839,9 @@ mod tests {
 
     impl Actor for Paddle {
         fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
-            let ball = ev.downcast::<Ball>().expect("only balls fly here");
+            // Typed dispatch: a mis-routed event yields a MisroutedEvent
+            // naming both types instead of an opaque expect message.
+            let ball = ev.downcast_expected::<Ball>().unwrap();
             self.hits += 1;
             self.times.push(ctx.now());
             if ball.bounce < self.max {
@@ -745,7 +904,7 @@ mod tests {
 
     impl Actor for Recorder {
         fn on_event(&mut self, ev: Box<dyn Event>, _ctx: &mut Ctx) {
-            self.seen.push(ev.downcast::<Tag>().unwrap().0);
+            self.seen.push(ev.downcast_expected::<Tag>().unwrap().0);
         }
         impl_actor_any!();
     }
@@ -854,7 +1013,7 @@ mod tests {
 
     impl Actor for Hub {
         fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
-            let p = ev.downcast::<Ping>().unwrap();
+            let p = ev.downcast_expected::<Ping>().unwrap();
             self.log.push((ctx.now(), p.0));
             // Advance to the next round once every peer has replied
             // (the kickoff Ping(0) opens round 1 immediately).
@@ -882,7 +1041,7 @@ mod tests {
 
     impl Actor for Echo {
         fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
-            let p = ev.downcast::<Ping>().unwrap();
+            let p = ev.downcast_expected::<Ping>().unwrap();
             // Draw from this shard's RNG stream: thread-count
             // independence must hold even with randomness in play.
             let draw = ctx.rng().range_u64(0, 100);
@@ -977,6 +1136,135 @@ mod tests {
         sim.add_actor(Box::<Recorder>::default());
         sim.enable_sharding(vec![0], SimDuration::ZERO, 2);
     }
+
+    // ---- causality sanitizer tests --------------------------------
+
+    /// Self-ticks every `period` until `stop`, so its shard's clock
+    /// runs ahead inside each barrier window.
+    struct Ticker {
+        period: SimDuration,
+        stop: SimTime,
+    }
+
+    impl Actor for Ticker {
+        fn on_event(&mut self, _ev: Box<dyn Event>, ctx: &mut Ctx) {
+            if ctx.now() < self.stop {
+                let me = ctx.self_id();
+                ctx.send_in(self.period, me, Tag(0));
+            }
+        }
+        impl_actor_any!();
+    }
+
+    /// Forwards anything it receives to `dst` after `delay`.
+    struct Relay {
+        dst: ActorId,
+        delay: SimDuration,
+    }
+
+    impl Actor for Relay {
+        fn on_event(&mut self, _ev: Box<dyn Event>, ctx: &mut Ctx) {
+            ctx.send_in(self.delay, self.dst, Tag(1));
+        }
+        impl_actor_any!();
+    }
+
+    /// A relay on the global shard that forwards into a region with a
+    /// delay far below the claimed lookahead, while that region's
+    /// clock runs ahead inside its window: the merged delivery lands
+    /// below the region's safe horizon and the sanitizer must name it.
+    #[test]
+    #[should_panic(expected = "safe horizon")]
+    fn sanitizer_catches_below_horizon_delivery() {
+        let mut sim = Sim::new(0);
+        // Shard 0: relay that turns a region message around in 0.5 ms —
+        // far below the 5 ms lookahead the sharding call claims.
+        let relay = sim.add_actor(Box::new(Relay {
+            dst: ActorId::UNSET,
+            delay: SimDuration::from_micros(500),
+        }));
+        // Shard 1: dense ticker (its clock runs ahead in each window).
+        let ticker = sim.add_actor(Box::new(Ticker {
+            period: SimDuration::from_micros(100),
+            stop: SimTime::from_millis(50),
+        }));
+        // Shard 2: fires one message at the relay at t = 5 ms.
+        let source = sim.add_actor(Box::new(Relay {
+            dst: relay,
+            delay: SimDuration::from_millis(1),
+        }));
+        sim.actor_mut::<Relay>(relay).dst = ticker;
+        sim.schedule_at(SimTime::ZERO, ticker, Tag(0));
+        sim.schedule_at(SimTime::from_millis(5), source, Tag(0));
+        sim.enable_sharding(vec![0, 1, 2], SimDuration::from_millis(5), 1);
+        sim.enable_sanitizer();
+        sim.run_until(SimTime::from_millis(50));
+    }
+
+    /// A region actor that messages another region directly violates
+    /// the sharding contract even when the timestamps happen to be
+    /// safe; the sanitizer catches it at the first merge.
+    #[test]
+    #[should_panic(expected = "region-to-region")]
+    fn sanitizer_catches_direct_region_to_region_send() {
+        let mut sim = Sim::new(0);
+        let _hub = sim.add_actor(Box::<Recorder>::default());
+        let a = sim.add_actor(Box::new(Relay {
+            dst: ActorId::UNSET,
+            delay: SimDuration::from_secs(1), // plenty of delay: still illegal
+        }));
+        let b = sim.add_actor(Box::<Recorder>::default());
+        sim.actor_mut::<Relay>(a).dst = b;
+        sim.schedule_at(SimTime::from_millis(1), a, Tag(0));
+        sim.enable_sharding(vec![0, 1, 2], SimDuration::from_millis(5), 1);
+        sim.enable_sanitizer();
+        sim.run();
+    }
+
+    /// The ledger is a pure function of the schedule: 1-thread and
+    /// 4-thread runs of the same seed agree window for window, and the
+    /// sanitizer adds no events or RNG draws of its own.
+    #[test]
+    fn sanitizer_ledger_is_thread_count_invariant() {
+        let (mut s1, _, _) = sharded_setup(5, 1);
+        let (mut s4, _, _) = sharded_setup(5, 4);
+        s1.enable_sanitizer();
+        s4.enable_sanitizer();
+        s1.run();
+        s4.run();
+        let r1 = s1.causality_report().expect("sanitizer enabled");
+        let r4 = s4.causality_report().expect("sanitizer enabled");
+        assert!(r1.windows > 0, "barrier loop must fold windows");
+        assert_eq!(r1, r4, "per-window RNG/event ledger diverged");
+
+        // A structurally different schedule folds different counts.
+        let (mut other, _, _) = sharded_setup(3, 1);
+        other.enable_sanitizer();
+        other.run();
+        let ro = other.causality_report().expect("sanitizer enabled");
+        assert_ne!(r1.ledger, ro.ledger, "different schedules must differ");
+    }
+
+    /// Disabling the sanitizer removes the checks and the report but
+    /// cannot change the simulated schedule.
+    #[test]
+    fn sanitizer_toggle_never_changes_results() {
+        let (mut on, hub_on, _) = sharded_setup(3, 1);
+        on.enable_sanitizer();
+        let (mut off, hub_off, _) = sharded_setup(3, 1);
+        off.disable_sanitizer();
+        on.run();
+        off.run();
+        assert!(on.sanitizer_enabled());
+        assert!(!off.sanitizer_enabled());
+        assert!(off.causality_report().is_none());
+        assert_eq!(
+            on.actor::<Hub>(hub_on).log,
+            off.actor::<Hub>(hub_off).log,
+            "sanitizer must be observation-only"
+        );
+        assert_eq!(on.events_processed(), off.events_processed());
+    }
 }
 
 #[cfg(test)]
@@ -995,7 +1283,7 @@ mod proptests {
 
     impl Actor for Recorder {
         fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
-            let s = ev.downcast::<Stamp>().unwrap();
+            let s = ev.downcast_expected::<Stamp>().unwrap();
             self.seen.push((ctx.now(), s.0));
         }
         impl_actor_any!();

@@ -1,0 +1,17 @@
+//! The workspace must lint clean: running the full test suite is
+//! itself a lint gate, independent of the `msx lint` CLI entry point.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_lint_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = simlint::lint_workspace(&root).expect("workspace readable");
+    if !findings.is_empty() {
+        let mut msg = format!("{} lint finding(s):\n", findings.len());
+        for f in &findings {
+            msg.push_str(&format!("{f}\n"));
+        }
+        panic!("{msg}");
+    }
+}

@@ -226,10 +226,14 @@ impl CellularNet {
         let now = ctx.now();
         let wire = s.bytes + self.cfg.overhead;
         let cap = self.cfg.max_queue_bytes;
-        let Some(src_ep) = self.endpoints.get(&s.src) else {
-            panic!("CellSend from unregistered endpoint {:?}", s.src);
+        // Sends from unregistered endpoints are counted, not fatal
+        // (PR 2 de-panicking convention): a mis-wired app must not
+        // take the whole fleet simulation down.
+        let Some(src_state) = self.endpoints.get(&s.src).map(|ep| ep.state) else {
+            self.stats.rejects += 1;
+            return;
         };
-        if !src_ep.state.reachable() {
+        if !src_state.reachable() {
             self.stats.drops += 1;
             return;
         }
@@ -254,7 +258,10 @@ impl CellularNet {
 
         // Bounded uplink: shed droppable traffic when the sender's
         // radio buffer is already full.
-        let src_ep = self.endpoints.get_mut(&s.src).expect("checked above");
+        let Some(src_ep) = self.endpoints.get_mut(&s.src) else {
+            self.stats.rejects += 1;
+            return;
+        };
         if s.class.droppable() && src_ep.up.depth_bytes(now) >= cap {
             src_ep.queue_drops += 1;
             self.stats.queue_drops += 1;
@@ -277,7 +284,10 @@ impl CellularNet {
         self.stats.note_queue_depth(up_depth);
 
         let core_arrive = up_end + self.cfg.rtt / 2;
-        let dst_ep = self.endpoints.get_mut(&s.dst).expect("checked above");
+        let Some(dst_ep) = self.endpoints.get_mut(&s.dst) else {
+            self.stats.rejects += 1;
+            return;
+        };
 
         // Bounded downlink buffer at the core: the bytes crossed the
         // uplink but are shed before the receiver's pipe. Depth is
@@ -345,8 +355,10 @@ impl Actor for CellularNet {
         simkernel::match_event!(ev,
             s: CellSend => { self.handle_send(s, ctx); },
             l: CellSetLink => { self.set_link_state(l.node, l.state); },
-            @else other => {
-                panic!("CellularNet: unhandled event {}", (*other).type_name());
+            @else _other => {
+                // Unknown event types are counted, not fatal (PR 2
+                // de-panicking convention; see wifi.rs for the model).
+                self.stats.rejects += 1;
             }
         );
     }

@@ -96,10 +96,12 @@ impl EthernetNet {
     fn handle_send(&mut self, s: EthSend, ctx: &mut Ctx) {
         let now = ctx.now();
         let wire = s.bytes + self.cfg.overhead;
-        let q = self
-            .egress
-            .get_mut(&s.src)
-            .unwrap_or_else(|| panic!("EthSend from unregistered endpoint {:?}", s.src));
+        // Sends from unregistered endpoints are counted, not fatal
+        // (PR 2 de-panicking convention; see wifi.rs for the model).
+        let Some(q) = self.egress.get_mut(&s.src) else {
+            self.stats.rejects += 1;
+            return;
+        };
         let (_, end) = q.reserve(now, wire);
         let air = end - now;
         self.stats.record_send(s.class, s.bytes, wire, air);
@@ -126,8 +128,10 @@ impl Actor for EthernetNet {
     fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
         simkernel::match_event!(ev,
             s: EthSend => { self.handle_send(s, ctx); },
-            @else other => {
-                panic!("EthernetNet: unhandled event {}", (*other).type_name());
+            @else _other => {
+                // Unknown event types are counted, not fatal (PR 2
+                // de-panicking convention).
+                self.stats.rejects += 1;
             }
         );
     }
