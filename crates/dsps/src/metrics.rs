@@ -36,6 +36,10 @@ pub struct NodeMetrics {
     /// Tuple sends shed by a congested (full) transport queue — the
     /// peer was alive, the pipe was saturated (cellular collapse).
     pub tx_queue_drops: u64,
+    /// Tuple sends aged out behind a network-weather partition — the
+    /// peer may be alive on the far side, so like `tx_queue_drops`
+    /// these never feed failure detection.
+    pub tx_severed: u64,
     /// Accumulated CPU busy time.
     pub cpu_busy: SimDuration,
 }
@@ -107,6 +111,7 @@ impl NodeMetrics {
         self.catchup_discards += other.catchup_discards;
         self.routing_drops += other.routing_drops;
         self.tx_queue_drops += other.tx_queue_drops;
+        self.tx_severed += other.tx_severed;
         self.cpu_busy += other.cpu_busy;
     }
 }

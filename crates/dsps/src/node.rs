@@ -84,6 +84,13 @@ pub struct Kill;
 #[derive(Debug, Clone, Copy)]
 pub struct Reboot;
 
+/// Internal: a severed controller RPC's backoff window elapsed —
+/// re-send the stored payload under the same tag.
+#[derive(Debug, Clone, Copy)]
+struct CtlRetryFire {
+    tag: u64,
+}
+
 /// Node → controller: (re-)registration after boot/reboot.
 #[derive(Debug, Clone, Copy)]
 pub struct RegisterNode {
@@ -276,10 +283,26 @@ pub struct NodeInner {
     next_seq: u64,
     next_tag: u64,
     pending_sends: BTreeMap<u64, (u32, EdgeId)>,
+    /// Controller RPCs tracked for partition retry: tag → stored send.
+    ctl_retries: BTreeMap<u64, CtlRetry>,
     rr: usize,
     /// Pending install to finish (states deferred until ready).
     pending_install: Option<Install>,
 }
+
+/// A controller RPC kept around so a [`simnet::TxSevered`] completion
+/// can re-send it after a capped-exponential backoff window instead of
+/// silently losing it behind a partition.
+struct CtlRetry {
+    bytes: u64,
+    payload: simnet::Payload,
+    attempt: u32,
+}
+
+/// First retry window after a severed controller RPC.
+const CTL_RETRY_BASE: SimDuration = SimDuration::from_secs(1);
+/// Backoff cap: retries never wait longer than this between attempts.
+const CTL_RETRY_CAP: SimDuration = SimDuration::from_secs(32);
 
 impl NodeInner {
     /// Create a node shell; call [`NodeInner::host_op`] (or send
@@ -316,6 +339,7 @@ impl NodeInner {
             next_seq: 0,
             next_tag: 1,
             pending_sends: BTreeMap::new(),
+            ctl_retries: BTreeMap::new(),
             rr: 0,
             pending_install: None,
         }
@@ -521,6 +545,68 @@ impl NodeInner {
     pub fn send_controller(&mut self, ctx: &mut Ctx, bytes: u64, ev: impl Event) {
         let dst = self.controller;
         self.send_cell(ctx, dst, TrafficClass::Control, bytes, 0, Some(payload(ev)));
+    }
+
+    /// Send a controller RPC that must survive network weather: the
+    /// send is tagged and kept; a [`simnet::TxSevered`] completion
+    /// re-sends it with capped exponential backoff until the partition
+    /// heals (`TxDone`) or the controller is actually gone (`TxFailed`).
+    pub fn send_controller_tracked(&mut self, ctx: &mut Ctx, bytes: u64, ev: impl Event) {
+        let dst = self.controller;
+        let tag = self.alloc_tag();
+        let pl = payload(ev);
+        self.ctl_retries.insert(
+            tag,
+            CtlRetry {
+                bytes,
+                payload: pl.clone(),
+                attempt: 0,
+            },
+        );
+        self.send_cell(ctx, dst, TrafficClass::Control, bytes, tag, Some(pl));
+    }
+
+    /// A tracked controller RPC completed (delivered, or the controller
+    /// itself failed — retrying cannot help either way). Returns whether
+    /// the tag was one of ours.
+    fn ctl_retry_complete(&mut self, tag: u64) -> bool {
+        self.ctl_retries.remove(&tag).is_some()
+    }
+
+    /// A tracked controller RPC was severed by a partition: schedule a
+    /// re-send after the current backoff window. Returns whether the
+    /// tag was one of ours.
+    fn ctl_retry_severed(&mut self, tag: u64, ctx: &mut Ctx) -> bool {
+        let Some(r) = self.ctl_retries.get_mut(&tag) else {
+            return false;
+        };
+        r.attempt = r.attempt.saturating_add(1);
+        let shift = (r.attempt - 1).min(6);
+        let delay = CTL_RETRY_BASE
+            .saturating_mul(1u64 << shift)
+            .min(CTL_RETRY_CAP);
+        let me = ctx.self_id();
+        ctx.send_in(delay, me, CtlRetryFire { tag });
+        true
+    }
+
+    /// Backoff elapsed: re-send the stored RPC under its original tag
+    /// (dead phones and cancelled entries fall through silently).
+    fn ctl_retry_fire(&mut self, tag: u64, ctx: &mut Ctx) {
+        if !self.alive {
+            self.ctl_retries.remove(&tag);
+            return;
+        }
+        let Some((bytes, pl)) = self
+            .ctl_retries
+            .get(&tag)
+            .map(|r| (r.bytes, r.payload.clone()))
+        else {
+            return;
+        };
+        let dst = self.controller;
+        ctx.count("node.ctl_retries", 1);
+        self.send_cell(ctx, dst, TrafficClass::Control, bytes, tag, Some(pl));
     }
 
     /// Route one item along `edge`: local fast path or remote transport.
@@ -1010,6 +1096,7 @@ impl Actor for NodeActor {
                 self.inner.alive = false;
                 self.inner.busy = false;
                 self.inner.current = None;
+                self.inner.ctl_retries.clear();
             },
             _r: Reboot => {
                 let inner = &mut self.inner;
@@ -1020,11 +1107,12 @@ impl Actor for NodeActor {
                 }
                 inner.clear_queues();
                 inner.abort_current();
+                inner.ctl_retries.clear();
                 let reg = RegisterNode {
                     region: inner.cfg.region,
                     slot: inner.cfg.slot,
                 };
-                inner.send_controller(ctx, 64, reg);
+                inner.send_controller_tracked(ctx, 64, reg);
             },
             ins: Install => {
                 self.apply_install(ins, ctx);
@@ -1062,7 +1150,8 @@ impl Actor for NodeActor {
                 self.inner.net_congested = c.on;
             },
             d: TxDone => {
-                if self.inner.take_pending(d.tag).is_none() {
+                if self.inner.take_pending(d.tag).is_none() && !self.inner.ctl_retry_complete(d.tag)
+                {
                     let consumed = self.scheme.on_custom(Box::new(d), &mut self.inner, ctx);
                     let _ = consumed;
                 }
@@ -1076,7 +1165,7 @@ impl Actor for NodeActor {
                         observed_by: self.inner.cfg.slot,
                     };
                     self.inner.send_controller(ctx, 48, report);
-                } else {
+                } else if !self.inner.ctl_retry_complete(f.tag) {
                     self.scheme.on_custom(Box::new(f), &mut self.inner, ctx);
                 }
                 self.pump(ctx);
@@ -1090,6 +1179,23 @@ impl Actor for NodeActor {
                 } else {
                     self.scheme.on_custom(Box::new(d), &mut self.inner, ctx);
                 }
+                self.pump(ctx);
+            },
+            s: simnet::TxSevered => {
+                // Partition loss: the path is cut, not the peer. Treat
+                // a tracked tuple like congestion (replay covers it);
+                // anything else is a scheme RPC that may want to retry
+                // with backoff.
+                if self.inner.take_pending(s.tag).is_some() {
+                    self.inner.metrics.tx_severed += 1;
+                    ctx.count("node.tx_severed", 1);
+                } else if !self.inner.ctl_retry_severed(s.tag, ctx) {
+                    self.scheme.on_custom(Box::new(s), &mut self.inner, ctx);
+                }
+                self.pump(ctx);
+            },
+            r: CtlRetryFire => {
+                self.inner.ctl_retry_fire(r.tag, ctx);
                 self.pump(ctx);
             },
             @else other => {

@@ -15,27 +15,45 @@ use simnet::LinkState;
 
 use crate::scenario::Deployment;
 
-/// Schedule a fail-stop crash of `(region, slot)` at `at`.
-pub fn inject_failure(dep: &mut Deployment, region: usize, slot: u32, at: SimTime) {
+/// Schedule `(region, slot)`'s link-state change at `at`: the WiFi
+/// medium always, the cellular link only when `cell` is given (a
+/// departing phone keeps its cellular uplink). Single point all three
+/// injectors go through, so their link semantics can't drift apart.
+fn sever_links(
+    dep: &mut Deployment,
+    region: usize,
+    slot: u32,
+    at: SimTime,
+    wifi_state: LinkState,
+    cell_state: Option<LinkState>,
+) {
     let node = dep.regions[region].nodes[slot as usize];
     let wifi = dep.regions[region].wifi;
-    let cell = dep.cell;
-    dep.sim.schedule_at(at, node, Kill);
     dep.sim.schedule_at(
         at,
         wifi,
         WifiSetLink {
             node,
-            state: LinkState::Dead,
+            state: wifi_state,
         },
     );
-    dep.sim.schedule_at(
+    if let Some(state) = cell_state {
+        dep.sim
+            .schedule_at(at, dep.cell, CellSetLink { node, state });
+    }
+}
+
+/// Schedule a fail-stop crash of `(region, slot)` at `at`.
+pub fn inject_failure(dep: &mut Deployment, region: usize, slot: u32, at: SimTime) {
+    let node = dep.regions[region].nodes[slot as usize];
+    dep.sim.schedule_at(at, node, Kill);
+    sever_links(
+        dep,
+        region,
+        slot,
         at,
-        cell,
-        CellSetLink {
-            node,
-            state: LinkState::Dead,
-        },
+        LinkState::Dead,
+        Some(LinkState::Dead),
     );
 }
 
@@ -43,15 +61,7 @@ pub fn inject_failure(dep: &mut Deployment, region: usize, slot: u32, at: SimTim
 /// phone stays reachable over cellular and reports itself.
 pub fn inject_departure(dep: &mut Deployment, region: usize, slot: u32, at: SimTime) {
     let node = dep.regions[region].nodes[slot as usize];
-    let wifi = dep.regions[region].wifi;
-    dep.sim.schedule_at(
-        at,
-        wifi,
-        WifiSetLink {
-            node,
-            state: LinkState::Gone,
-        },
-    );
+    sever_links(dep, region, slot, at, LinkState::Gone, None);
     dep.sim.schedule_at(at, node, mobistreams::msgs::Depart);
 }
 
@@ -59,23 +69,13 @@ pub fn inject_departure(dep: &mut Deployment, region: usize, slot: u32, at: SimT
 /// intact; re-registers with the controller as an idle node).
 pub fn inject_reboot(dep: &mut Deployment, region: usize, slot: u32, at: SimTime) {
     let node = dep.regions[region].nodes[slot as usize];
-    let wifi = dep.regions[region].wifi;
-    let cell = dep.cell;
-    dep.sim.schedule_at(
+    sever_links(
+        dep,
+        region,
+        slot,
         at,
-        wifi,
-        WifiSetLink {
-            node,
-            state: LinkState::Active,
-        },
-    );
-    dep.sim.schedule_at(
-        at,
-        cell,
-        CellSetLink {
-            node,
-            state: LinkState::Active,
-        },
+        LinkState::Active,
+        Some(LinkState::Active),
     );
     dep.sim.schedule_at(at, node, dsps::node::Reboot);
 }

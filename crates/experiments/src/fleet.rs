@@ -33,11 +33,13 @@ use std::collections::BinaryHeap;
 
 use serde::Serialize;
 use simkernel::{SimDuration, SimRng, SimTime};
-use simnet::wifi::{WifiConfig, WifiSetLoss};
+use simnet::cellular::CellSetPartition;
+use simnet::wifi::{WifiConfig, WifiSetBrownout, WifiSetLoss};
 
 use crate::faults::{inject_departure, inject_failure, inject_reboot};
 use crate::run::harvest;
 use crate::scenario::{AppKind, Deployment, RegionOverride, ScenarioConfig, Scheme};
+use crate::weather::{self, WeatherAction, WeatherProgram};
 
 /// Churn model: rates are per phone-hour, so the same profile scales
 /// from 10 phones to 10 000.
@@ -124,6 +126,10 @@ pub struct FleetConfig {
     pub regions: Vec<FleetRegion>,
     /// Churn model.
     pub churn: ChurnProfile,
+    /// Network weather rolling over the fleet (None = clear skies).
+    /// Compiled into the event schedule before the run starts, so
+    /// weather is exactly as deterministic as churn.
+    pub weather: Option<WeatherProgram>,
     /// Application calibration (fleet profiles shrink operator states
     /// so checkpoint rounds fit their shorter periods).
     pub cal: apps::Calibration,
@@ -426,13 +432,70 @@ pub fn build_fleet(cfg: &FleetConfig) -> (Deployment, Vec<ChurnEvent>) {
             );
         }
     }
+    if let Some(program) = &cfg.weather {
+        apply_weather(&mut dep, program, cfg.regions.len());
+    }
     (dep, schedule)
 }
 
+/// Compile a weather program and schedule its injections against the
+/// deployment's simnet actors. Returns the number of injections.
+fn apply_weather(dep: &mut Deployment, program: &WeatherProgram, regions: usize) -> u64 {
+    let injections = weather::compile(program, regions);
+    for inj in &injections {
+        match inj.action {
+            WeatherAction::PartitionRegion { region, on } => {
+                // Sever every phone endpoint of the region; endpoints
+                // stay alive behind the cut (weather, not death).
+                for &node in &dep.regions[region].nodes {
+                    dep.sim
+                        .schedule_at(inj.at, dep.cell, CellSetPartition { node, on });
+                }
+            }
+            WeatherAction::Brownout { region, on, loss } => {
+                let wifi = dep.regions[region].wifi;
+                dep.sim
+                    .schedule_at(inj.at, wifi, WifiSetBrownout { on, loss });
+            }
+            WeatherAction::PartitionController { on } => {
+                if let Some(ctl) = dep.controller {
+                    dep.sim
+                        .schedule_at(inj.at, dep.cell, CellSetPartition { node: ctl, on });
+                }
+            }
+        }
+    }
+    injections.len() as u64
+}
+
+/// One region's recovery timeline through one weather fault window:
+/// fault start → scheduled heal → first checkpoint round committed
+/// after the heal. Recovery latency is measured from the *scheduled*
+/// heal (when the weather clears), so it includes the controller's
+/// heal-detection probes — that is the latency a declared SLO is
+/// about.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultTimeline {
+    /// Region the window covers.
+    pub region: usize,
+    /// Partition start (seconds).
+    pub fault_at_s: f64,
+    /// Scheduled heal (seconds).
+    pub heal_at_s: f64,
+    /// First committed round at/after the heal (-1 = none before the
+    /// simulation ended).
+    pub first_commit_s: f64,
+    /// `first_commit_s - heal_at_s` (-1 = never recovered).
+    pub recovery_s: f64,
+    /// Whether the window met the program's declared recovery SLO
+    /// (vacuously true when no SLO is declared).
+    pub slo_met: bool,
+}
+
 /// Machine-readable result of one fleet run. Everything except the
-/// wall-clock fields is a pure function of the config — the
-/// [`FleetReport::digest`] over those fields is the determinism
-/// contract (same seed ⇒ same digest).
+/// wall-clock and sanitizer-observation fields is a pure function of
+/// the config — the [`FleetReport::digest`] over those fields is the
+/// determinism contract (same seed ⇒ same digest).
 #[derive(Debug, Clone, Serialize)]
 pub struct FleetReport {
     /// Profile name.
@@ -491,6 +554,35 @@ pub struct FleetReport {
     pub per_region_cell_drops: Vec<u64>,
     /// Deepest cellular link backlog at each region's phones (bytes).
     pub per_region_cell_max_queue_depth: Vec<u64>,
+    /// Weather program applied ("" = clear skies).
+    pub weather: String,
+    /// Compiled weather injections scheduled.
+    pub weather_injections: u64,
+    /// Declared recovery SLO (seconds; negative = none declared).
+    pub recovery_slo_s: f64,
+    /// Per-region fault timelines, one per control-path fault window.
+    pub fault_timelines: Vec<FaultTimeline>,
+    /// Median recovery latency over recovered windows (-1 = no
+    /// windows recovered).
+    pub recovery_p50_s: f64,
+    /// 99th-percentile recovery latency (-1 = no windows recovered).
+    pub recovery_p99_s: f64,
+    /// Fault windows that missed the declared recovery SLO (always 0
+    /// when no SLO is declared).
+    pub slo_violations: u64,
+    /// `(region, version)` checkpoint rounds committed more than once
+    /// — must be 0: a heal resync may never double-commit a round.
+    pub duplicate_commits: u64,
+    /// Partition episodes the controller actually observed (severed →
+    /// healed transitions on its side).
+    pub severed_observed: u64,
+    /// Cellular sends aged out behind a weather partition.
+    pub cell_severed_sends: u64,
+    /// Backlogged cellular bytes drained undelivered (endpoint death
+    /// or partition ageing).
+    pub cell_queue_drop_bytes: u64,
+    /// Cellular sends rejected at dead/unknown endpoints.
+    pub cell_rejects: u64,
     /// Barrier windows the causality sanitizer folded (0 when it was
     /// off). Excluded from the digest: digests must agree between
     /// sanitized and unsanitized runs of the same config.
@@ -498,6 +590,11 @@ pub struct FleetReport {
     /// The sanitizer's per-window RNG/event ledger (0 when off;
     /// excluded from the digest for the same reason).
     pub sanitizer_ledger: u64,
+    /// Causality violations the sanitizer recorded (0 when off;
+    /// excluded from the digest like the other sanitizer fields, and
+    /// enforced separately — `msx scenarios run`/`matrix` exit nonzero
+    /// when it is not 0).
+    pub sanitizer_violations: u64,
     /// FNV-1a digest of the deterministic fields above.
     pub digest: u64,
 }
@@ -541,6 +638,27 @@ impl FleetReport {
         for &d in &self.per_region_cell_max_queue_depth {
             mix(d);
         }
+        for b in self.weather.bytes() {
+            mix(b as u64);
+        }
+        mix(self.weather_injections);
+        mix(self.recovery_slo_s.to_bits());
+        for t in &self.fault_timelines {
+            mix(t.region as u64);
+            mix(t.fault_at_s.to_bits());
+            mix(t.heal_at_s.to_bits());
+            mix(t.first_commit_s.to_bits());
+            mix(t.recovery_s.to_bits());
+            mix(t.slo_met as u64);
+        }
+        mix(self.recovery_p50_s.to_bits());
+        mix(self.recovery_p99_s.to_bits());
+        mix(self.slo_violations);
+        mix(self.duplicate_commits);
+        mix(self.severed_observed);
+        mix(self.cell_severed_sends);
+        mix(self.cell_queue_drop_bytes);
+        mix(self.cell_rejects);
         h
     }
 
@@ -576,13 +694,78 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
                 ChurnKind::Rejoin => (acc.0, acc.1, acc.2 + 1),
             });
 
-    let (departures_handled, checkpoint_commits) = dep
+    let (departures_handled, commit_log, severed_observed) = dep
         .controller
         .map(|ctl| {
             let c = dep.sim.actor::<mobistreams::MsController>(ctl);
-            (c.departures_handled, c.commits.len() as u64)
+            (
+                c.departures_handled,
+                c.commits.clone(),
+                c.severed_episodes.len() as u64,
+            )
         })
-        .unwrap_or((0, 0));
+        .unwrap_or((0, Vec::new(), 0));
+    let checkpoint_commits = commit_log.len() as u64;
+    let mut seen_rounds = std::collections::BTreeSet::new();
+    let duplicate_commits = commit_log
+        .iter()
+        .filter(|&&(r, v, _)| !seen_rounds.insert((r, v)))
+        .count() as u64;
+
+    let recovery_slo_s = cfg
+        .weather
+        .as_ref()
+        .map(|w| w.recovery_slo_s)
+        .unwrap_or(-1.0);
+    let weather_injections = cfg
+        .weather
+        .as_ref()
+        .map(|w| weather::compile(w, cfg.regions.len()).len() as u64)
+        .unwrap_or(0);
+    let fault_timelines: Vec<FaultTimeline> = cfg
+        .weather
+        .as_ref()
+        .map(|w| weather::fault_windows(w, cfg.regions.len()))
+        .unwrap_or_default()
+        .into_iter()
+        .map(|(region, start, heal)| {
+            let first = commit_log
+                .iter()
+                .filter(|&&(r, _, at)| r == region && at >= heal)
+                .map(|&(_, _, at)| at)
+                .min();
+            let heal_at_s = heal.as_secs_f64();
+            let (first_commit_s, recovery_s) = match first {
+                Some(at) => (at.as_secs_f64(), at.as_secs_f64() - heal_at_s),
+                None => (-1.0, -1.0),
+            };
+            let slo_met =
+                recovery_slo_s < 0.0 || (recovery_s >= 0.0 && recovery_s <= recovery_slo_s);
+            FaultTimeline {
+                region,
+                fault_at_s: start.as_secs_f64(),
+                heal_at_s,
+                first_commit_s,
+                recovery_s,
+                slo_met,
+            }
+        })
+        .collect();
+    let slo_violations = fault_timelines.iter().filter(|t| !t.slo_met).count() as u64;
+    let mut recovered: Vec<f64> = fault_timelines
+        .iter()
+        .filter(|t| t.recovery_s >= 0.0)
+        .map(|t| t.recovery_s)
+        .collect();
+    recovered.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |xs: &[f64], p: f64| -> f64 {
+        if xs.is_empty() {
+            return -1.0;
+        }
+        xs[((p / 100.0) * (xs.len() - 1) as f64).round() as usize]
+    };
+    let recovery_p50_s = pct(&recovered, 50.0);
+    let recovery_p99_s = pct(&recovered, 99.0);
 
     let per_region_outputs: Vec<u64> = h.per_region.iter().map(|r| r.outputs as u64).collect();
     let wall_secs = wall.elapsed().as_secs_f64();
@@ -623,8 +806,25 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
             .iter()
             .map(|r| r.cell_max_queue_depth)
             .collect(),
+        weather: cfg
+            .weather
+            .as_ref()
+            .map(|w| w.name.clone())
+            .unwrap_or_default(),
+        weather_injections,
+        recovery_slo_s,
+        fault_timelines,
+        recovery_p50_s,
+        recovery_p99_s,
+        slo_violations,
+        duplicate_commits,
+        severed_observed,
+        cell_severed_sends: h.cell_severed_sends,
+        cell_queue_drop_bytes: h.cell_queue_drop_bytes,
+        cell_rejects: h.cell_rejects,
         sanitizer_windows: san.map(|r| r.windows).unwrap_or(0),
         sanitizer_ledger: san.map(|r| r.ledger).unwrap_or(0),
+        sanitizer_violations: san.map(|r| r.violations).unwrap_or(0),
         digest: 0,
     };
     report.digest = report.compute_digest();
@@ -658,6 +858,7 @@ pub fn bench_profile(regions: usize, phones: u32, seed: u64) -> FleetConfig {
             quiet_start_s: 15.0,
             ..ChurnProfile::default()
         },
+        weather: None,
         cal,
         ckpt_period: SimDuration::from_secs(30),
         ckpt_offset: SimDuration::from_secs(10),
@@ -702,6 +903,7 @@ fn base_profile(name: &str, seed: u64, regions: Vec<FleetRegion>) -> FleetConfig
         scheme: Scheme::Ms,
         regions,
         churn: ChurnProfile::default(),
+        weather: None,
         cal: fleet_cal(),
         ckpt_period: SimDuration::from_secs(120),
         ckpt_offset: SimDuration::from_secs(45),
@@ -932,6 +1134,7 @@ mod tests {
         r.events_per_sec = -7.5;
         r.sanitizer_windows = u64::MAX;
         r.sanitizer_ledger = u64::MAX;
+        r.sanitizer_violations = u64::MAX;
         assert_eq!(
             r.compute_digest(),
             before,
@@ -971,6 +1174,125 @@ mod tests {
             r1.sanitizer_ledger, rn.sanitizer_ledger,
             "per-window RNG/event ledger diverged across thread counts"
         );
+    }
+
+    /// A mini fleet under the built-in partition-heal weather, long
+    /// enough that both episodes heal and the post-heal checkpoint
+    /// round lands inside the horizon.
+    fn mini_weather(seed: u64) -> FleetConfig {
+        let mut cfg = mini(seed);
+        cfg.duration = SimDuration::from_secs(360);
+        cfg.weather = crate::weather::weather("partition-heal", seed, cfg.regions.len());
+        cfg
+    }
+
+    /// The tentpole acceptance check: under the partition-heal
+    /// profile, every partitioned region resumes committing rounds
+    /// within the declared recovery SLO after its scheduled heal, no
+    /// round is ever committed twice (the heal resync must not replay
+    /// the in-flight round), and the run stays digest-deterministic.
+    #[test]
+    fn partition_heal_meets_slo_and_never_double_commits() {
+        let cfg = mini_weather(31);
+        let r = run_fleet(&cfg);
+        assert!(
+            !r.fault_timelines.is_empty(),
+            "partition-heal produced no fault windows"
+        );
+        assert!(r.severed_observed > 0, "controller never noticed the cut");
+        for t in &r.fault_timelines {
+            assert!(
+                t.slo_met,
+                "region {} missed the {}s SLO: healed {}s, first commit {}s",
+                t.region, r.recovery_slo_s, t.heal_at_s, t.first_commit_s
+            );
+        }
+        assert_eq!(r.slo_violations, 0);
+        assert_eq!(r.duplicate_commits, 0, "a round was committed twice");
+        assert!(r.recovery_p50_s >= 0.0 && r.recovery_p50_s <= r.recovery_p99_s);
+        assert!(
+            r.cell_severed_sends > 0,
+            "no traffic aged out behind the partition"
+        );
+    }
+
+    /// Weather is part of the determinism contract: same seed ⇒ same
+    /// digest, and neither thread count nor the sanitizer may change
+    /// it.
+    #[test]
+    fn weather_runs_are_digest_stable_across_threads_and_sanitize() {
+        let r1 = run_fleet(&mini_weather(31));
+        let mut par = mini_weather(31);
+        par.threads = 4;
+        par.sanitize = true;
+        let rn = run_fleet(&par);
+        assert_eq!(r1.digest, rn.digest, "weather digest diverged");
+        assert_eq!(r1.events_processed, rn.events_processed);
+        assert_eq!(rn.sanitizer_violations, 0, "sanitizer flagged the run");
+    }
+
+    mod weather_props {
+        use super::*;
+        use crate::weather::{WeatherProgram, WeatherSystem};
+        use proptest::prelude::*;
+
+        proptest! {
+            cases = 4;
+            /// Partition → heal → partition again on the same region is
+            /// covered by the determinism contract: the report digest
+            /// is a pure function of the config — bit-identical at 1
+            /// and 4 worker threads with the sanitizer on — and the
+            /// double cut still never double-commits a round. Each
+            /// case is two full fleet runs, hence the low case cap.
+            #[test]
+            fn double_partition_digest_is_thread_invariant(seed in 0u64..1u64 << 16) {
+                let mut cfg = mini(seed ^ 0xD1CE);
+                cfg.duration = SimDuration::from_secs(300);
+                // Cut the same region twice; starts sit in the
+                // ping-safe band (42 ≡ 132 ≡ 12 mod 30).
+                cfg.weather = Some(WeatherProgram {
+                    name: "double-partition".into(),
+                    systems: vec![
+                        WeatherSystem::CellPartition {
+                            regions: vec![0],
+                            at_s: 42.0,
+                            heal_s: 75.0,
+                        },
+                        WeatherSystem::CellPartition {
+                            regions: vec![0],
+                            at_s: 132.0,
+                            heal_s: 165.0,
+                        },
+                    ],
+                    recovery_slo_s: -1.0,
+                });
+                cfg.sanitize = true;
+                cfg.threads = 1;
+                let r1 = run_fleet(&cfg);
+                let mut par = cfg.clone();
+                par.threads = 4;
+                let rn = run_fleet(&par);
+                prop_assert_eq!(r1.digest, rn.digest, "digest diverged across threads");
+                prop_assert_eq!(r1.events_processed, rn.events_processed);
+                prop_assert_eq!(r1.sanitizer_violations, 0);
+                prop_assert_eq!(rn.sanitizer_violations, 0);
+                prop_assert_eq!(r1.duplicate_commits, 0, "double cut double-committed");
+                prop_assert_eq!(r1.fault_timelines.len(), 2, "two cuts, two windows");
+            }
+        }
+    }
+
+    /// Brownouts pin loss but never cut the control path: no fault
+    /// windows, no SLO bookkeeping, and the fleet keeps producing.
+    #[test]
+    fn brownout_weather_has_no_fault_windows() {
+        let mut cfg = mini(37);
+        cfg.weather = crate::weather::weather("brownout-front", 37, cfg.regions.len());
+        let r = run_fleet(&cfg);
+        assert!(r.weather_injections > 0);
+        assert!(r.fault_timelines.is_empty());
+        assert_eq!(r.slo_violations, 0);
+        assert!(r.outputs > 0, "brownout silenced the fleet entirely");
     }
 
     #[test]

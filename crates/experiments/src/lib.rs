@@ -21,6 +21,7 @@ pub mod scenario;
 pub mod table1;
 #[cfg(test)]
 mod tests;
+pub mod weather;
 
 pub use fleet::{run_fleet, FleetConfig, FleetReport};
 pub use run::{harvest, measured_run, Harvest};

@@ -8,7 +8,8 @@
 //! msx fig10  [--quick] [--seeds N]
 //! msx all    [--quick] [--seeds N]
 //! msx scenarios list
-//! msx scenarios run --profile <stadium|commute|flash-crowd|lossy-wifi> [--seed N] [--threads N] [--sanitize]
+//! msx scenarios run --profile <stadium|commute|flash-crowd|lossy-wifi> [--seed N] [--threads N] [--sanitize] [--weather NAME]
+//! msx scenarios matrix [--smoke] [--seed N] [--threads N]
 //! msx bench fleet [--smoke] [--threads N] [--out FILE]
 //! msx lint [--rules] [--root DIR]
 //! ```
@@ -20,7 +21,7 @@
 use std::path::{Path, PathBuf};
 
 use experiments::report::{Cell, Table};
-use experiments::{ablate, fig10, fig8, fig9, fleet, table1, ExpOptions};
+use experiments::{ablate, fig10, fig8, fig9, fleet, table1, weather, ExpOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -134,6 +135,10 @@ fn scenarios_cmd(args: &[String], out: &Path) {
                     cfg.duration.as_secs_f64(),
                 );
             }
+            println!("available weather programs (see README, \"Fault model & network weather\"):");
+            for name in weather::WEATHER_NAMES {
+                println!("  {name}");
+            }
         }
         "run" => {
             let name = args
@@ -163,6 +168,20 @@ fn scenarios_cmd(args: &[String], out: &Path) {
             };
             cfg.threads = threads.max(1);
             cfg.sanitize = args.iter().any(|a| a == "--sanitize");
+            if let Some(wname) = args
+                .iter()
+                .position(|a| a == "--weather")
+                .and_then(|i| args.get(i + 1))
+            {
+                let Some(program) = weather::weather(wname, seed, cfg.regions.len()) else {
+                    eprintln!(
+                        "unknown weather '{wname}'; available: {}",
+                        weather::WEATHER_NAMES.join(", ")
+                    );
+                    std::process::exit(2);
+                };
+                cfg.weather = Some(program);
+            }
             eprintln!(
                 "[msx] scenario '{name}' seed {seed}: {} regions × ~{} phones ({} total), {:.0}s sim...",
                 cfg.regions.len(),
@@ -187,11 +206,216 @@ fn scenarios_cmd(args: &[String], out: &Path) {
                 ),
                 Err(e) => eprintln!("[msx] failed to write report: {e}"),
             }
+            let faults = report_faults(&r);
+            if !faults.is_empty() {
+                for f in &faults {
+                    eprintln!("[msx] FAIL: {f}");
+                }
+                std::process::exit(1);
+            }
         }
+        "matrix" => matrix_cmd(args, out),
         other => {
-            eprintln!("unknown scenarios subcommand '{other}'; use list|run");
+            eprintln!("unknown scenarios subcommand '{other}'; use list|run|matrix");
             std::process::exit(2);
         }
+    }
+}
+
+/// The per-report conditions that make `scenarios run`/`matrix` fail:
+/// causality violations, a missed recovery SLO, or a round committed
+/// twice across a heal.
+fn report_faults(r: &fleet::FleetReport) -> Vec<String> {
+    let mut faults = Vec::new();
+    if r.sanitizer_violations > 0 {
+        faults.push(format!(
+            "causality sanitizer recorded {} violation(s)",
+            r.sanitizer_violations
+        ));
+    }
+    if r.slo_violations > 0 {
+        faults.push(format!(
+            "{} fault window(s) missed the {:.0}s recovery SLO",
+            r.slo_violations, r.recovery_slo_s
+        ));
+    }
+    if r.duplicate_commits > 0 {
+        faults.push(format!(
+            "{} checkpoint round(s) committed more than once",
+            r.duplicate_commits
+        ));
+    }
+    faults
+}
+
+/// `msx scenarios matrix [--smoke] [--seed N] [--threads N]`
+///
+/// Runs the full profile × weather grid. Every cell runs twice under
+/// the causality sanitizer — once single-threaded, once with
+/// `--threads` workers (default 4) — and the two digests must be
+/// bit-identical. Emits a per-cell regression table (commit rate,
+/// recovery p50/p99, cellular drops/rejects) plus a machine-readable
+/// `results/scenarios/matrix.json` whose fields are all deterministic,
+/// so two runs of the same binary can be diffed byte-for-byte.
+/// `--smoke` shrinks every profile to 3 regions × ≤8 phones over 360 s
+/// for CI. Exits nonzero on any digest mismatch, sanitizer violation,
+/// missed recovery SLO, or double-committed round.
+fn matrix_cmd(args: &[String], out: &Path) {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(1);
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(4)
+        .max(2);
+    eprintln!(
+        "[msx] scenario matrix: {} profiles × {} weathers, seed {seed}, digests at 1 vs {threads} threads{}...",
+        fleet::PROFILE_NAMES.len(),
+        weather::WEATHER_NAMES.len(),
+        if smoke { " (smoke scale)" } else { "" },
+    );
+
+    let mut labels = Vec::new();
+    let mut jobs: Vec<experiments::Job<(fleet::FleetReport, fleet::FleetReport)>> = Vec::new();
+    for pname in fleet::PROFILE_NAMES {
+        for wname in weather::WEATHER_NAMES {
+            labels.push((*pname, *wname));
+            let (p, w) = (pname.to_string(), wname.to_string());
+            jobs.push(Box::new(move || {
+                let mut cfg = fleet::profile(&p, seed).expect("built-in profile");
+                if smoke {
+                    cfg.regions.truncate(3);
+                    for region in &mut cfg.regions {
+                        region.phones = region.phones.min(8);
+                    }
+                    // 360 s keeps the latest partition-heal window and
+                    // its post-heal commit round inside the horizon;
+                    // the checkpoint cadence shrinks with it so the
+                    // post-heal commit opportunities per horizon match
+                    // the full-scale profiles (~5-6 rounds).
+                    cfg.duration = simkernel::SimDuration::from_secs(360);
+                    cfg.warmup = simkernel::SimDuration::from_secs(60);
+                    cfg.ckpt_period = simkernel::SimDuration::from_secs(60);
+                    cfg.ckpt_offset = simkernel::SimDuration::from_secs(20);
+                }
+                cfg.weather = weather::weather(&w, seed, cfg.regions.len());
+                cfg.sanitize = true;
+                cfg.threads = 1;
+                let r1 = fleet::run_fleet(&cfg);
+                let mut cfg_n = cfg.clone();
+                cfg_n.threads = threads;
+                let rn = fleet::run_fleet(&cfg_n);
+                (r1, rn)
+            }));
+        }
+    }
+    // Full-scale cells are too big to overlap safely; smoke cells fan
+    // out across cores.
+    let results = experiments::run_jobs(smoke, jobs);
+
+    let mut t = Table::new(
+        format!("scenario matrix (seed {seed})"),
+        vec![
+            "profile/weather".into(),
+            "commits/s".into(),
+            "rec p50 s".into(),
+            "rec p99 s".into(),
+            "drops".into(),
+            "rejects".into(),
+            "slo miss".into(),
+            "dup".into(),
+        ],
+    );
+    let num_or_dash = |x: f64| if x >= 0.0 { Cell::Num(x) } else { Cell::Dash };
+    let mut cells_json = Vec::new();
+    let mut failures = Vec::new();
+    for ((pname, wname), (r1, rn)) in labels.iter().zip(&results) {
+        let label = format!("{pname}/{wname}");
+        if r1.digest != rn.digest {
+            failures.push(format!(
+                "{label}: digest {:#018x} at 1 thread vs {:#018x} at {threads}",
+                r1.digest, rn.digest
+            ));
+        }
+        for (tag, r) in [("1 thread", r1), ("multi-thread", rn)] {
+            for f in report_faults(r) {
+                failures.push(format!("{label} ({tag}): {f}"));
+            }
+        }
+        t.row(
+            label.as_str(),
+            vec![
+                Cell::Num(r1.checkpoint_commits as f64 / r1.sim_secs.max(1e-9)),
+                num_or_dash(r1.recovery_p50_s),
+                num_or_dash(r1.recovery_p99_s),
+                Cell::Num(r1.cell_drops as f64),
+                Cell::Num(r1.cell_rejects as f64),
+                Cell::Num(r1.slo_violations as f64),
+                Cell::Num(r1.duplicate_commits as f64),
+            ],
+        );
+        // Deterministic fields only, so matrix.json diffs clean across
+        // runs of the same binary (no wall-clock, no host data).
+        cells_json.push(serde_json::json!({
+            "profile": pname,
+            "weather": wname,
+            "events": r1.events_processed,
+            "digest": format!("{:#018x}", r1.digest),
+            "digest_threads_equal": r1.digest == rn.digest,
+            "checkpoint_commits": r1.checkpoint_commits,
+            "weather_injections": r1.weather_injections,
+            "fault_windows": r1.fault_timelines.len(),
+            "recovery_p50_s": r1.recovery_p50_s,
+            "recovery_p99_s": r1.recovery_p99_s,
+            "cell_drops": r1.cell_drops,
+            "cell_rejects": r1.cell_rejects,
+            "cell_severed_sends": r1.cell_severed_sends,
+            "severed_observed": r1.severed_observed,
+            "slo_violations": r1.slo_violations,
+            "duplicate_commits": r1.duplicate_commits,
+            "sanitizer_violations": r1.sanitizer_violations.max(rn.sanitizer_violations),
+        }));
+    }
+    println!("{}", t.render());
+
+    let dir = out.join("scenarios");
+    let doc = serde_json::json!({
+        "seed": seed,
+        "smoke": smoke,
+        "threads_compared": vec![1usize, threads],
+        "cells": cells_json,
+        "failures": failures,
+    });
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("[msx] cannot create {}: {e}", dir.display());
+    } else {
+        let path = dir.join("matrix.json");
+        match std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&doc).expect("serialize matrix") + "\n",
+        ) {
+            Ok(()) => eprintln!("[msx] matrix report: {}", path.display()),
+            Err(e) => eprintln!("[msx] failed to write {}: {e}", path.display()),
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "[msx] matrix OK: {} cells, digests thread-count-invariant, no sanitizer/SLO/commit faults",
+            results.len()
+        );
+    } else {
+        for f in &failures {
+            eprintln!("[msx] FAIL: {f}");
+        }
+        std::process::exit(1);
     }
 }
 
@@ -443,6 +667,45 @@ fn fleet_table(r: &fleet::FleetReport) -> Table {
             format!("  region {i} drops / maxq KB"),
             vec![Cell::Num(d as f64), Cell::Num(q as f64 / 1024.0)],
         );
+    }
+    if !r.weather.is_empty() {
+        let num_or_dash = |x: f64| if x >= 0.0 { Cell::Num(x) } else { Cell::Dash };
+        t.row(
+            format!("weather '{}' injections", r.weather),
+            vec![Cell::Num(r.weather_injections as f64)],
+        );
+        t.row(
+            "severed episodes seen",
+            vec![Cell::Num(r.severed_observed as f64)],
+        );
+        t.row(
+            "cell severed sends",
+            vec![Cell::Num(r.cell_severed_sends as f64)],
+        );
+        t.row(
+            "cell queue-drop KB",
+            vec![Cell::Num(r.cell_queue_drop_bytes as f64 / 1024.0)],
+        );
+        t.row("cell rejects", vec![Cell::Num(r.cell_rejects as f64)]);
+        t.row("recovery SLO (s)", vec![num_or_dash(r.recovery_slo_s)]);
+        t.row(
+            "recovery p50 / p99 (s)",
+            vec![num_or_dash(r.recovery_p50_s), num_or_dash(r.recovery_p99_s)],
+        );
+        t.row("SLO violations", vec![Cell::Num(r.slo_violations as f64)]);
+        t.row(
+            "duplicate commits",
+            vec![Cell::Num(r.duplicate_commits as f64)],
+        );
+        for tl in &r.fault_timelines {
+            t.row(
+                format!(
+                    "  region {} fault {:.0}s heal {:.0}s: recovery s",
+                    tl.region, tl.fault_at_s, tl.heal_at_s
+                ),
+                vec![num_or_dash(tl.recovery_s)],
+            );
+        }
     }
     t
 }

@@ -65,6 +65,13 @@ pub struct Harvest {
     pub cell_drops: u64,
     /// Deepest cellular link backlog observed network-wide (bytes).
     pub cell_max_queue_depth: u64,
+    /// Cellular sends aged out behind a network-weather partition.
+    pub cell_severed_sends: u64,
+    /// Backlogged cellular bytes drained without delivery (endpoint
+    /// death or partition ageing), network-wide.
+    pub cell_queue_drop_bytes: u64,
+    /// Cellular sends rejected at dead/unknown endpoints.
+    pub cell_rejects: u64,
 }
 
 /// Payload bytes per traffic class.
@@ -185,6 +192,9 @@ pub fn harvest(dep: &Deployment, from: SimTime, to: SimTime) -> Harvest {
     let cell_bytes = ClassBytes::from_stats(cellnet.stats());
     let cell_drops = cellnet.stats().queue_drops;
     let cell_max_queue_depth = cellnet.stats().max_queue_depth;
+    let cell_severed_sends = cellnet.stats().severed_sends;
+    let cell_queue_drop_bytes = cellnet.stats().queue_drop_bytes;
+    let cell_rejects = cellnet.stats().rejects;
 
     // Logical preserved bytes: ms replicates the same log onto every
     // node (take the max = one logical copy); local/dist retain
@@ -251,6 +261,9 @@ pub fn harvest(dep: &Deployment, from: SimTime, to: SimTime) -> Harvest {
         stops,
         cell_drops,
         cell_max_queue_depth,
+        cell_severed_sends,
+        cell_queue_drop_bytes,
+        cell_rejects,
     }
 }
 

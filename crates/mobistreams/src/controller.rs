@@ -65,6 +65,11 @@ pub struct MsControllerConfig {
     /// Periodic checkpointing on/off (off = Table I "fault tolerance
     /// function turned off").
     pub checkpoints_enabled: bool,
+    /// First probe interval after a region is marked severed by a
+    /// network partition.
+    pub severed_probe_base: SimDuration,
+    /// Cap on the severed-probe backoff.
+    pub severed_probe_cap: SimDuration,
 }
 
 impl Default for MsControllerConfig {
@@ -81,6 +86,8 @@ impl Default for MsControllerConfig {
             ack_deadline: SimDuration::from_secs(60),
             transfer_stall_deadline: SimDuration::from_secs(300),
             checkpoints_enabled: true,
+            severed_probe_base: SimDuration::from_secs(2),
+            severed_probe_cap: SimDuration::from_secs(32),
         }
     }
 }
@@ -172,6 +179,15 @@ struct RegionRt {
     // it dead; such reports stay invalid for a short grace period
     // after the ack too (they can already be in flight).
     recent_installs: BTreeMap<u32, SimTime>,
+    /// The region is behind a network partition: tagged controller
+    /// sends came back severed. Checkpoint rounds freeze, silence is
+    /// not treated as death, and a capped-backoff probe loop watches
+    /// for the heal.
+    severed: bool,
+    /// Invalidates in-flight `ProbeSevered` timers across heal cycles.
+    probe_epoch: u64,
+    /// Current probe backoff (doubles to the configured cap).
+    probe_backoff: SimDuration,
 }
 
 impl RegionRt {
@@ -245,6 +261,16 @@ pub struct MsController {
     ping_outstanding: BTreeMap<u64, BTreeSet<(usize, u32)>>,
     next_tag: u64,
     install_tags: BTreeMap<u64, (usize, u32)>,
+    /// Tagged ping/probe sends: tag → target region. A `TxSevered`
+    /// completion on one of these is the evidence that marks the
+    /// region severed (a `TxFailed` just means the pinged phone died —
+    /// the ping deadline already covers that).
+    ping_tags: BTreeMap<u64, usize>,
+    /// Partition episodes observed by the controller: (region, severed
+    /// at, healed at). Harvested by experiments for recovery timelines.
+    pub severed_episodes: Vec<(usize, SimTime, SimTime)>,
+    /// Start times of still-open partition episodes per region.
+    severed_open: BTreeMap<usize, SimTime>,
     /// Completed recoveries (harvested by experiments).
     pub recoveries: Vec<RecoveryRecord>,
     /// Departure replacements completed.
@@ -283,6 +309,9 @@ impl MsController {
                     departing_transfers: BTreeMap::new(),
                     degraded_urgent: BTreeMap::new(),
                     recent_installs: BTreeMap::new(),
+                    severed: false,
+                    probe_epoch: 0,
+                    probe_backoff: SimDuration::ZERO,
                     spec,
                 }
             })
@@ -295,6 +324,9 @@ impl MsController {
             ping_outstanding: BTreeMap::new(),
             next_tag: 1,
             install_tags: BTreeMap::new(),
+            ping_tags: BTreeMap::new(),
+            severed_episodes: Vec::new(),
+            severed_open: BTreeMap::new(),
             recoveries: Vec::new(),
             departures_handled: 0,
             commits: Vec::new(),
@@ -550,6 +582,13 @@ impl MsController {
             if rt.stopped || rt.recovering {
                 return;
             }
+            // Behind a partition no trigger would arrive and no report
+            // would return: freeze the round counter so the in-flight
+            // round can still commit from retried reports after the
+            // heal instead of being obsoleted by a stillborn round.
+            if rt.severed {
+                return;
+            }
             rt.version += 1;
             rt.ckpt_expected = rt.hosting_slots();
             rt.ckpt_got = BTreeSet::new();
@@ -656,13 +695,16 @@ impl MsController {
         let mut outstanding = BTreeSet::new();
         let mut targets = Vec::new();
         for (r, rt) in self.regions.iter().enumerate() {
-            if rt.stopped {
+            // Severed regions are unreachable, not dead: pinging them
+            // would only arm deadlines that misread weather as failure.
+            // The probe loop owns contact until the heal.
+            if rt.stopped || rt.severed {
                 continue;
             }
             for s in rt.source_slots() {
                 if rt.slot_state[s as usize] == SlotState::Active {
                     outstanding.insert((r, s));
-                    targets.push(rt.spec.slot_actors[s as usize]);
+                    targets.push((r, rt.spec.slot_actors[s as usize]));
                 }
             }
         }
@@ -670,8 +712,10 @@ impl MsController {
             return;
         }
         self.ping_outstanding.insert(round, outstanding);
-        for dst in targets {
-            self.send_ctl(ctx, dst, wire::PING, dsps::node::Ping { nonce: round });
+        for (r, dst) in targets {
+            // Tagged so a partition answers with `TxSevered` evidence
+            // before the ping deadline can misfire.
+            self.send_ping_tagged(ctx, dst, r, round);
         }
         let me = ctx.self_id();
         ctx.send_in(self.cfg.ping_timeout, me, CtlTimer::PingDeadline { round });
@@ -686,12 +730,134 @@ impl MsController {
         }
     }
 
+    /// Send a liveness/heal probe whose completion is tracked: `TxDone`
+    /// clears the tag, `TxSevered` is partition evidence for `region`.
+    fn send_ping_tagged(&mut self, ctx: &mut Ctx, dst: ActorId, region: usize, nonce: u64) {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.ping_tags.insert(tag, region);
+        let src = ctx.self_id();
+        let cell = self.cell;
+        ctx.send(
+            cell,
+            CellSend {
+                src,
+                dst,
+                class: TrafficClass::Control,
+                bytes: wire::PING,
+                tag,
+                payload: Some(payload(dsps::node::Ping { nonce })),
+            },
+        );
+    }
+
+    /// A tagged controller send aged out behind a partition: the whole
+    /// region is unreachable, not one phone dead.
+    fn on_tx_severed(&mut self, tag: u64, ctx: &mut Ctx) {
+        if let Some(region) = self.ping_tags.remove(&tag) {
+            self.mark_severed(region, ctx);
+        } else if let Some((region, _slot)) = self.install_tags.remove(&tag) {
+            self.mark_severed(region, ctx);
+        }
+    }
+
+    /// Partition evidence: freeze supervision of the region and start
+    /// the capped-backoff probe loop that watches for the heal.
+    fn mark_severed(&mut self, region: usize, ctx: &mut Ctx) {
+        let base = self.cfg.severed_probe_base;
+        let rt = &mut self.regions[region];
+        if rt.stopped || rt.severed {
+            return;
+        }
+        rt.severed = true;
+        // Amnesty for failures noted in the evidence gap just before
+        // the partition was recognized: their silence was the weather.
+        // Anything genuinely dead is re-detected by post-heal pings.
+        for s in std::mem::take(&mut rt.pending_failures) {
+            if rt.slot_state[s as usize] == SlotState::Dead {
+                rt.slot_state[s as usize] = SlotState::Active;
+            }
+        }
+        rt.probe_epoch += 1;
+        rt.probe_backoff = base;
+        let epoch = rt.probe_epoch;
+        self.severed_open.entry(region).or_insert_with(|| ctx.now());
+        ctx.count("ctl.regions_severed", 1);
+        let me = ctx.self_id();
+        ctx.send_in(base, me, CtlTimer::ProbeSevered { region, epoch });
+    }
+
+    /// Probe a severed region: one tagged ping at the current backoff.
+    /// Severed again → the next probe waits twice as long (capped).
+    fn on_probe_severed(&mut self, region: usize, epoch: u64, ctx: &mut Ctx) {
+        let cap = self.cfg.severed_probe_cap;
+        let (target, next) = {
+            let rt = &mut self.regions[region];
+            if !rt.severed || rt.probe_epoch != epoch {
+                return;
+            }
+            rt.probe_backoff = rt.probe_backoff.saturating_mul(2).min(cap);
+            let target = rt
+                .active_slots()
+                .first()
+                .map(|&s| rt.spec.slot_actors[s as usize]);
+            (target, rt.probe_backoff)
+        };
+        if let Some(dst) = target {
+            self.send_ping_tagged(ctx, dst, region, 0);
+        }
+        let me = ctx.self_id();
+        ctx.send_in(next, me, CtlTimer::ProbeSevered { region, epoch });
+    }
+
+    /// Any message from a severed region is proof the partition healed.
+    fn note_region_contact(&mut self, region: usize, ctx: &mut Ctx) {
+        if self.regions.get(region).is_some_and(|rt| rt.severed) {
+            self.mark_healed(region, ctx);
+        }
+    }
+
+    /// The partition healed: resume supervision and resync the region's
+    /// view (membership, routing, sensors, inter-region wiring) WITHOUT
+    /// rolling anything back — the phones kept computing on WiFi the
+    /// whole time, and the frozen round commits from retried reports
+    /// (the `last_complete >= version` guard makes double commits
+    /// impossible).
+    fn mark_healed(&mut self, region: usize, ctx: &mut Ctx) {
+        {
+            let rt = &mut self.regions[region];
+            if !rt.severed {
+                return;
+            }
+            rt.severed = false;
+            rt.probe_epoch += 1;
+            rt.probe_backoff = SimDuration::ZERO;
+        }
+        if let Some(start) = self.severed_open.remove(&region) {
+            self.severed_episodes.push((region, start, ctx.now()));
+        }
+        ctx.count("ctl.regions_healed", 1);
+        self.broadcast_membership(region, ctx);
+        self.broadcast_routing(region, ctx);
+        self.redirect_sensors(region, ctx);
+        self.rewire_inter_region(region, ctx);
+        for up in self.upstream_regions(region) {
+            self.rewire_inter_region(up, ctx);
+        }
+        self.try_commit_round(region, ctx);
+    }
+
     fn note_failure(&mut self, region: usize, slot: u32, ctx: &mut Ctx) {
         if !self.valid_slot(region, slot, ctx) {
             return;
         }
         let rt = &mut self.regions[region];
         if rt.stopped {
+            return;
+        }
+        // Severed by a partition: silence is the weather, not death.
+        // Post-heal pings re-detect any phone that really died.
+        if rt.severed {
             return;
         }
         // While a recovery is reconfiguring the region (and shortly
@@ -812,6 +978,14 @@ impl MsController {
             let rt = &mut self.regions[region];
             rt.recover_scheduled = false;
             if rt.stopped {
+                rt.pending_failures.clear();
+                return;
+            }
+            // Partition evidence arrived after the burst gathered:
+            // launching a recovery at an unreachable region would only
+            // reassign operators nobody can be told about. The heal
+            // resync re-detects any real deaths.
+            if rt.severed {
                 rt.pending_failures.clear();
                 return;
             }
@@ -1468,6 +1642,7 @@ impl MsController {
             CtlTimer::PingDeadline { round } => self.on_ping_deadline(round, ctx),
             CtlTimer::RecoverNow { region } => self.on_recover_now(region, ctx),
             CtlTimer::AckDeadline { region } => self.finish_recovery(region, ctx),
+            CtlTimer::ProbeSevered { region, epoch } => self.on_probe_severed(region, epoch, ctx),
         }
     }
 }
@@ -1477,19 +1652,27 @@ impl Actor for MsController {
         let ev = match ev.downcast::<CellRx>() {
             Ok(rx) => {
                 let p = rx.payload.clone();
+                // Any message out of a severed region proves the
+                // partition healed — resync before handling it.
                 if let Some(m) = payload_as::<Pong>(&p) {
+                    self.note_region_contact(m.region, ctx);
                     if let Some(out) = self.ping_outstanding.get_mut(&m.nonce) {
                         out.remove(&(m.region, m.slot));
                     }
                 } else if let Some(m) = payload_as::<NodeCheckpointed>(&p) {
+                    self.note_region_contact(m.region, ctx);
                     self.on_node_checkpointed(*m, ctx);
                 } else if let Some(m) = payload_as::<ReportDead>(&p) {
+                    self.note_region_contact(m.region, ctx);
                     self.note_failure(m.region, m.slot, ctx);
                 } else if let Some(m) = payload_as::<RecoveredAck>(&p) {
+                    self.note_region_contact(m.region, ctx);
                     self.on_recovered_ack(*m, ctx);
                 } else if let Some(m) = payload_as::<DepartureNotice>(&p) {
+                    self.note_region_contact(m.region, ctx);
                     self.on_departure(*m, ctx);
                 } else if let Some(m) = payload_as::<RegisterNode>(&p) {
+                    self.note_region_contact(m.region, ctx);
                     self.on_register(*m, ctx);
                 }
                 return;
@@ -1500,16 +1683,25 @@ impl Actor for MsController {
             _s: Start => { self.on_start(ctx); },
             t: CtlTimer => { self.on_timer(t, ctx); },
             f: TxFailed => {
+                // A failed ping just means the pinged phone is dead —
+                // its round deadline already covers that.
+                if self.ping_tags.remove(&f.tag).is_some() {
+                    // nothing
+                }
                 // An Install never reached its target: that phone is dead
                 // too; fold it into a fresh recovery round.
-                if let Some((region, slot)) = self.install_tags.remove(&f.tag) {
+                else if let Some((region, slot)) = self.install_tags.remove(&f.tag) {
                     let rt = &mut self.regions[region];
                     rt.slot_state[slot as usize] = SlotState::Active; // allow note_failure
                     self.note_failure(region, slot, ctx);
                 }
             },
             d: simnet::TxDone => {
+                self.ping_tags.remove(&d.tag);
                 self.install_tags.remove(&d.tag);
+            },
+            s: simnet::TxSevered => {
+                self.on_tx_severed(s.tag, ctx);
             },
             @else _other => {}
         );

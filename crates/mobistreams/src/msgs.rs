@@ -217,6 +217,9 @@ pub(crate) enum CtlTimer {
     /// Recovery-ack deadline passed; finish the region's recovery with
     /// whatever acks arrived.
     AckDeadline { region: usize },
+    /// Capped-backoff probe of a region believed severed by a network
+    /// partition. `epoch` guards against stale timers after a heal.
+    ProbeSevered { region: usize, epoch: u64 },
 }
 
 /// Wire sizes for control messages (bytes).

@@ -355,7 +355,7 @@ impl MsScheme {
                     region: node.cfg.region,
                     slot: node.cfg.slot,
                 };
-                node.send_controller(ctx, wire::CONTROL, msg);
+                node.send_controller_tracked(ctx, wire::CONTROL, msg);
             }
             BlobContent::ProxyCheckpoint {
                 origin_slot,
@@ -370,7 +370,7 @@ impl MsScheme {
                     region: node.cfg.region,
                     slot: *origin_slot,
                 };
-                node.send_controller(ctx, wire::CONTROL, msg);
+                node.send_controller_tracked(ctx, wire::CONTROL, msg);
             }
             BlobContent::Preserve { .. } => {}
         }
@@ -565,7 +565,7 @@ impl MsScheme {
             region: node.cfg.region,
             slot: node.cfg.slot,
         };
-        node.send_controller(ctx, wire::CONTROL, ack);
+        node.send_controller_tracked(ctx, wire::CONTROL, ack);
     }
 
     /// Source-node emission: replace the unicast hop with one reliable
@@ -875,7 +875,7 @@ impl FtScheme for MsScheme {
                     region: node.cfg.region,
                     slot: node.cfg.slot,
                 };
-                node.send_controller(ctx, wire::CONTROL, notice);
+                node.send_controller_tracked(ctx, wire::CONTROL, notice);
             },
             @else _other => {
                 return false;
@@ -895,7 +895,7 @@ impl FtScheme for MsScheme {
             region: node.cfg.region,
             slot: node.cfg.slot,
         };
-        node.send_controller(ctx, wire::CONTROL, ack);
+        node.send_controller_tracked(ctx, wire::CONTROL, ack);
     }
 
     fn preserved_bytes(&self, node: &NodeInner) -> u64 {

@@ -109,6 +109,12 @@ struct Core {
     shard_of: Arc<[u16]>,
     /// Sends addressed to other shards, merged at the next barrier.
     outbox: Vec<OutEntry>,
+    /// Earliest arrival time currently parked in `outbox` (`None` when
+    /// empty). The global shard's solo window may not run past it: a
+    /// region woken at that time can reply into shard 0 with zero
+    /// delay, so shard 0 advancing further would put the reply below
+    /// its clock (see `run_barrier`).
+    outbox_min: Option<SimTime>,
 }
 
 impl Core {
@@ -124,6 +130,7 @@ impl Core {
         if dest == self.my_shard {
             self.heap.push(Entry { at, seq, to, ev });
         } else {
+            self.outbox_min = Some(self.outbox_min.map_or(at, |m| m.min(at)));
             self.outbox.push(OutEntry {
                 dest,
                 at,
@@ -213,6 +220,11 @@ struct Sanitizer {
     /// FNV-1a over `(window, shard, rng draws, events processed)`
     /// tuples, one per shard per barrier window.
     ledger: u64,
+    /// Sharding-contract violations observed at merge time. Debug
+    /// builds panic at the first one; release builds record and keep
+    /// going so a long scenario run can finish and *report* the count
+    /// (CI gates on it being zero).
+    violations: u64,
 }
 
 impl Sanitizer {
@@ -220,6 +232,7 @@ impl Sanitizer {
         Sanitizer {
             windows: 0,
             ledger: 0xcbf2_9ce4_8422_2325,
+            violations: 0,
         }
     }
 
@@ -240,6 +253,10 @@ pub struct CausalityReport {
     pub windows: u64,
     /// Rolling digest of per-window, per-shard `(rng draws, events)`.
     pub ledger: u64,
+    /// Sharding-contract violations recorded (always 0 in debug
+    /// builds, which panic at the first violation instead). Nonzero
+    /// means the run's results cannot be trusted; CI exits nonzero.
+    pub violations: u64,
 }
 
 /// A discrete-event simulation: actor table + event heap(s) + clock(s).
@@ -276,6 +293,7 @@ impl Sim {
                 my_shard: 0,
                 shard_of: Arc::from([]),
                 outbox: Vec::new(),
+                outbox_min: None,
             }],
             shard_actors: vec![Vec::new()],
             local_ix: Vec::new(),
@@ -324,6 +342,7 @@ impl Sim {
         self.sanitizer.as_ref().map(|s| CausalityReport {
             windows: s.windows,
             ledger: s.ledger,
+            violations: s.violations,
         })
     }
 
@@ -393,6 +412,7 @@ impl Sim {
                 my_shard: s as u16,
                 shard_of: Arc::clone(&shard_of),
                 outbox: Vec::new(),
+                outbox_min: None,
             });
         }
 
@@ -502,12 +522,22 @@ impl Sim {
             None,
             Some(bound),
             Some(1),
+            false,
         );
         true
     }
 
     /// Pop-and-dispatch `core`'s events while `at < strict_before` (if
     /// set) and `at <= inclusive_until` (if set), up to `max_events`.
+    ///
+    /// With `cap_at_outbox`, the window also ends before any event
+    /// later than the earliest cross-shard arrival this very window
+    /// has parked (`Core::outbox_min`, re-checked after every
+    /// dispatch). The global shard's solo window needs this: its own
+    /// sends can wake a region *earlier* than the region's pending
+    /// heap suggested, and the woken region may reply into shard 0
+    /// with zero delay — so shard 0 must not advance past any time at
+    /// which such a reply could still arrive.
     fn run_window(
         core: &mut Core,
         actors: &mut [Option<Box<dyn Actor>>],
@@ -515,6 +545,7 @@ impl Sim {
         strict_before: Option<SimTime>,
         inclusive_until: Option<SimTime>,
         max_events: Option<u64>,
+        cap_at_outbox: bool,
     ) {
         let mut budget = max_events.unwrap_or(u64::MAX);
         while budget > 0 {
@@ -530,6 +561,15 @@ impl Sim {
             if let Some(u) = inclusive_until {
                 if at > u {
                     break;
+                }
+            }
+            if cap_at_outbox {
+                if let Some(m) = core.outbox_min {
+                    // `at == m` stays safe: a reply provoked at `m`
+                    // arrives at `>= m`, never below this event's time.
+                    if at > m {
+                        break;
+                    }
                 }
             }
             let Some(entry) = core.heap.pop() else {
@@ -570,20 +610,29 @@ impl Sim {
         let n = self.cores.len();
         let sanitize = self.sanitizer.is_some();
         let lookahead = self.lookahead;
+        // Violations are tallied locally (the sanitizer can't be
+        // borrowed while the cores are) and folded in at the end. Debug
+        // builds panic at the first one; release builds record so the
+        // run completes and the report carries the count.
+        let mut violations = 0u64;
         let mut inbound: Vec<Vec<OutEntry>> = (0..n).map(|_| Vec::new()).collect();
         for (src, core) in self.cores.iter_mut().enumerate() {
+            core.outbox_min = None;
             for mut e in core.outbox.drain(..) {
                 let d = e.dest as usize;
                 if sanitize && src > 0 && d > 0 && d != src {
-                    // simlint::allow(P001): causality sanitizer — the sharding contract forbids region shards messaging each other directly
-                    panic!(
-                        "causality sanitizer: direct region-to-region send \
-                         shard {src} -> shard {d} ({} for {:?} at {:?}); regions \
-                         may only communicate through the global shard 0",
-                        (*e.ev).type_name(),
-                        e.to,
-                        e.at,
-                    );
+                    if cfg!(debug_assertions) {
+                        // simlint::allow(P001): causality sanitizer — the sharding contract forbids region shards messaging each other directly
+                        panic!(
+                            "causality sanitizer: direct region-to-region send \
+                             shard {src} -> shard {d} ({} for {:?} at {:?}); regions \
+                             may only communicate through the global shard 0",
+                            (*e.ev).type_name(),
+                            e.to,
+                            e.at,
+                        );
+                    }
+                    violations += 1;
                 }
                 // Reuse `dest` to carry the source shard through the
                 // sort; the vec index already names the destination.
@@ -597,13 +646,18 @@ impl Sim {
                 for w in entries.windows(2) {
                     let a = (w[0].at, w[0].dest, w[0].src_seq);
                     let b = (w[1].at, w[1].dest, w[1].src_seq);
-                    assert!(
-                        a < b,
-                        "causality sanitizer: merge keys into shard {d} are not \
-                         strictly increasing ({a:?} then {b:?}): duplicate \
-                         (source shard, source seq) pairs make the merge order \
-                         ambiguous"
-                    );
+                    if a >= b {
+                        if cfg!(debug_assertions) {
+                            // simlint::allow(P001): causality sanitizer — ambiguous merge keys mean the deterministic merge order is broken
+                            panic!(
+                                "causality sanitizer: merge keys into shard {d} are not \
+                                 strictly increasing ({a:?} then {b:?}): duplicate \
+                                 (source shard, source seq) pairs make the merge order \
+                                 ambiguous"
+                            );
+                        }
+                        violations += 1;
+                    }
                 }
             }
             let core = &mut self.cores[d];
@@ -631,6 +685,11 @@ impl Sim {
                 });
             }
         }
+        if violations > 0 {
+            if let Some(s) = &mut self.sanitizer {
+                s.violations += violations;
+            }
+        }
     }
 
     /// Run every non-global shard's window `[now, w)` (∩ `<= until`),
@@ -644,7 +703,7 @@ impl Sim {
                 .iter_mut()
                 .zip(self.shard_actors[1..].iter_mut())
             {
-                Self::run_window(core, actors, local_ix, Some(w), until, None);
+                Self::run_window(core, actors, local_ix, Some(w), until, None, false);
             }
             return;
         }
@@ -656,7 +715,7 @@ impl Sim {
             {
                 scope.spawn(move || {
                     for (core, acts) in cores.iter_mut().zip(actors.iter_mut()) {
-                        Self::run_window(core, acts, local_ix, Some(w), until, None);
+                        Self::run_window(core, acts, local_ix, Some(w), until, None, false);
                     }
                 });
             }
@@ -703,9 +762,13 @@ impl Sim {
                 }
                 _ => {
                     // Shard 0 runs alone while it holds the earliest
-                    // event. Anything a non-global shard will send it
-                    // arrives at `>= t_r`, so `<= t_r` is safe to
-                    // process now.
+                    // event. Anything a region's *pending* events can
+                    // send it arrives at `>= t_r`, so `<= t_r` is safe
+                    // — but only until shard 0's own sends wake a
+                    // region earlier than `t_r`. The outbox cap ends
+                    // the window at the first such wake time, because
+                    // the woken region's zero-delay reply lands right
+                    // back at it.
                     let bound = match (t_r, until) {
                         (Some(a), Some(b)) => Some(a.min(b)),
                         (a, b) => a.or(b),
@@ -717,6 +780,7 @@ impl Sim {
                         None,
                         bound,
                         None,
+                        true,
                     );
                 }
             }
@@ -1236,6 +1300,7 @@ mod tests {
         let r4 = s4.causality_report().expect("sanitizer enabled");
         assert!(r1.windows > 0, "barrier loop must fold windows");
         assert_eq!(r1, r4, "per-window RNG/event ledger diverged");
+        assert_eq!(r1.violations, 0, "clean schedule must record none");
 
         // A structurally different schedule folds different counts.
         let (mut other, _, _) = sharded_setup(3, 1);

@@ -25,7 +25,7 @@ use simkernel::{impl_actor_any, Actor, ActorId, Ctx, Event, SimDuration};
 
 use crate::link::RateQueue;
 use crate::stats::{NetStats, TrafficClass};
-use crate::{LinkState, Payload, TxDone, TxDropped, TxFailed};
+use crate::{LinkState, Payload, TxDone, TxDropped, TxFailed, TxSevered};
 
 /// Cellular network parameters (paper's measured 3G band midpoints).
 #[derive(Debug, Clone)]
@@ -128,13 +128,33 @@ pub struct CellSetLink {
     pub state: LinkState,
 }
 
+/// Control: sever or restore the path between an endpoint and the core
+/// (a network-weather partition). Unlike [`CellSetLink`] the endpoint
+/// is *not* killed: its link state, queues and registration survive,
+/// and sends involving it age out with [`TxSevered`] after the timeout
+/// instead of failing — so upper layers retry with backoff rather than
+/// declaring the peer dead.
+#[derive(Debug, Clone, Copy)]
+pub struct CellSetPartition {
+    /// Endpoint.
+    pub node: ActorId,
+    /// `true` = behind the partition, `false` = healed.
+    pub on: bool,
+}
+
 struct Endpoint {
     up: RateQueue,
     down: RateQueue,
     state: LinkState,
+    /// Severed from the core by a weather partition (orthogonal to
+    /// `state`: a partitioned endpoint is alive, just unreachable).
+    partitioned: bool,
     /// Messages tail-dropped at this endpoint's full queues (uplink
     /// drops charged to the sender, downlink drops to the receiver).
     queue_drops: u64,
+    /// Bytes lost at this endpoint's queues: tail-dropped payloads plus
+    /// backlog drained when the endpoint died with bytes still queued.
+    queue_drop_bytes: u64,
 }
 
 /// Per-endpoint congestion accounting (harvested by experiments).
@@ -142,6 +162,8 @@ struct Endpoint {
 pub struct CellEndpointStats {
     /// Messages tail-dropped at this endpoint's full queues.
     pub queue_drops: u64,
+    /// Bytes lost at this endpoint's queues (tail drops + death drain).
+    pub queue_drop_bytes: u64,
     /// Deepest uplink backlog observed (bytes).
     pub max_up_queue_bytes: u64,
     /// Deepest downlink backlog observed (bytes).
@@ -188,16 +210,51 @@ impl CellularNet {
                 up: RateQueue::new(up_bps),
                 down: RateQueue::new(down_bps),
                 state: LinkState::Active,
+                partitioned: false,
                 queue_drops: 0,
+                queue_drop_bytes: 0,
             },
         );
     }
 
-    /// Change an endpoint's reachability.
+    /// Change an endpoint's reachability (setup-time wiring; event-path
+    /// callers go through [`Self::set_link_state_at`] so a death drains
+    /// the queued backlog into the drop accounting).
     pub fn set_link_state(&mut self, node: ActorId, state: LinkState) {
         if let Some(ep) = self.endpoints.get_mut(&node) {
             ep.state = state;
         }
+    }
+
+    /// Change an endpoint's reachability at a known sim time. A
+    /// transition out of `Active` drains whatever is still waiting on
+    /// both directions: those bytes will never be transmitted, so they
+    /// are charged to the endpoint's (and the network's) drop
+    /// accounting instead of silently vanishing — and the observed
+    /// `max_*_queue_bytes` maxima are left untouched.
+    pub fn set_link_state_at(&mut self, node: ActorId, state: LinkState, now: simkernel::SimTime) {
+        let Some(ep) = self.endpoints.get_mut(&node) else {
+            return;
+        };
+        if ep.state.reachable() && !state.reachable() {
+            let drained = ep.up.clear_backlog(now) + ep.down.clear_backlog(now);
+            ep.queue_drop_bytes += drained;
+            self.stats.queue_drop_bytes += drained;
+        }
+        ep.state = state;
+    }
+
+    /// Sever (`on = true`) or heal (`on = false`) the endpoint↔core
+    /// path without touching the endpoint's link state or queues.
+    pub fn set_partitioned(&mut self, node: ActorId, on: bool) {
+        if let Some(ep) = self.endpoints.get_mut(&node) {
+            ep.partitioned = on;
+        }
+    }
+
+    /// Is this endpoint currently behind a weather partition?
+    pub fn partitioned(&self, node: ActorId) -> bool {
+        self.endpoints.get(&node).is_some_and(|e| e.partitioned)
     }
 
     /// Endpoint reachability (`Gone` if unregistered).
@@ -217,6 +274,7 @@ impl CellularNet {
     pub fn endpoint_stats(&self, node: ActorId) -> Option<CellEndpointStats> {
         self.endpoints.get(&node).map(|ep| CellEndpointStats {
             queue_drops: ep.queue_drops,
+            queue_drop_bytes: ep.queue_drop_bytes,
             max_up_queue_bytes: ep.up.max_depth_bytes(),
             max_down_queue_bytes: ep.down.max_depth_bytes(),
         })
@@ -235,6 +293,27 @@ impl CellularNet {
         };
         if !src_state.reachable() {
             self.stats.drops += 1;
+            return;
+        }
+
+        // Weather partition: either side behind the cut severs the
+        // path. The message ages out via the same timeout as a dead
+        // destination, but the sender learns `TxSevered`, not
+        // `TxFailed` — a partitioned peer may well be alive, so this
+        // must not feed failure detection. Checked before the dead-dst
+        // path: death cannot be observed through a partition.
+        if self.partitioned(s.src) || self.partitioned(s.dst) {
+            self.stats.severed_sends += 1;
+            if s.tag != 0 {
+                ctx.send_in(
+                    self.cfg.timeout,
+                    s.src,
+                    TxSevered {
+                        tag: s.tag,
+                        dst: s.dst,
+                    },
+                );
+            }
             return;
         }
 
@@ -264,7 +343,9 @@ impl CellularNet {
         };
         if s.class.droppable() && src_ep.up.depth_bytes(now) >= cap {
             src_ep.queue_drops += 1;
+            src_ep.queue_drop_bytes += s.bytes;
             self.stats.queue_drops += 1;
+            self.stats.queue_drop_bytes += s.bytes;
             ctx.count("cell.queue_drops", 1);
             if s.tag != 0 {
                 ctx.send_in(
@@ -298,7 +379,9 @@ impl CellularNet {
         // actually-empty downlink.
         if s.class.droppable() && dst_ep.down.depth_bytes(now) >= cap {
             dst_ep.queue_drops += 1;
+            dst_ep.queue_drop_bytes += s.bytes;
             self.stats.queue_drops += 1;
+            self.stats.queue_drop_bytes += s.bytes;
             ctx.count("cell.queue_drops", 1);
             self.stats.record_send(s.class, s.bytes, wire, up_air);
             if s.tag != 0 {
@@ -354,7 +437,8 @@ impl Actor for CellularNet {
     fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
         simkernel::match_event!(ev,
             s: CellSend => { self.handle_send(s, ctx); },
-            l: CellSetLink => { self.set_link_state(l.node, l.state); },
+            l: CellSetLink => { self.set_link_state_at(l.node, l.state, ctx.now()); },
+            p: CellSetPartition => { self.set_partitioned(p.node, p.on); },
             @else _other => {
                 // Unknown event types are counted, not fatal (PR 2
                 // de-panicking convention; see wifi.rs for the model).
@@ -381,6 +465,7 @@ mod tests {
         done: Vec<u64>,
         failed: Vec<u64>,
         dropped: Vec<u64>,
+        severed: Vec<(SimTime, u64)>,
     }
 
     impl Actor for Sink {
@@ -390,6 +475,7 @@ mod tests {
                 d: TxDone => { self.done.push(d.tag); },
                 f: TxFailed => { self.failed.push(f.tag); },
                 d: TxDropped => { self.dropped.push(d.tag); },
+                s: TxSevered => { self.severed.push((ctx.now(), s.tag)); },
                 @else other => { panic!("unexpected {}", (*other).type_name()); }
             );
         }
@@ -701,6 +787,243 @@ mod tests {
         sim.run();
         assert_eq!(sim.actor::<Sink>(nodes[1]).rx.len(), 1);
         assert!(sim.actor::<Sink>(nodes[0]).dropped.is_empty());
+    }
+
+    #[test]
+    fn partition_severs_both_directions_without_killing_endpoints() {
+        let (mut sim, net, nodes) = setup();
+        sim.schedule_at(
+            SimTime::ZERO,
+            net,
+            CellSetPartition {
+                node: nodes[1],
+                on: true,
+            },
+        );
+        // Into and out of the partition: both sever, neither fails.
+        for (src, dst, tag) in [(nodes[0], nodes[1], 1u64), (nodes[1], nodes[0], 2u64)] {
+            sim.schedule_at(
+                SimTime::from_millis(1),
+                net,
+                CellSend {
+                    src,
+                    dst,
+                    class: TrafficClass::Control,
+                    bytes: 100,
+                    tag,
+                    payload: Some(crate::payload(())),
+                },
+            );
+        }
+        // Heal, then delivery resumes over the same endpoint.
+        sim.schedule_at(
+            SimTime::from_secs(10),
+            net,
+            CellSetPartition {
+                node: nodes[1],
+                on: false,
+            },
+        );
+        sim.schedule_at(
+            SimTime::from_secs(10),
+            net,
+            CellSend {
+                src: nodes[0],
+                dst: nodes[1],
+                class: TrafficClass::Control,
+                bytes: 100,
+                tag: 3,
+                payload: Some(crate::payload(())),
+            },
+        );
+        sim.run();
+        // Severed notices arrive after the failure timeout (5 s), and
+        // carry no liveness verdict: no TxFailed anywhere.
+        let s0 = sim.actor::<Sink>(nodes[0]);
+        assert_eq!(s0.severed.len(), 1);
+        assert_eq!(s0.severed[0].1, 1);
+        assert_eq!(s0.severed[0].0, SimTime::from_millis(5001));
+        assert!(s0.failed.is_empty());
+        let s1 = sim.actor::<Sink>(nodes[1]);
+        assert_eq!(s1.severed.iter().map(|(_, t)| *t).collect::<Vec<_>>(), [2]);
+        assert!(s1.failed.is_empty());
+        // The partitioned endpoint never died, and the healed send got
+        // through.
+        let n = sim.actor::<CellularNet>(net);
+        assert_eq!(n.link_state(nodes[1]), LinkState::Active);
+        assert!(!n.partitioned(nodes[1]));
+        assert_eq!(n.stats().severed_sends, 2);
+        assert_eq!(n.stats().failed_sends, 0);
+        assert_eq!(s1.rx.len(), 1, "post-heal delivery");
+    }
+
+    #[test]
+    fn endpoint_death_drains_queued_bytes_into_drop_accounting() {
+        // Satellite: an endpoint dying with bytes still queued must
+        // charge the drained backlog to `queue_drop_bytes` and must NOT
+        // retroactively decay the observed max queue depth.
+        let (mut sim, net, nodes) = setup();
+        // 3 × 12.5 KB at 12.5 KB/s: 3 s of uplink backlog from t=0.
+        for tag in 1..=3u64 {
+            sim.schedule_at(
+                SimTime::ZERO,
+                net,
+                CellSend {
+                    src: nodes[0],
+                    dst: nodes[1],
+                    class: TrafficClass::Data,
+                    bytes: 12_500,
+                    tag,
+                    payload: Some(crate::payload(())),
+                },
+            );
+        }
+        // Die at t=1 s: one message clocked out, 25 000 B still waiting.
+        sim.schedule_at(
+            SimTime::from_secs(1),
+            net,
+            CellSetLink {
+                node: nodes[0],
+                state: LinkState::Dead,
+            },
+        );
+        sim.run_until(SimTime::from_secs(2));
+        let n = sim.actor::<CellularNet>(net);
+        let ep = n.endpoint_stats(nodes[0]).unwrap();
+        assert_eq!(ep.queue_drop_bytes, 25_000, "drained backlog lost");
+        assert_eq!(n.stats().queue_drop_bytes, 25_000);
+        assert_eq!(ep.queue_drops, 0, "a drain is not a tail drop");
+        assert_eq!(
+            ep.max_up_queue_bytes, 37_500,
+            "observed maximum must not decay when the owner dies"
+        );
+
+        // A revived endpoint starts with a clean pipe: no stale backlog
+        // from before the crash delays new traffic.
+        sim.schedule_at(
+            SimTime::from_secs(2),
+            net,
+            CellSetLink {
+                node: nodes[0],
+                state: LinkState::Active,
+            },
+        );
+        sim.schedule_at(
+            SimTime::from_secs(2),
+            net,
+            CellSend {
+                src: nodes[0],
+                dst: nodes[2],
+                class: TrafficClass::Data,
+                bytes: 12_500,
+                tag: 9,
+                payload: Some(crate::payload(())),
+            },
+        );
+        sim.run();
+        let rx = &sim.actor::<Sink>(nodes[2]).rx;
+        assert_eq!(rx.len(), 1);
+        // 2 s send + 1 s uplink + 0.05 s core + 0.1 s downlink.
+        assert!(
+            (rx[0].0.as_secs_f64() - 3.15).abs() < 1e-6,
+            "stale pre-death backlog delayed the revived uplink: {:?}",
+            rx[0].0
+        );
+        let n = sim.actor::<CellularNet>(net);
+        assert_eq!(
+            n.endpoint_stats(nodes[0]).unwrap().queue_drop_bytes,
+            25_000,
+            "revival must not re-charge the drain"
+        );
+    }
+
+    mod partition_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Weather partitions are non-destructive and idempotent at
+            /// the stats layer: over a random cut→heal→cut schedule
+            /// (with redundant duplicate cut/heal events) against a
+            /// steady tagged stream, every send resolves exactly once —
+            /// TxDone or TxSevered, never TxFailed (nobody died) and
+            /// never TxDropped (control class) — the TxSevered notices
+            /// match the network's severed ledger one-for-one, queue
+            /// and reject counters stay zero, and the final heal leaves
+            /// the endpoint Active and un-partitioned.
+            #[test]
+            fn cut_heal_cut_resolves_every_send_exactly_once(
+                cuts in 1usize..4,
+                period_ms in 400u64..1600,
+                phase_ms in 0u64..5000,
+            ) {
+                let (mut sim, net, nodes) = setup();
+                let horizon_ms = 60_000u64;
+                let mut tags = Vec::new();
+                let mut at = period_ms;
+                while at < horizon_ms {
+                    let tag = tags.len() as u64 + 1;
+                    tags.push(tag);
+                    sim.schedule_at(
+                        SimTime::from_millis(at),
+                        net,
+                        CellSend {
+                            src: nodes[0],
+                            dst: nodes[1],
+                            class: TrafficClass::Control,
+                            bytes: 100,
+                            tag,
+                            payload: Some(crate::payload(())),
+                        },
+                    );
+                    at += period_ms;
+                }
+                // cut → 7 s outage → heal, repeated; every transition
+                // is scheduled TWICE (1 ms apart) so the property also
+                // covers partitioning an already-partitioned endpoint
+                // and healing a healed one.
+                for k in 0..cuts as u64 {
+                    let cut_ms = 5_000 + phase_ms + k * 14_000;
+                    for (offset, on) in [(0, true), (1, true), (7_000, false), (7_001, false)] {
+                        sim.schedule_at(
+                            SimTime::from_millis(cut_ms + offset),
+                            net,
+                            CellSetPartition {
+                                node: nodes[1],
+                                on,
+                            },
+                        );
+                    }
+                }
+                sim.run();
+
+                let s0 = sim.actor::<Sink>(nodes[0]);
+                prop_assert!(s0.failed.is_empty(), "a partition is not death");
+                prop_assert!(s0.dropped.is_empty(), "control is never shed");
+                let mut resolved: Vec<u64> = s0
+                    .done
+                    .iter()
+                    .copied()
+                    .chain(s0.severed.iter().map(|(_, t)| *t))
+                    .collect();
+                resolved.sort_unstable();
+                prop_assert_eq!(
+                    &resolved, &tags,
+                    "every tagged send resolves exactly once (done + severed)"
+                );
+                // Delivery count mirrors the accepted count.
+                prop_assert_eq!(sim.actor::<Sink>(nodes[1]).rx.len(), s0.done.len());
+
+                let n = sim.actor::<CellularNet>(net);
+                prop_assert_eq!(n.stats().severed_sends, s0.severed.len() as u64);
+                prop_assert_eq!(n.stats().failed_sends, 0);
+                prop_assert_eq!(n.stats().queue_drops, 0);
+                prop_assert_eq!(n.stats().queue_drop_bytes, 0);
+                prop_assert_eq!(n.stats().rejects, 0);
+                prop_assert_eq!(n.link_state(nodes[1]), LinkState::Active);
+                prop_assert!(!n.partitioned(nodes[1]), "final heal sticks");
+            }
+        }
     }
 
     #[test]

@@ -80,6 +80,21 @@ pub struct TxDropped {
     pub dst: simkernel::ActorId,
 }
 
+/// Sender-side partition notice: the path between the endpoints is
+/// administratively severed (a network-weather partition), so the
+/// message aged out after the transport's failure-detection timeout.
+/// Unlike [`TxFailed`] this says nothing about the destination's
+/// liveness — both endpoints may be alive and the partition may heal —
+/// so receivers must not raise death reports over it; the right
+/// response is a capped-backoff retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxSevered {
+    /// Caller-chosen correlation tag.
+    pub tag: u64,
+    /// The destination the message was headed for.
+    pub dst: simkernel::ActorId,
+}
+
 /// Liveness of a node as seen by a transport.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum LinkState {

@@ -136,6 +136,21 @@ impl RateQueue {
     pub fn bytes_reserved(&self) -> u64 {
         self.bytes_reserved
     }
+
+    /// Abandon all waiting bytes at `now` (the endpoint behind the
+    /// queue died): returns the drained backlog so callers can account
+    /// it as lost, frees the link for any future revival, and leaves
+    /// `max_depth_bytes` untouched — the observed maximum must not
+    /// decay retroactively just because the owner crashed.
+    pub fn clear_backlog(&mut self, now: SimTime) -> u64 {
+        let waiting = self.depth_bytes(now);
+        self.queued_bytes = 0.0;
+        self.last_obs = self.last_obs.max(now);
+        if self.busy_until > now {
+            self.busy_until = now;
+        }
+        waiting
+    }
 }
 
 #[cfg(test)]

@@ -77,6 +77,15 @@ pub struct NetStats {
     pub failed_sends: u64,
     /// Messages tail-dropped because a bounded link queue was full.
     pub queue_drops: u64,
+    /// Payload bytes lost at bounded link queues: tail-dropped arrivals
+    /// plus backlog drained when an endpoint died with bytes still
+    /// queued (the byte-accurate companion to `queue_drops`, whose
+    /// message granularity is unknowable for a drained backlog).
+    pub queue_drop_bytes: u64,
+    /// Sends refused because an endpoint was behind an administrative
+    /// partition (network weather); the senders got [`crate::TxSevered`]
+    /// after the timeout instead of a failure.
+    pub severed_sends: u64,
     /// Malformed or impossible sends the transport refused outright:
     /// dead/unknown source radio, empty batch, unrecognized event type.
     /// These consume no airtime and charge no bytes.

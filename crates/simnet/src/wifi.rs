@@ -236,6 +236,20 @@ pub struct WifiSetLoss {
     pub loss: f64,
 }
 
+/// Control: region-wide AP brownout. While on, the channel's loss is
+/// pinned at the brownout severity (every member suffers it at once —
+/// the correlated outage of the paper's crowd scenarios); healing
+/// restores whatever loss the profile had configured, including
+/// [`WifiSetLoss`] updates that arrived during the brownout.
+#[derive(Debug, Clone, Copy)]
+pub struct WifiSetBrownout {
+    /// `true` = brownout begins/retunes, `false` = heal.
+    pub on: bool,
+    /// Per-frame loss while the brownout lasts (clamped like
+    /// [`WifiSetLoss`]); ignored on heal.
+    pub loss: f64,
+}
+
 /// The shared channel of one region.
 pub struct WifiMedium {
     cfg: WifiConfig,
@@ -243,6 +257,9 @@ pub struct WifiMedium {
     channel: RateQueue,
     stats: NetStats,
     congested: bool,
+    /// `Some(base_loss)` while a brownout pins `cfg.loss`; the saved
+    /// value is what heal restores.
+    brownout: Option<f64>,
 }
 
 impl WifiMedium {
@@ -255,6 +272,7 @@ impl WifiMedium {
             channel,
             stats: NetStats::default(),
             congested: false,
+            brownout: None,
         }
     }
 
@@ -306,9 +324,38 @@ impl WifiMedium {
         self.members.insert(node, state);
     }
 
-    /// Change the channel loss probability (loss profiles).
+    /// Change the channel loss probability (loss profiles). During a
+    /// brownout the update lands on the *saved* base loss, so the
+    /// profile's schedule survives the weather and is what heal
+    /// restores.
     pub fn set_loss(&mut self, loss: f64) {
-        self.cfg.loss = loss.clamp(0.0, 0.95);
+        let clamped = loss.clamp(0.0, 0.95);
+        match &mut self.brownout {
+            Some(base) => *base = clamped,
+            None => self.cfg.loss = clamped,
+        }
+    }
+
+    /// Begin/retune (`on = true`) or heal (`on = false`) a region-wide
+    /// AP brownout.
+    pub fn set_brownout(&mut self, on: bool, loss: f64) {
+        match (on, self.brownout) {
+            (true, None) => {
+                self.brownout = Some(self.cfg.loss);
+                self.cfg.loss = loss.clamp(0.0, 0.95);
+            }
+            (true, Some(_)) => self.cfg.loss = loss.clamp(0.0, 0.95),
+            (false, Some(base)) => {
+                self.cfg.loss = base;
+                self.brownout = None;
+            }
+            (false, None) => {}
+        }
+    }
+
+    /// Is a brownout currently pinning the channel loss?
+    pub fn in_brownout(&self) -> bool {
+        self.brownout.is_some()
     }
 
     /// Current link state (`Gone` if unknown).
@@ -557,6 +604,7 @@ impl Actor for WifiMedium {
             b: WifiBatchSend => { self.handle_batch(b, ctx); },
             l: WifiSetLink => { self.set_link_state(l.node, l.state); },
             l: WifiSetLoss => { self.set_loss(l.loss); },
+            b: WifiSetBrownout => { self.set_brownout(b.on, b.loss); },
             _d: DrainCheck => { self.on_drain_check(ctx); },
             @else _other => {
                 // Unknown event types are counted, not fatal (PR 2
@@ -1096,6 +1144,53 @@ mod tests {
         for &n in &nodes[1..] {
             assert_eq!(sim.actor::<Sink>(n).rx.len(), 1);
         }
+    }
+
+    #[test]
+    fn brownout_pins_loss_and_heal_restores_profile_updates() {
+        let (mut sim, m, _nodes) = setup(0.05);
+        sim.schedule_at(
+            SimTime::ZERO,
+            m,
+            WifiSetBrownout {
+                on: true,
+                loss: 2.0,
+            },
+        );
+        // A loss profile fires mid-brownout: it must land on the saved
+        // base, not the pinned brownout severity.
+        sim.schedule_at(SimTime::from_secs(1), m, WifiSetLoss { loss: 0.2 });
+        sim.run();
+        let med = sim.actor::<WifiMedium>(m);
+        assert!(med.in_brownout());
+        assert_eq!(med.config().loss, 0.95, "brownout severity clamped");
+        sim.schedule_at(
+            sim.now(),
+            m,
+            WifiSetBrownout {
+                on: false,
+                loss: 0.0,
+            },
+        );
+        sim.run();
+        let med = sim.actor::<WifiMedium>(m);
+        assert!(!med.in_brownout());
+        assert_eq!(
+            med.config().loss,
+            0.2,
+            "heal restores the profile's mid-brownout update"
+        );
+        // Double heal is a no-op.
+        sim.schedule_at(
+            sim.now(),
+            m,
+            WifiSetBrownout {
+                on: false,
+                loss: 0.0,
+            },
+        );
+        sim.run();
+        assert_eq!(sim.actor::<WifiMedium>(m).config().loss, 0.2);
     }
 
     mod sampling_props {

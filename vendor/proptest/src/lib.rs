@@ -217,12 +217,20 @@ pub fn cases() -> u64 {
 }
 
 /// Drive one property: deterministic seeds derived from the test name.
-pub fn run_cases(name: &str, mut f: impl FnMut(&mut TestRng)) {
+pub fn run_cases(name: &str, f: impl FnMut(&mut TestRng)) {
+    run_cases_capped(name, u64::MAX, f);
+}
+
+/// Like [`run_cases`] but never runs more than `cap` cases — for
+/// properties whose single case is expensive (e.g. a whole simulation
+/// run). `PROPTEST_CASES` still lowers the count but cannot raise it
+/// past the cap.
+pub fn run_cases_capped(name: &str, cap: u64, mut f: impl FnMut(&mut TestRng)) {
     let mut seed = 0xcbf2_9ce4_8422_2325u64;
     for b in name.bytes() {
         seed = (seed ^ b as u64).wrapping_mul(0x1000_0000_01b3);
     }
-    for case in 0..cases() {
+    for case in 0..cases().min(cap) {
         let mut rng = TestRng::new(seed.wrapping_add(case.wrapping_mul(0x9E37_79B9)));
         f(&mut rng);
     }
@@ -230,6 +238,17 @@ pub fn run_cases(name: &str, mut f: impl FnMut(&mut TestRng)) {
 
 #[macro_export]
 macro_rules! proptest {
+    (cases = $cap:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases_capped(stringify!($name), $cap, |__proptest_rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), __proptest_rng);)+
+                    $body
+                });
+            }
+        )+
+    };
     ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
         $(
             $(#[$meta])*
