@@ -27,6 +27,10 @@
 //! * `lossy-wifi` — per-region loss profiles ramp from 5 % up to 30 %
 //!   and back, at staggered times per region; stresses the multi-phase
 //!   broadcast's cost/gain logic and the TCP residue path.
+//! * `metro` — 32 regions × 320 phones (10 240 total) under a sharded
+//!   control plane (8 region-group controllers of 4 regions each):
+//!   stresses the coordinator/region-controller split, delta-based
+//!   membership reconciliation and the per-group cellular budget.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -39,7 +43,7 @@ use simnet::wifi::{WifiConfig, WifiSetBrownout, WifiSetLoss};
 use crate::faults::{inject_departure, inject_failure, inject_reboot};
 use crate::run::harvest;
 use crate::scenario::{AppKind, Deployment, RegionOverride, ScenarioConfig, Scheme};
-use crate::weather::{self, WeatherAction, WeatherProgram};
+use crate::weather::{self, CtlTopology, WeatherAction, WeatherProgram};
 
 /// Churn model: rates are per phone-hour, so the same profile scales
 /// from 10 phones to 10 000.
@@ -124,6 +128,10 @@ pub struct FleetConfig {
     pub scheme: Scheme,
     /// The regions, cascaded in a line as in the paper.
     pub regions: Vec<FleetRegion>,
+    /// Regions per region-group controller (ms only). 1 = one
+    /// controller per region; `regions.len()` = a single controller
+    /// owning the whole fleet.
+    pub ctl_group_size: usize,
     /// Churn model.
     pub churn: ChurnProfile,
     /// Network weather rolling over the fleet (None = clear skies).
@@ -160,6 +168,11 @@ impl FleetConfig {
         self.regions.iter().map(|r| r.phones).sum()
     }
 
+    /// Control-plane topology (regions × group size).
+    pub fn topo(&self) -> CtlTopology {
+        CtlTopology::new(self.regions.len(), self.ctl_group_size)
+    }
+
     /// The underlying deployment parameters.
     pub fn scenario(&self) -> ScenarioConfig {
         ScenarioConfig {
@@ -170,6 +183,7 @@ impl FleetConfig {
             cal: self.cal.clone(),
             ckpt_period: self.ckpt_period,
             ckpt_offset: self.ckpt_offset,
+            ctl_group_size: self.ctl_group_size,
             seed: self.seed,
             overrides: self
                 .regions
@@ -433,15 +447,15 @@ pub fn build_fleet(cfg: &FleetConfig) -> (Deployment, Vec<ChurnEvent>) {
         }
     }
     if let Some(program) = &cfg.weather {
-        apply_weather(&mut dep, program, cfg.regions.len());
+        apply_weather(&mut dep, program, cfg.topo());
     }
     (dep, schedule)
 }
 
 /// Compile a weather program and schedule its injections against the
 /// deployment's simnet actors. Returns the number of injections.
-fn apply_weather(dep: &mut Deployment, program: &WeatherProgram, regions: usize) -> u64 {
-    let injections = weather::compile(program, regions);
+fn apply_weather(dep: &mut Deployment, program: &WeatherProgram, topo: CtlTopology) -> u64 {
+    let injections = weather::compile(program, topo);
     for inj in &injections {
         match inj.action {
             WeatherAction::PartitionRegion { region, on } => {
@@ -457,10 +471,13 @@ fn apply_weather(dep: &mut Deployment, program: &WeatherProgram, regions: usize)
                 dep.sim
                     .schedule_at(inj.at, wifi, WifiSetBrownout { on, loss });
             }
-            WeatherAction::PartitionController { on } => {
-                if let Some(ctl) = dep.controller {
+            WeatherAction::PartitionController { group, on } => {
+                // Sever the one region-group controller: its regions
+                // lose the control plane while every other group keeps
+                // committing rounds.
+                if let Some(&node) = dep.region_controllers.get(group) {
                     dep.sim
-                        .schedule_at(inj.at, dep.cell, CellSetPartition { node: ctl, on });
+                        .schedule_at(inj.at, dep.cell, CellSetPartition { node, on });
                 }
             }
         }
@@ -694,17 +711,15 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
                 ChurnKind::Rejoin => (acc.0, acc.1, acc.2 + 1),
             });
 
-    let (departures_handled, commit_log, severed_observed) = dep
-        .controller
-        .map(|ctl| {
-            let c = dep.sim.actor::<mobistreams::MsController>(ctl);
-            (
-                c.departures_handled,
-                c.commits.clone(),
-                c.severed_episodes.len() as u64,
-            )
-        })
-        .unwrap_or((0, Vec::new(), 0));
+    let (departures_handled, commit_log, severed_observed) = if dep.region_controllers.is_empty() {
+        (0, Vec::new(), 0)
+    } else {
+        (
+            dep.ms_departures_handled(),
+            dep.ms_commits(),
+            dep.ms_severed_episodes().len() as u64,
+        )
+    };
     let checkpoint_commits = commit_log.len() as u64;
     let mut seen_rounds = std::collections::BTreeSet::new();
     let duplicate_commits = commit_log
@@ -720,12 +735,12 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
     let weather_injections = cfg
         .weather
         .as_ref()
-        .map(|w| weather::compile(w, cfg.regions.len()).len() as u64)
+        .map(|w| weather::compile(w, cfg.topo()).len() as u64)
         .unwrap_or(0);
     let fault_timelines: Vec<FaultTimeline> = cfg
         .weather
         .as_ref()
-        .map(|w| weather::fault_windows(w, cfg.regions.len()))
+        .map(|w| weather::fault_windows(w, cfg.topo()))
         .unwrap_or_default()
         .into_iter()
         .map(|(region, start, heal)| {
@@ -850,6 +865,7 @@ pub fn bench_profile(regions: usize, phones: u32, seed: u64) -> FleetConfig {
         app: AppKind::Bcp,
         scheme: Scheme::Ms,
         regions: (0..regions).map(|_| FleetRegion::of(phones)).collect(),
+        ctl_group_size: 1,
         churn: ChurnProfile {
             fail_per_phone_hour: 2.0,
             depart_per_phone_hour: 4.0,
@@ -874,7 +890,7 @@ pub fn bench_profile(regions: usize, phones: u32, seed: u64) -> FleetConfig {
 // Named profile library.
 
 /// Names of the built-in profiles.
-pub const PROFILE_NAMES: &[&str] = &["stadium", "commute", "flash-crowd", "lossy-wifi"];
+pub const PROFILE_NAMES: &[&str] = &["stadium", "commute", "flash-crowd", "lossy-wifi", "metro"];
 
 /// Operator states shrunk so a checkpoint round (snapshot + broadcast
 /// replication) fits the profiles' shortened checkpoint periods even
@@ -902,6 +918,7 @@ fn base_profile(name: &str, seed: u64, regions: Vec<FleetRegion>) -> FleetConfig
         app: AppKind::Bcp,
         scheme: Scheme::Ms,
         regions,
+        ctl_group_size: 1,
         churn: ChurnProfile::default(),
         weather: None,
         cal: fleet_cal(),
@@ -980,6 +997,28 @@ pub fn profile(name: &str, seed: u64) -> Option<FleetConfig> {
             cfg.churn = ChurnProfile {
                 fail_per_phone_hour: 1.0,
                 depart_per_phone_hour: 2.0,
+                ..ChurnProfile::default()
+            };
+            Some(cfg)
+        }
+        "metro" => {
+            // A whole metro area: 32 regions × 320 phones = 10 240,
+            // run by a sharded control plane — 8 region-group
+            // controllers of 4 regions each behind the thin global
+            // coordinator. Light churn; the scale itself is the
+            // stressor. Trimmed to 180 s so a smoke run stays cheap.
+            let regions = (0..32).map(|_| FleetRegion::of(320)).collect();
+            let mut cfg = base_profile(name, seed, regions);
+            cfg.ctl_group_size = 4;
+            cfg.ckpt_period = SimDuration::from_secs(60);
+            cfg.ckpt_offset = SimDuration::from_secs(30);
+            cfg.duration = SimDuration::from_secs(180);
+            cfg.warmup = SimDuration::from_secs(45);
+            cfg.churn = ChurnProfile {
+                fail_per_phone_hour: 0.5,
+                depart_per_phone_hour: 1.0,
+                move_fraction: 0.2,
+                mean_rejoin_s: 60.0,
                 ..ChurnProfile::default()
             };
             Some(cfg)
@@ -1091,6 +1130,10 @@ mod tests {
             for r in &mut cfg.regions {
                 r.phones = r.phones.min(6);
             }
+            // Keep metro's control plane sharded after the truncation
+            // (2 groups over 3 regions) so the invariance check covers
+            // region-group controllers on distinct shards.
+            cfg.ctl_group_size = cfg.ctl_group_size.min(2);
             cfg.duration = SimDuration::from_secs(150);
             cfg.warmup = SimDuration::from_secs(30);
 
@@ -1182,7 +1225,7 @@ mod tests {
     fn mini_weather(seed: u64) -> FleetConfig {
         let mut cfg = mini(seed);
         cfg.duration = SimDuration::from_secs(360);
-        cfg.weather = crate::weather::weather("partition-heal", seed, cfg.regions.len());
+        cfg.weather = crate::weather::weather("partition-heal", seed, cfg.topo());
         cfg
     }
 
@@ -1287,7 +1330,7 @@ mod tests {
     #[test]
     fn brownout_weather_has_no_fault_windows() {
         let mut cfg = mini(37);
-        cfg.weather = crate::weather::weather("brownout-front", 37, cfg.regions.len());
+        cfg.weather = crate::weather::weather("brownout-front", 37, cfg.topo());
         let r = run_fleet(&cfg);
         assert!(r.weather_injections > 0);
         assert!(r.fault_timelines.is_empty());

@@ -8,7 +8,7 @@
 //! msx fig10  [--quick] [--seeds N]
 //! msx all    [--quick] [--seeds N]
 //! msx scenarios list
-//! msx scenarios run --profile <stadium|commute|flash-crowd|lossy-wifi> [--seed N] [--threads N] [--sanitize] [--weather NAME]
+//! msx scenarios run --profile <stadium|commute|flash-crowd|lossy-wifi|metro> [--seed N] [--threads N] [--sanitize] [--weather NAME]
 //! msx scenarios matrix [--smoke] [--seed N] [--threads N]
 //! msx bench fleet [--smoke] [--threads N] [--out FILE]
 //! msx lint [--rules] [--root DIR]
@@ -173,7 +173,7 @@ fn scenarios_cmd(args: &[String], out: &Path) {
                 .position(|a| a == "--weather")
                 .and_then(|i| args.get(i + 1))
             {
-                let Some(program) = weather::weather(wname, seed, cfg.regions.len()) else {
+                let Some(program) = weather::weather(wname, seed, cfg.topo()) else {
                     eprintln!(
                         "unknown weather '{wname}'; available: {}",
                         weather::WEATHER_NAMES.join(", ")
@@ -305,7 +305,7 @@ fn matrix_cmd(args: &[String], out: &Path) {
                     cfg.ckpt_period = simkernel::SimDuration::from_secs(60);
                     cfg.ckpt_offset = simkernel::SimDuration::from_secs(20);
                 }
-                cfg.weather = weather::weather(&w, seed, cfg.regions.len());
+                cfg.weather = weather::weather(&w, seed, cfg.topo());
                 cfg.sanitize = true;
                 cfg.threads = 1;
                 let r1 = fleet::run_fleet(&cfg);
@@ -425,7 +425,7 @@ fn matrix_cmd(args: &[String], out: &Path) {
 /// `BENCH_*.json` checkpoint. `--smoke` runs a seconds-scale variant
 /// whose deterministic fields (event count, digest, thread-equality)
 /// are compared against the checked-in checkpoint named by `--check`
-/// (default `BENCH_0006.json`) — exits nonzero on drift, so CI catches
+/// (default `BENCH_0009.json`) — exits nonzero on drift, so CI catches
 /// any change to the simulated schedule without caring about the wall
 /// clock of the runner.
 fn bench_cmd(args: &[String]) {
@@ -450,7 +450,7 @@ fn bench_cmd(args: &[String]) {
         .position(|a| a == "--check")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_0006.json".to_string());
+        .unwrap_or_else(|| "BENCH_0009.json".to_string());
 
     let timed = |cfg: &fleet::FleetConfig| {
         let wall = std::time::Instant::now();
@@ -542,7 +542,7 @@ fn bench_cmd(args: &[String]) {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_0006.json".to_string());
+        .unwrap_or_else(|| "BENCH_0009.json".to_string());
 
     // The tracked workload: 1000 phones (8 × 125), 60 s window.
     let cfg1 = fleet::bench_profile(8, 125, 42);
@@ -579,7 +579,7 @@ fn bench_cmd(args: &[String]) {
         .max(rn.events_processed as f64 / rn_secs.max(1e-9));
     let baseline = 1_200_000.0; // pre-series events/s at 1000 phones (ROADMAP item 2)
     let doc = serde_json::json!({
-        "bench_id": "BENCH_0006",
+        "bench_id": "BENCH_0009",
         "series": "fleet-engine-throughput",
         "unix_time": std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)

@@ -2,7 +2,6 @@
 //! paper reports.
 
 use dsps::node::NodeActor;
-use mobistreams::MsController;
 use simkernel::{SimDuration, SimTime};
 use simnet::cellular::CellularNet;
 use simnet::stats::TrafficClass;
@@ -204,19 +203,18 @@ pub fn harvest(dep: &Deployment, from: SimTime, to: SimTime) -> Harvest {
         _ => preserved_raw_sum,
     };
 
-    let (recoveries, mean_recovery_s, stops) = if let Some(ctl) = dep.controller {
-        let c = dep.sim.actor::<MsController>(ctl);
-        let n = c.recoveries.len();
+    let (recoveries, mean_recovery_s, stops) = if !dep.region_controllers.is_empty() {
+        let recs = dep.ms_recoveries();
+        let n = recs.len();
         let mean = if n > 0 {
-            c.recoveries
-                .iter()
+            recs.iter()
                 .map(|r| (r.finished - r.started).as_secs_f64())
                 .sum::<f64>()
                 / n as f64
         } else {
             0.0
         };
-        (n, mean, c.stops)
+        (n, mean, dep.ms_stops())
     } else if let Some(co) = dep.coordinator {
         let c = dep.sim.actor::<baselines::BaselineCoordinator>(co);
         let n = c.recoveries.len();

@@ -17,7 +17,11 @@ use dsps::graph::{OpId, QueryGraph};
 use dsps::node::{InterRegionLink, NodeActor, NodeConfig, NodeInner, PrimaryTransport};
 use dsps::placement::{squeeze_placement, Placement};
 use dsps::workload::{Feed, StartFeeds, WorkloadDriver};
-use mobistreams::{MsController, MsControllerConfig, MsScheme, MsSchemeConfig, RegionSpec};
+use mobistreams::controller::RecoveryRecord;
+use mobistreams::{
+    Coordinator, MsControllerConfig, MsScheme, MsSchemeConfig, RegionController, RegionSpec,
+    RegionWiring,
+};
 use simkernel::{ActorId, Sim, SimDuration, SimTime};
 use simnet::cellular::{CellConfig, CellularNet};
 use simnet::ethernet::{EthConfig, EthernetNet};
@@ -128,6 +132,10 @@ pub struct ScenarioConfig {
     pub seed: u64,
     /// Per-region overrides (fleet-scale heterogeneous deployments).
     pub overrides: Vec<RegionOverride>,
+    /// Regions per region-group controller (MobiStreams only): regions
+    /// `[g·size, (g+1)·size)` share one `RegionController`, placed on
+    /// the group's first region's shard. 1 = one controller per region.
+    pub ctl_group_size: usize,
 }
 
 impl Default for ScenarioConfig {
@@ -146,6 +154,7 @@ impl Default for ScenarioConfig {
             checkpoints_enabled: true,
             seed: 1,
             overrides: Vec::new(),
+            ctl_group_size: 1,
         }
     }
 }
@@ -197,10 +206,13 @@ pub struct Deployment {
     pub cfg: ScenarioConfig,
     /// Per-region handles.
     pub regions: Vec<RegionHandles>,
-    /// MobiStreams controller (ms only).
+    /// MobiStreams global coordinator (ms only).
     pub controller: Option<ActorId>,
     /// Baseline coordinator (rep-2/local/dist/base).
     pub coordinator: Option<ActorId>,
+    /// MobiStreams per-region-group controllers (ms only), indexed by
+    /// group; region `r` is owned by group `r / cfg.ctl_group_size`.
+    pub region_controllers: Vec<ActorId>,
     /// Cellular network actor.
     pub cell: ActorId,
     /// Ethernet (server platform only).
@@ -301,18 +313,25 @@ impl Deployment {
             });
         }
 
-        // Reserve the controller/coordinator id slot LAST so nodes can
-        // reference it: create a placeholder order — controller needs
-        // node ids and nodes need the controller id. Create nodes first
-        // with controller = a reserved id computed up front.
-        // Actor ids are assigned densely: we know exactly how many
-        // actors precede the controller.
+        // Reserve the control-plane id slots LAST so nodes can
+        // reference them: the controllers need node ids and nodes need
+        // their controller's id. Create nodes first with controller =
+        // a reserved id computed up front. Actor ids are assigned
+        // densely: we know exactly how many actors precede them.
+        //
+        // Baselines: one coordinator actor right after the regions.
+        // MobiStreams: one region controller per region group, then the
+        // global coordinator.
         let actors_before_controller: usize = (0..cfg.regions)
             .map(
                 |r| 1 /*wifi*/ + cfg.phones_in(r) as usize + 1, /*driver*/
             )
             .sum();
+        let group_size = cfg.ctl_group_size.max(1);
+        let n_groups = cfg.regions.div_ceil(group_size);
+        let ctl_id_of_group = |g: usize| ActorId::from_index(1 + actors_before_controller + g);
         let controller_id = ActorId::from_index(1 + actors_before_controller);
+        let coordinator_id = ActorId::from_index(1 + actors_before_controller + n_groups);
 
         let mut regions = Vec::new();
         for (r, plan) in plans.iter().enumerate() {
@@ -326,13 +345,13 @@ impl Deployment {
                     source_queue_cap: 10,
                     primary: PrimaryTransport::Wifi,
                 };
-                let mut inner = NodeInner::new(
-                    ncfg,
-                    Arc::clone(&plan.graph),
-                    wifi_id,
-                    cell_id,
-                    controller_id,
-                );
+                let node_ctl = if cfg.scheme == Scheme::Ms {
+                    ctl_id_of_group(r / group_size)
+                } else {
+                    controller_id
+                };
+                let mut inner =
+                    NodeInner::new(ncfg, Arc::clone(&plan.graph), wifi_id, cell_id, node_ctl);
                 inner.op_slot = plan.op_slot.clone();
                 let scheme = Self::make_scheme(&cfg, plan.flow_of.clone());
                 let id = sim.add_actor(Box::new(NodeActor::new(inner, scheme)));
@@ -430,8 +449,8 @@ impl Deployment {
             *d = WorkloadDriver::new(feeds);
         }
 
-        // Controller / coordinator.
-        let (controller, coordinator) = match cfg.scheme {
+        // Control plane.
+        let (controller, coordinator, region_controllers) = match cfg.scheme {
             Scheme::Ms => {
                 let specs: Vec<RegionSpec> = (0..cfg.regions)
                     .map(|r| {
@@ -463,19 +482,52 @@ impl Deployment {
                         }
                     })
                     .collect();
-                let ctl = MsController::new(
-                    MsControllerConfig {
-                        ckpt_period: cfg.ckpt_period,
-                        ckpt_offset: cfg.ckpt_offset,
-                        checkpoints_enabled: cfg.checkpoints_enabled,
-                        ..MsControllerConfig::default()
-                    },
+                let ctl_cfg = MsControllerConfig {
+                    ckpt_period: cfg.ckpt_period,
+                    ckpt_offset: cfg.ckpt_offset,
+                    checkpoints_enabled: cfg.checkpoints_enabled,
+                    ..MsControllerConfig::default()
+                };
+                // The coordinator keeps only the static cross-region
+                // view (graph shape, wiring, initial placement).
+                let wiring: Vec<RegionWiring> = specs
+                    .iter()
+                    .map(|s| RegionWiring {
+                        graph: Arc::clone(&s.graph),
+                        downstream: s.downstream.clone(),
+                        slot_actors: s.slot_actors.clone(),
+                        op_slot: s.placement.op_slot.clone(),
+                    })
+                    .collect();
+                let ctl_of_region: Vec<ActorId> = (0..cfg.regions)
+                    .map(|r| ctl_id_of_group(r / group_size))
+                    .collect();
+                let mut specs = specs;
+                let mut ctls = Vec::new();
+                for g in 0..n_groups {
+                    let take = specs.len().min(group_size);
+                    let group_specs: Vec<RegionSpec> = specs.drain(..take).collect();
+                    let ctl = RegionController::new(
+                        ctl_cfg.clone(),
+                        cell_id,
+                        coordinator_id,
+                        g,
+                        g * group_size,
+                        group_specs,
+                    );
+                    let id = sim.add_actor(Box::new(ctl));
+                    assert_eq!(id, ctl_id_of_group(g), "region controller id reservation");
+                    ctls.push(id);
+                }
+                let coord = Coordinator::new(
                     cell_id,
-                    specs,
+                    cfg.cell.min_response_delay(),
+                    wiring,
+                    ctl_of_region,
                 );
-                let id = sim.add_actor(Box::new(ctl));
-                assert_eq!(id, controller_id, "controller id reservation");
-                (Some(id), None)
+                let id = sim.add_actor(Box::new(coord));
+                assert_eq!(id, coordinator_id, "coordinator id reservation");
+                (Some(id), None, ctls)
             }
             _ => {
                 let kind = match cfg.scheme {
@@ -508,12 +560,31 @@ impl Deployment {
                 );
                 let id = sim.add_actor(Box::new(coord));
                 assert_eq!(id, controller_id, "coordinator id reservation");
-                (None, Some(id))
+                (None, Some(id), Vec::new())
             }
         };
         {
             let cn = sim.actor_mut::<CellularNet>(cell_id);
-            cn.register_with_rates(controller_id, 1e9, 1e9);
+            if region_controllers.is_empty() {
+                cn.register_with_rates(controller_id, 1e9, 1e9);
+            } else {
+                // Each region-group controller models a per-metro-area
+                // control server on provisioned-but-finite backhaul:
+                // 2× the default phone uplink/downlink. The uplink must
+                // stay UNDER ~368 kbps — the smallest tagged send (a
+                // 32 B ping, 92 B on the wire) must serialize for at
+                // least the kernel lookahead (`min_response_delay`,
+                // 2 ms), or a region-shard controller's completion
+                // events would violate conservative sharding.
+                for &ctl in &region_controllers {
+                    cn.register_with_rates(ctl, 336_000.0, 745_000.0);
+                }
+                // The global coordinator keeps the fat pipe: bulk
+                // install shipping must not serialize recovery timing
+                // behind a thin link (it lives on shard 0, where any
+                // send delay is legal).
+                cn.register_with_rates(coordinator_id, 1e9, 1e9);
+            }
         }
 
         Deployment {
@@ -522,6 +593,7 @@ impl Deployment {
             regions,
             controller,
             coordinator,
+            region_controllers,
             cell: cell_id,
             eth: None,
         }
@@ -689,6 +761,7 @@ impl Deployment {
             regions,
             controller: None,
             coordinator: Some(id),
+            region_controllers: Vec::new(),
             cell: cell_id,
             eth: Some(eth_id),
         }
@@ -697,6 +770,10 @@ impl Deployment {
     /// Kick off controller timers and sensor feeds at t = 0.
     pub fn start(&mut self) {
         if let Some(ctl) = self.controller {
+            self.sim
+                .schedule_at(SimTime::ZERO, ctl, mobistreams::controller::Start);
+        }
+        for &ctl in &self.region_controllers {
             self.sim
                 .schedule_at(SimTime::ZERO, ctl, mobistreams::controller::Start);
         }
@@ -715,11 +792,13 @@ impl Deployment {
     }
 
     /// Actor → shard map for [`Sim::enable_sharding`]: shard 0 holds
-    /// the global actors (cellular core, controller/coordinator,
-    /// ethernet), shard `r + 1` holds region `r`'s WiFi medium, phones
-    /// and sensor driver. Valid because regions exchange messages only
-    /// through the cellular network and the controller — never
-    /// directly.
+    /// the global actors (cellular core, coordinator, ethernet), shard
+    /// `r + 1` holds region `r`'s WiFi medium, phones and sensor
+    /// driver. A MobiStreams region-group controller rides on its
+    /// group's FIRST region's shard, so intra-group control traffic
+    /// never crosses the shard-0 barrier. Valid because regions
+    /// exchange messages only through the cellular network and the
+    /// coordinator — never directly.
     pub fn shard_map(&self) -> Vec<u16> {
         let mut map = vec![0u16; self.sim.actor_count()];
         for (r, rh) in self.regions.iter().enumerate() {
@@ -733,6 +812,10 @@ impl Deployment {
                 map[u.index()] = s;
             }
         }
+        let group_size = self.cfg.ctl_group_size.max(1);
+        for (g, &ctl) in self.region_controllers.iter().enumerate() {
+            map[ctl.index()] = (g * group_size + 1) as u16;
+        }
         map
     }
 
@@ -745,6 +828,111 @@ impl Deployment {
         let map = self.shard_map();
         let lookahead = self.cfg.cell.min_response_delay();
         self.sim.enable_sharding(map, lookahead, threads);
+    }
+
+    // --- MobiStreams control-plane aggregation (the control plane is
+    // sharded across region-group controllers; these helpers present
+    // the single-controller view harvests and tests expect, with
+    // deterministic merge orders). ---
+
+    /// The region-group controller owning region `r` (ms only).
+    pub fn ms_ctl_of(&self, r: usize) -> &RegionController {
+        let g = r / self.cfg.ctl_group_size.max(1);
+        self.sim
+            .actor::<RegionController>(self.region_controllers[g])
+    }
+
+    /// Latest committed checkpoint version of region `r` (ms only).
+    pub fn ms_last_complete(&self, r: usize) -> u64 {
+        self.ms_ctl_of(r).last_complete(r)
+    }
+
+    /// Is region `r` currently stopped/bypassed (ms only)?
+    pub fn ms_is_stopped(&self, r: usize) -> bool {
+        self.ms_ctl_of(r).is_stopped(r)
+    }
+
+    /// Departure replacements completed across all groups (ms only).
+    pub fn ms_departures_handled(&self) -> u64 {
+        self.region_controllers
+            .iter()
+            .map(|&c| self.sim.actor::<RegionController>(c).departures_handled)
+            .sum()
+    }
+
+    /// Region stops across all groups (ms only).
+    pub fn ms_stops(&self) -> u64 {
+        self.region_controllers
+            .iter()
+            .map(|&c| self.sim.actor::<RegionController>(c).stops)
+            .sum()
+    }
+
+    /// All committed checkpoint rounds, merged over groups and sorted
+    /// by (time, region, version) for a deterministic order (ms only).
+    pub fn ms_commits(&self) -> Vec<(usize, u64, SimTime)> {
+        let mut out: Vec<(usize, u64, SimTime)> = self
+            .region_controllers
+            .iter()
+            .flat_map(|&c| {
+                self.sim
+                    .actor::<RegionController>(c)
+                    .commits
+                    .iter()
+                    .copied()
+            })
+            .collect();
+        out.sort_by_key(|&(r, v, t)| (t, r, v));
+        out
+    }
+
+    /// All recovery episodes, merged over groups and sorted by
+    /// (start time, region) (ms only).
+    pub fn ms_recoveries(&self) -> Vec<RecoveryRecord> {
+        let mut out: Vec<RecoveryRecord> = self
+            .region_controllers
+            .iter()
+            .flat_map(|&c| {
+                self.sim
+                    .actor::<RegionController>(c)
+                    .recoveries
+                    .iter()
+                    .copied()
+            })
+            .collect();
+        out.sort_by_key(|rec| (rec.started, rec.region));
+        out
+    }
+
+    /// All partition episodes, merged over groups and sorted by
+    /// (severed-at, region) (ms only).
+    pub fn ms_severed_episodes(&self) -> Vec<(usize, SimTime, SimTime)> {
+        let mut out: Vec<(usize, SimTime, SimTime)> = self
+            .region_controllers
+            .iter()
+            .flat_map(|&c| {
+                self.sim
+                    .actor::<RegionController>(c)
+                    .severed_episodes
+                    .iter()
+                    .copied()
+            })
+            .collect();
+        out.sort_by_key(|&(r, s, _)| (s, r));
+        out
+    }
+
+    /// Total membership (messages, bytes) sent by the control plane
+    /// (ms only) — the churn-storm complexity tests assert these scale
+    /// with delta size, not region population.
+    pub fn ms_membership_traffic(&self) -> (u64, u64) {
+        self.region_controllers
+            .iter()
+            .map(|&c| {
+                let ctl = self.sim.actor::<RegionController>(c);
+                (ctl.membership_msgs, ctl.membership_bytes)
+            })
+            .fold((0, 0), |(m, b), (dm, db)| (m + dm, b + db))
     }
 }
 

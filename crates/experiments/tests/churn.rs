@@ -12,7 +12,6 @@
 
 use experiments::faults::{inject_departure, inject_failure, inject_reboot};
 use experiments::{harvest, AppKind, Deployment, ScenarioConfig, Scheme};
-use mobistreams::MsController;
 use simkernel::{SimDuration, SimTime};
 
 /// A small-but-real MS deployment: 2 regions × 5 phones, shortened
@@ -54,13 +53,16 @@ fn departure_during_inflight_broadcast_phase() {
     inject_departure(&mut dep, 0, 1, SimTime::from_secs(21));
     dep.run_until(SimTime::from_secs(180));
 
-    let ctl = dep.sim.actor::<MsController>(dep.controller.unwrap());
     assert!(
-        ctl.last_complete(0) >= 1,
+        dep.ms_last_complete(0) >= 1,
         "checkpoint never committed after mid-broadcast departure (got v{})",
-        ctl.last_complete(0)
+        dep.ms_last_complete(0)
     );
-    assert_eq!(ctl.departures_handled, 1, "departure transfer completed");
+    assert_eq!(
+        dep.ms_departures_handled(),
+        1,
+        "departure transfer completed"
+    );
     let h = harvest(&dep, SimTime::from_secs(40), SimTime::from_secs(180));
     assert!(
         h.per_region[0].outputs > 0,
@@ -85,9 +87,9 @@ fn two_simultaneous_departures_in_one_region() {
     inject_departure(&mut dep, 0, 2, SimTime::from_secs(40));
     dep.run_until(SimTime::from_secs(200));
 
-    let ctl = dep.sim.actor::<MsController>(dep.controller.unwrap());
     assert_eq!(
-        ctl.departures_handled, 2,
+        dep.ms_departures_handled(),
+        2,
         "both concurrent transfers must finish"
     );
     let h = harvest(&dep, SimTime::from_secs(60), SimTime::from_secs(200));
@@ -98,9 +100,9 @@ fn two_simultaneous_departures_in_one_region() {
     assert_eq!(h.stops, 0, "two departures must not stop an 8-phone region");
     // Later checkpoints still commit with the replacements in place.
     assert!(
-        ctl.last_complete(0) >= 2,
+        dep.ms_last_complete(0) >= 2,
         "checkpointing stalled after the double departure (v{})",
-        ctl.last_complete(0)
+        dep.ms_last_complete(0)
     );
 }
 
@@ -117,9 +119,8 @@ fn degraded_departure_without_replacement_keeps_urgent_bridging() {
     inject_departure(&mut dep, 0, 2, SimTime::from_secs(40));
     dep.run_until(SimTime::from_secs(200));
 
-    let ctl = dep.sim.actor::<MsController>(dep.controller.unwrap());
-    assert_eq!(ctl.departures_handled, 1, "one transfer, one degraded");
-    assert_eq!(ctl.stops, 0, "region must limp along, not stop");
+    assert_eq!(dep.ms_departures_handled(), 1, "one transfer, one degraded");
+    assert_eq!(dep.ms_stops(), 0, "region must limp along, not stop");
     // The degraded phone's urgent edges survive the other transfer's
     // release: its in-edges still route over cellular, so the crop
     // stream keeps reaching it (well beyond the single inter-region
@@ -145,8 +146,7 @@ fn phone_rejoins_mid_recovery() {
     inject_reboot(&mut dep, 0, 2, SimTime::from_secs(56));
     dep.run_until(SimTime::from_secs(240));
 
-    let ctl = dep.sim.actor::<MsController>(dep.controller.unwrap());
-    assert!(!ctl.is_stopped(0), "region wrongly stopped");
+    assert!(!dep.ms_is_stopped(0), "region wrongly stopped");
     let h = harvest(&dep, SimTime::from_secs(80), SimTime::from_secs(240));
     assert!(
         h.per_region[0].outputs > 0,
@@ -209,18 +209,17 @@ fn degraded_region_keeps_committing_checkpoints_over_cellular() {
     inject_departure(&mut dep, 0, 3, SimTime::from_secs(50));
     dep.run_until(SimTime::from_secs(340));
 
-    let ctl = dep.sim.actor::<MsController>(dep.controller.unwrap());
-    assert!(!ctl.is_stopped(0), "region wrongly stopped");
+    assert!(!dep.ms_is_stopped(0), "region wrongly stopped");
     // Ticks land at 20, 80, ..., 320 s; every round from v2 on runs
     // with the degraded slot in `ckpt_expected`. The commit version
     // must STRICTLY ADVANCE while degraded, not freeze at v1.
     assert!(
-        ctl.last_complete(0) >= 5,
+        dep.ms_last_complete(0) >= 5,
         "degraded region stopped committing (stuck at v{})",
-        ctl.last_complete(0)
+        dep.ms_last_complete(0)
     );
-    let degraded_commits = ctl
-        .commits
+    let degraded_commits = dep
+        .ms_commits()
         .iter()
         .filter(|&&(r, v, _)| r == 0 && v >= 2)
         .count();
@@ -284,16 +283,15 @@ fn rejoin_mid_cellular_snapshot_commits_once_without_stalling() {
     inject_reboot(&mut dep, 0, 3, SimTime::from_secs(98));
     dep.run_until(SimTime::from_secs(300));
 
-    let ctl = dep.sim.actor::<MsController>(dep.controller.unwrap());
-    assert!(!ctl.is_stopped(0), "region wrongly stopped");
+    assert!(!dep.ms_is_stopped(0), "region wrongly stopped");
     // (a) The round was neither dropped nor stalled: v2 committed, and
     // it committed BEFORE the cellular snapshot even finished arriving
     // (uplink drains ≈ 99.3 s) — i.e. the rejoin triggered the check.
-    let v2 = ctl
-        .commits
+    let commits = dep.ms_commits();
+    let v2 = commits
         .iter()
         .find(|&&(r, v, _)| r == 0 && v == 2)
-        .unwrap_or_else(|| panic!("round v2 dropped: {:?}", ctl.commits));
+        .unwrap_or_else(|| panic!("round v2 dropped: {commits:?}"));
     assert!(
         v2.2 < SimTime::from_secs(100),
         "v2 waited for the proxy relay instead of committing at the rejoin ({})",
@@ -303,14 +301,14 @@ fn rejoin_mid_cellular_snapshot_commits_once_without_stalling() {
     // rejoined slot — without double-committing the round.
     assert!(ms_scheme(&dep, 0, 0).stats.proxied_snapshots >= 1);
     let mut seen = std::collections::BTreeSet::new();
-    for &(r, v, _) in &ctl.commits {
+    for &(r, v, _) in &dep.ms_commits() {
         assert!(seen.insert((r, v)), "round (r{r}, v{v}) committed twice");
     }
     // Checkpointing continues normally after the rejoin.
     assert!(
-        ctl.last_complete(0) >= 4,
+        dep.ms_last_complete(0) >= 4,
         "commits stalled after rejoin (v{})",
-        ctl.last_complete(0)
+        dep.ms_last_complete(0)
     );
 }
 

@@ -5,7 +5,6 @@
 //! scenarios aren't run.
 
 use experiments::{harvest, AppKind, Deployment, ScenarioConfig, Scheme};
-use mobistreams::MsController;
 use simkernel::{SimDuration, SimTime};
 
 fn tiny(app: AppKind, scheme: Scheme) -> ScenarioConfig {
@@ -51,11 +50,10 @@ fn tiny_region_runs_end_to_end_with_ms() {
     assert_eq!(h.stops, 0, "a tiny healthy region must not stop");
 
     // Token-triggered checkpoints committed and were broadcast.
-    let ctl = dep.sim.actor::<MsController>(dep.controller.unwrap());
     assert!(
-        ctl.last_complete(0) >= 1,
+        dep.ms_last_complete(0) >= 1,
         "no checkpoint committed in region 0 (got {})",
-        ctl.last_complete(0)
+        dep.ms_last_complete(0)
     );
     assert!(h.ckpt_repl_bytes > 0, "checkpointing moved no bytes");
 

@@ -1,0 +1,187 @@
+//! Desired-vs-observed membership reconciliation for one region.
+//!
+//! The region controller is the single writer of a region's membership
+//! truth (which slots are active on WiFi). Instead of fanning a full
+//! snapshot out to every phone on every churn event — O(region phones)
+//! messages of [`crate::msgs::wire::MEMBERSHIP`] bytes each — it keeps
+//! an append-only, epoch-numbered log of [`SlotChange`] records and
+//! tracks, per phone, the last epoch that phone is known to hold.
+//! Convergence is then delta-based:
+//!
+//! * an event-driven flush (coalesced per tick) pushes the log suffix
+//!   to the *stakeholders* of the change — hosting phones, the proxy
+//!   candidate, and freshly (re)joined phones;
+//! * a periodic reconcile sweep pushes one delta to every active phone
+//!   still behind the head (normally none), bounding staleness;
+//! * phones with no known epoch (startup, rejoin, post-partition)
+//!   get one full snapshot instead.
+//!
+//! Delta payloads are shared across targets via `Arc`, and a phone
+//! needing the suffix from epoch `b` reuses the widest suffix built so
+//! far (a suffix from `b' <= b` is a superset whose extra prefix
+//! re-applies idempotently), so one flush allocates O(distinct bases)
+//! vectors, not O(targets).
+
+use std::sync::Arc;
+
+use crate::msgs::SlotChange;
+
+/// Epoch-numbered membership event log of one region, plus the
+/// controller's record of each phone's observed epoch.
+pub struct MembershipLog {
+    /// All changes since start; epoch `e` = state after `log[..e]`.
+    log: Vec<SlotChange>,
+    /// Last net-recorded activity per slot (suppresses no-op records).
+    current: Vec<bool>,
+    /// Per-slot epoch the phone is believed to have applied; `None`
+    /// means unsynced (startup, re-register, partition heal) and forces
+    /// a snapshot. Updated optimistically on send (the cellular path is
+    /// reliable FIFO to live endpoints).
+    observed: Vec<Option<u64>>,
+}
+
+impl MembershipLog {
+    /// A log for a region of `slots` phones, all initially active and
+    /// all unsynced (first flush sends snapshots).
+    pub fn new(slots: usize) -> Self {
+        MembershipLog {
+            log: Vec::new(),
+            current: vec![true; slots],
+            observed: vec![None; slots],
+        }
+    }
+
+    /// Head epoch: the number of changes recorded so far.
+    pub fn head(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// Record a slot's activity transition. No-ops (same as the last
+    /// recorded state) are suppressed, so callers may re-assert the
+    /// full desired state after any mutation. Returns whether the log
+    /// grew.
+    pub fn record(&mut self, slot: u32, active: bool) -> bool {
+        let ix = slot as usize;
+        if self.current[ix] == active {
+            return false;
+        }
+        self.current[ix] = active;
+        self.log.push(SlotChange { slot, active });
+        true
+    }
+
+    /// The change suffix from `base` to the head.
+    pub fn suffix(&self, base: u64) -> &[SlotChange] {
+        &self.log[base as usize..]
+    }
+
+    /// The epoch `slot` is believed to hold (`None` = unsynced).
+    pub fn observed(&self, slot: u32) -> Option<u64> {
+        self.observed[slot as usize]
+    }
+
+    /// Mark `slot` as holding `epoch` (called on send).
+    pub fn note_synced(&mut self, slot: u32, epoch: u64) {
+        self.observed[slot as usize] = Some(epoch);
+    }
+
+    /// Forget what `slot` holds: its next delta becomes a snapshot.
+    /// Used when a phone re-registers (it may have missed drops while
+    /// dead or out of range).
+    pub fn reset(&mut self, slot: u32) {
+        self.observed[slot as usize] = None;
+    }
+
+    /// Forget every phone's epoch (partition heal: sends into the
+    /// region aged out unobserved, so nothing can be assumed).
+    pub fn reset_all(&mut self) {
+        self.observed.iter_mut().for_each(|o| *o = None);
+    }
+
+    /// Slots in `candidates` that are behind the head (or unsynced).
+    pub fn lagging<'a>(&'a self, candidates: &'a [u32]) -> impl Iterator<Item = u32> + 'a {
+        let head = self.head();
+        candidates
+            .iter()
+            .copied()
+            .filter(move |&s| match self.observed[s as usize] {
+                None => true,
+                Some(e) => e < head,
+            })
+    }
+}
+
+/// Per-flush cache of `Arc`ed change suffixes: targets sharing a base
+/// epoch share one allocation, and a target whose base is *newer* than
+/// an already-built suffix reuses that wider suffix (its extra prefix
+/// re-applies idempotently on the phone).
+pub struct SuffixCache {
+    built: Vec<(u64, Arc<Vec<SlotChange>>)>,
+}
+
+impl SuffixCache {
+    /// An empty cache (one per flush).
+    pub fn new() -> Self {
+        SuffixCache { built: Vec::new() }
+    }
+
+    /// The shared suffix covering `base..head`, building it at most
+    /// once per distinct base.
+    pub fn for_base(&mut self, log: &MembershipLog, base: u64) -> (u64, Arc<Vec<SlotChange>>) {
+        if let Some((b, arc)) = self.built.iter().find(|(b, _)| *b <= base) {
+            return (*b, Arc::clone(arc));
+        }
+        let arc = Arc::new(log.suffix(base).to_vec());
+        self.built.push((base, Arc::clone(&arc)));
+        (base, arc)
+    }
+}
+
+impl Default for SuffixCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_suppresses_noops_and_tracks_epochs() {
+        let mut log = MembershipLog::new(4);
+        assert_eq!(log.head(), 0);
+        // Already active: no-op.
+        assert!(!log.record(1, true));
+        assert!(log.record(1, false));
+        assert!(!log.record(1, false));
+        assert!(log.record(1, true));
+        assert_eq!(log.head(), 2);
+        assert_eq!(log.suffix(0).len(), 2);
+        assert_eq!(log.suffix(1).len(), 1);
+        log.note_synced(2, 2);
+        assert_eq!(log.observed(2), Some(2));
+        let lag: Vec<u32> = log.lagging(&[0, 1, 2, 3]).collect();
+        assert_eq!(lag, vec![0, 1, 3]);
+        log.reset_all();
+        assert_eq!(log.observed(2), None);
+    }
+
+    #[test]
+    fn suffix_cache_shares_wider_suffixes() {
+        let mut log = MembershipLog::new(4);
+        log.record(0, false);
+        log.record(1, false);
+        log.record(2, false);
+        let mut cache = SuffixCache::new();
+        let (b1, s1) = cache.for_base(&log, 1);
+        assert_eq!((b1, s1.len()), (1, 2));
+        // A newer base reuses the wider suffix already built.
+        let (b2, s2) = cache.for_base(&log, 2);
+        assert_eq!(b2, 1);
+        assert!(Arc::ptr_eq(&s1, &s2));
+        // An older base needs its own, wider build.
+        let (b0, s0) = cache.for_base(&log, 0);
+        assert_eq!((b0, s0.len()), (0, 3));
+    }
+}

@@ -1,118 +1,47 @@
-//! The global MobiStreams controller (§III-A, III-D, III-E).
+//! The per-region-group controller: owns its regions' mutable state.
 //!
-//! One lightweight, reliable server reachable from every phone over the
-//! cellular network ("used only for control purposes and is not
-//! involved in any data transmission between phones"). It:
+//! One `RegionController` supervises a contiguous group of regions and
+//! lives on the shard of the group's first region, so the failure
+//! detection / checkpoint / recovery chatter of a region group never
+//! forces the global barrier. It:
 //!
 //! * triggers periodic checkpoints by notifying each region's source
 //!   nodes, and commits a version once every hosting node reported in;
 //! * detects failures: pings source nodes every 30 s (10 s timeout),
 //!   receives upstream-neighbor reports for computing/sink nodes, and
 //!   gathers *bursts* of simultaneous failures into one recovery;
-//! * recovers: picks replacements (idle nodes preferred), ships the
-//!   operator code over cellular, restores every node to the MRC,
-//!   replays preserved inputs (catch-up);
+//! * recovers: picks replacements (idle nodes preferred), has the
+//!   [`super::Coordinator`] ship the operator code over its fat
+//!   cellular endpoint, restores every node to the MRC, replays
+//!   preserved inputs (catch-up);
 //! * handles mobility: urgent mode (cellular routing) while a phone
 //!   departs, state transfer to the replacement, rewiring;
 //! * stops and bypasses a region with insufficient phones, restarting
-//!   it when enough phones re-register.
+//!   it when enough phones re-register;
+//! * reconciles membership with epoch-numbered batched deltas (see
+//!   [`super::reconcile`]) instead of full-snapshot fan-outs.
+//!
+//! Anything cross-region — inter-region wiring, placement epochs, bulk
+//! install shipping — is delegated to the coordinator via the direct
+//! messages in [`super::msgs`].
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use dsps::graph::{EdgeId, OpId, QueryGraph};
-use dsps::node::{
-    Install, InstallStates, InterRegionLink, Pong, ReportDead, SetUrgentEdges, UpdateInterRegion,
-    UpdateRouting,
-};
-use dsps::placement::Placement;
+use dsps::graph::{EdgeId, OpId};
+use dsps::node::{Install, InstallStates, Pong, ReportDead, SetUrgentEdges, UpdateRouting};
 use simkernel::{impl_actor_any, Actor, ActorId, Ctx, Event, SimDuration, SimTime};
 use simnet::cellular::{CellRx, CellSend};
 use simnet::stats::TrafficClass;
-use simnet::wifi::WifiSetLink;
 use simnet::{payload, payload_as, LinkState, TxFailed};
 
+use super::msgs::{
+    CtlTimer, InstallOutcome, InstallOutcomeKind, RegionStatus, RelaySensorRedirect, RelayWifiLink,
+    ShipInstall,
+};
+use super::reconcile::{MembershipLog, SuffixCache};
+use super::{MsControllerConfig, RecoveryRecord, RegionSpec, Start, QUIET_GRACE};
 use crate::msgs::*;
-
-/// Controller parameters (paper values as defaults).
-#[derive(Debug, Clone)]
-pub struct MsControllerConfig {
-    /// Checkpoint period ("the checkpoint period in MobiStreams is 5
-    /// minutes").
-    pub ckpt_period: SimDuration,
-    /// First checkpoint offset from start.
-    pub ckpt_offset: SimDuration,
-    /// Source-node ping period ("every 30 seconds").
-    pub ping_period: SimDuration,
-    /// Ping timeout ("the timeout period is 10 seconds").
-    pub ping_timeout: SimDuration,
-    /// Window for gathering a burst of failures into one recovery.
-    pub gather_window: SimDuration,
-    /// Operator code size shipped to replacements over cellular.
-    pub code_bytes_per_op: u64,
-    /// Fixed install overhead (WiFi rebuild, process start).
-    pub ready_overhead: SimDuration,
-    /// Extra install time per restored operator (flash read etc.).
-    pub ready_per_op: SimDuration,
-    /// Give up waiting for recovery acks after this long.
-    pub ack_deadline: SimDuration,
-    /// Declare a departure state transfer stalled (replacement dead)
-    /// if its ack hasn't arrived after this long. Generous: a real
-    /// transfer can legitimately take minutes over the slow cellular
-    /// uplink, and a false stall re-introduces the rollback recovery
-    /// departures are meant to avoid.
-    pub transfer_stall_deadline: SimDuration,
-    /// Periodic checkpointing on/off (off = Table I "fault tolerance
-    /// function turned off").
-    pub checkpoints_enabled: bool,
-    /// First probe interval after a region is marked severed by a
-    /// network partition.
-    pub severed_probe_base: SimDuration,
-    /// Cap on the severed-probe backoff.
-    pub severed_probe_cap: SimDuration,
-}
-
-impl Default for MsControllerConfig {
-    fn default() -> Self {
-        MsControllerConfig {
-            ckpt_period: SimDuration::from_secs(300),
-            ckpt_offset: SimDuration::from_secs(60),
-            ping_period: SimDuration::from_secs(30),
-            ping_timeout: SimDuration::from_secs(10),
-            gather_window: SimDuration::from_secs(2),
-            code_bytes_per_op: 50_000,
-            ready_overhead: SimDuration::from_secs(1),
-            ready_per_op: SimDuration::from_millis(200),
-            ack_deadline: SimDuration::from_secs(60),
-            transfer_stall_deadline: SimDuration::from_secs(300),
-            checkpoints_enabled: true,
-            severed_probe_base: SimDuration::from_secs(2),
-            severed_probe_cap: SimDuration::from_secs(32),
-        }
-    }
-}
-
-/// Static description of one region handed to the controller.
-pub struct RegionSpec {
-    /// The region's query network.
-    pub graph: Arc<QueryGraph>,
-    /// Initial operator placement.
-    pub placement: Placement,
-    /// The region's WiFi medium actor.
-    pub wifi: ActorId,
-    /// Phone actor per slot.
-    pub slot_actors: Vec<ActorId>,
-    /// Downstream regions: (region index, source op fed there).
-    pub downstream: Vec<(usize, OpId)>,
-    /// Minimum active phones to keep the region running.
-    pub min_active: u32,
-    /// Phones required before a stopped region restarts (≈ the number
-    /// of hosting slots, so the restart isn't hopelessly overloaded).
-    pub restart_min: u32,
-    /// Sensor (workload driver) actors to re-pair when a source op
-    /// moves to another phone.
-    pub sensors: Vec<ActorId>,
-}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SlotState {
@@ -120,19 +49,6 @@ enum SlotState {
     Dead,
     Departing,
     Gone,
-}
-
-/// Recovery episode record (for experiment reports).
-#[derive(Debug, Clone, Copy)]
-pub struct RecoveryRecord {
-    /// Region recovered.
-    pub region: usize,
-    /// Failure burst size.
-    pub failures: usize,
-    /// When recovery started (burst gathered).
-    pub started: SimTime,
-    /// When the region resumed (acks in, replay issued).
-    pub finished: SimTime,
 }
 
 /// One in-flight departure state transfer (§III-E, Fig 7).
@@ -148,8 +64,21 @@ struct DepartingTransfer {
     edges: Vec<EdgeId>,
 }
 
+/// Scope of a pending membership flush. `Stakeholders` reaches the
+/// phones a change can affect promptly (hosting slots, the proxy
+/// candidate, unsynced joiners); `AllActive` is the resync scope
+/// (startup, partition heal, reconcile sweep).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlushScope {
+    Stakeholders,
+    AllActive,
+}
+
 struct RegionRt {
     spec: RegionSpec,
+    /// Shared snapshot payload: built once, `Arc`ed into every
+    /// membership snapshot instead of cloned per target.
+    slot_actors: Arc<Vec<ActorId>>,
     op_slot: Vec<u32>,
     slot_state: Vec<SlotState>,
     version: u64,
@@ -188,6 +117,12 @@ struct RegionRt {
     probe_epoch: u64,
     /// Current probe backoff (doubles to the configured cap).
     probe_backoff: SimDuration,
+    /// Epoch-numbered membership event log + per-phone observed epoch.
+    log: MembershipLog,
+    /// Scope of the flush scheduled for this tick, if any. Consecutive
+    /// membership changes within one tick coalesce into the one
+    /// pending flush instead of each fanning out its own update.
+    pending_flush: Option<FlushScope>,
 }
 
 impl RegionRt {
@@ -231,43 +166,28 @@ impl RegionRt {
             .filter(|&s| s != u32::MAX)
             .collect()
     }
-
-    #[allow(dead_code)]
-    fn sink_slots(&self) -> BTreeSet<u32> {
-        self.spec
-            .graph
-            .sinks()
-            .iter()
-            .map(|&op| self.op_slot[op.index()])
-            .filter(|&s| s != u32::MAX)
-            .collect()
-    }
 }
 
-/// How long after a reconfiguration (recovery end, install ack) nodes
-/// may stay quiet before their silence counts as a failure again.
-const QUIET_GRACE: SimDuration = SimDuration::from_secs(20);
-
-/// Controller startup trigger (scheduled by the deployment builder).
-#[derive(Debug, Clone, Copy)]
-pub struct Start;
-
-/// The controller actor.
-pub struct MsController {
+/// The per-region-group controller actor.
+pub struct RegionController {
     cfg: MsControllerConfig,
     cell: ActorId,
+    coordinator: ActorId,
+    group: usize,
+    /// First global region index of the group (regions are contiguous).
+    first_region: usize,
     regions: Vec<RegionRt>,
     ping_round: u64,
     ping_outstanding: BTreeMap<u64, BTreeSet<(usize, u32)>>,
     next_tag: u64,
-    install_tags: BTreeMap<u64, (usize, u32)>,
     /// Tagged ping/probe sends: tag → target region. A `TxSevered`
     /// completion on one of these is the evidence that marks the
     /// region severed (a `TxFailed` just means the pinged phone died —
-    /// the ping deadline already covers that).
+    /// the ping deadline already covers that). Install severing
+    /// arrives as an [`InstallOutcome`] from the coordinator instead.
     ping_tags: BTreeMap<u64, usize>,
-    /// Partition episodes observed by the controller: (region, severed
-    /// at, healed at). Harvested by experiments for recovery timelines.
+    /// Partition episodes observed: (region, severed at, healed at).
+    /// Harvested by experiments for recovery timelines.
     pub severed_episodes: Vec<(usize, SimTime, SimTime)>,
     /// Start times of still-open partition episodes per region.
     severed_open: BTreeMap<usize, SimTime>,
@@ -282,16 +202,31 @@ pub struct MsController {
     /// Re-registered op-owning slots waiting for the current recovery
     /// to finish before their reinstall runs.
     pending_reinstalls: Vec<(usize, u32)>,
+    /// Membership messages sent (snapshots + deltas) — the churn-storm
+    /// complexity tests assert these scale with delta size, not region
+    /// population.
+    pub membership_msgs: u64,
+    /// Membership bytes sent.
+    pub membership_bytes: u64,
 }
 
-impl MsController {
-    /// Build a controller over the given regions.
-    pub fn new(cfg: MsControllerConfig, cell: ActorId, specs: Vec<RegionSpec>) -> Self {
+impl RegionController {
+    /// Build a controller over the contiguous region group starting at
+    /// global index `first_region`.
+    pub fn new(
+        cfg: MsControllerConfig,
+        cell: ActorId,
+        coordinator: ActorId,
+        group: usize,
+        first_region: usize,
+        specs: Vec<RegionSpec>,
+    ) -> Self {
         let regions = specs
             .into_iter()
             .map(|spec| {
                 let slots = spec.slot_actors.len();
                 RegionRt {
+                    slot_actors: Arc::new(spec.slot_actors.clone()),
                     op_slot: spec.placement.op_slot.clone(),
                     slot_state: vec![SlotState::Active; slots],
                     version: 0,
@@ -312,18 +247,22 @@ impl MsController {
                     severed: false,
                     probe_epoch: 0,
                     probe_backoff: SimDuration::ZERO,
+                    log: MembershipLog::new(slots),
+                    pending_flush: None,
                     spec,
                 }
             })
             .collect();
-        MsController {
+        RegionController {
             cfg,
             cell,
+            coordinator,
+            group,
+            first_region,
             regions,
             ping_round: 0,
             ping_outstanding: BTreeMap::new(),
             next_tag: 1,
-            install_tags: BTreeMap::new(),
             ping_tags: BTreeMap::new(),
             severed_episodes: Vec::new(),
             severed_open: BTreeMap::new(),
@@ -332,18 +271,39 @@ impl MsController {
             commits: Vec::new(),
             stops: 0,
             pending_reinstalls: Vec::new(),
+            membership_msgs: 0,
+            membership_bytes: 0,
         }
     }
 
+    /// The group this controller owns.
+    pub fn group(&self) -> usize {
+        self.group
+    }
+
+    /// Global region indices of the group.
+    pub fn region_indices(&self) -> std::ops::Range<usize> {
+        self.first_region..self.first_region + self.regions.len()
+    }
+
+    fn rt(&self, region: usize) -> &RegionRt {
+        &self.regions[region - self.first_region]
+    }
+
+    fn rt_mut(&mut self, region: usize) -> &mut RegionRt {
+        &mut self.regions[region - self.first_region]
+    }
+
     /// Validate a `(region, slot)` pair arriving in a remote message.
-    /// A fleet-scale deployment must shrug off a malformed or stale
-    /// message rather than panic the controller (and with it every
-    /// region at once).
+    /// A fleet-scale deployment must shrug off a malformed, stale or
+    /// out-of-group message rather than panic the controller (and with
+    /// it every region of the group at once).
     fn valid_slot(&self, region: usize, slot: u32, ctx: &mut Ctx) -> bool {
-        let ok = self
-            .regions
-            .get(region)
-            .is_some_and(|rt| (slot as usize) < rt.slot_state.len());
+        let ok = region >= self.first_region
+            && self
+                .regions
+                .get(region - self.first_region)
+                .is_some_and(|rt| (slot as usize) < rt.slot_state.len());
         if !ok {
             ctx.count("ctl.malformed_msgs", 1);
         }
@@ -352,12 +312,12 @@ impl MsController {
 
     /// Latest committed checkpoint version of a region.
     pub fn last_complete(&self, region: usize) -> u64 {
-        self.regions[region].last_complete
+        self.rt(region).last_complete
     }
 
     /// Is the region currently stopped (bypassed)?
     pub fn is_stopped(&self, region: usize) -> bool {
-        self.regions[region].stopped
+        self.rt(region).stopped
     }
 
     fn send_ctl(&mut self, ctx: &mut Ctx, dst: ActorId, bytes: u64, ev: impl Event) {
@@ -376,64 +336,138 @@ impl MsController {
         );
     }
 
-    fn send_ctl_tagged(
-        &mut self,
-        ctx: &mut Ctx,
-        dst: ActorId,
-        bytes: u64,
-        class: TrafficClass,
-        ev: impl Event,
-        track: Option<(usize, u32)>,
-    ) {
-        let tag = if track.is_some() {
-            let t = self.next_tag;
-            self.next_tag += 1;
-            t
-        } else {
-            0
-        };
-        if let (Some(key), true) = (track, tag != 0) {
-            self.install_tags.insert(tag, key);
+    /// Record any slot-activity transitions into the region's
+    /// membership log and make sure a flush is pending for this tick.
+    /// Consecutive calls within one tick (e.g. a rejoin that also
+    /// triggers a reinstall) coalesce into a single flush.
+    fn membership_changed(&mut self, region: usize, scope: FlushScope, ctx: &mut Ctx) {
+        let rt = self.rt_mut(region);
+        for s in 0..rt.slot_state.len() {
+            let active = rt.slot_state[s] == SlotState::Active;
+            rt.log.record(s as u32, active);
         }
-        let src = ctx.self_id();
-        let cell = self.cell;
-        ctx.send(
-            cell,
-            CellSend {
-                src,
-                dst,
-                class,
-                bytes,
-                tag,
-                payload: Some(payload(ev)),
-            },
-        );
+        match rt.pending_flush {
+            Some(FlushScope::AllActive) => {}
+            Some(FlushScope::Stakeholders) => {
+                if scope == FlushScope::AllActive {
+                    rt.pending_flush = Some(FlushScope::AllActive);
+                }
+            }
+            None => {
+                rt.pending_flush = Some(scope);
+                let me = ctx.self_id();
+                ctx.send(me, CtlTimer::FlushDeltas { region });
+            }
+        }
     }
 
-    fn broadcast_membership(&mut self, region: usize, ctx: &mut Ctx) {
-        let (update, targets) = {
-            let rt = &self.regions[region];
-            (
-                MembershipUpdate {
-                    slot_actors: rt.spec.slot_actors.clone(),
-                    active_slots: rt.active_slots(),
-                },
-                rt.active_slots()
-                    .into_iter()
-                    .map(|s| rt.spec.slot_actors[s as usize])
-                    .collect::<Vec<_>>(),
-            )
+    fn on_flush(&mut self, region: usize, ctx: &mut Ctx) {
+        let Some(scope) = self.rt_mut(region).pending_flush.take() else {
+            return;
         };
-        for dst in targets {
-            self.send_ctl(ctx, dst, wire::MEMBERSHIP, update.clone());
+        self.send_deltas(region, scope, ctx);
+    }
+
+    /// Push membership toward the log head for the scoped targets:
+    /// phones with no known epoch get one shared-`Arc` snapshot, every
+    /// other lagging phone gets the batched change suffix from its
+    /// observed epoch (suffixes shared across targets). Phones already
+    /// at the head get nothing.
+    fn send_deltas(&mut self, region: usize, scope: FlushScope, ctx: &mut Ctx) {
+        let (snapshots, snapshot, deltas) = {
+            let rt = self.rt_mut(region);
+            // Behind a partition every send would age out unobserved;
+            // the heal resync resets observed epochs and re-flushes.
+            if rt.severed {
+                return;
+            }
+            let head = rt.log.head();
+            let active = rt.active_slots();
+            let targets: Vec<u32> = match scope {
+                FlushScope::AllActive => active,
+                FlushScope::Stakeholders => {
+                    let hosting = rt.hosting_slots();
+                    let proxy = active.first().copied();
+                    active
+                        .into_iter()
+                        .filter(|&s| {
+                            hosting.contains(&s) || Some(s) == proxy || rt.log.observed(s).is_none()
+                        })
+                        .collect()
+                }
+            };
+            let mut snapshots: Vec<ActorId> = Vec::new();
+            let mut deltas: Vec<(ActorId, MembershipDelta)> = Vec::new();
+            let mut cache = SuffixCache::new();
+            let mut active_arc: Option<Arc<Vec<u32>>> = None;
+            for slot in targets {
+                let dst = rt.slot_actors[slot as usize];
+                match rt.log.observed(slot) {
+                    None => {
+                        snapshots.push(dst);
+                        rt.log.note_synced(slot, head);
+                    }
+                    Some(base) if base < head => {
+                        let (base, changes) = cache.for_base(&rt.log, base);
+                        deltas.push((
+                            dst,
+                            MembershipDelta {
+                                base_epoch: base,
+                                epoch: head,
+                                changes,
+                            },
+                        ));
+                        rt.log.note_synced(slot, head);
+                    }
+                    Some(_) => {}
+                }
+            }
+            let snapshot = if snapshots.is_empty() {
+                None
+            } else {
+                let active = active_arc
+                    .get_or_insert_with(|| Arc::new(rt.active_slots()))
+                    .clone();
+                Some(MembershipUpdate {
+                    slot_actors: Arc::clone(&rt.slot_actors),
+                    active_slots: active,
+                    epoch: head,
+                })
+            };
+            (snapshots, snapshot, deltas)
+        };
+        if let Some(update) = snapshot {
+            for dst in snapshots {
+                self.membership_msgs += 1;
+                self.membership_bytes += wire::MEMBERSHIP;
+                ctx.count("ctl.membership_msgs", 1);
+                self.send_ctl(ctx, dst, wire::MEMBERSHIP, update.clone());
+            }
+        }
+        for (dst, delta) in deltas {
+            let bytes = wire::DELTA_BASE + wire::DELTA_PER_CHANGE * delta.changes.len() as u64;
+            self.membership_msgs += 1;
+            self.membership_bytes += bytes;
+            ctx.count("ctl.membership_msgs", 1);
+            self.send_ctl(ctx, dst, bytes, delta);
+        }
+    }
+
+    fn on_reconcile_tick(&mut self, ctx: &mut Ctx) {
+        let me = ctx.self_id();
+        ctx.send_in(self.cfg.reconcile_period, me, CtlTimer::ReconcileTick);
+        for region in self.region_indices() {
+            self.send_deltas(region, FlushScope::AllActive, ctx);
         }
     }
 
     /// Re-pair sensors with the phones now hosting the source ops
-    /// (zero-cost direct events: the camera physically pairs with the
-    /// adjacent phone).
+    /// (zero-cost events: the camera physically pairs with the
+    /// adjacent phone). Relayed through the coordinator: the sensors
+    /// live on their region's shard, which within a group may differ
+    /// from this controller's.
     fn redirect_sensors(&mut self, region: usize, ctx: &mut Ctx) {
-        let rt = &self.regions[region];
+        let rt = self.rt(region);
         if rt.spec.sensors.is_empty() {
             return;
         }
@@ -447,22 +481,34 @@ impl MsController {
                 });
             }
         }
-        for &sensor in &rt.spec.sensors {
-            for r in &redirects {
-                ctx.send(sensor, *r);
+        let coordinator = self.coordinator;
+        for &sensor in &self.rt(region).spec.sensors.clone() {
+            for &redirect in &redirects {
+                ctx.send(coordinator, RelaySensorRedirect { sensor, redirect });
             }
         }
     }
 
-    fn broadcast_routing(&mut self, region: usize, ctx: &mut Ctx) {
+    /// Push the region's routing tables to the phones that forward
+    /// data: hosting phones plus degraded departed phones still
+    /// computing over cellular. (Idle phones receive their tables with
+    /// the `Install` if they ever become replacements.)
+    fn push_routing(&mut self, region: usize, ctx: &mut Ctx) {
         let (update, targets) = {
-            let rt = &self.regions[region];
+            let rt = self.rt(region);
+            let hosting = rt.hosting_slots();
+            let mut slots: BTreeSet<u32> = rt
+                .active_slots()
+                .into_iter()
+                .filter(|s| hosting.contains(s))
+                .collect();
+            slots.extend(rt.degraded_urgent.keys().copied());
             (
                 UpdateRouting {
                     op_slot: Some(rt.op_slot.clone()),
                     slot_actors: Some(rt.spec.slot_actors.clone()),
                 },
-                rt.active_slots()
+                slots
                     .into_iter()
                     .map(|s| rt.spec.slot_actors[s as usize])
                     .collect::<Vec<_>>(),
@@ -473,79 +519,23 @@ impl MsController {
         }
     }
 
-    /// Resolve the data destinations downstream of `region`, skipping
-    /// stopped regions transitively (bypass, §III-D/E).
-    fn resolve_downstream(&self, region: usize) -> Vec<(usize, OpId)> {
-        let mut out = Vec::new();
-        let mut stack: Vec<(usize, OpId)> = self.regions[region].spec.downstream.clone();
-        let mut seen = BTreeSet::new();
-        while let Some((r, op)) = stack.pop() {
-            if !seen.insert((r, op)) {
-                continue;
-            }
-            if self.regions[r].stopped {
-                stack.extend(self.regions[r].spec.downstream.clone());
-            } else {
-                out.push((r, op));
-            }
-        }
-        out.sort_unstable_by_key(|&(r, op)| (r, op.0));
-        out
-    }
-
-    /// Install fresh inter-region links on `region`'s sink nodes.
-    fn rewire_inter_region(&mut self, region: usize, ctx: &mut Ctx) {
-        let downstream = self.resolve_downstream(region);
-        let rt = &self.regions[region];
-        if rt.stopped {
-            return;
-        }
-        let mut per_slot: BTreeMap<u32, Vec<InterRegionLink>> = BTreeMap::new();
-        for &sink in &rt.spec.graph.sinks() {
-            let slot = rt.op_slot[sink.index()];
-            if slot == u32::MAX {
-                continue;
-            }
-            let links: Vec<InterRegionLink> = downstream
-                .iter()
-                .map(|&(dr, dst_op)| {
-                    let drt = &self.regions[dr];
-                    let dst_slot = drt.op_slot[dst_op.index()];
-                    InterRegionLink {
-                        src_op: sink,
-                        dst_actor: drt.spec.slot_actors[dst_slot as usize],
-                        dst_op,
-                    }
-                })
-                .collect();
-            per_slot.entry(slot).or_default().extend(links);
-        }
-        let sends: Vec<(ActorId, Vec<InterRegionLink>)> = per_slot
-            .into_iter()
-            .map(|(slot, links)| (self.regions[region].spec.slot_actors[slot as usize], links))
-            .collect();
-        for (dst, links) in sends {
-            self.send_ctl(ctx, dst, wire::MEMBERSHIP, UpdateInterRegion { links });
-        }
-    }
-
-    /// Regions that feed `region`.
-    fn upstream_regions(&self, region: usize) -> Vec<usize> {
-        (0..self.regions.len())
-            .filter(|&r| {
-                self.regions[r]
-                    .spec
-                    .downstream
-                    .iter()
-                    .any(|&(d, _)| d == region)
-            })
-            .collect()
+    /// Report this region's placement / stop state to the coordinator,
+    /// which bumps the placement epoch and re-resolves inter-region
+    /// wiring for the region and its upstreams.
+    fn send_status(&mut self, region: usize, ctx: &mut Ctx) {
+        let rt = self.rt(region);
+        let status = RegionStatus {
+            region,
+            op_slot: Arc::new(rt.op_slot.clone()),
+            stopped: rt.stopped,
+        };
+        let coordinator = self.coordinator;
+        ctx.send(coordinator, status);
     }
 
     fn on_start(&mut self, ctx: &mut Ctx) {
-        for region in 0..self.regions.len() {
-            self.broadcast_membership(region, ctx);
-            self.rewire_inter_region(region, ctx);
+        for region in self.region_indices() {
+            self.membership_changed(region, FlushScope::AllActive, ctx);
             if self.cfg.checkpoints_enabled {
                 let me = ctx.self_id();
                 ctx.send_in(
@@ -557,13 +547,14 @@ impl MsController {
         }
         let me = ctx.self_id();
         ctx.send_in(self.cfg.ping_period, me, CtlTimer::PingTick);
+        ctx.send_in(self.cfg.reconcile_period, me, CtlTimer::ReconcileTick);
     }
 
     /// The in-region phone that relays a degraded slot's cellular
     /// snapshots onto WiFi: any active phone (lowest slot for
     /// determinism).
     fn pick_proxy(&self, region: usize, degraded: u32) -> Option<ActorId> {
-        let rt = &self.regions[region];
+        let rt = self.rt(region);
         rt.active_slots()
             .into_iter()
             .find(|&s| s != degraded)
@@ -578,7 +569,7 @@ impl MsController {
             CtlTimer::CheckpointTick { region },
         );
         {
-            let rt = &mut self.regions[region];
+            let rt = self.rt_mut(region);
             if rt.stopped || rt.recovering {
                 return;
             }
@@ -594,7 +585,7 @@ impl MsController {
             rt.ckpt_got = BTreeSet::new();
         }
         let (version, targets, degraded) = {
-            let rt = &self.regions[region];
+            let rt = self.rt(region);
             // Degraded slots (departed, no replacement) keep computing
             // over cellular and stay in `ckpt_expected` — a degraded
             // *source* must still receive the round trigger, which
@@ -620,7 +611,7 @@ impl MsController {
         // departed) proxy and lose the round.
         for slot in degraded {
             if let Some(proxy) = self.pick_proxy(region, slot) {
-                let dst = self.regions[region].spec.slot_actors[slot as usize];
+                let dst = self.rt(region).spec.slot_actors[slot as usize];
                 self.send_ctl(ctx, dst, wire::CONTROL, DegradedCheckpointVia { proxy });
             }
         }
@@ -635,7 +626,7 @@ impl MsController {
             return;
         }
         let region = m.region;
-        let rt = &mut self.regions[region];
+        let rt = self.rt_mut(region);
         if m.version != rt.version {
             return;
         }
@@ -653,7 +644,7 @@ impl MsController {
     /// recovery ends, or an already-complete round would stall an
     /// extra epoch.
     fn try_commit_round(&mut self, region: usize, ctx: &mut Ctx) {
-        let rt = &mut self.regions[region];
+        let rt = self.rt_mut(region);
         if rt.recovering || rt.stopped {
             return;
         }
@@ -670,7 +661,7 @@ impl MsController {
         rt.last_complete = version;
         self.commits.push((region, version, ctx.now()));
         let targets: Vec<ActorId> = {
-            let rt = &self.regions[region];
+            let rt = self.rt(region);
             // Degraded slots are not "active" but participate in every
             // round over cellular — without the commit notice their
             // stores never GC and grow by a full state copy plus an
@@ -694,7 +685,8 @@ impl MsController {
         let round = self.ping_round;
         let mut outstanding = BTreeSet::new();
         let mut targets = Vec::new();
-        for (r, rt) in self.regions.iter().enumerate() {
+        for (i, rt) in self.regions.iter().enumerate() {
+            let r = self.first_region + i;
             // Severed regions are unreachable, not dead: pinging them
             // would only arm deadlines that misread weather as failure.
             // The probe loop owns contact until the heal.
@@ -756,8 +748,6 @@ impl MsController {
     fn on_tx_severed(&mut self, tag: u64, ctx: &mut Ctx) {
         if let Some(region) = self.ping_tags.remove(&tag) {
             self.mark_severed(region, ctx);
-        } else if let Some((region, _slot)) = self.install_tags.remove(&tag) {
-            self.mark_severed(region, ctx);
         }
     }
 
@@ -765,7 +755,7 @@ impl MsController {
     /// the capped-backoff probe loop that watches for the heal.
     fn mark_severed(&mut self, region: usize, ctx: &mut Ctx) {
         let base = self.cfg.severed_probe_base;
-        let rt = &mut self.regions[region];
+        let rt = self.rt_mut(region);
         if rt.stopped || rt.severed {
             return;
         }
@@ -792,7 +782,7 @@ impl MsController {
     fn on_probe_severed(&mut self, region: usize, epoch: u64, ctx: &mut Ctx) {
         let cap = self.cfg.severed_probe_cap;
         let (target, next) = {
-            let rt = &mut self.regions[region];
+            let rt = self.rt_mut(region);
             if !rt.severed || rt.probe_epoch != epoch {
                 return;
             }
@@ -812,7 +802,9 @@ impl MsController {
 
     /// Any message from a severed region is proof the partition healed.
     fn note_region_contact(&mut self, region: usize, ctx: &mut Ctx) {
-        if self.regions.get(region).is_some_and(|rt| rt.severed) {
+        let in_group =
+            region >= self.first_region && region < self.first_region + self.regions.len();
+        if in_group && self.rt(region).severed {
             self.mark_healed(region, ctx);
         }
     }
@@ -825,25 +817,26 @@ impl MsController {
     /// impossible).
     fn mark_healed(&mut self, region: usize, ctx: &mut Ctx) {
         {
-            let rt = &mut self.regions[region];
+            let rt = self.rt_mut(region);
             if !rt.severed {
                 return;
             }
             rt.severed = false;
             rt.probe_epoch += 1;
             rt.probe_backoff = SimDuration::ZERO;
+            // Sends into the region aged out unobserved while severed:
+            // nothing can be assumed about any phone's membership
+            // epoch. Snapshot everyone on the next flush.
+            rt.log.reset_all();
         }
         if let Some(start) = self.severed_open.remove(&region) {
             self.severed_episodes.push((region, start, ctx.now()));
         }
         ctx.count("ctl.regions_healed", 1);
-        self.broadcast_membership(region, ctx);
-        self.broadcast_routing(region, ctx);
+        self.membership_changed(region, FlushScope::AllActive, ctx);
+        self.push_routing(region, ctx);
         self.redirect_sensors(region, ctx);
-        self.rewire_inter_region(region, ctx);
-        for up in self.upstream_regions(region) {
-            self.rewire_inter_region(up, ctx);
-        }
+        self.send_status(region, ctx);
         self.try_commit_round(region, ctx);
     }
 
@@ -851,7 +844,9 @@ impl MsController {
         if !self.valid_slot(region, slot, ctx) {
             return;
         }
-        let rt = &mut self.regions[region];
+        let gather_window = self.cfg.gather_window;
+        let transfer_stall = self.cfg.transfer_stall_deadline;
+        let rt = self.rt_mut(region);
         if rt.stopped {
             return;
         }
@@ -888,7 +883,7 @@ impl MsController {
             .map(|(&d, t)| (d, t.started));
         let mut stalled_edges: Option<Vec<EdgeId>> = None;
         if let Some((departing, started)) = stalled_transfer {
-            if ctx.now().since(started) < self.cfg.transfer_stall_deadline {
+            if ctx.now().since(started) < transfer_stall {
                 return;
             }
             // Stalled: drop the transfer so the recovery below can
@@ -915,7 +910,7 @@ impl MsController {
                 rt.recovery_started = ctx.now();
             }
             let me = ctx.self_id();
-            ctx.send_in(self.cfg.gather_window, me, CtlTimer::RecoverNow { region });
+            ctx.send_in(gather_window, me, CtlTimer::RecoverNow { region });
         }
         if let Some(edges) = stalled_edges {
             self.release_urgent_edges(region, &edges, ctx);
@@ -927,7 +922,7 @@ impl MsController {
     /// other in-flight transfer still bridges.
     fn release_urgent_edges(&mut self, region: usize, edges: &[EdgeId], ctx: &mut Ctx) {
         let (off, targets) = {
-            let rt = &mut self.regions[region];
+            let rt = self.rt_mut(region);
             let still_needed: BTreeSet<EdgeId> = rt
                 .departing_transfers
                 .values()
@@ -963,19 +958,43 @@ impl MsController {
     }
 
     fn stop_region(&mut self, region: usize, ctx: &mut Ctx) {
-        self.regions[region].stopped = true;
+        self.rt_mut(region).stopped = true;
         self.stops += 1;
         ctx.count("ctl.region_stops", 1);
-        // Bypass: every upstream region re-resolves its downstream.
-        for up in self.upstream_regions(region) {
-            self.rewire_inter_region(up, ctx);
-        }
+        // Bypass: the coordinator re-resolves every upstream region's
+        // downstream wiring (upstreams may live in other groups).
+        self.send_status(region, ctx);
+    }
+
+    /// Hand a bulk install to the coordinator, which ships it over its
+    /// fat cellular endpoint and reports the tagged completion back as
+    /// an [`InstallOutcome`].
+    fn ship_install(
+        &mut self,
+        ctx: &mut Ctx,
+        region: usize,
+        slot: u32,
+        dst: ActorId,
+        bytes: u64,
+        install: Install,
+    ) {
+        let coordinator = self.coordinator;
+        ctx.send(
+            coordinator,
+            ShipInstall {
+                region,
+                slot,
+                dst,
+                bytes,
+                install,
+            },
+        );
     }
 
     fn on_recover_now(&mut self, region: usize, ctx: &mut Ctx) {
         let now = ctx.now();
         let (failed, version, hosting_failed) = {
-            let rt = &mut self.regions[region];
+            let rt = self.rt_mut(region);
             rt.recover_scheduled = false;
             if rt.stopped {
                 rt.pending_failures.clear();
@@ -1016,7 +1035,7 @@ impl MsController {
         // any of them can restore any operator.
         let mut replacements: Vec<(u32, u32)> = Vec::new(); // (failed, replacement)
         {
-            let rt = &self.regions[region];
+            let rt = self.rt(region);
             let mut idle = rt.idle_active_slots();
             let survivors: Vec<u32> = rt
                 .active_slots()
@@ -1038,13 +1057,13 @@ impl MsController {
         if replacements.len() < hosting_failed.len() {
             // No healthy phone at all: stop and bypass the region until
             // phones re-register (reboot path).
-            self.regions[region].recovering = false;
+            self.rt_mut(region).recovering = false;
             self.stop_region(region, ctx);
             return;
         }
         // Apply the new assignment.
         {
-            let rt = &mut self.regions[region];
+            let rt = self.rt_mut(region);
             for &(f, r) in &replacements {
                 for s in rt.op_slot.iter_mut() {
                     if *s == f {
@@ -1054,16 +1073,16 @@ impl MsController {
             }
         }
 
-        // Ship code + install to replacements (cellular), and roll back
-        // survivors to the MRC.
+        // Ship code + install to replacements (cellular, brokered by
+        // the coordinator), and roll back survivors to the MRC.
         let (installs, rollbacks, expected_acks) = {
-            let rt = &self.regions[region];
+            let rt = self.rt(region);
             let states = if version > 0 {
                 InstallStates::FromLocalStore { version }
             } else {
                 InstallStates::Fresh
             };
-            let installs: Vec<(ActorId, Install, usize, (usize, u32))> = replacements
+            let installs: Vec<(ActorId, Install, usize, u32)> = replacements
                 .iter()
                 .map(|&(_, r)| {
                     let ops = rt.ops_on(r);
@@ -1078,7 +1097,7 @@ impl MsController {
                             ready_in: self.cfg.ready_overhead + self.cfg.ready_per_op * (n as u64),
                         },
                         n,
-                        (region, r),
+                        r,
                     )
                 })
                 .collect();
@@ -1103,7 +1122,7 @@ impl MsController {
         // over cellular and must stop once its operators moved, or the
         // region processes every tuple twice.
         let (released, teardowns) = {
-            let rt = &mut self.regions[region];
+            let rt = self.rt_mut(region);
             let mut released: Vec<EdgeId> = Vec::new();
             let mut teardowns = Vec::new();
             for &(f, _) in &replacements {
@@ -1121,7 +1140,7 @@ impl MsController {
             (released, teardowns)
         };
         let routing = {
-            let rt = &self.regions[region];
+            let rt = self.rt(region);
             UpdateRouting {
                 op_slot: Some(rt.op_slot.clone()),
                 slot_actors: Some(rt.spec.slot_actors.clone()),
@@ -1134,21 +1153,18 @@ impl MsController {
             self.release_urgent_edges(region, &released, ctx);
         }
 
-        self.broadcast_routing(region, ctx);
-        self.broadcast_membership(region, ctx);
+        self.push_routing(region, ctx);
+        self.membership_changed(region, FlushScope::Stakeholders, ctx);
         self.redirect_sensors(region, ctx);
-        for (dst, install, n_ops, key) in installs {
+        for (dst, install, n_ops, slot) in installs {
             let bytes = self.cfg.code_bytes_per_op * n_ops as u64;
-            self.send_ctl_tagged(ctx, dst, bytes, TrafficClass::Recovery, install, Some(key));
+            self.ship_install(ctx, region, slot, dst, bytes, install);
         }
         for dst in rollbacks {
             self.send_ctl(ctx, dst, wire::CONTROL, RollbackTo { version });
         }
-        self.regions[region].outstanding_acks = expected_acks;
-        self.rewire_inter_region(region, ctx);
-        for up in self.upstream_regions(region) {
-            self.rewire_inter_region(up, ctx);
-        }
+        self.rt_mut(region).outstanding_acks = expected_acks;
+        self.send_status(region, ctx);
         let me = ctx.self_id();
         ctx.send_in(self.cfg.ack_deadline, me, CtlTimer::AckDeadline { region });
     }
@@ -1156,7 +1172,7 @@ impl MsController {
     /// All acks in (or deadline): restart the region's dataflow.
     fn finish_recovery(&mut self, region: usize, ctx: &mut Ctx) {
         let (version, sources, started, failures) = {
-            let rt = &mut self.regions[region];
+            let rt = self.rt_mut(region);
             if !rt.recovering {
                 return;
             }
@@ -1178,7 +1194,7 @@ impl MsController {
                 self.send_ctl(ctx, dst, wire::CONTROL, ReplayInputs { epoch: version });
             }
         }
-        self.regions[region].last_recovery_end = ctx.now();
+        self.rt_mut(region).last_recovery_end = ctx.now();
         self.recoveries.push(RecoveryRecord {
             region,
             failures,
@@ -1194,10 +1210,10 @@ impl MsController {
         if let Some(ix) = self
             .pending_reinstalls
             .iter()
-            .position(|&(r, s)| r == region && !self.regions[r].ops_on(s).is_empty())
+            .position(|&(r, s)| r == region && !self.rt(r).ops_on(s).is_empty())
         {
             let (r, slot) = self.pending_reinstalls.remove(ix);
-            if self.regions[r].slot_state[slot as usize] == SlotState::Active {
+            if self.rt(r).slot_state[slot as usize] == SlotState::Active {
                 self.reinstall_slot(r, slot, ctx);
             }
         } else {
@@ -1212,7 +1228,7 @@ impl MsController {
         let region = m.region;
         // Departure transfer ack?
         let done_departure = {
-            let rt = &mut self.regions[region];
+            let rt = self.rt_mut(region);
             let departing: Option<u32> = rt
                 .departing_transfers
                 .iter()
@@ -1234,7 +1250,7 @@ impl MsController {
             // replacement owns its operators it must stop, or the
             // region would process every tuple twice.
             let (departed_actor, op_slot, slot_actors) = {
-                let rt = &self.regions[region];
+                let rt = self.rt(region);
                 (
                     rt.spec.slot_actors[departed as usize],
                     rt.op_slot.clone(),
@@ -1253,16 +1269,13 @@ impl MsController {
             // Clear this transfer's urgent mode and publish the new
             // wiring.
             self.release_urgent_edges(region, &edges, ctx);
-            self.broadcast_routing(region, ctx);
-            self.broadcast_membership(region, ctx);
+            self.push_routing(region, ctx);
+            self.membership_changed(region, FlushScope::Stakeholders, ctx);
             self.redirect_sensors(region, ctx);
-            self.rewire_inter_region(region, ctx);
-            for up in self.upstream_regions(region) {
-                self.rewire_inter_region(up, ctx);
-            }
+            self.send_status(region, ctx);
             return;
         }
-        let rt = &mut self.regions[region];
+        let rt = self.rt_mut(region);
         rt.outstanding_acks.remove(&m.slot);
         if rt.recovering && rt.outstanding_acks.is_empty() {
             self.finish_recovery(region, ctx);
@@ -1280,7 +1293,7 @@ impl MsController {
         let departing_actor;
         let affected_edges: Vec<EdgeId>;
         {
-            let rt = &mut self.regions[region];
+            let rt = self.rt_mut(region);
             if rt.slot_state[slot as usize] != SlotState::Active {
                 return;
             }
@@ -1291,7 +1304,7 @@ impl MsController {
             if ops.is_empty() {
                 // Idle node: just unregister.
                 rt.slot_state[slot as usize] = SlotState::Gone;
-                self.broadcast_membership(region, ctx);
+                self.membership_changed(region, FlushScope::Stakeholders, ctx);
                 return;
             }
             // Urgent mode: edges crossing the departed phone's WiFi link.
@@ -1336,7 +1349,7 @@ impl MsController {
         // replacement exists: with none, the region runs degraded in
         // urgent mode and the departed phone keeps computing remotely.
         let targets: Vec<ActorId> = {
-            let rt = &self.regions[region];
+            let rt = self.rt(region);
             let mut t: Vec<ActorId> = rt
                 .active_slots()
                 .into_iter()
@@ -1362,7 +1375,7 @@ impl MsController {
             // cellular until a reboot/rejoin provides a phone. The
             // urgent edges must outlive other transfers' releases for
             // as long as the degraded phone computes remotely.
-            let rt = &mut self.regions[region];
+            let rt = self.rt_mut(region);
             rt.degraded_urgent.insert(slot, affected_edges.clone());
             if (rt.active_slots().len() as u32) < rt.spec.min_active {
                 self.stop_region(region, ctx);
@@ -1384,13 +1397,13 @@ impl MsController {
             // in `active_slots` would cost every region broadcast a
             // full straggler-bitmap timeout per phase for as long as
             // the degradation lasts.
-            self.broadcast_membership(region, ctx);
+            self.membership_changed(region, FlushScope::Stakeholders, ctx);
             return;
         };
         // Ask the departing phone to transfer its state to the
         // replacement over cellular (Fig 7, time instant 3).
         let (install, repl_actor) = {
-            let rt = &self.regions[region];
+            let rt = self.rt(region);
             let ops = rt.ops_on(replacement);
             let n = ops.len() as u64;
             (
@@ -1421,8 +1434,12 @@ impl MsController {
         }
         let region = m.region;
         let (owns_ops, degraded_edges) = {
-            let rt = &mut self.regions[region];
+            let rt = self.rt_mut(region);
             rt.slot_state[m.slot as usize] = SlotState::Active;
+            // The phone may have missed any number of membership
+            // messages while dead or out of range: forget its epoch so
+            // the pending flush sends it one full snapshot.
+            rt.log.reset(m.slot);
             (
                 !rt.ops_on(m.slot).is_empty(),
                 rt.degraded_urgent.remove(&m.slot),
@@ -1445,7 +1462,7 @@ impl MsController {
         // fresh (the pre-existing missing-state fallback).
         if let Some(edges) = degraded_edges {
             self.release_urgent_edges(region, &edges, ctx);
-            self.regions[region].ckpt_expected.remove(&m.slot);
+            self.rt_mut(region).ckpt_expected.remove(&m.slot);
             self.try_commit_round(region, ctx);
         }
         // A rebooted phone whose ops were never reassigned (it crashed
@@ -1453,58 +1470,63 @@ impl MsController {
         // reinstall its operators from its own flash copy and roll the
         // region back so the dataflow is consistent again.
         if owns_ops {
-            if !self.regions[region].stopped && !self.regions[region].recovering {
+            if !self.rt(region).stopped && !self.rt(region).recovering {
                 self.reinstall_slot(region, m.slot, ctx);
             } else {
                 // Defer until the in-flight recovery / restart settles.
                 self.pending_reinstalls.push((region, m.slot));
             }
         }
-        // Update WiFi membership: the phone is back in range.
+        // Update WiFi membership: the phone is back in range. Relayed
+        // through the coordinator (the WiFi medium lives on the
+        // phone's region shard).
         let (wifi, actor) = {
-            let rt = &self.regions[region];
+            let rt = self.rt(region);
             (rt.spec.wifi, rt.spec.slot_actors[m.slot as usize])
         };
+        let coordinator = self.coordinator;
         ctx.send(
-            wifi,
-            WifiSetLink {
+            coordinator,
+            RelayWifiLink {
+                wifi,
                 node: actor,
                 state: LinkState::Active,
             },
         );
-        self.broadcast_membership(region, ctx);
+        self.membership_changed(region, FlushScope::Stakeholders, ctx);
         // Restart a stopped region once enough phones are back.
         let can_restart = {
-            let rt = &self.regions[region];
+            let rt = self.rt(region);
             rt.stopped && (rt.active_slots().len() as u32) >= rt.spec.restart_min
         };
         if can_restart {
             self.restart_region(region, ctx);
-        } else if !self.regions[region].stopped {
+        } else if !self.rt(region).stopped {
             // If the region is degraded (ops stuck on dead slots because
             // no spare existed), retry recovery now that a phone is back.
             let needs = {
-                let rt = &self.regions[region];
+                let rt = self.rt(region);
                 rt.hosting_slots()
                     .into_iter()
                     .any(|s| rt.slot_state[s as usize] != SlotState::Active)
             };
             if needs {
                 let stuck: Vec<u32> = {
-                    let rt = &self.regions[region];
+                    let rt = self.rt(region);
                     rt.hosting_slots()
                         .into_iter()
                         .filter(|&s| rt.slot_state[s as usize] != SlotState::Active)
                         .collect()
                 };
                 for s in stuck {
-                    self.regions[region].pending_failures.insert(s);
+                    self.rt_mut(region).pending_failures.insert(s);
                 }
-                let rt = &mut self.regions[region];
+                let gather_window = self.cfg.gather_window;
+                let rt = self.rt_mut(region);
                 if !rt.recover_scheduled {
                     rt.recover_scheduled = true;
                     let me = ctx.self_id();
-                    ctx.send_in(self.cfg.gather_window, me, CtlTimer::RecoverNow { region });
+                    ctx.send_in(gather_window, me, CtlTimer::RecoverNow { region });
                 }
             }
         }
@@ -1513,8 +1535,10 @@ impl MsController {
     /// Reinstall a re-registered slot's own operators (reboot rejoin)
     /// and roll back the region to the MRC.
     fn reinstall_slot(&mut self, region: usize, slot: u32, ctx: &mut Ctx) {
+        let ready_overhead = self.cfg.ready_overhead;
+        let ready_per_op = self.cfg.ready_per_op;
         let (install, dst, n_ops, version, rollbacks, acks) = {
-            let rt = &mut self.regions[region];
+            let rt = self.rt_mut(region);
             rt.recovering = true;
             rt.recovery_started = ctx.now();
             rt.recovery_failures = 1;
@@ -1531,7 +1555,7 @@ impl MsController {
                 states,
                 op_slot: rt.op_slot.clone(),
                 slot_actors: rt.spec.slot_actors.clone(),
-                ready_in: self.cfg.ready_overhead + self.cfg.ready_per_op * (n as u64),
+                ready_in: ready_overhead + ready_per_op * (n as u64),
             };
             let survivors: Vec<u32> = rt
                 .hosting_slots()
@@ -1553,29 +1577,24 @@ impl MsController {
                 acks,
             )
         };
-        self.broadcast_routing(region, ctx);
-        self.broadcast_membership(region, ctx);
+        self.push_routing(region, ctx);
+        self.membership_changed(region, FlushScope::Stakeholders, ctx);
         self.redirect_sensors(region, ctx);
         let bytes = self.cfg.code_bytes_per_op * n_ops.max(1) as u64;
-        self.send_ctl_tagged(
-            ctx,
-            dst,
-            bytes,
-            TrafficClass::Recovery,
-            install,
-            Some((region, slot)),
-        );
+        self.ship_install(ctx, region, slot, dst, bytes, install);
         for d in rollbacks {
             self.send_ctl(ctx, d, wire::CONTROL, RollbackTo { version });
         }
-        self.regions[region].outstanding_acks = acks;
+        self.rt_mut(region).outstanding_acks = acks;
         let me = ctx.self_id();
         ctx.send_in(self.cfg.ack_deadline, me, CtlTimer::AckDeadline { region });
     }
 
     fn restart_region(&mut self, region: usize, ctx: &mut Ctx) {
+        let ready_overhead = self.cfg.ready_overhead;
+        let ready_per_op = self.cfg.ready_per_op;
         let (installs, version) = {
-            let rt = &mut self.regions[region];
+            let rt = self.rt_mut(region);
             // Re-place every op onto active slots, preferring current
             // assignment when that slot is active.
             let active = rt.active_slots();
@@ -1600,7 +1619,7 @@ impl MsController {
             } else {
                 InstallStates::Fresh
             };
-            let installs: Vec<(ActorId, Install, usize, (usize, u32))> = active
+            let installs: Vec<(ActorId, Install, usize, u32)> = active
                 .iter()
                 .map(|&s| {
                     let ops = rt.ops_on(s);
@@ -1612,27 +1631,44 @@ impl MsController {
                             states: states.clone(),
                             op_slot: rt.op_slot.clone(),
                             slot_actors: rt.spec.slot_actors.clone(),
-                            ready_in: self.cfg.ready_overhead + self.cfg.ready_per_op * (n as u64),
+                            ready_in: ready_overhead + ready_per_op * (n as u64),
                         },
                         n,
-                        (region, s),
+                        s,
                     )
                 })
                 .collect();
             (installs, version)
         };
         let _ = version;
-        for (dst, install, n_ops, key) in installs {
+        for (dst, install, n_ops, slot) in installs {
             let bytes = self.cfg.code_bytes_per_op * (n_ops.max(1)) as u64;
-            self.send_ctl_tagged(ctx, dst, bytes, TrafficClass::Recovery, install, Some(key));
+            self.ship_install(ctx, region, slot, dst, bytes, install);
         }
-        self.broadcast_membership(region, ctx);
+        self.membership_changed(region, FlushScope::AllActive, ctx);
         self.redirect_sensors(region, ctx);
-        self.rewire_inter_region(region, ctx);
-        for up in self.upstream_regions(region) {
-            self.rewire_inter_region(up, ctx);
-        }
+        self.send_status(region, ctx);
         ctx.count("ctl.region_restarts", 1);
+    }
+
+    /// Completion of an install the coordinator shipped for us.
+    fn on_install_outcome(&mut self, o: InstallOutcome, ctx: &mut Ctx) {
+        if !self.valid_slot(o.region, o.slot, ctx) {
+            return;
+        }
+        match o.kind {
+            InstallOutcomeKind::Delivered => {}
+            // The install never reached its target: that phone is dead;
+            // fold it into a fresh recovery round.
+            InstallOutcomeKind::Failed => {
+                let rt = self.rt_mut(o.region);
+                rt.slot_state[o.slot as usize] = SlotState::Active; // allow note_failure
+                self.note_failure(o.region, o.slot, ctx);
+            }
+            // The install aged out behind a partition: the whole region
+            // is unreachable.
+            InstallOutcomeKind::Severed => self.mark_severed(o.region, ctx),
+        }
     }
 
     fn on_timer(&mut self, t: CtlTimer, ctx: &mut Ctx) {
@@ -1643,11 +1679,13 @@ impl MsController {
             CtlTimer::RecoverNow { region } => self.on_recover_now(region, ctx),
             CtlTimer::AckDeadline { region } => self.finish_recovery(region, ctx),
             CtlTimer::ProbeSevered { region, epoch } => self.on_probe_severed(region, epoch, ctx),
+            CtlTimer::FlushDeltas { region } => self.on_flush(region, ctx),
+            CtlTimer::ReconcileTick => self.on_reconcile_tick(ctx),
         }
     }
 }
 
-impl Actor for MsController {
+impl Actor for RegionController {
     fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
         let ev = match ev.downcast::<CellRx>() {
             Ok(rx) => {
@@ -1682,23 +1720,14 @@ impl Actor for MsController {
         simkernel::match_event!(ev,
             _s: Start => { self.on_start(ctx); },
             t: CtlTimer => { self.on_timer(t, ctx); },
+            o: InstallOutcome => { self.on_install_outcome(o, ctx); },
             f: TxFailed => {
                 // A failed ping just means the pinged phone is dead —
                 // its round deadline already covers that.
-                if self.ping_tags.remove(&f.tag).is_some() {
-                    // nothing
-                }
-                // An Install never reached its target: that phone is dead
-                // too; fold it into a fresh recovery round.
-                else if let Some((region, slot)) = self.install_tags.remove(&f.tag) {
-                    let rt = &mut self.regions[region];
-                    rt.slot_state[slot as usize] = SlotState::Active; // allow note_failure
-                    self.note_failure(region, slot, ctx);
-                }
+                self.ping_tags.remove(&f.tag);
             },
             d: simnet::TxDone => {
                 self.ping_tags.remove(&d.tag);
-                self.install_tags.remove(&d.tag);
             },
             s: simnet::TxSevered => {
                 self.on_tx_severed(s.tag, ctx);
@@ -1708,11 +1737,8 @@ impl Actor for MsController {
     }
 
     fn name(&self) -> String {
-        "ms-controller".into()
+        format!("ms-regionctl-{}", self.group)
     }
 
     impl_actor_any!();
 }
-
-/// Convenience re-export for deployment code.
-pub use dsps::node::Ping as NodePing;

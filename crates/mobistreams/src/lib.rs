@@ -13,10 +13,14 @@
 //!   the per-node [`dsps::ft::FtScheme`] implementing token alignment,
 //!   asynchronous state snapshots, source preservation, rollback and
 //!   catch-up squelching.
-//! * [`controller`] — the global controller (§III-A/D/E): startup,
-//!   checkpoint triggering, ping-based failure detection, burst-failure
-//!   recovery, departures (urgent mode → state transfer → replacement),
-//!   and region bypass.
+//! * [`controller`] — the sharded control plane (§III-A/D/E): a thin
+//!   global [`controller::Coordinator`] (placement epochs, inter-region
+//!   wiring, install brokering) plus per-region-group
+//!   [`controller::RegionController`]s owning membership, checkpoint
+//!   triggering, ping-based failure detection, burst-failure recovery,
+//!   departures (urgent mode → state transfer → replacement), and
+//!   region bypass — converging membership with epoch-numbered batched
+//!   deltas ([`controller::reconcile`]).
 //! * [`msgs`] — the control-plane protocol records.
 
 pub mod broadcast;
@@ -24,5 +28,5 @@ pub mod controller;
 pub mod msgs;
 pub mod scheme;
 
-pub use controller::{MsController, MsControllerConfig, RegionSpec};
+pub use controller::{Coordinator, MsControllerConfig, RegionController, RegionSpec, RegionWiring};
 pub use scheme::{MsScheme, MsSchemeConfig};

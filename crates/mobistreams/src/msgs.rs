@@ -5,6 +5,8 @@
 //! network (controller ↔ phones) or rides the region WiFi (bitmap
 //! replies), and is charged to `TrafficClass::Control`.
 
+use std::sync::Arc;
+
 use dsps::graph::OpId;
 use dsps::operator::OpState;
 use dsps::tuple::Tuple;
@@ -39,16 +41,47 @@ pub struct CheckpointComplete {
     pub version: u64,
 }
 
-/// Controller → all region nodes: membership/tree update. Carried on
-/// startup and whenever a phone fails, enters or leaves the region.
+/// Controller → region node: full membership snapshot. Sent only when
+/// the controller has no known epoch for the phone (startup, rejoin,
+/// post-partition resync) — routine churn travels as
+/// [`MembershipDelta`]s. Payloads are `Arc`-shared across the targets
+/// of one flush, never cloned per phone.
 #[derive(Debug, Clone)]
 pub struct MembershipUpdate {
     /// Actors of currently active region members, indexed by slot
     /// (dead/departed slots keep their last actor but are absent from
     /// `active_slots`).
-    pub slot_actors: Vec<ActorId>,
+    pub slot_actors: Arc<Vec<ActorId>>,
     /// Slots currently alive and in-region.
-    pub active_slots: Vec<u32>,
+    pub active_slots: Arc<Vec<u32>>,
+    /// Membership epoch this snapshot represents (the region's event
+    /// log head at send time). Phones ignore snapshots older than what
+    /// they already hold.
+    pub epoch: u64,
+}
+
+/// One membership event: a slot entered or left the active set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotChange {
+    /// Slot whose activity changed.
+    pub slot: u32,
+    /// New activity (absolute, so re-application is idempotent).
+    pub active: bool,
+}
+
+/// Controller → region node: batched membership delta covering epochs
+/// `base_epoch..epoch` of the region's event log. A phone applies it
+/// only if it holds at least `base_epoch` and less than `epoch`;
+/// overlap re-applies idempotently (changes are absolute). The change
+/// vector is `Arc`-shared across every target of one flush.
+#[derive(Debug, Clone)]
+pub struct MembershipDelta {
+    /// Epoch the change suffix starts from.
+    pub base_epoch: u64,
+    /// Epoch after applying the suffix (the log head at send time).
+    pub epoch: u64,
+    /// The membership events, oldest first.
+    pub changes: Arc<Vec<SlotChange>>,
 }
 
 /// Receiver → broadcast sender: reception bitmap for one phase of one
@@ -203,31 +236,16 @@ pub struct DegradedSnapshot {
 
 pub use dsps::node::{Reboot, RegisterNode};
 
-/// Controller-internal timer events.
-#[derive(Debug, Clone, Copy)]
-pub(crate) enum CtlTimer {
-    /// Periodic checkpoint trigger for a region.
-    CheckpointTick { region: usize },
-    /// Periodic source-node ping round.
-    PingTick,
-    /// Ping round deadline: unanswered nodes are dead.
-    PingDeadline { round: u64 },
-    /// Burst-gather window closed; run recovery for the region.
-    RecoverNow { region: usize },
-    /// Recovery-ack deadline passed; finish the region's recovery with
-    /// whatever acks arrived.
-    AckDeadline { region: usize },
-    /// Capped-backoff probe of a region believed severed by a network
-    /// partition. `epoch` guards against stale timers after a heal.
-    ProbeSevered { region: usize, epoch: u64 },
-}
-
 /// Wire sizes for control messages (bytes).
 pub mod wire {
     /// Generic small control RPC.
     pub const CONTROL: u64 = 64;
-    /// Membership update (slot table).
+    /// Full membership snapshot (slot table).
     pub const MEMBERSHIP: u64 = 256;
     /// Ping/pong probes.
     pub const PING: u64 = 32;
+    /// Membership delta header (epochs + framing).
+    pub const DELTA_BASE: u64 = 32;
+    /// Per-change cost of a membership delta.
+    pub const DELTA_PER_CHANGE: u64 = 8;
 }

@@ -104,6 +104,9 @@ pub struct MsScheme {
     tokens_emitted: BTreeMap<u64, BTreeSet<EdgeId>>,
     /// Active slots per the controller's last membership update.
     pub active_slots: Vec<u32>,
+    /// Membership epoch currently held (guards snapshot/delta
+    /// application against reordering across resyncs).
+    pub membership_epoch: u64,
     jobs: BTreeMap<u64, SenderJob>,
     rx: ReceiverState,
     next_stream: u64,
@@ -133,6 +136,7 @@ impl MsScheme {
             last_aligned: 0,
             tokens_emitted: BTreeMap::new(),
             active_slots: Vec::new(),
+            membership_epoch: 0,
             jobs: BTreeMap::new(),
             rx: ReceiverState::default(),
             next_stream: 0,
@@ -817,8 +821,33 @@ impl FtScheme for MsScheme {
                 } else if let Some(r) = payload_as::<ReplayInputs>(&rx.payload) {
                     self.on_replay(r.epoch, node, ctx);
                 } else if let Some(m) = payload_as::<MembershipUpdate>(&rx.payload) {
-                    node.slot_actors = m.slot_actors.clone();
-                    self.active_slots = m.active_slots.clone();
+                    // A snapshot carries the full state at its epoch;
+                    // apply unless we already hold something newer
+                    // (cellular is FIFO, but a resync snapshot may
+                    // race a delta issued the same tick).
+                    if m.epoch >= self.membership_epoch {
+                        node.slot_actors = (*m.slot_actors).clone();
+                        self.active_slots = (*m.active_slots).clone();
+                        self.membership_epoch = m.epoch;
+                    }
+                } else if let Some(d) = payload_as::<MembershipDelta>(&rx.payload) {
+                    // Apply only if our epoch falls in the delta's
+                    // coverage; overlap re-applies idempotently
+                    // (changes are absolute activity assignments).
+                    if self.membership_epoch >= d.base_epoch && d.epoch > self.membership_epoch {
+                        for ch in d.changes.iter() {
+                            match self.active_slots.binary_search(&ch.slot) {
+                                Ok(i) if !ch.active => {
+                                    self.active_slots.remove(i);
+                                }
+                                Err(i) if ch.active => {
+                                    self.active_slots.insert(i, ch.slot);
+                                }
+                                _ => {}
+                            }
+                        }
+                        self.membership_epoch = d.epoch;
+                    }
                 } else if let Some(d) = payload_as::<DegradedCheckpointVia>(&rx.payload) {
                     self.degraded_proxy = Some(d.proxy);
                 } else if let Some(s) = payload_as::<DegradedSnapshot>(&rx.payload) {

@@ -686,4 +686,35 @@ mod tests {
         assert!(token_matches("static FOO: u32 = 3;", "static"));
         assert!(!token_matches("Instantiate::new()", "Instant"));
     }
+
+    /// Regression for the sharded control plane split: rule selection
+    /// keys on the crate segment of the path, so files nested below
+    /// `src/` (e.g. `src/controller/region.rs`) must stay covered by
+    /// the crate-scoped rules exactly like top-level modules.
+    #[test]
+    fn nested_module_paths_keep_crate_scoped_rules() {
+        for path in [
+            "crates/mobistreams/src/controller/region.rs",
+            "crates/mobistreams/src/controller/deeper/nested.rs",
+        ] {
+            assert_eq!(crate_of(path), Some("mobistreams"));
+            let panics = lint_source(path, "fn f() { panic!(\"boom\"); }\n");
+            assert!(
+                panics.iter().any(|f| f.rule == "P001"),
+                "P001 missed a panic in {path}: {panics:?}"
+            );
+            let statics = lint_source(path, "static COUNT: u32 = 0;\n");
+            assert!(
+                statics.iter().any(|f| f.rule == "D004"),
+                "D004 missed a static in {path}: {statics:?}"
+            );
+        }
+        // The experiments crate stays exempt from P001 even in nested
+        // modules — same selection logic, opposite outcome.
+        let exempt = lint_source(
+            "crates/experiments/src/sub/dir.rs",
+            "fn f() { panic!(\"boom\"); }\n",
+        );
+        assert!(!exempt.iter().any(|f| f.rule == "P001"));
+    }
 }

@@ -57,12 +57,9 @@ fn main() {
     // The content actually flowing: pull one preserved input to show the
     // real kernel results riding through the pipeline.
     println!("\ncheckpointing totals:");
-    let ctl = dep
-        .sim
-        .actor::<mobistreams_repro::mobistreams::MsController>(dep.controller.unwrap());
     println!(
         "  committed checkpoint rounds per region: {:?}",
-        (0..4).map(|r| ctl.last_complete(r)).collect::<Vec<_>>()
+        (0..4).map(|r| dep.ms_last_complete(r)).collect::<Vec<_>>()
     );
     println!(
         "  WiFi bytes — data {:.1} MB, checkpoint {:.1} MB, preservation {:.1} MB, control {:.2} MB",

@@ -11,7 +11,6 @@ use mobistreams_repro::experiments::faults::{
     failure_order, inject_departure, inject_failure, inject_reboot,
 };
 use mobistreams_repro::experiments::{harvest, AppKind, Deployment, ScenarioConfig, Scheme};
-use mobistreams_repro::mobistreams::MsController;
 use mobistreams_repro::simkernel::{SimDuration, SimTime};
 
 fn window_tput(dep: &Deployment, from: u64, to: u64) -> f64 {
@@ -49,9 +48,8 @@ fn main() {
 
     dep.run_until(SimTime::from_secs(900));
 
-    let ctl = dep.sim.actor::<MsController>(dep.controller.unwrap());
     println!("\n--- controller log ---");
-    for r in &ctl.recoveries {
+    for r in &dep.ms_recoveries() {
         println!(
             "recovery: {} failure(s), detected t={:.0}s, recovered in {:.1}s",
             r.failures,
@@ -59,8 +57,8 @@ fn main() {
             (r.finished - r.started).as_secs_f64()
         );
     }
-    println!("departures handled: {}", ctl.departures_handled);
-    println!("region stops (bypass): {}", ctl.stops);
+    println!("departures handled: {}", dep.ms_departures_handled());
+    println!("region stops (bypass): {}", dep.ms_stops());
 
     println!("\n--- throughput through the drill (region 0) ---");
     for (label, a, b) in [

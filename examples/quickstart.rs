@@ -58,10 +58,7 @@ fn main() {
     inject_reboot(&mut dep, 0, 2, SimTime::from_secs(260));
     dep.run_until(SimTime::from_secs(420));
 
-    let ctl = dep
-        .sim
-        .actor::<mobistreams_repro::mobistreams::MsController>(dep.controller.unwrap());
-    for r in &ctl.recoveries {
+    for r in &dep.ms_recoveries() {
         println!(
             "t={:.0}s  region {} recovered {} failure(s) in {:.1}s (restore + catch-up)",
             r.started.as_secs_f64(),

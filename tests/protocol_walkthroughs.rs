@@ -3,7 +3,6 @@
 
 use experiments::faults::{inject_departure, inject_failure, inject_reboot};
 use experiments::{harvest, AppKind, Deployment, Platform, ScenarioConfig, Scheme};
-use mobistreams::MsController;
 use simkernel::{SimDuration, SimTime};
 
 fn small(app: AppKind, scheme: Scheme, seed: u64) -> ScenarioConfig {
@@ -24,17 +23,16 @@ fn token_checkpoint_commits() {
     let mut dep = Deployment::build(small(AppKind::Bcp, Scheme::Ms, 3));
     dep.start();
     dep.run_until(SimTime::from_secs(300));
-    let ctl = dep.sim.actor::<MsController>(dep.controller.unwrap());
     // Two checkpoint rounds per region should have committed.
     assert!(
-        ctl.last_complete(0) >= 2,
+        dep.ms_last_complete(0) >= 2,
         "region 0 committed {} rounds",
-        ctl.last_complete(0)
+        dep.ms_last_complete(0)
     );
-    assert!(ctl.last_complete(1) >= 2);
+    assert!(dep.ms_last_complete(1) >= 2);
     // Every node holds the committed version's data (broadcast-based
     // replication reached everyone, incl. idle nodes).
-    let v = ctl.last_complete(0);
+    let v = dep.ms_last_complete(0);
     let mut holders = 0;
     for &nid in &dep.regions[0].nodes {
         let na = dep.sim.actor::<dsps::node::NodeActor>(nid);
@@ -57,9 +55,8 @@ fn failure_recovery_restores_the_pipeline() {
     // Kill the D/H node (slot 2) after the first checkpoint.
     inject_failure(&mut dep, 0, 2, SimTime::from_secs(170));
     dep.run_until(SimTime::from_secs(420));
-    let ctl = dep.sim.actor::<MsController>(dep.controller.unwrap());
-    assert!(!ctl.recoveries.is_empty(), "a recovery must have run");
-    let rec = ctl.recoveries[0];
+    assert!(!dep.ms_recoveries().is_empty(), "a recovery must have run");
+    let rec = dep.ms_recoveries()[0];
     assert!(rec.finished > rec.started);
     assert!(
         (rec.finished - rec.started) < SimDuration::from_secs(60),
@@ -87,9 +84,8 @@ fn departure_is_handled_without_rollback() {
     // the slow cellular uplink).
     inject_departure(&mut dep, 0, 2, SimTime::from_secs(170));
     dep.run_until(SimTime::from_secs(380));
-    let ctl = dep.sim.actor::<MsController>(dep.controller.unwrap());
     assert!(
-        ctl.departures_handled >= 1,
+        dep.ms_departures_handled() >= 1,
         "departure replacement completed"
     );
     // The replacement (an idle slot) now hosts the moved operators.
@@ -107,7 +103,7 @@ fn departure_is_handled_without_rollback() {
         "departing phone shipped its state over cellular"
     );
     // No failure recovery ran (departures are cheaper than failures).
-    assert!(ctl.recoveries.is_empty());
+    assert!(dep.ms_recoveries().is_empty());
 }
 
 /// §III-B step 3: with every phone rebooting after a full-region crash,
