@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use dsps::graph::{EdgeId, OpId, QueryGraph};
 use dsps::node::{Ping, Pong, ReportDead, UpdateRouting};
-use simkernel::{impl_actor_any, Actor, ActorId, Ctx, Event, SimDuration, SimTime};
+use simkernel::{impl_actor_any, Actor, ActorId, Ctx, Event, EventBox, SimDuration, SimTime};
 use simnet::cellular::{CellRx, CellSend};
 use simnet::stats::TrafficClass;
 use simnet::{payload, payload_as};
@@ -797,7 +797,7 @@ impl BaselineCoordinator {
 }
 
 impl Actor for BaselineCoordinator {
-    fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
+    fn on_event(&mut self, ev: EventBox, ctx: &mut Ctx) {
         let ev = match ev.downcast::<CellRx>() {
             Ok(rx) => {
                 let p = rx.payload.clone();

@@ -16,7 +16,7 @@ use dsps::ft::FtScheme;
 use dsps::graph::EdgeId;
 use dsps::node::{Install, InstallStates, NodeInner};
 use dsps::tuple::{StreamItem, Tuple};
-use simkernel::{Ctx, Event, SimDuration};
+use simkernel::{Ctx, EventBox, SimDuration};
 use simnet::cellular::CellRx;
 use simnet::stats::TrafficClass;
 use simnet::wifi::{SendMode, Service, WifiRx};
@@ -197,7 +197,7 @@ impl FtScheme for DistScheme {
         true
     }
 
-    fn on_custom(&mut self, ev: Box<dyn Event>, node: &mut NodeInner, ctx: &mut Ctx) -> bool {
+    fn on_custom(&mut self, ev: EventBox, node: &mut NodeInner, ctx: &mut Ctx) -> bool {
         if !node.alive {
             return true;
         }

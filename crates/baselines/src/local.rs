@@ -15,7 +15,7 @@ use dsps::ft::FtScheme;
 use dsps::graph::EdgeId;
 use dsps::node::NodeInner;
 use dsps::tuple::Tuple;
-use simkernel::{Ctx, Event, SimDuration, SimTime};
+use simkernel::{Ctx, EventBox, SimDuration, SimTime};
 use simnet::cellular::CellRx;
 use simnet::payload_as;
 
@@ -151,7 +151,7 @@ impl FtScheme for LocalScheme {
         true
     }
 
-    fn on_custom(&mut self, ev: Box<dyn Event>, node: &mut NodeInner, ctx: &mut Ctx) -> bool {
+    fn on_custom(&mut self, ev: EventBox, node: &mut NodeInner, ctx: &mut Ctx) -> bool {
         simkernel::match_event!(ev,
             _h: CpuHoldDone => {
                 if self.cpu_held {

@@ -20,7 +20,7 @@ use dsps::ft::FtScheme;
 use dsps::graph::{OpId, QueryGraph};
 use dsps::node::NodeInner;
 use dsps::tuple::Tuple;
-use simkernel::{Ctx, Event};
+use simkernel::{Ctx, EventBox};
 use simnet::cellular::CellRx;
 use simnet::payload_as;
 
@@ -114,7 +114,7 @@ impl FtScheme for Rep2Scheme {
         !tuple.replay && self.flow_of[op.index()] == self.primary
     }
 
-    fn on_custom(&mut self, ev: Box<dyn Event>, node: &mut NodeInner, ctx: &mut Ctx) -> bool {
+    fn on_custom(&mut self, ev: EventBox, node: &mut NodeInner, ctx: &mut Ctx) -> bool {
         let _ = (node, ctx);
         simkernel::match_event!(ev,
             rx: CellRx => {

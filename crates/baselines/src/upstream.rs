@@ -12,7 +12,7 @@ use dsps::ft::FtScheme;
 use dsps::graph::EdgeId;
 use dsps::node::NodeInner;
 use dsps::tuple::{StreamItem, Tuple};
-use simkernel::{Ctx, Event, SimDuration};
+use simkernel::{Ctx, EventBox, SimDuration};
 use simnet::cellular::CellRx;
 use simnet::payload_as;
 
@@ -79,7 +79,7 @@ impl FtScheme for UpstreamScheme {
         true
     }
 
-    fn on_custom(&mut self, ev: Box<dyn Event>, node: &mut NodeInner, ctx: &mut Ctx) -> bool {
+    fn on_custom(&mut self, ev: EventBox, node: &mut NodeInner, ctx: &mut Ctx) -> bool {
         if !node.alive {
             return true;
         }

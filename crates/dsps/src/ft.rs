@@ -13,7 +13,7 @@
 //! | `allow_sink_publish` | catch-up discard | secondary-flow squelch | — |
 //! | `on_custom` | bitmaps, TCP tree, recovery RPC | takeover RPC | ckpt ticks, state fetch |
 
-use simkernel::{Ctx, Event};
+use simkernel::{Ctx, EventBox};
 
 use crate::graph::{EdgeId, OpId};
 use crate::node::NodeInner;
@@ -80,7 +80,7 @@ pub trait FtScheme: Send {
 
     /// An event the node runtime did not recognize. Return `true` if
     /// the scheme consumed it.
-    fn on_custom(&mut self, ev: Box<dyn Event>, node: &mut NodeInner, ctx: &mut Ctx) -> bool {
+    fn on_custom(&mut self, ev: EventBox, node: &mut NodeInner, ctx: &mut Ctx) -> bool {
         let _ = (ev, node, ctx);
         false
     }

@@ -11,7 +11,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
-use simkernel::{impl_actor_any, Actor, ActorId, Ctx, Event, SimDuration, SimTime};
+use simkernel::{impl_actor_any, Actor, ActorId, Ctx, Event, EventBox, SimDuration, SimTime};
 use simnet::cellular::{CellRx, CellSend};
 use simnet::ethernet::{EthRx, EthSend};
 use simnet::stats::TrafficClass;
@@ -1000,7 +1000,7 @@ impl NodeActor {
 }
 
 impl Actor for NodeActor {
-    fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
+    fn on_event(&mut self, ev: EventBox, ctx: &mut Ctx) {
         // Network deliveries: unwrap the payload and re-dispatch.
         let ev = match ev.downcast::<WifiRx>() {
             Ok(rx) => {
@@ -1013,7 +1013,7 @@ impl Actor for NodeActor {
                     self.apply_install(ins.clone(), ctx);
                     return;
                 }
-                Box::new(*rx) as Box<dyn Event>
+                EventBox::new(rx)
             }
             Err(e) => e,
         };
@@ -1069,7 +1069,7 @@ impl Actor for NodeActor {
                     self.inner.inter_region = u.links.clone();
                     return;
                 }
-                Box::new(*rx) as Box<dyn Event>
+                EventBox::new(rx)
             }
             Err(e) => e,
         };
@@ -1080,7 +1080,7 @@ impl Actor for NodeActor {
                     self.handle_item(msg.clone(), ctx);
                     return;
                 }
-                Box::new(*rx) as Box<dyn Event>
+                EventBox::new(rx)
             }
             Err(e) => e,
         };
@@ -1152,7 +1152,7 @@ impl Actor for NodeActor {
             d: TxDone => {
                 if self.inner.take_pending(d.tag).is_none() && !self.inner.ctl_retry_complete(d.tag)
                 {
-                    let consumed = self.scheme.on_custom(Box::new(d), &mut self.inner, ctx);
+                    let consumed = self.scheme.on_custom(EventBox::new(d), &mut self.inner, ctx);
                     let _ = consumed;
                 }
                 self.pump(ctx);
@@ -1166,7 +1166,7 @@ impl Actor for NodeActor {
                     };
                     self.inner.send_controller(ctx, 48, report);
                 } else if !self.inner.ctl_retry_complete(f.tag) {
-                    self.scheme.on_custom(Box::new(f), &mut self.inner, ctx);
+                    self.scheme.on_custom(EventBox::new(f), &mut self.inner, ctx);
                 }
                 self.pump(ctx);
             },
@@ -1177,7 +1177,7 @@ impl Actor for NodeActor {
                     self.inner.metrics.tx_queue_drops += 1;
                     ctx.count("node.tx_queue_drops", 1);
                 } else {
-                    self.scheme.on_custom(Box::new(d), &mut self.inner, ctx);
+                    self.scheme.on_custom(EventBox::new(d), &mut self.inner, ctx);
                 }
                 self.pump(ctx);
             },
@@ -1190,7 +1190,7 @@ impl Actor for NodeActor {
                     self.inner.metrics.tx_severed += 1;
                     ctx.count("node.tx_severed", 1);
                 } else if !self.inner.ctl_retry_severed(s.tag, ctx) {
-                    self.scheme.on_custom(Box::new(s), &mut self.inner, ctx);
+                    self.scheme.on_custom(EventBox::new(s), &mut self.inner, ctx);
                 }
                 self.pump(ctx);
             },
@@ -1242,7 +1242,7 @@ mod tests {
     }
 
     impl Actor for ControllerStub {
-        fn on_event(&mut self, ev: Box<dyn Event>, _ctx: &mut Ctx) {
+        fn on_event(&mut self, ev: EventBox, _ctx: &mut Ctx) {
             if let Ok(rx) = ev.downcast::<CellRx>() {
                 if let Some(r) = simnet::payload_as::<ReportDead>(&rx.payload) {
                     self.dead_reports.push((r.region, r.slot, r.observed_by));

@@ -11,7 +11,7 @@
 //! (failure/departure recovery), it re-pairs the sensor by sending the
 //! driver a [`SensorRedirect`].
 
-use simkernel::{impl_actor_any, Actor, ActorId, Ctx, Event, SimDuration, SimRng};
+use simkernel::{impl_actor_any, Actor, ActorId, Ctx, EventBox, SimDuration, SimRng};
 
 use crate::graph::OpId;
 use crate::node::SourceEmit;
@@ -98,7 +98,7 @@ impl WorkloadDriver {
 pub struct StartFeeds;
 
 impl Actor for WorkloadDriver {
-    fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
+    fn on_event(&mut self, ev: EventBox, ctx: &mut Ctx) {
         simkernel::match_event!(ev,
             _s: StartFeeds => {
                 if !self.started {
@@ -157,7 +157,7 @@ mod tests {
     }
 
     impl Actor for Collector {
-        fn on_event(&mut self, ev: Box<dyn Event>, _ctx: &mut Ctx) {
+        fn on_event(&mut self, ev: EventBox, _ctx: &mut Ctx) {
             if let Ok(e) = ev.downcast::<SourceEmit>() {
                 self.got.push((e.op, e.bytes));
             }

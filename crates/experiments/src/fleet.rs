@@ -160,6 +160,11 @@ pub struct FleetConfig {
     /// schedule and the report digest are unchanged; the report's
     /// `sanitizer_*` fields carry the per-window ledger.
     pub sanitize: bool,
+    /// Disable per-destination cross-shard bounds and barrier on the
+    /// uniform cellular lookahead instead (see
+    /// [`Deployment::enable_sharding_opts`]). Purely a wall-clock
+    /// knob: the report digest is identical either way.
+    pub uniform_lookahead: bool,
 }
 
 impl FleetConfig {
@@ -612,6 +617,16 @@ pub struct FleetReport {
     /// enforced separately — `msx scenarios run`/`matrix` exit nonzero
     /// when it is not 0).
     pub sanitizer_violations: u64,
+    /// Event-pool allocations served from recycled slots, summed over
+    /// shards. A pure function of the schedule (pooled slots never
+    /// cross shards), so it must match across thread counts; excluded
+    /// from the digest as an observation-only kernel counter.
+    pub pool_recycled: u64,
+    /// Event-pool generation mismatches (double free / aliased live
+    /// slot). Any nonzero value is a kernel memory-safety bug — `msx
+    /// scenarios run`/`matrix` exit nonzero when it is not 0. Excluded
+    /// from the digest like the other observation fields.
+    pub pool_aliasing: u64,
     /// FNV-1a digest of the deterministic fields above.
     pub digest: u64,
 }
@@ -693,13 +708,14 @@ impl FleetReport {
 pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
     let wall = std::time::Instant::now();
     let (mut dep, schedule) = build_fleet(cfg);
-    dep.enable_sharding(cfg.threads);
+    dep.enable_sharding_opts(cfg.threads, !cfg.uniform_lookahead);
     if cfg.sanitize {
         dep.sim.enable_sanitizer();
     }
     let to = SimTime::ZERO + cfg.duration;
     dep.run_until(to);
     let san = dep.sim.causality_report();
+    let pool = dep.sim.pool_stats();
     let h = harvest(&dep, SimTime::ZERO + cfg.warmup, to);
 
     let (churn_failures, churn_departures, churn_rejoins) =
@@ -840,6 +856,8 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
         sanitizer_windows: san.map(|r| r.windows).unwrap_or(0),
         sanitizer_ledger: san.map(|r| r.ledger).unwrap_or(0),
         sanitizer_violations: san.map(|r| r.violations).unwrap_or(0),
+        pool_recycled: pool.recycled,
+        pool_aliasing: pool.aliasing,
         digest: 0,
     };
     report.digest = report.compute_digest();
@@ -883,6 +901,7 @@ pub fn bench_profile(regions: usize, phones: u32, seed: u64) -> FleetConfig {
         seed,
         threads: 1,
         sanitize: false,
+        uniform_lookahead: false,
     }
 }
 
@@ -929,6 +948,7 @@ fn base_profile(name: &str, seed: u64, regions: Vec<FleetRegion>) -> FleetConfig
         seed,
         threads: 1,
         sanitize: false,
+        uniform_lookahead: false,
     }
 }
 
@@ -1178,6 +1198,8 @@ mod tests {
         r.sanitizer_windows = u64::MAX;
         r.sanitizer_ledger = u64::MAX;
         r.sanitizer_violations = u64::MAX;
+        r.pool_recycled = u64::MAX;
+        r.pool_aliasing = u64::MAX;
         assert_eq!(
             r.compute_digest(),
             before,

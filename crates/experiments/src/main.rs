@@ -8,7 +8,7 @@
 //! msx fig10  [--quick] [--seeds N]
 //! msx all    [--quick] [--seeds N]
 //! msx scenarios list
-//! msx scenarios run --profile <stadium|commute|flash-crowd|lossy-wifi|metro> [--seed N] [--threads N] [--sanitize] [--weather NAME]
+//! msx scenarios run --profile <stadium|commute|flash-crowd|lossy-wifi|metro> [--seed N] [--threads N] [--sanitize] [--weather NAME] [--uniform-lookahead]
 //! msx scenarios matrix [--smoke] [--seed N] [--threads N]
 //! msx bench fleet [--smoke] [--threads N] [--out FILE]
 //! msx lint [--rules] [--root DIR]
@@ -168,6 +168,7 @@ fn scenarios_cmd(args: &[String], out: &Path) {
             };
             cfg.threads = threads.max(1);
             cfg.sanitize = args.iter().any(|a| a == "--sanitize");
+            cfg.uniform_lookahead = args.iter().any(|a| a == "--uniform-lookahead");
             if let Some(wname) = args
                 .iter()
                 .position(|a| a == "--weather")
@@ -223,14 +224,20 @@ fn scenarios_cmd(args: &[String], out: &Path) {
 }
 
 /// The per-report conditions that make `scenarios run`/`matrix` fail:
-/// causality violations, a missed recovery SLO, or a round committed
-/// twice across a heal.
+/// causality violations, pool aliasing, a missed recovery SLO, or a
+/// round committed twice across a heal.
 fn report_faults(r: &fleet::FleetReport) -> Vec<String> {
     let mut faults = Vec::new();
     if r.sanitizer_violations > 0 {
         faults.push(format!(
             "causality sanitizer recorded {} violation(s)",
             r.sanitizer_violations
+        ));
+    }
+    if r.pool_aliasing > 0 {
+        faults.push(format!(
+            "event pool recorded {} generation mismatch(es) (aliased slot)",
+            r.pool_aliasing
         ));
     }
     if r.slo_violations > 0 {
@@ -344,6 +351,15 @@ fn matrix_cmd(args: &[String], out: &Path) {
                 r1.digest, rn.digest
             ));
         }
+        // Pooled slots never cross shards, so recycling is a pure
+        // function of the schedule — any divergence means the pool
+        // leaked into the parallel schedule.
+        if r1.pool_recycled != rn.pool_recycled {
+            failures.push(format!(
+                "{label}: pool recycling diverged: {} at 1 thread vs {} at {threads}",
+                r1.pool_recycled, rn.pool_recycled
+            ));
+        }
         for (tag, r) in [("1 thread", r1), ("multi-thread", rn)] {
             for f in report_faults(r) {
                 failures.push(format!("{label} ({tag}): {f}"));
@@ -381,6 +397,8 @@ fn matrix_cmd(args: &[String], out: &Path) {
             "slo_violations": r1.slo_violations,
             "duplicate_commits": r1.duplicate_commits,
             "sanitizer_violations": r1.sanitizer_violations.max(rn.sanitizer_violations),
+            "pool_recycled": r1.pool_recycled,
+            "pool_aliasing": r1.pool_aliasing.max(rn.pool_aliasing),
         }));
     }
     println!("{}", t.render());
@@ -421,13 +439,15 @@ fn matrix_cmd(args: &[String], out: &Path) {
 
 /// `msx bench fleet [--smoke] [--threads N] [--out FILE] [--check FILE]`
 ///
-/// Runs the tracked fleet-engine throughput benchmark and writes a
-/// `BENCH_*.json` checkpoint. `--smoke` runs a seconds-scale variant
-/// whose deterministic fields (event count, digest, thread-equality)
-/// are compared against the checked-in checkpoint named by `--check`
-/// (default `BENCH_0009.json`) — exits nonzero on drift, so CI catches
-/// any change to the simulated schedule without caring about the wall
-/// clock of the runner.
+/// Runs the tracked fleet-engine throughput benchmark — the tracked
+/// workload at 1/2/4/8 worker threads so the scaling curve is visible
+/// in the checkpoint — and writes a `BENCH_*.json`. `--smoke` runs a
+/// seconds-scale variant whose deterministic fields (event count,
+/// digest, and the thread-scaling shape: every thread count must
+/// reproduce the digest) are compared against the checked-in
+/// checkpoint named by `--check` (default `BENCH_0010.json`) — exits
+/// nonzero on drift, so CI catches any change to the simulated
+/// schedule without caring about the wall clock of the runner.
 fn bench_cmd(args: &[String]) {
     let what = args.get(1).map(String::as_str).unwrap_or("fleet");
     if what != "fleet" && !what.starts_with("--") {
@@ -450,7 +470,10 @@ fn bench_cmd(args: &[String]) {
         .position(|a| a == "--check")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_0009.json".to_string());
+        .unwrap_or_else(|| "BENCH_0010.json".to_string());
+
+    /// Thread counts every scaling row is pinned at.
+    const THREAD_CURVE: [usize; 4] = [1, 2, 4, 8];
 
     let timed = |cfg: &fleet::FleetConfig| {
         let wall = std::time::Instant::now();
@@ -478,23 +501,36 @@ fn bench_cmd(args: &[String]) {
     };
 
     // Smoke workload: small enough for CI, still multi-region so the
-    // parallel kernel's merge path is exercised.
+    // parallel kernel's merge path is exercised. Run the whole thread
+    // curve so the checkpoint pins the scaling *shape*, not one pair.
     let mut smoke_cfg = fleet::bench_profile(2, 8, 7);
     smoke_cfg.duration = simkernel::SimDuration::from_secs(30);
-    let (s1, _) = timed(&smoke_cfg);
-    let mut smoke_mt = smoke_cfg.clone();
-    smoke_mt.threads = threads.max(2);
-    let (s2, _) = timed(&smoke_mt);
-    assert_eq!(
-        s1.digest, s2.digest,
-        "smoke digest differs between 1 and {} threads",
-        smoke_mt.threads
-    );
+    let smoke_runs: Vec<fleet::FleetReport> = THREAD_CURVE
+        .iter()
+        .map(|&t| {
+            let mut c = smoke_cfg.clone();
+            c.threads = t;
+            timed(&c).0
+        })
+        .collect();
+    let s1 = &smoke_runs[0];
+    for (r, &t) in smoke_runs.iter().zip(&THREAD_CURVE) {
+        assert_eq!(
+            s1.digest, r.digest,
+            "smoke digest differs between 1 and {t} threads"
+        );
+        assert_eq!(
+            s1.pool_recycled, r.pool_recycled,
+            "smoke pool recycling differs between 1 and {t} threads"
+        );
+    }
     let smoke_json = serde_json::json!({
         "workload": serde_json::json!({"regions": 2u64, "phones": 16u64, "sim_secs": 30.0, "seed": 7u64}),
         "events": s1.events_processed,
         "digest": format!("{:#018x}", s1.digest),
+        "thread_counts": THREAD_CURVE.to_vec(),
         "thread_digest_equal": true,
+        "pool_recycled": s1.pool_recycled,
     });
 
     if smoke {
@@ -507,22 +543,22 @@ fn bench_cmd(args: &[String]) {
         };
         let expect = &checked_in["smoke"];
         let mut drift = Vec::new();
-        if expect["events"] != smoke_json["events"] {
-            drift.push(format!(
-                "events: checked-in {} vs fresh {}",
-                expect["events"], smoke_json["events"]
-            ));
-        }
-        if expect["digest"] != smoke_json["digest"] {
-            drift.push(format!(
-                "digest: checked-in {} vs fresh {}",
-                expect["digest"], smoke_json["digest"]
-            ));
+        // Deterministic fields AND the thread-scaling shape: the same
+        // thread counts must have been swept and all must reproduce
+        // the digest (the sweep above already asserted equality, so a
+        // mismatch here means the checkpoint's shape is stale).
+        for field in ["events", "digest", "thread_counts", "thread_digest_equal"] {
+            if expect[field] != smoke_json[field] {
+                drift.push(format!(
+                    "{field}: checked-in {} vs fresh {}",
+                    expect[field], smoke_json[field]
+                ));
+            }
         }
         if drift.is_empty() {
             println!(
-                "[msx] bench smoke OK: {} events, digest {} match {}",
-                s1.events_processed, smoke_json["digest"], check_path
+                "[msx] bench smoke OK: {} events, digest {} at {:?} threads match {}",
+                s1.events_processed, smoke_json["digest"], THREAD_CURVE, check_path
             );
         } else {
             eprintln!(
@@ -542,15 +578,32 @@ fn bench_cmd(args: &[String]) {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_0009.json".to_string());
+        .unwrap_or_else(|| "BENCH_0010.json".to_string());
 
-    // The tracked workload: 1000 phones (8 × 125), 60 s window.
+    // The tracked workload: 1000 phones (8 × 125), 60 s window, run
+    // over the whole thread curve so the checkpoint carries one
+    // wall-clock row per thread count (the scaling curve).
     let cfg1 = fleet::bench_profile(8, 125, 42);
-    let (r1, r1_secs) = timed(&cfg1);
-    let mut cfg_n = cfg1.clone();
-    cfg_n.threads = threads;
-    let (rn, rn_secs) = timed(&cfg_n);
-    assert_eq!(r1.digest, rn.digest, "digest differs across thread counts");
+    let mut curve: Vec<(fleet::FleetReport, f64, usize)> = Vec::new();
+    for &t in &THREAD_CURVE {
+        let mut c = cfg1.clone();
+        c.threads = t;
+        let (r, secs) = timed(&c);
+        curve.push((r, secs, t));
+    }
+    if !THREAD_CURVE.contains(&threads) {
+        let mut c = cfg1.clone();
+        c.threads = threads;
+        let (r, secs) = timed(&c);
+        curve.push((r, secs, threads));
+    }
+    let r1 = curve[0].0.clone();
+    for (r, _, t) in &curve {
+        assert_eq!(
+            r1.digest, r.digest,
+            "digest differs between 1 and {t} threads"
+        );
+    }
 
     // Thread-equality of the full profile library, at each profile's
     // full spec.
@@ -575,11 +628,13 @@ fn bench_cmd(args: &[String]) {
         }));
     }
 
-    let best = (r1.events_processed as f64 / r1_secs.max(1e-9))
-        .max(rn.events_processed as f64 / rn_secs.max(1e-9));
+    let best = curve
+        .iter()
+        .map(|(r, secs, _)| r.events_processed as f64 / secs.max(1e-9))
+        .fold(0.0f64, f64::max);
     let baseline = 1_200_000.0; // pre-series events/s at 1000 phones (ROADMAP item 2)
     let doc = serde_json::json!({
-        "bench_id": "BENCH_0009",
+        "bench_id": "BENCH_0010",
         "series": "fleet-engine-throughput",
         "unix_time": std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
@@ -588,7 +643,10 @@ fn bench_cmd(args: &[String]) {
         "host_cores": host_cores,
         "workload": serde_json::json!({"regions": 8u64, "phones": 1000u64, "sim_secs": 60.0, "seed": 42u64}),
         "baseline_events_per_sec": baseline,
-        "runs": vec![run_json(&r1, r1_secs, 1), run_json(&rn, rn_secs, threads)],
+        "runs": curve
+            .iter()
+            .map(|(r, secs, t)| run_json(r, *secs, *t))
+            .collect::<Vec<_>>(),
         "best_events_per_sec": best.round(),
         "speedup_vs_baseline": (best / baseline * 100.0).round() / 100.0,
         "profile_digests": profiles,

@@ -22,7 +22,7 @@ use mobistreams::{
     Coordinator, MsControllerConfig, MsScheme, MsSchemeConfig, RegionController, RegionSpec,
     RegionWiring,
 };
-use simkernel::{ActorId, Sim, SimDuration, SimTime};
+use simkernel::{ActorId, ShardBound, Sim, SimDuration, SimTime};
 use simnet::cellular::{CellConfig, CellularNet};
 use simnet::ethernet::{EthConfig, EthernetNet};
 use simnet::stats::TrafficClass;
@@ -519,12 +519,14 @@ impl Deployment {
                     assert_eq!(id, ctl_id_of_group(g), "region controller id reservation");
                     ctls.push(id);
                 }
-                let coord = Coordinator::new(
-                    cell_id,
-                    cfg.cell.min_response_delay(),
-                    wiring,
-                    ctl_of_region,
-                );
+                // Relayed side effects ride the cellular downlink
+                // latency (rtt/2): relays model commands the
+                // coordinator pushes over cellular without modelling
+                // the payload bytes. Keeping the delay at the
+                // physical-path floor (rather than the much smaller
+                // kernel lookahead) lets the parallel kernel widen
+                // per-destination windows to the same floor.
+                let coord = Coordinator::new(cell_id, cfg.cell.rtt / 2, wiring, ctl_of_region);
                 let id = sim.add_actor(Box::new(coord));
                 assert_eq!(id, coordinator_id, "coordinator id reservation");
                 (Some(id), None, ctls)
@@ -821,13 +823,88 @@ impl Deployment {
 
     /// Switch the kernel to deterministic parallel mode: one shard per
     /// region plus the global shard, with the cellular network's
-    /// minimum response delay as the conservative lookahead. Call
-    /// after [`Deployment::start`] and any setup-time scheduling; the
-    /// result is bit-identical for every `threads` value.
+    /// minimum response delay as the conservative lookahead and
+    /// per-destination cross-shard bounds from [`Deployment::shard_bounds`].
+    /// Call after [`Deployment::start`] and any setup-time scheduling;
+    /// the result is bit-identical for every `threads` value.
     pub fn enable_sharding(&mut self, threads: usize) {
+        self.enable_sharding_opts(threads, true);
+    }
+
+    /// As [`Deployment::enable_sharding`], with per-destination
+    /// cross-shard bounds optionally disabled (`--uniform-lookahead`):
+    /// the kernel then barriers on the uniform cellular lookahead for
+    /// every destination. Digests are identical either way — the bound
+    /// only changes how far region windows may run between barriers.
+    pub fn enable_sharding_opts(&mut self, threads: usize, per_destination: bool) {
         let map = self.shard_map();
         let lookahead = self.cfg.cell.min_response_delay();
+        let bounds = if per_destination {
+            Some(self.shard_bounds())
+        } else {
+            None
+        };
         self.sim.enable_sharding(map, lookahead, threads);
+        if let Some(b) = bounds {
+            self.sim.set_shard_bounds(b);
+        }
+    }
+
+    /// Per-destination cross-shard bounds for the parallel kernel.
+    ///
+    /// Every event chain from one region shard into another passes
+    /// through shard 0 and re-enters either as a cellular delivery
+    /// (bounded below by [`CellularNet::min_delivery_delay_to`] for
+    /// the destination endpoint) or — under MobiStreams — as a
+    /// coordinator relay (bounded below by `Coordinator::relay_delay`
+    /// = rtt/2). The smallest such re-entry delay is how far shard
+    /// `d`'s window may safely run past the earliest foreign shard
+    /// head; typically ~75 ms against a 2 ms uniform lookahead. The
+    /// self-bound stays at the uniform lookahead (the kernel caps each
+    /// window dynamically on the shard's own outbox instead).
+    ///
+    /// On the server platform ([`EthernetNet`] present) deliveries
+    /// into region shards can undercut the cellular floor, so the
+    /// bounds collapse to the uniform lookahead.
+    pub fn shard_bounds(&self) -> Vec<ShardBound> {
+        let map = self.shard_map();
+        let lookahead = self.cfg.cell.min_response_delay();
+        let n_shards = map.iter().map(|&s| s as usize + 1).max().unwrap_or(1);
+        let uniform = ShardBound {
+            self_bound: lookahead,
+            cross_bound: lookahead,
+        };
+        if self.eth.is_some() {
+            return vec![uniform; n_shards];
+        }
+        let cn = self.sim.actor::<CellularNet>(self.cell);
+        let relay = self.controller.map(|_| self.cfg.cell.rtt / 2);
+        let mut cell_min: Vec<Option<SimDuration>> = vec![None; n_shards];
+        for (ix, &s) in map.iter().enumerate() {
+            if s == 0 {
+                continue;
+            }
+            if let Some(d) = cn.min_delivery_delay_to(ActorId::from_index(ix)) {
+                let slot = &mut cell_min[s as usize];
+                *slot = Some(slot.map_or(d, |c| c.min(d)));
+            }
+        }
+        (0..n_shards)
+            .map(|d| {
+                if d == 0 {
+                    return uniform;
+                }
+                let cross = [cell_min[d], relay]
+                    .into_iter()
+                    .flatten()
+                    .min()
+                    .unwrap_or(lookahead);
+                ShardBound {
+                    self_bound: lookahead,
+                    cross_bound: cross.max(lookahead),
+                }
+            })
+            .collect()
     }
 
     // --- MobiStreams control-plane aggregation (the control plane is
@@ -954,7 +1031,7 @@ struct SensorUplink {
 }
 
 impl simkernel::Actor for SensorUplink {
-    fn on_event(&mut self, ev: Box<dyn simkernel::Event>, ctx: &mut simkernel::Ctx) {
+    fn on_event(&mut self, ev: simkernel::EventBox, ctx: &mut simkernel::Ctx) {
         simkernel::match_event!(ev,
             s: dsps::node::SourceEmit => {
                 if self.in_flight >= self.cap {

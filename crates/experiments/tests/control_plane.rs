@@ -145,6 +145,7 @@ fn blackout_fleet() -> FleetConfig {
         seed: 19,
         threads: 1,
         sanitize: false,
+        uniform_lookahead: false,
     }
 }
 

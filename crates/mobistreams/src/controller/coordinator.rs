@@ -25,7 +25,7 @@ use std::sync::Arc;
 
 use dsps::graph::{OpId, QueryGraph};
 use dsps::node::{InterRegionLink, UpdateInterRegion};
-use simkernel::{impl_actor_any, Actor, ActorId, Ctx, Event, SimDuration};
+use simkernel::{impl_actor_any, Actor, ActorId, Ctx, Event, EventBox, SimDuration};
 use simnet::cellular::CellSend;
 use simnet::stats::TrafficClass;
 use simnet::wifi::WifiSetLink;
@@ -58,8 +58,11 @@ struct CoordRegion {
 /// The global control-plane coordinator actor (shard 0).
 pub struct Coordinator {
     cell: ActorId,
-    /// Minimum delay stamped on direct sends into region shards, so
-    /// coordinator-relayed event chains respect the kernel lookahead.
+    /// Minimum delay stamped on direct sends into region shards.
+    /// Deployments set this to the cellular downlink latency (rtt/2):
+    /// relays model commands pushed over cellular without modelling
+    /// the payload bytes, and a parallel kernel may use the same
+    /// floor as a per-destination cross-shard bound.
     relay_delay: SimDuration,
     regions: Vec<CoordRegion>,
     /// Region controller owning each region (fan-out table for install
@@ -239,7 +242,7 @@ impl Coordinator {
 }
 
 impl Actor for Coordinator {
-    fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
+    fn on_event(&mut self, ev: EventBox, ctx: &mut Ctx) {
         simkernel::match_event!(ev,
             _s: Start => {
                 for region in 0..self.regions.len() {

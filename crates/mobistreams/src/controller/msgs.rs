@@ -5,8 +5,9 @@
 //! These never touch the cellular network — region controller →
 //! coordinator sends are legal zero-delay cross-shard events (any
 //! shard may send into shard 0), while coordinator → region sends are
-//! delayed by the kernel lookahead before re-entering a region shard
-//! (see `Coordinator::relay_delay`).
+//! delayed by the cellular downlink latency before re-entering a
+//! region shard (see `Coordinator::relay_delay`), which also keeps
+//! them above the kernel's per-destination cross-shard bound.
 
 use std::sync::Arc;
 

@@ -30,7 +30,7 @@ use std::sync::Arc;
 
 use dsps::graph::{EdgeId, OpId};
 use dsps::node::{Install, InstallStates, Pong, ReportDead, SetUrgentEdges, UpdateRouting};
-use simkernel::{impl_actor_any, Actor, ActorId, Ctx, Event, SimDuration, SimTime};
+use simkernel::{impl_actor_any, Actor, ActorId, Ctx, Event, EventBox, SimDuration, SimTime};
 use simnet::cellular::{CellRx, CellSend};
 use simnet::stats::TrafficClass;
 use simnet::{payload, payload_as, LinkState, TxFailed};
@@ -1686,7 +1686,7 @@ impl RegionController {
 }
 
 impl Actor for RegionController {
-    fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
+    fn on_event(&mut self, ev: EventBox, ctx: &mut Ctx) {
         let ev = match ev.downcast::<CellRx>() {
             Ok(rx) => {
                 let p = rx.payload.clone();

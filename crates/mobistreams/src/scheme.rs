@@ -23,7 +23,7 @@ use dsps::ft::FtScheme;
 use dsps::graph::{EdgeId, OpId, OpKind};
 use dsps::node::{InstallStates, NodeInner};
 use dsps::tuple::{Marker, StreamItem, Tuple};
-use simkernel::{ActorId, Ctx, Event};
+use simkernel::{ActorId, Ctx, EventBox};
 use simnet::bitmap::Bitmap;
 use simnet::cellular::CellRx;
 use simnet::stats::TrafficClass;
@@ -687,7 +687,7 @@ impl FtScheme for MsScheme {
         node.store.preserve_input(self.epoch, op, tuple.clone());
     }
 
-    fn on_custom(&mut self, ev: Box<dyn Event>, node: &mut NodeInner, ctx: &mut Ctx) -> bool {
+    fn on_custom(&mut self, ev: EventBox, node: &mut NodeInner, ctx: &mut Ctx) -> bool {
         // Dead nodes react to nothing (reboot is handled by the node
         // runtime itself).
         if !node.alive {
@@ -957,7 +957,7 @@ mod tests {
     }
 
     impl Actor for CtlStub {
-        fn on_event(&mut self, ev: Box<dyn simkernel::Event>, _ctx: &mut Ctx) {
+        fn on_event(&mut self, ev: simkernel::EventBox, _ctx: &mut Ctx) {
             if let Ok(rx) = ev.downcast::<CellRx>() {
                 if let Some(m) = payload_as::<NodeCheckpointed>(&rx.payload) {
                     self.checkpointed.push((m.version, m.slot));

@@ -8,7 +8,7 @@
 use std::any::Any;
 use std::fmt;
 
-use crate::event::Event;
+use crate::pool::EventBox;
 use crate::sim::Ctx;
 
 /// Stable identifier of an actor within one simulation (index into the
@@ -54,7 +54,7 @@ impl fmt::Display for ActorId {
 pub trait Actor: Any + Send {
     /// Handle one event. `ctx` provides the clock, the RNG and the
     /// ability to schedule further events.
-    fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx);
+    fn on_event(&mut self, ev: EventBox, ctx: &mut Ctx);
 
     /// Human-readable name for traces.
     fn name(&self) -> String {

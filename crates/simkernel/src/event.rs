@@ -3,8 +3,9 @@
 //! Every message in the simulation — a WiFi frame, a stream tuple, a
 //! controller ping, a timer — is a concrete struct implementing [`Event`]
 //! (which is blanket-implemented for any `'static + Debug` type). Actors
-//! receive `Box<dyn Event>` and downcast to the types they understand,
-//! which keeps the crates decoupled: `simnet` never needs to know about
+//! receive an [`EventBox`](crate::EventBox) (pooled or plain, see
+//! [`crate::pool`]) and downcast to the types they understand, which
+//! keeps the crates decoupled: `simnet` never needs to know about
 //! checkpoint tokens, and `mobistreams` never needs to know about
 //! Ethernet frames.
 
@@ -92,14 +93,16 @@ impl dyn Event {
     }
 }
 
-/// Dispatch a boxed event to per-type handlers. Expands to an
-/// if-let-downcast chain; the final arm handles "no match".
+/// Dispatch an event to per-type handlers. Expands to an
+/// if-let-downcast chain; the final arm handles "no match". Accepts an
+/// [`EventBox`](crate::EventBox) (the [`Actor::on_event`](crate::Actor)
+/// argument) or a plain `Box<dyn Event>`.
 ///
 /// ```
-/// use simkernel::{match_event, Event};
+/// use simkernel::{match_event, Event, EventBox};
 /// #[derive(Debug)] struct A(u32);
 /// #[derive(Debug)] struct B;
-/// let ev: Box<dyn Event> = Box::new(A(7));
+/// let ev = EventBox::new(A(7));
 /// let mut got = 0;
 /// match_event!(ev,
 ///     a: A => { got = a.0; },
@@ -111,13 +114,13 @@ impl dyn Event {
 #[macro_export]
 macro_rules! match_event {
     ($ev:expr, $( $name:ident : $ty:ty => $body:block ),+ , @else $fallback:ident => $fb:block ) => {{
-        let mut __ev: Box<dyn $crate::Event> = $ev;
+        let mut __ev: $crate::EventBox = ::core::convert::Into::into($ev);
         #[allow(unreachable_code, clippy::never_loop)]
         loop {
             $(
                 __ev = match __ev.downcast::<$ty>() {
-                    Ok(__b) => {
-                        let $name: $ty = *__b;
+                    Ok(__v) => {
+                        let $name: $ty = __v;
                         $body
                         break;
                     }

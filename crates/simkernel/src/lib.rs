@@ -15,14 +15,14 @@
 //! number, and all randomness flows through the single [`rng::SimRng`].
 //!
 //! ```
-//! use simkernel::{Sim, Actor, Ctx, Event, SimDuration, ActorId};
+//! use simkernel::{Sim, Actor, Ctx, EventBox, SimDuration, ActorId};
 //!
 //! #[derive(Debug)]
 //! struct Tick(u32);
 //!
 //! struct Counter { seen: u32 }
 //! impl Actor for Counter {
-//!     fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
+//!     fn on_event(&mut self, ev: EventBox, ctx: &mut Ctx) {
 //!         let tick = ev.downcast::<Tick>().unwrap();
 //!         self.seen += tick.0;
 //!         if self.seen < 10 {
@@ -42,6 +42,7 @@
 
 pub mod actor;
 pub mod event;
+pub mod pool;
 pub mod rng;
 pub mod sim;
 pub mod time;
@@ -49,7 +50,8 @@ pub mod trace;
 
 pub use actor::{Actor, ActorId};
 pub use event::{Event, MisroutedEvent};
+pub use pool::{EventBox, EventPool, PoolStats};
 pub use rng::SimRng;
-pub use sim::{CausalityReport, Ctx, Sim};
+pub use sim::{CausalityReport, Ctx, ShardBound, Sim};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceRecord};

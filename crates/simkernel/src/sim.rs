@@ -21,14 +21,34 @@
 //! Under that contract the barrier loop in [`Sim::run_until`] is a
 //! classical conservative parallel DES: shard 0 runs alone while it
 //! holds the earliest event; otherwise all other shards run concurrently
-//! inside the window `[now, min(t_global, t_min + lookahead))`, which no
-//! in-flight or future message can land inside. Cross-shard sends are
-//! buffered in per-core outboxes and merged at the barrier with a stable
-//! `(time, source shard, source sequence)` tie-break, and every shard's
-//! RNG stream is forked deterministically — so the result is
-//! **bit-for-bit identical regardless of worker thread count**, and the
-//! thread count only decides how the per-window work is scheduled onto
-//! OS threads.
+//! inside per-shard windows no in-flight or future message can land
+//! inside. Cross-shard sends are buffered in per-core outboxes and
+//! merged at the barrier with a stable `(time, source shard, source
+//! sequence)` tie-break, and every shard's RNG stream is forked
+//! deterministically — so the result is **bit-for-bit identical
+//! regardless of worker thread count**, and the thread count only
+//! decides how the per-window work is scheduled onto OS threads.
+//!
+//! Three hot-path optimisations preserve that schedule exactly:
+//!
+//! * **Per-destination lookahead** ([`Sim::set_shard_bounds`]): instead
+//!   of one global lookahead, each shard `d` carries a [`ShardBound`] —
+//!   `self_bound` (minimum delay of any chain leaving `d` through
+//!   shard 0 and coming back) and `cross_bound` (minimum delay of any
+//!   chain from *another* region into `d`). Shard `d`'s window runs to
+//!   `min(t_global, t_other(d) + cross_bound(d))`, dynamically capped
+//!   at its own earliest parked cross-shard send plus `self_bound(d)` —
+//!   so independent regions no longer synchronise on every cellular
+//!   hop, and a region doing pure intra-region work runs unbounded
+//!   until it actually talks to the core.
+//! * **Warm workers**: region windows run on a persistent worker pool
+//!   (parked on a condvar between barriers) instead of re-spawning a
+//!   `std::thread::scope` per window.
+//! * **Pooled events** ([`crate::pool`]): intra-shard sends recycle
+//!   generation-checked slab slots instead of heap-boxing every send;
+//!   cross-shard sends are flattened to plain boxes so pool traffic
+//!   never crosses shards (which would make free-list state depend on
+//!   thread interleaving).
 //!
 //! # Causality sanitizer
 //!
@@ -47,10 +67,11 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::actor::{Actor, ActorId};
 use crate::event::Event;
+use crate::pool::{EventBox, EventPool, PoolStats};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
@@ -59,7 +80,7 @@ struct Entry {
     at: SimTime,
     seq: u64,
     to: ActorId,
-    ev: Box<dyn Event>,
+    ev: EventBox,
 }
 
 impl PartialEq for Entry {
@@ -81,7 +102,10 @@ impl Ord for Entry {
     }
 }
 
-/// A cross-shard send, parked until the next barrier merge.
+/// A cross-shard send, parked until the next barrier merge. The event
+/// is always plain-backed (never pooled): `Core::push` flattens pooled
+/// payloads before they enter an outbox, so slot recycling stays a
+/// per-shard affair and is thread-count deterministic.
 struct OutEntry {
     dest: u16,
     at: SimTime,
@@ -89,7 +113,7 @@ struct OutEntry {
     /// gives merges a stable, thread-count-independent tie-break.
     src_seq: u64,
     to: ActorId,
-    ev: Box<dyn Event>,
+    ev: EventBox,
 }
 
 /// One shard's mutable simulation internals, handed to actors via
@@ -110,23 +134,54 @@ struct Core {
     /// Sends addressed to other shards, merged at the next barrier.
     outbox: Vec<OutEntry>,
     /// Earliest arrival time currently parked in `outbox` (`None` when
-    /// empty). The global shard's solo window may not run past it: a
-    /// region woken at that time can reply into shard 0 with zero
-    /// delay, so shard 0 advancing further would put the reply below
-    /// its clock (see `run_barrier`).
+    /// empty). Windows may not run past it plus the relevant response
+    /// bound: a parked send can provoke a reply back into this shard
+    /// after as little as that bound (zero for shard 0's solo window),
+    /// so advancing further would put the reply below the shard's
+    /// clock (see `run_barrier`).
     outbox_min: Option<SimTime>,
+    /// This shard's slab pool for intra-shard event allocations.
+    pool: EventPool,
 }
 
 impl Core {
-    fn push(&mut self, at: SimTime, to: ActorId, ev: Box<dyn Event>) {
-        debug_assert!(to != ActorId::UNSET, "event scheduled to ActorId::UNSET");
-        let seq = self.seq;
-        self.seq += 1;
+    /// Route an event, choosing its allocation by destination: pooled
+    /// for the intra-shard hot path, plain heap box for cross-shard
+    /// sends (pooled slots must never migrate between shards).
+    fn push_typed<E: Event>(&mut self, at: SimTime, to: ActorId, ev: E) {
         let dest = self
             .shard_of
             .get(to.index())
             .copied()
             .unwrap_or(self.my_shard);
+        let ev = if dest == self.my_shard {
+            self.pool.make(ev)
+        } else {
+            EventBox::new(ev)
+        };
+        self.push_routed(at, to, dest, ev);
+    }
+
+    /// Route an already-boxed event (flattening pooled payloads that
+    /// are about to cross a shard boundary).
+    fn push(&mut self, at: SimTime, to: ActorId, ev: EventBox) {
+        let dest = self
+            .shard_of
+            .get(to.index())
+            .copied()
+            .unwrap_or(self.my_shard);
+        let ev = if dest == self.my_shard {
+            ev
+        } else {
+            ev.into_plain()
+        };
+        self.push_routed(at, to, dest, ev);
+    }
+
+    fn push_routed(&mut self, at: SimTime, to: ActorId, dest: u16, ev: EventBox) {
+        debug_assert!(to != ActorId::UNSET, "event scheduled to ActorId::UNSET");
+        let seq = self.seq;
+        self.seq += 1;
         if dest == self.my_shard {
             self.heap.push(Entry { at, seq, to, ev });
         } else {
@@ -138,6 +193,25 @@ impl Core {
                 to,
                 ev,
             });
+        }
+    }
+
+    /// A cheap placeholder with this core's identity but no state, used
+    /// to move the real core into a worker slot for one window.
+    fn hollow(&self) -> Core {
+        Core {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            rng: SimRng::new(0),
+            trace: Trace::new(),
+            events_processed: 0,
+            event_limit: u64::MAX,
+            my_shard: self.my_shard,
+            shard_of: Arc::clone(&self.shard_of),
+            outbox: Vec::new(),
+            outbox_min: None,
+            pool: self.pool.clone(),
         }
     }
 }
@@ -162,28 +236,29 @@ impl Ctx<'_> {
     /// Deliver `ev` to `to` at the current instant (after all events
     /// already queued for this instant — FIFO within a timestamp).
     pub fn send(&mut self, to: ActorId, ev: impl Event) {
-        self.core.push(self.core.now, to, Box::new(ev));
+        self.core.push_typed(self.core.now, to, ev);
     }
 
-    /// Deliver an already-boxed event at the current instant.
-    pub fn send_boxed(&mut self, to: ActorId, ev: Box<dyn Event>) {
-        self.core.push(self.core.now, to, ev);
+    /// Deliver an already-boxed event ([`EventBox`] or `Box<dyn Event>`)
+    /// at the current instant.
+    pub fn send_boxed(&mut self, to: ActorId, ev: impl Into<EventBox>) {
+        self.core.push(self.core.now, to, ev.into());
     }
 
     /// Deliver `ev` to `to` after `delay`.
     pub fn send_in(&mut self, delay: SimDuration, to: ActorId, ev: impl Event) {
-        self.core.push(self.core.now + delay, to, Box::new(ev));
+        self.core.push_typed(self.core.now + delay, to, ev);
     }
 
     /// Deliver a boxed event after `delay`.
-    pub fn send_boxed_in(&mut self, delay: SimDuration, to: ActorId, ev: Box<dyn Event>) {
-        self.core.push(self.core.now + delay, to, ev);
+    pub fn send_boxed_in(&mut self, delay: SimDuration, to: ActorId, ev: impl Into<EventBox>) {
+        self.core.push(self.core.now + delay, to, ev.into());
     }
 
     /// Deliver `ev` at absolute time `at` (clamped to now if in the past).
     pub fn send_at(&mut self, at: SimTime, to: ActorId, ev: impl Event) {
         let at = at.max(self.core.now);
-        self.core.push(at, to, Box::new(ev));
+        self.core.push_typed(at, to, ev);
     }
 
     /// The simulation RNG (this shard's stream).
@@ -257,6 +332,28 @@ pub struct CausalityReport {
     /// builds, which panic at the first violation instead). Nonzero
     /// means the run's results cannot be trusted; CI exits nonzero.
     pub violations: u64,
+    /// Event-pool allocations served from recycled slots, summed over
+    /// shards. A pure function of the schedule (pooled slots never
+    /// cross shards), so it must match across thread counts.
+    pub pool_recycled: u64,
+    /// Event-pool generation mismatches (double free / aliased live
+    /// slot). Any nonzero value is a kernel memory-safety bug; the
+    /// stress suite asserts zero.
+    pub pool_aliasing: u64,
+}
+
+/// Per-shard conservative delay bounds for the barrier loop (see the
+/// module docs). The defaults set by [`Sim::enable_sharding`] use the
+/// single global lookahead for both; [`Sim::set_shard_bounds`] widens
+/// them per destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardBound {
+    /// Minimum total delay of any event chain that leaves this shard,
+    /// passes through shard 0, and re-enters this same shard.
+    pub self_bound: SimDuration,
+    /// Minimum total delay of any event chain from a send in *another*
+    /// non-global shard to a delivery into this shard.
+    pub cross_bound: SimDuration,
 }
 
 /// A discrete-event simulation: actor table + event heap(s) + clock(s).
@@ -273,6 +370,17 @@ pub struct Sim {
     threads: usize,
     /// Minimum cross-boundary delay the topology guarantees.
     lookahead: SimDuration,
+    /// Per-shard window bounds (index = shard; `[0]` unused). Uniform
+    /// (`lookahead` everywhere) until [`Sim::set_shard_bounds`].
+    bounds: Vec<ShardBound>,
+    /// Widest window bound ever granted to each shard (index = shard).
+    /// Maintained while the sanitizer is on; merged deliveries into a
+    /// region below its horizon mean a configured bound overstated the
+    /// real minimum delay — caught even when the delivery happens to
+    /// land above the shard's current clock.
+    horizons: Vec<SimTime>,
+    /// Persistent worker pool for region windows (threads > 1 only).
+    workers: Option<WorkerPool>,
     /// Runtime causality checks; `Some` = enabled (default in debug
     /// builds), `None` = disabled.
     sanitizer: Option<Sanitizer>,
@@ -294,12 +402,16 @@ impl Sim {
                 shard_of: Arc::from([]),
                 outbox: Vec::new(),
                 outbox_min: None,
+                pool: EventPool::new(),
             }],
             shard_actors: vec![Vec::new()],
             local_ix: Vec::new(),
             shard_of: Arc::from([]),
             threads: 1,
             lookahead: SimDuration::ZERO,
+            bounds: Vec::new(),
+            horizons: Vec::new(),
+            workers: None,
             sanitizer: if cfg!(debug_assertions) {
                 Some(Sanitizer::new())
             } else {
@@ -339,11 +451,25 @@ impl Sim {
     /// thread counts) to catch schedule divergence at the first window
     /// where per-shard RNG or event consumption differs.
     pub fn causality_report(&self) -> Option<CausalityReport> {
-        self.sanitizer.as_ref().map(|s| CausalityReport {
-            windows: s.windows,
-            ledger: s.ledger,
-            violations: s.violations,
+        self.sanitizer.as_ref().map(|s| {
+            let pool = self.pool_stats();
+            CausalityReport {
+                windows: s.windows,
+                ledger: s.ledger,
+                violations: s.violations,
+                pool_recycled: pool.recycled,
+                pool_aliasing: pool.aliasing,
+            }
         })
+    }
+
+    /// Event-pool counters summed over every shard's pool. Pooled slots
+    /// never cross shards, so each component is a pure function of the
+    /// schedule and must be identical across thread counts.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.cores
+            .iter()
+            .fold(PoolStats::default(), |acc, c| acc.merge(c.pool.stats()))
     }
 
     /// Register an actor; returns its id. Ids are assigned densely in
@@ -413,6 +539,7 @@ impl Sim {
                 shard_of: Arc::clone(&shard_of),
                 outbox: Vec::new(),
                 outbox_min: None,
+                pool: EventPool::new(),
             });
         }
 
@@ -427,21 +554,62 @@ impl Sim {
             self.shard_actors[s].push(a);
         }
 
-        // Hand each pending event to its owner.
+        // Hand each pending event to its owner, flattening pooled
+        // payloads that leave shard 0 (they were allocated from its
+        // pool back when everything was local).
         for e in pending {
-            let core = &mut self.cores[shard_of[e.to.index()] as usize];
+            let d = shard_of[e.to.index()] as usize;
+            let ev = if d == 0 { e.ev } else { e.ev.into_plain() };
+            let core = &mut self.cores[d];
             let seq = core.seq;
             core.seq += 1;
             core.heap.push(Entry {
                 at: e.at,
                 seq,
                 to: e.to,
-                ev: e.ev,
+                ev,
             });
         }
 
         self.threads = threads.max(1);
         self.lookahead = lookahead;
+        // Uniform bounds until `set_shard_bounds` widens them.
+        self.bounds = vec![
+            ShardBound {
+                self_bound: lookahead,
+                cross_bound: lookahead,
+            };
+            n_shards
+        ];
+        self.horizons = vec![SimTime::ZERO; n_shards];
+        let workers = self.threads.min(n_shards.saturating_sub(1));
+        if workers > 1 {
+            self.workers = Some(WorkerPool::new(
+                n_shards - 1,
+                workers,
+                self.local_ix.clone(),
+            ));
+        }
+    }
+
+    /// Replace the uniform per-shard window bounds installed by
+    /// [`Sim::enable_sharding`] with per-destination ones (one
+    /// [`ShardBound`] per shard; index 0 is unused). Each bound must be
+    /// a true conservative minimum for its shard or the causality
+    /// sanitizer (and ultimately the merge assertion) will fire.
+    pub fn set_shard_bounds(&mut self, bounds: Vec<ShardBound>) {
+        assert!(
+            self.cores.len() > 1,
+            "set_shard_bounds requires enable_sharding first"
+        );
+        assert_eq!(bounds.len(), self.cores.len(), "one ShardBound per shard");
+        for (i, b) in bounds.iter().enumerate().skip(1) {
+            assert!(
+                b.self_bound > SimDuration::ZERO && b.cross_bound > SimDuration::ZERO,
+                "shard {i}: conservative bounds must be > 0"
+            );
+        }
+        self.bounds = bounds;
     }
 
     /// Worker threads used for the parallel window phase (1 until
@@ -482,14 +650,14 @@ impl Sim {
     pub fn schedule_at(&mut self, at: SimTime, to: ActorId, ev: impl Event) {
         let core = &mut self.cores[self.shard_of.get(to.index()).copied().unwrap_or(0) as usize];
         let at = at.max(core.now);
-        core.push(at, to, Box::new(ev));
+        core.push(at, to, EventBox::new(ev));
     }
 
     /// Schedule `delay` after the current time.
     pub fn schedule_in(&mut self, delay: SimDuration, to: ActorId, ev: impl Event) {
         let core = &mut self.cores[self.shard_of.get(to.index()).copied().unwrap_or(0) as usize];
         let at = core.now + delay;
-        core.push(at, to, Box::new(ev));
+        core.push(at, to, EventBox::new(ev));
     }
 
     /// Timestamp of the next pending event anywhere, if any.
@@ -522,7 +690,7 @@ impl Sim {
             None,
             Some(bound),
             Some(1),
-            false,
+            None,
         );
         true
     }
@@ -530,14 +698,18 @@ impl Sim {
     /// Pop-and-dispatch `core`'s events while `at < strict_before` (if
     /// set) and `at <= inclusive_until` (if set), up to `max_events`.
     ///
-    /// With `cap_at_outbox`, the window also ends before any event
-    /// later than the earliest cross-shard arrival this very window
-    /// has parked (`Core::outbox_min`, re-checked after every
-    /// dispatch). The global shard's solo window needs this: its own
-    /// sends can wake a region *earlier* than the region's pending
-    /// heap suggested, and the woken region may reply into shard 0
-    /// with zero delay — so shard 0 must not advance past any time at
-    /// which such a reply could still arrive.
+    /// With `outbox_cap: Some(offset)`, the window also ends before any
+    /// event later than the earliest cross-shard arrival this very
+    /// window has parked (`Core::outbox_min`, re-checked after every
+    /// dispatch) plus `offset`. The global shard's solo window passes
+    /// `offset = 0`: its own sends can wake a region *earlier* than the
+    /// region's pending heap suggested, and the woken region may reply
+    /// into shard 0 with zero delay — so shard 0 must not advance past
+    /// any time at which such a reply could still arrive. Region
+    /// windows pass their `ShardBound::self_bound`: a parked send can
+    /// provoke a reply back into this shard no sooner than that bound
+    /// after it leaves, which lets a region with no parked sends run
+    /// its whole window regardless of how wide it is.
     fn run_window(
         core: &mut Core,
         actors: &mut [Option<Box<dyn Actor>>],
@@ -545,7 +717,7 @@ impl Sim {
         strict_before: Option<SimTime>,
         inclusive_until: Option<SimTime>,
         max_events: Option<u64>,
-        cap_at_outbox: bool,
+        outbox_cap: Option<SimDuration>,
     ) {
         let mut budget = max_events.unwrap_or(u64::MAX);
         while budget > 0 {
@@ -563,11 +735,12 @@ impl Sim {
                     break;
                 }
             }
-            if cap_at_outbox {
+            if let Some(offset) = outbox_cap {
                 if let Some(m) = core.outbox_min {
-                    // `at == m` stays safe: a reply provoked at `m`
-                    // arrives at `>= m`, never below this event's time.
-                    if at > m {
+                    // `at == m + offset` stays safe: a reply provoked
+                    // by the parked send arrives at `>= m + offset`,
+                    // never below this event's time.
+                    if at > m + offset {
                         break;
                     }
                 }
@@ -662,6 +835,27 @@ impl Sim {
             }
             let core = &mut self.cores[d];
             for e in entries {
+                if sanitize && d > 0 {
+                    if let Some(&h) = self.horizons.get(d) {
+                        if e.at < h {
+                            if cfg!(debug_assertions) {
+                                // simlint::allow(P001): causality sanitizer — a delivery below the widest window ever granted means a configured ShardBound overstated the real minimum delay
+                                panic!(
+                                    "causality sanitizer: cross-shard message into shard {d} \
+                                     is below its widened horizon: {} from shard {} for {:?} \
+                                     at {:?}, but windows up to {h:?} were already granted — \
+                                     a configured ShardBound exceeds the actual minimum \
+                                     cross-shard delay of this event chain",
+                                    (*e.ev).type_name(),
+                                    e.dest,
+                                    e.to,
+                                    e.at,
+                                );
+                            }
+                            violations += 1;
+                        }
+                    }
+                }
                 assert!(
                     e.at >= core.now,
                     "cross-shard message into shard {d} is below the shard's \
@@ -692,34 +886,107 @@ impl Sim {
         }
     }
 
-    /// Run every non-global shard's window `[now, w)` (∩ `<= until`),
-    /// on up to `self.threads` worker threads.
-    fn run_region_windows(&mut self, w: SimTime, until: Option<SimTime>) {
-        let local_ix = &self.local_ix;
+    /// Run every non-global shard's window, each bounded by its own
+    /// [`ShardBound`] (∩ `<= until`), on the warm worker pool when one
+    /// exists.
+    ///
+    /// Shard `d`'s static window is `min(t_g, t_other(d) +
+    /// cross_bound(d))` where `t_other(d)` is the earliest pending
+    /// event of any *other* region: resident global events all sit at
+    /// `>= t_g`, and any chain seeded by another region's window starts
+    /// at its head and accumulates at least `cross_bound(d)` before it
+    /// can land in `d`. Chains seeded by `d`'s *own* sends are handled
+    /// dynamically by the outbox cap (`self_bound(d)` past the earliest
+    /// parked send), so a region doing pure intra-region work runs
+    /// unbounded until it actually talks to the core. Progress is
+    /// guaranteed: outboxes are empty at window start (the barrier
+    /// merge drained them), so the earliest region's first event always
+    /// dispatches.
+    fn run_region_windows(&mut self, t_g: Option<SimTime>, until: Option<SimTime>) {
         let n = self.cores.len() - 1;
-        let threads = self.threads.min(n).max(1);
-        if threads == 1 {
-            for (core, actors) in self.cores[1..]
-                .iter_mut()
-                .zip(self.shard_actors[1..].iter_mut())
-            {
-                Self::run_window(core, actors, local_ix, Some(w), until, None, false);
+        // Earliest pending event per region, plus the min / second-min
+        // needed to form each shard's "earliest OTHER region" time.
+        let mut min1: Option<(SimTime, usize)> = None;
+        let mut min2: Option<SimTime> = None;
+        for (i, c) in self.cores[1..].iter().enumerate() {
+            let Some(t) = c.heap.peek().map(|e| e.at) else {
+                continue;
+            };
+            match min1 {
+                None => min1 = Some((t, i)),
+                Some((m, _)) if t < m => {
+                    min2 = Some(m);
+                    min1 = Some((t, i));
+                }
+                Some(_) => min2 = Some(min2.map_or(t, |m2| m2.min(t))),
             }
-            return;
         }
-        let chunk = n.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (cores, actors) in self.cores[1..]
-                .chunks_mut(chunk)
-                .zip(self.shard_actors[1..].chunks_mut(chunk))
-            {
-                scope.spawn(move || {
-                    for (core, acts) in cores.iter_mut().zip(actors.iter_mut()) {
-                        Self::run_window(core, acts, local_ix, Some(w), until, None, false);
-                    }
-                });
+        let plans: Vec<(Option<SimTime>, Option<SimDuration>)> = (0..n)
+            .map(|i| {
+                let other = match min1 {
+                    Some((m, am)) if am != i => Some(m),
+                    _ => min2,
+                };
+                let cross = other.map(|t| t + self.bounds[i + 1].cross_bound);
+                let w = match (t_g, cross) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                (w, Some(self.bounds[i + 1].self_bound))
+            })
+            .collect();
+
+        let threads = self.threads.min(n).max(1);
+        match &self.workers {
+            Some(pool) if threads > 1 => {
+                pool.run(
+                    &mut self.cores[1..],
+                    &mut self.shard_actors[1..],
+                    &plans,
+                    until,
+                );
             }
-        });
+            _ => {
+                for (i, (core, actors)) in self.cores[1..]
+                    .iter_mut()
+                    .zip(self.shard_actors[1..].iter_mut())
+                    .enumerate()
+                {
+                    Self::run_window(
+                        core,
+                        actors,
+                        &self.local_ix,
+                        plans[i].0,
+                        until,
+                        None,
+                        plans[i].1,
+                    );
+                }
+            }
+        }
+
+        if self.sanitizer.is_some() {
+            // Ratchet each shard's widest effective horizon: the window
+            // really granted is the static bound clipped by `until` and
+            // by the dynamic outbox cap (whose final value is visible
+            // in `outbox_min` now that the window is over). All-None
+            // means the shard ran to exhaustion — its heap emptied, so
+            // no horizon was promised and none is recorded.
+            for (i, plan) in plans.iter().enumerate().take(n) {
+                let core = &self.cores[i + 1];
+                let cap = core.outbox_min.map(|m| m + self.bounds[i + 1].self_bound);
+                // Deliveries at exactly a cap time are legal (ties are
+                // broken by merge seq), so every term — strict window,
+                // inclusive until, outbox cap — yields the same check:
+                // a violation is a delivery strictly below it.
+                let eff = [plan.0, until, cap].into_iter().flatten().min();
+                if let Some(e) = eff {
+                    if e > self.horizons[i + 1] {
+                        self.horizons[i + 1] = e;
+                    }
+                }
+            }
+        }
     }
 
     /// The conservative barrier loop (see the module docs). `None`
@@ -748,27 +1015,20 @@ impl Sim {
                 _ => false,
             };
             match t_r {
-                Some(t_r) if !global_first => {
-                    // Nothing can newly arrive inside a region before
-                    // min(t_g, t_r + lookahead): resident global events
-                    // all sit at >= t_g, and chains seeded by this
-                    // window's own sends re-enter regions only after
-                    // >= lookahead of cellular delay.
-                    let w = match t_g {
-                        Some(g) => g.min(t_r + self.lookahead),
-                        None => t_r + self.lookahead,
-                    };
-                    self.run_region_windows(w, until);
+                Some(_) if !global_first => {
+                    // Every region runs a window bounded by its own
+                    // ShardBound (see `run_region_windows`).
+                    self.run_region_windows(t_g, until);
                 }
                 _ => {
                     // Shard 0 runs alone while it holds the earliest
                     // event. Anything a region's *pending* events can
                     // send it arrives at `>= t_r`, so `<= t_r` is safe
                     // — but only until shard 0's own sends wake a
-                    // region earlier than `t_r`. The outbox cap ends
-                    // the window at the first such wake time, because
-                    // the woken region's zero-delay reply lands right
-                    // back at it.
+                    // region earlier than `t_r`. The zero-offset
+                    // outbox cap ends the window at the first such
+                    // wake time, because the woken region's zero-delay
+                    // reply lands right back at it.
                     let bound = match (t_r, until) {
                         (Some(a), Some(b)) => Some(a.min(b)),
                         (a, b) => a.or(b),
@@ -780,7 +1040,7 @@ impl Sim {
                         None,
                         bound,
                         None,
-                        true,
+                        Some(SimDuration::ZERO),
                     );
                 }
             }
@@ -884,6 +1144,200 @@ impl Sim {
     }
 }
 
+/// Lock a mutex, tolerating poison: a worker that panicked mid-window
+/// already stashed its payload for `resume_unwind` on the main thread,
+/// and the state it guarded is either discarded or re-panicked over.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One region shard's state, moved into a worker slot for one window.
+struct ShardTask {
+    core: Core,
+    actors: Vec<Option<Box<dyn Actor>>>,
+    strict_before: Option<SimTime>,
+    until: Option<SimTime>,
+    outbox_cap: Option<SimDuration>,
+}
+
+struct Gate {
+    /// Bumped by the main thread to start a window round.
+    epoch: u64,
+    /// Workers finished with the current round.
+    done: usize,
+    shutdown: bool,
+}
+
+struct WorkerShared {
+    gate: Mutex<Gate>,
+    start_cv: Condvar,
+    done_cv: Condvar,
+    /// One slot per region shard (index = shard - 1). Filled by the
+    /// main thread before an epoch bump, drained by it after the round.
+    slots: Vec<Mutex<Option<ShardTask>>>,
+    /// Global actor index → slot within its shard's actor vec (fixed
+    /// after `enable_sharding`).
+    local_ix: Vec<u32>,
+    /// First panic caught in a worker this round; re-thrown on the main
+    /// thread once every worker has parked again.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Persistent worker threads for the region-window phase. Spawned once
+/// at `enable_sharding` and parked on a condvar between barriers, so a
+/// window costs two notifications instead of N thread spawns.
+struct WorkerPool {
+    shared: Arc<WorkerShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    n_workers: usize,
+}
+
+impl WorkerPool {
+    fn new(n_region_shards: usize, workers: usize, local_ix: Vec<u32>) -> WorkerPool {
+        let n_workers = workers.min(n_region_shards).max(1);
+        let shared = Arc::new(WorkerShared {
+            gate: Mutex::new(Gate {
+                epoch: 0,
+                done: 0,
+                shutdown: false,
+            }),
+            start_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            slots: (0..n_region_shards).map(|_| Mutex::new(None)).collect(),
+            local_ix,
+            panic: Mutex::new(None),
+        });
+        // Static shard→worker assignment: worker w owns a contiguous
+        // chunk of slots, the same partition every window (results are
+        // identical either way; this just keeps shard state on the
+        // same thread's caches across windows).
+        let chunk = n_region_shards.div_ceil(n_workers);
+        let handles = (0..n_workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                let range = w * chunk..((w + 1) * chunk).min(n_region_shards);
+                std::thread::Builder::new()
+                    .name(format!("sim-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, range))
+                    // simlint::allow(P001): thread spawn at setup time; failing to create workers is unrecoverable
+                    .expect("spawn simulation worker thread")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            n_workers,
+        }
+    }
+
+    /// Run one window round: move every region shard's state into its
+    /// slot, wake the workers, wait for all of them to park again, and
+    /// move the state back. Panics from worker-side actor code are
+    /// re-thrown here (after the barrier, so no state is lost to a
+    /// mid-round unwind).
+    fn run(
+        &self,
+        cores: &mut [Core],
+        actors: &mut [Vec<Option<Box<dyn Actor>>>],
+        plans: &[(Option<SimTime>, Option<SimDuration>)],
+        until: Option<SimTime>,
+    ) {
+        for i in 0..cores.len() {
+            let hollow = cores[i].hollow();
+            let core = std::mem::replace(&mut cores[i], hollow);
+            let acts = std::mem::take(&mut actors[i]);
+            *lock(&self.shared.slots[i]) = Some(ShardTask {
+                core,
+                actors: acts,
+                strict_before: plans[i].0,
+                until,
+                outbox_cap: plans[i].1,
+            });
+        }
+        {
+            let mut g = lock(&self.shared.gate);
+            g.epoch += 1;
+            g.done = 0;
+        }
+        self.shared.start_cv.notify_all();
+        {
+            let mut g = lock(&self.shared.gate);
+            while g.done < self.n_workers {
+                g = self
+                    .shared
+                    .done_cv
+                    .wait(g)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        for i in 0..cores.len() {
+            if let Some(task) = lock(&self.shared.slots[i]).take() {
+                cores[i] = task.core;
+                actors[i] = task.actors;
+            }
+        }
+        if let Some(p) = lock(&self.shared.panic).take() {
+            std::panic::resume_unwind(p);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        lock(&self.shared.gate).shutdown = true;
+        self.shared.start_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &WorkerShared, range: std::ops::Range<usize>) {
+    let mut seen_epoch = 0u64;
+    loop {
+        {
+            let mut g = lock(&shared.gate);
+            while g.epoch == seen_epoch && !g.shutdown {
+                g = shared.start_cv.wait(g).unwrap_or_else(|e| e.into_inner());
+            }
+            if g.shutdown {
+                return;
+            }
+            seen_epoch = g.epoch;
+        }
+        for i in range.clone() {
+            let mut slot = lock(&shared.slots[i]);
+            if let Some(task) = slot.as_mut() {
+                // Actor panics must not tear down the worker (the pool
+                // is reused across windows); catch, stash the first,
+                // and let the main thread re-throw after the barrier.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    Sim::run_window(
+                        &mut task.core,
+                        &mut task.actors,
+                        &shared.local_ix,
+                        task.strict_before,
+                        task.until,
+                        None,
+                        task.outbox_cap,
+                    );
+                }));
+                if let Err(p) = result {
+                    let mut stash = lock(&shared.panic);
+                    if stash.is_none() {
+                        *stash = Some(p);
+                    }
+                }
+            }
+        }
+        {
+            let mut g = lock(&shared.gate);
+            g.done += 1;
+        }
+        shared.done_cv.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -902,7 +1356,7 @@ mod tests {
     }
 
     impl Actor for Paddle {
-        fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
+        fn on_event(&mut self, ev: EventBox, ctx: &mut Ctx) {
             // Typed dispatch: a mis-routed event yields a MisroutedEvent
             // naming both types instead of an opaque expect message.
             let ball = ev.downcast_expected::<Ball>().unwrap();
@@ -967,7 +1421,7 @@ mod tests {
     }
 
     impl Actor for Recorder {
-        fn on_event(&mut self, ev: Box<dyn Event>, _ctx: &mut Ctx) {
+        fn on_event(&mut self, ev: EventBox, _ctx: &mut Ctx) {
             self.seen.push(ev.downcast_expected::<Tag>().unwrap().0);
         }
         impl_actor_any!();
@@ -1015,7 +1469,7 @@ mod tests {
     fn event_limit_catches_runaway() {
         struct Loopy;
         impl Actor for Loopy {
-            fn on_event(&mut self, _ev: Box<dyn Event>, ctx: &mut Ctx) {
+            fn on_event(&mut self, _ev: EventBox, ctx: &mut Ctx) {
                 let me = ctx.self_id();
                 ctx.send(me, Tag(0));
             }
@@ -1037,7 +1491,7 @@ mod tests {
 
         struct Loud;
         impl Actor for Loud {
-            fn on_event(&mut self, _: Box<dyn Event>, _: &mut Ctx) {}
+            fn on_event(&mut self, _: EventBox, _: &mut Ctx) {}
             impl_actor_any!();
         }
     }
@@ -1046,7 +1500,7 @@ mod tests {
     fn counters_via_ctx() {
         struct Counting;
         impl Actor for Counting {
-            fn on_event(&mut self, _: Box<dyn Event>, ctx: &mut Ctx) {
+            fn on_event(&mut self, _: EventBox, ctx: &mut Ctx) {
                 ctx.count("events.seen", 1);
             }
             impl_actor_any!();
@@ -1076,7 +1530,7 @@ mod tests {
     }
 
     impl Actor for Hub {
-        fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
+        fn on_event(&mut self, ev: EventBox, ctx: &mut Ctx) {
             let p = ev.downcast_expected::<Ping>().unwrap();
             self.log.push((ctx.now(), p.0));
             // Advance to the next round once every peer has replied
@@ -1104,7 +1558,7 @@ mod tests {
     }
 
     impl Actor for Echo {
-        fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
+        fn on_event(&mut self, ev: EventBox, ctx: &mut Ctx) {
             let p = ev.downcast_expected::<Ping>().unwrap();
             // Draw from this shard's RNG stream: thread-count
             // independence must hold even with randomness in play.
@@ -1211,7 +1665,7 @@ mod tests {
     }
 
     impl Actor for Ticker {
-        fn on_event(&mut self, _ev: Box<dyn Event>, ctx: &mut Ctx) {
+        fn on_event(&mut self, _ev: EventBox, ctx: &mut Ctx) {
             if ctx.now() < self.stop {
                 let me = ctx.self_id();
                 ctx.send_in(self.period, me, Tag(0));
@@ -1227,7 +1681,7 @@ mod tests {
     }
 
     impl Actor for Relay {
-        fn on_event(&mut self, _ev: Box<dyn Event>, ctx: &mut Ctx) {
+        fn on_event(&mut self, _ev: EventBox, ctx: &mut Ctx) {
             ctx.send_in(self.delay, self.dst, Tag(1));
         }
         impl_actor_any!();
@@ -1236,9 +1690,11 @@ mod tests {
     /// A relay on the global shard that forwards into a region with a
     /// delay far below the claimed lookahead, while that region's
     /// clock runs ahead inside its window: the merged delivery lands
-    /// below the region's safe horizon and the sanitizer must name it.
+    /// below the region's granted horizon and the sanitizer must name
+    /// it (the widened-horizon check fires even when the delivery
+    /// happens to sit above the region's current clock).
     #[test]
-    #[should_panic(expected = "safe horizon")]
+    #[should_panic(expected = "below its widened horizon")]
     fn sanitizer_catches_below_horizon_delivery() {
         let mut sim = Sim::new(0);
         // Shard 0: relay that turns a region message around in 0.5 ms —
@@ -1347,7 +1803,7 @@ mod proptests {
     }
 
     impl Actor for Recorder {
-        fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
+        fn on_event(&mut self, ev: EventBox, ctx: &mut Ctx) {
             let s = ev.downcast_expected::<Stamp>().unwrap();
             self.seen.push((ctx.now(), s.0));
         }

@@ -5,7 +5,7 @@
 //! seeds must diverge.
 
 use simkernel::{
-    impl_actor_any, Actor, ActorId, Ctx, Event, Sim, SimDuration, SimTime, TraceRecord,
+    impl_actor_any, Actor, ActorId, Ctx, EventBox, Sim, SimDuration, SimTime, TraceRecord,
 };
 
 #[derive(Debug, Clone, Copy)]
@@ -31,7 +31,7 @@ impl Chatter {
 }
 
 impl Actor for Chatter {
-    fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
+    fn on_event(&mut self, ev: EventBox, ctx: &mut Ctx) {
         let tick = ev.downcast::<Tick>().unwrap();
         let draw = ctx.rng().range_u64(0, 1_000_000);
         self.draws.push(draw);

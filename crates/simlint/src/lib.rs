@@ -17,6 +17,7 @@
 //! | D002 | `Instant`/`SystemTime` outside the harness allowlist (wall clock must never feed results) |
 //! | D003 | RNG outside `SimRng` (`thread_rng`, entropy seeding, raw `SmallRng`, …) |
 //! | D004 | `static`/`thread_local!` in sim crates (hidden cross-run state) |
+//! | D005 | plain `Box<dyn Event>`/`Arc<dyn Event>` in `simkernel` outside the pool/event modules (hot path must allocate through `EventPool`) |
 //! | P001 | `panic!`/`unreachable!`/`.unwrap()`/`.expect(` in kernel/message-path crates |
 //! | L100 | an allow directive that suppressed nothing |
 //! | L101 | a malformed allow directive |
@@ -136,6 +137,25 @@ pub const RULES: &[Rule] = &[
         skip_test_code: false,
         allow_files: &[],
         patterns: &["static", "thread_local!"],
+    },
+    Rule {
+        id: "D005",
+        summary: "no plain Box<dyn Event>/Arc<dyn Event> on kernel hot paths",
+        rationale: "the kernel's event hot path allocates through the \
+                    generation-checked EventPool and moves EventBox values; \
+                    a plain boxed trait object on a send/dispatch path \
+                    silently bypasses the pool, dodging the pool_recycled/\
+                    pool_aliasing accounting and regressing the warm-worker \
+                    allocation win. Take `impl Into<EventBox>` or call \
+                    `EventPool::make` instead; only the pool/event modules \
+                    define the boxed representation.",
+        crates: &["simkernel"],
+        skip_test_code: true,
+        allow_files: &[
+            "crates/simkernel/src/pool.rs",
+            "crates/simkernel/src/event.rs",
+        ],
+        patterns: &["Box<dyn Event>", "Arc<dyn Event>"],
     },
     Rule {
         id: "P001",

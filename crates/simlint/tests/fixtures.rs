@@ -48,6 +48,27 @@ fn d004_fires_on_statics_but_not_lifetimes() {
 }
 
 #[test]
+fn d005_fires_on_plain_boxed_events_in_simkernel() {
+    let boxed = "fn f(ev: Box<dyn Event>) { let _ = ev; }\n";
+    let arced = "fn g(ev: Arc<dyn Event>) { let _ = ev; }\n";
+    let hits = rules_hit("crates/simkernel/src/sim.rs", boxed);
+    assert!(hits.contains(&"D005"), "hits = {hits:?}");
+    assert!(rules_hit("crates/simkernel/src/sim.rs", arced).contains(&"D005"));
+    // The pool and event modules define the boxed representation.
+    assert!(rules_hit("crates/simkernel/src/pool.rs", boxed).is_empty());
+    assert!(rules_hit("crates/simkernel/src/event.rs", boxed).is_empty());
+    // Scope is the kernel crate: harness and net crates may hold plain
+    // boxes (they never sit on the per-shard dispatch loop).
+    assert!(rules_hit(SIM_PATH, boxed).is_empty());
+    // Kernel test code may box freely.
+    let test_src = "#[cfg(test)]\nmod tests {\n    fn t(ev: Box<dyn Event>) { let _ = ev; }\n}\n";
+    assert!(rules_hit("crates/simkernel/src/sim.rs", test_src).is_empty());
+    // An EventBox-typed path does not trip the rule.
+    let pooled = "fn h(ev: EventBox) { let _ = ev; }\n";
+    assert!(rules_hit("crates/simkernel/src/sim.rs", pooled).is_empty());
+}
+
+#[test]
 fn p001_fires_on_message_path_panics_but_not_tests() {
     for bad in [
         "fn f() { panic!(\"boom\"); }\n",

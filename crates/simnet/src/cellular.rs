@@ -21,7 +21,7 @@
 
 use std::collections::BTreeMap;
 
-use simkernel::{impl_actor_any, Actor, ActorId, Ctx, Event, SimDuration};
+use simkernel::{impl_actor_any, Actor, ActorId, Ctx, EventBox, SimDuration};
 
 use crate::link::RateQueue;
 use crate::stats::{NetStats, TrafficClass};
@@ -215,6 +215,24 @@ impl CellularNet {
                 queue_drop_bytes: 0,
             },
         );
+    }
+
+    /// Minimum delay between any [`CellSend`] issued anywhere and the
+    /// resulting [`CellRx`] delivered to `node`: half the RTT plus the
+    /// time to clock a minimum-size (payload-less) message through
+    /// `node`'s downlink. `None` when `node` is not a registered
+    /// endpoint.
+    ///
+    /// This is a *per-destination* conservative bound for a parallel
+    /// kernel: every cross-region event chain into `node`'s shard ends
+    /// with such a delivery, so the shard's window may run this far
+    /// past the earliest foreign send — typically 30–40× wider than
+    /// [`CellConfig::min_response_delay`]. Endpoint rates are fixed at
+    /// registration ([`CellSetLink`] changes reachability, not rates),
+    /// so the bound is stable for the whole run.
+    pub fn min_delivery_delay_to(&self, node: ActorId) -> Option<SimDuration> {
+        let ep = self.endpoints.get(&node)?;
+        Some(self.cfg.rtt / 2 + crate::link::tx_time(self.cfg.overhead, ep.down.rate_bps()))
     }
 
     /// Change an endpoint's reachability (setup-time wiring; event-path
@@ -416,15 +434,15 @@ impl CellularNet {
         ctx.count("cell.sends", 1);
 
         if let Some(p) = s.payload {
-            ctx.send_boxed_in(
+            ctx.send_in(
                 down_end - now,
                 s.dst,
-                Box::new(CellRx {
+                CellRx {
                     src: s.src,
                     bytes: s.bytes,
                     class: s.class,
                     payload: p,
-                }),
+                },
             );
         }
         if s.tag != 0 {
@@ -434,7 +452,7 @@ impl CellularNet {
 }
 
 impl Actor for CellularNet {
-    fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
+    fn on_event(&mut self, ev: EventBox, ctx: &mut Ctx) {
         simkernel::match_event!(ev,
             s: CellSend => { self.handle_send(s, ctx); },
             l: CellSetLink => { self.set_link_state_at(l.node, l.state, ctx.now()); },
@@ -469,7 +487,7 @@ mod tests {
     }
 
     impl Actor for Sink {
-        fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
+        fn on_event(&mut self, ev: EventBox, ctx: &mut Ctx) {
             simkernel::match_event!(ev,
                 r: CellRx => { self.rx.push((ctx.now(), r.bytes)); },
                 d: TxDone => { self.done.push(d.tag); },

@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use simkernel::{impl_actor_any, Actor, ActorId, Ctx, Event, SimDuration};
+use simkernel::{impl_actor_any, Actor, ActorId, Ctx, EventBox, SimDuration};
 
 use crate::link::RateQueue;
 use crate::stats::{NetStats, TrafficClass};
@@ -107,15 +107,15 @@ impl EthernetNet {
         self.stats.record_send(s.class, s.bytes, wire, air);
         let deliver_at = end + self.cfg.latency;
         if let Some(p) = s.payload {
-            ctx.send_boxed_in(
+            ctx.send_in(
                 deliver_at - now,
                 s.dst,
-                Box::new(EthRx {
+                EthRx {
                     src: s.src,
                     bytes: s.bytes,
                     class: s.class,
                     payload: p,
-                }),
+                },
             );
         }
         if s.tag != 0 {
@@ -125,7 +125,7 @@ impl EthernetNet {
 }
 
 impl Actor for EthernetNet {
-    fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
+    fn on_event(&mut self, ev: EventBox, ctx: &mut Ctx) {
         simkernel::match_event!(ev,
             s: EthSend => { self.handle_send(s, ctx); },
             @else _other => {
@@ -154,7 +154,7 @@ mod tests {
     }
 
     impl Actor for Sink {
-        fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
+        fn on_event(&mut self, ev: EventBox, ctx: &mut Ctx) {
             if let Ok(r) = ev.downcast::<EthRx>() {
                 self.rx.push((ctx.now(), r.bytes));
             }

@@ -23,7 +23,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use simkernel::{impl_actor_any, Actor, ActorId, Ctx, Event, SimDuration, SimRng};
+use simkernel::{impl_actor_any, Actor, ActorId, Ctx, EventBox, SimDuration, SimRng};
 
 use crate::bitmap::Bitmap;
 use crate::link::{tx_time, RateQueue};
@@ -415,15 +415,15 @@ impl WifiMedium {
 
         let delay = end - ctx.now();
         let deliver = |ctx: &mut Ctx, to: ActorId, payload: &Payload| {
-            ctx.send_boxed_in(
+            ctx.send_in(
                 delay,
                 to,
-                Box::new(WifiRx {
+                WifiRx {
                     src: s.src,
                     bytes: s.bytes,
                     class: s.class,
                     payload: payload.clone(),
-                }),
+                },
             );
         };
 
@@ -598,7 +598,7 @@ impl WifiMedium {
 }
 
 impl Actor for WifiMedium {
-    fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
+    fn on_event(&mut self, ev: EventBox, ctx: &mut Ctx) {
         simkernel::match_event!(ev,
             s: WifiSend => { self.handle_send(s, ctx); },
             b: WifiBatchSend => { self.handle_batch(b, ctx); },
@@ -638,7 +638,7 @@ mod tests {
     }
 
     impl Actor for Sink {
-        fn on_event(&mut self, ev: Box<dyn Event>, ctx: &mut Ctx) {
+        fn on_event(&mut self, ev: EventBox, ctx: &mut Ctx) {
             simkernel::match_event!(ev,
                 r: WifiRx => { self.rx.push((ctx.now(), r.bytes)); },
                 b: WifiBatchRx => { self.batch.push((b.stream, b.received.count_ones())); },
